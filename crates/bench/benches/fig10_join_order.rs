@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 10: join-order efficiency on JOB queries under
+//! RelGo, GRainDB, RelGoHash and DuckDB-like optimizers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::job_queries;
+
+fn bench(c: &mut Criterion) {
+    let (session, schema) = Session::imdb(0.15, 7).expect("session");
+    let jobs = job_queries::job_queries(&schema).unwrap();
+    let mut group = c.benchmark_group("fig10_join_order");
+    group.sample_size(10);
+    for w in jobs.iter().take(3) {
+        for mode in [
+            OptimizerMode::RelGo,
+            OptimizerMode::GRainDb,
+            OptimizerMode::RelGoHash,
+            OptimizerMode::DuckDbLike,
+        ] {
+            let _ = session.run(&w.query, mode).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(mode.name(), &w.name),
+                &w.query,
+                |b, q| b.iter(|| session.run(q, mode).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

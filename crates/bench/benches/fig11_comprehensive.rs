@@ -1,0 +1,37 @@
+//! Criterion bench for Fig. 11: comprehensive comparison against the
+//! DuckDB-like baseline on representative IC and JOB queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::{job_queries, snb_queries};
+
+fn bench(c: &mut Criterion) {
+    let (snb, sschema) = Session::snb(0.1, 42).expect("snb");
+    let (imdb, ischema) = Session::imdb(0.15, 7).expect("imdb");
+    let ic7 = snb_queries::ic7(&sschema, 5).unwrap();
+    let job17 = job_queries::build_job(&ischema, &job_queries::job_specs()[16]).unwrap();
+    let modes = [
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::GRainDb,
+        OptimizerMode::UmbraLike,
+        OptimizerMode::KuzuLike,
+        OptimizerMode::RelGo,
+    ];
+
+    let mut group = c.benchmark_group("fig11_comprehensive");
+    group.sample_size(10);
+    for mode in modes {
+        let _ = snb.run(&ic7, mode).unwrap();
+        group.bench_with_input(BenchmarkId::new(mode.name(), "IC7"), &ic7, |b, q| {
+            b.iter(|| snb.run(q, mode).unwrap())
+        });
+        let _ = imdb.run(&job17, mode).unwrap();
+        group.bench_with_input(BenchmarkId::new(mode.name(), "JOB17"), &job17, |b, q| {
+            b.iter(|| imdb.run(q, mode).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 4b: optimization time of the converged
+//! optimizer vs the Calcite-like exhaustive enumerator on IC queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::snb_queries;
+
+fn bench(c: &mut Criterion) {
+    let (session, schema) = Session::snb(0.05, 42).expect("session");
+    let queries = [
+        ("IC1-2", snb_queries::ic1(&schema, 2, 5).unwrap()),
+        ("IC5-1", snb_queries::ic5(&schema, 1, 5, 14_000).unwrap()),
+        ("IC12", snb_queries::ic12(&schema, 5, "class_1").unwrap()),
+    ];
+    let mut group = c.benchmark_group("fig4b_opt_time");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        // Warm GLogue so RelGo timing reflects planning, not statistics
+        // collection (built offline in the paper).
+        let _ = session.optimize(q, OptimizerMode::RelGo).unwrap();
+        group.bench_with_input(BenchmarkId::new("RelGo", name), q, |b, q| {
+            b.iter(|| session.optimize(q, OptimizerMode::RelGo).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("CalciteLike", name), q, |b, q| {
+            b.iter(|| session.optimize(q, OptimizerMode::CalciteLike).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 4a: exact search-space counting on path
+//! patterns under both regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::pattern::search_space::{agnostic_plan_count, aware_plan_count, path_pattern};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_search_space");
+    group.sample_size(10);
+    for m in [4usize, 8, 10] {
+        let p = path_pattern(m);
+        group.bench_with_input(BenchmarkId::new("aware", m), &p, |b, p| {
+            b.iter(|| aware_plan_count(std::hint::black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("agnostic", m), &p, |b, p| {
+            b.iter(|| agnostic_plan_count(std::hint::black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 7: end-to-end (optimize + execute) time of
+//! RelGo vs GRainDB on representative SNB and JOB queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::{job_queries, snb_queries};
+
+fn bench(c: &mut Criterion) {
+    let (snb, sschema) = Session::snb(0.1, 42).expect("snb");
+    let (imdb, ischema) = Session::imdb(0.15, 7).expect("imdb");
+    let snb_queries = [
+        ("IC2", snb_queries::ic2(&sschema, 5, 18_500).unwrap()),
+        ("IC7", snb_queries::ic7(&sschema, 5).unwrap()),
+    ];
+    let job1 = job_queries::build_job(&ischema, &job_queries::job_specs()[0]).unwrap();
+
+    let mut group = c.benchmark_group("fig7_e2e");
+    group.sample_size(10);
+    for (name, q) in &snb_queries {
+        for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+            let _ = snb.run(q, mode).unwrap(); // warm-up
+            group.bench_with_input(
+                BenchmarkId::new(format!("snb_{}", mode.name()), name),
+                q,
+                |b, q| b.iter(|| snb.run(q, mode).unwrap()),
+            );
+        }
+    }
+    for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+        let _ = imdb.run(&job1, mode).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("imdb_{}", mode.name()), "JOB1"),
+            &job1,
+            |b, q| b.iter(|| imdb.run(q, mode).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

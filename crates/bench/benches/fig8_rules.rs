@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 8: the heuristic-rule ablation (RelGo vs
+//! RelGoNoRule) on the QR micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::snb_queries;
+
+fn bench(c: &mut Criterion) {
+    let (session, schema) = Session::snb(0.1, 42).expect("session");
+    let qr = snb_queries::qr_queries(&schema).unwrap();
+    let mut group = c.benchmark_group("fig8_rules");
+    group.sample_size(10);
+    for w in &qr {
+        for mode in [OptimizerMode::RelGo, OptimizerMode::RelGoNoRule] {
+            let _ = session.run(&w.query, mode).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(mode.name(), &w.name),
+                &w.query,
+                |b, q| b.iter(|| session.run(q, mode).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 9: the EXPAND_INTERSECT ablation (RelGo vs
+//! RelGoNoEI) on the cyclic QC micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::snb_queries;
+
+fn bench(c: &mut Criterion) {
+    let (session, schema) = Session::snb(0.1, 42).expect("session");
+    let qc = snb_queries::qc_queries(&schema).unwrap();
+    let mut group = c.benchmark_group("fig9_ei");
+    group.sample_size(10);
+    for w in &qc {
+        for mode in [OptimizerMode::RelGo, OptimizerMode::RelGoNoEI] {
+            if session.run(&w.query, mode).is_err() {
+                // NoEI may legitimately exhaust the budget on QC3 — the
+                // paper reports it as OOM; skip benchmarking that cell.
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(mode.name(), &w.name),
+                &w.query,
+                |b, q| b.iter(|| session.run(q, mode).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

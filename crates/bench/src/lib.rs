@@ -1,0 +1,16 @@
+//! # relgo-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (§5). Each `fig*` function produces the same rows/series the
+//! paper plots; the `repro` binary prints them, and the Criterion benches
+//! measure representative slices under `cargo bench`.
+//!
+//! Scale notes: `RELGO_BENCH_QUICK=1` (or `--quick`) shrinks scale factors
+//! and repetition counts so the whole suite completes in well under a
+//! minute; the default configuration corresponds to the shapes reported in
+//! `EXPERIMENTS.md`.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{measure, BenchConfig, Timing};

@@ -1,0 +1,112 @@
+//! Unified error type for RelGo-RS.
+//!
+//! All fallible public APIs across the workspace return [`Result<T>`]. The
+//! variants are intentionally coarse: they distinguish *who is at fault*
+//! (schema author, query author, planner, executor) rather than enumerating
+//! every failure site.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, RelGoError>;
+
+/// The unified error type of the RelGo-RS workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelGoError {
+    /// A referenced catalog object (table, column, graph label) is unknown.
+    NotFound(String),
+    /// A schema-level contract is violated (duplicate names, arity mismatch,
+    /// type mismatch between column and value, invalid RGMapping).
+    Schema(String),
+    /// A query is malformed (disconnected pattern, unknown pattern element,
+    /// predicate referencing an unbound attribute).
+    Query(String),
+    /// The planner could not produce a plan (empty search space, timeout).
+    Plan(String),
+    /// A runtime execution failure (type error during evaluation, resource
+    /// guard tripped such as the intermediate-result blow-up limit).
+    Execution(String),
+    /// The configured resource budget (memory/intermediate-size guard) was
+    /// exceeded; models the paper's OOM outcomes (e.g. RelGoNoEI on QC3).
+    ResourceExhausted(String),
+}
+
+impl RelGoError {
+    /// Shorthand constructor for [`RelGoError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        RelGoError::NotFound(what.into())
+    }
+
+    /// Shorthand constructor for [`RelGoError::Schema`].
+    pub fn schema(msg: impl Into<String>) -> Self {
+        RelGoError::Schema(msg.into())
+    }
+
+    /// Shorthand constructor for [`RelGoError::Query`].
+    pub fn query(msg: impl Into<String>) -> Self {
+        RelGoError::Query(msg.into())
+    }
+
+    /// Shorthand constructor for [`RelGoError::Plan`].
+    pub fn plan(msg: impl Into<String>) -> Self {
+        RelGoError::Plan(msg.into())
+    }
+
+    /// Shorthand constructor for [`RelGoError::Execution`].
+    pub fn execution(msg: impl Into<String>) -> Self {
+        RelGoError::Execution(msg.into())
+    }
+}
+
+impl fmt::Display for RelGoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelGoError::NotFound(s) => write!(f, "not found: {s}"),
+            RelGoError::Schema(s) => write!(f, "schema error: {s}"),
+            RelGoError::Query(s) => write!(f, "query error: {s}"),
+            RelGoError::Plan(s) => write!(f, "plan error: {s}"),
+            RelGoError::Execution(s) => write!(f, "execution error: {s}"),
+            RelGoError::ResourceExhausted(s) => write!(f, "resource exhausted: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RelGoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = RelGoError::not_found("table Person");
+        assert_eq!(e.to_string(), "not found: table Person");
+        let e = RelGoError::schema("duplicate column id");
+        assert_eq!(e.to_string(), "schema error: duplicate column id");
+        let e = RelGoError::query("pattern is disconnected");
+        assert!(e.to_string().contains("disconnected"));
+        let e = RelGoError::plan("no decomposition");
+        assert!(e.to_string().starts_with("plan error"));
+        let e = RelGoError::execution("type mismatch");
+        assert!(e.to_string().starts_with("execution error"));
+        let e = RelGoError::ResourceExhausted("intermediate > 1e9".into());
+        assert!(e.to_string().starts_with("resource exhausted"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RelGoError::not_found("x"),
+            RelGoError::NotFound("x".to_string())
+        );
+        assert_ne!(RelGoError::not_found("x"), RelGoError::schema("x"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn fails() -> std::result::Result<(), Box<dyn std::error::Error>> {
+            Err(Box::new(RelGoError::plan("boom")))
+        }
+        assert!(fails().is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! A vendored Fx-style hasher plus map/set aliases.
+//!
+//! The Rust performance guide recommends replacing SipHash with a fast
+//! non-cryptographic hasher for hot, integer-keyed tables (`rustc-hash`'s
+//! algorithm being the canonical choice). The sanctioned dependency list for
+//! this workspace does not include `rustc-hash`, so we vendor the ~30-line
+//! algorithm here: multiply-rotate mixing with the golden-ratio-derived
+//! constant used by Firefox and rustc.
+//!
+//! HashDoS resistance is irrelevant for this workload (all keys are
+//! internally generated row ids, label ids and canonical pattern codes).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden ratio) used by the Fx algorithm.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single `u64` with the Fx algorithm (for ad-hoc fingerprinting).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Combine two hash values order-dependently.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    (a.rotate_left(5) ^ b).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+    }
+
+    #[test]
+    fn byte_stream_matches_between_calls() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a byte stream");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a byte stream");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"12345678X");
+        let mut b = FxHasher::default();
+        b.write(b"12345678Y");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn combine_is_order_dependent() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn string_keys_hash_consistently() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("Person".to_string(), 0);
+        m.insert("Knows".to_string(), 1);
+        assert_eq!(m["Person"], 0);
+        assert_eq!(m["Knows"], 1);
+    }
+}

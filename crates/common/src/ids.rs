@@ -1,0 +1,125 @@
+//! Strongly typed identifiers shared across the workspace.
+//!
+//! Following the paper's data model (§2.1): every graph element carries a
+//! globally unique ID obtained by prefixing its relation's row id with the
+//! relation (label) identity. We encode this as [`ElementId`] =
+//! `(LabelId, RowId)` packed into a `u64`, which keeps graph-relation columns
+//! as flat `Vec<u64>`s.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex or edge label; equals the index of the mapped
+/// relation inside the [`RGMapping`](https://docs.rs) vertex/edge tables.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LabelId(pub u16);
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Row identifier within one relation. Tables are bounded to `u32::MAX` rows,
+/// which is ample for laptop-scale reproductions and halves index memory
+/// versus `u64` (a recommendation of the performance guide: smaller integers
+/// for indices).
+pub type RowId = u32;
+
+/// Globally unique identifier of a graph element: the mapped relation's label
+/// in the high 16 bits (plus a vertex/edge discriminator) and the row id in
+/// the low 32 bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u64);
+
+const EDGE_BIT: u64 = 1 << 63;
+
+impl ElementId {
+    /// Build the id of a vertex mapped from row `row` of the relation with
+    /// label `label`.
+    #[inline]
+    pub fn vertex(label: LabelId, row: RowId) -> Self {
+        ElementId(((label.0 as u64) << 32) | row as u64)
+    }
+
+    /// Build the id of an edge mapped from row `row` of the relation with
+    /// label `label`.
+    #[inline]
+    pub fn edge(label: LabelId, row: RowId) -> Self {
+        ElementId(EDGE_BIT | ((label.0 as u64) << 32) | row as u64)
+    }
+
+    /// Whether this id denotes an edge.
+    #[inline]
+    pub fn is_edge(self) -> bool {
+        self.0 & EDGE_BIT != 0
+    }
+
+    /// The label component.
+    #[inline]
+    pub fn label(self) -> LabelId {
+        LabelId(((self.0 & !EDGE_BIT) >> 32) as u16)
+    }
+
+    /// The row-id component (row in the mapped relation).
+    #[inline]
+    pub fn row(self) -> RowId {
+        (self.0 & 0xFFFF_FFFF) as RowId
+    }
+}
+
+impl fmt::Debug for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_edge() { "e" } else { "v" };
+        write!(f, "{}[{}:{}]", kind, self.label().0, self.row())
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let id = ElementId::vertex(LabelId(7), 123_456);
+        assert!(!id.is_edge());
+        assert_eq!(id.label(), LabelId(7));
+        assert_eq!(id.row(), 123_456);
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let id = ElementId::edge(LabelId(65_535), u32::MAX);
+        assert!(id.is_edge());
+        assert_eq!(id.label(), LabelId(65_535));
+        assert_eq!(id.row(), u32::MAX);
+    }
+
+    #[test]
+    fn vertex_and_edge_with_same_parts_differ() {
+        let v = ElementId::vertex(LabelId(1), 1);
+        let e = ElementId::edge(LabelId(1), 1);
+        assert_ne!(v, e);
+    }
+
+    #[test]
+    fn display_formats_kind_label_row() {
+        assert_eq!(ElementId::vertex(LabelId(2), 9).to_string(), "v[2:9]");
+        assert_eq!(ElementId::edge(LabelId(3), 4).to_string(), "e[3:4]");
+    }
+
+    #[test]
+    fn ordering_groups_vertices_before_edges() {
+        let v = ElementId::vertex(LabelId(9), 999);
+        let e = ElementId::edge(LabelId(0), 0);
+        assert!(v < e, "edge bit is the MSB");
+    }
+}

@@ -1,0 +1,184 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] is an ordered collection of named, typed [`Field`]s, matching
+//! the paper's definition `S = (a1, ..., an)` with per-attribute domains.
+
+use crate::error::{RelGoError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute name (unique within the schema).
+    pub name: String,
+    /// Attribute data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered, duplicate-free collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, validating that field names are unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(RelGoError::schema(format!(
+                    "duplicate field name '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates (builder use only).
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema must not contain duplicates")
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelGoError::not_found(format!("column '{name}'")))
+    }
+
+    /// Type of the field named `name`.
+    pub fn type_of(&self, name: &str) -> Result<DataType> {
+        Ok(self.fields[self.index_of(name)?].dtype)
+    }
+
+    /// Concatenate two schemas, qualifying clashing names with a suffix.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let mut name = f.name.clone();
+            let mut k = 1;
+            while fields.iter().any(|g| g.name == name) {
+                name = format!("{}_{}", f.name, k);
+                k += 1;
+            }
+            fields.push(Field::new(name, f.dtype));
+        }
+        Schema { fields }
+    }
+
+    /// Project to the fields at `indices` (in the given order).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("place_id", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = person();
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert_eq!(s.type_of("place_id").unwrap(), DataType::Int);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ]);
+        assert!(matches!(r, Err(RelGoError::Schema(_))));
+    }
+
+    #[test]
+    fn join_disambiguates() {
+        let s = person().join(&person());
+        assert_eq!(s.len(), 6);
+        assert!(s.index_of("id").is_ok());
+        assert!(s.index_of("id_1").is_ok());
+        assert_eq!(s.field(3).name, "id_1");
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = person().project(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(0).name, "place_id");
+        assert_eq!(s.field(1).name, "id");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            person().to_string(),
+            "(id: INT, name: STR, place_id: INT)"
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! The scalar value domain.
+//!
+//! Relational tuples and graph-element attributes draw their values from
+//! [`Value`]. The domain matches what the paper's workloads need: 64-bit
+//! integers (ids, dates as epoch days), floats (statistics), strings (names,
+//! contents, country codes) and booleans.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Data type of a column or attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for foreign keys and identifiers).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Date stored as days since the Unix epoch.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// Strings are reference-counted so that cloning values out of columns (and
+/// carrying them through operators) never reallocates the character data —
+/// the performance guide's `Rc/Arc` sharing recommendation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared UTF-8 string.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Days since epoch.
+    Date(i64),
+}
+
+impl Value {
+    /// String constructor.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The value's data type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Whether this value is NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (`Int` and `Date` both expose their `i64`).
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) | Value::Date(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view (`Float`, or lossless promotion of `Int`).
+    #[inline]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Three-valued-logic comparison. Returns `None` if either side is NULL
+    /// or the types are incomparable.
+    pub fn try_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) | (Date(a), Date(b)) | (Int(a), Date(b)) | (Date(a), Int(b)) => {
+                Some(a.cmp(b))
+            }
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // NULL != NULL under SQL semantics is handled at the expression
+        // layer; structural equality here treats Null == Null so values can
+        // live in hash maps and be deduplicated.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.try_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) | Value::Date(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                state.write_u8(4);
+                state.write_u8(*b as u8);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order used for deterministic output sorting: NULLs first, then
+    /// by type tag, then by value.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Date(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match self.try_cmp(other) {
+            Some(o) => o,
+            None => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+                _ => tag(self).cmp(&tag(other)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "d{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::str("x").data_type(), Some(DataType::Str));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Date(10).data_type(), Some(DataType::Date));
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).try_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).try_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+        // Int and Date compare (dates are epoch days).
+        assert_eq!(
+            Value::Date(100).try_cmp(&Value::Int(99)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(Value::Null.try_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).try_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn incompatible_types_are_none() {
+        assert_eq!(Value::str("a").try_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).try_cmp(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn structural_equality_and_hash_agree() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+        assert_eq!(h(&Value::str("abc")), h(&Value::str("abc")));
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(h(&Value::Int(5)), h(&Value::Date(5)), "Int/Date unified");
+    }
+
+    #[test]
+    fn total_order_is_deterministic() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Null,
+            Value::Int(3),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::str("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        let pos_a = vs.iter().position(|v| v == &Value::str("a")).unwrap();
+        let pos_b = vs.iter().position(|v| v == &Value::str("b")).unwrap();
+        assert!(pos_a < pos_b);
+    }
+
+    #[test]
+    fn display_round_trip_spot_checks() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("Tom").to_string(), "Tom");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Date(19_000).to_string(), "d19000");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+    }
+
+    #[test]
+    fn as_views() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Date(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::str("s").as_int(), None);
+    }
+}

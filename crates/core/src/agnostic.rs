@@ -1,0 +1,1017 @@
+//! Graph-agnostic optimization (paper §3.1.1, §4.1) and the baseline
+//! optimizers it is paired with in the evaluation.
+//!
+//! The Lemma-1 transformation turns `M(P)` into a join over `n` vertex
+//! relations and `m` edge relations. After the Example-4 redundancy
+//! elimination, the *execution* items are the edge relations (each of which
+//! binds its two endpoint vertices through the λ total functions — EV-index
+//! lookups when the graph index exists, key-hash resolution otherwise) plus
+//! per-vertex filters for pushed-down predicates. Join conditions link
+//! items that share a pattern vertex.
+//!
+//! Join-order algorithms:
+//!
+//! * [`JoinOrderAlgo::Greedy`] — DuckDB-like: left-deep, smallest estimated
+//!   output first, aggressively pruned (fast optimization, fallible orders);
+//! * [`JoinOrderAlgo::DpSize`] — Umbra-like: bushy DP over connected
+//!   subsets minimizing the C_out metric with independence-assumption
+//!   (low-order) cardinality estimates;
+//! * [`JoinOrderAlgo::Exhaustive`] — Calcite-like: full rule-driven plan
+//!   enumeration *without memoization or pruning*, whose optimization time
+//!   explodes with pattern size (Fig. 4b's baseline); bounded by a timeout.
+//!
+//! The GRainDB upgrade pass ([`upgrade_to_predefined_joins`]) replaces a
+//! hash join with an `EXPAND` (predefined join) wherever the join's probe
+//! side is a single edge relation adjacent to an already-bound vertex —
+//! exactly the "if possible" caveat of the paper's Fig. 12 caption.
+
+use crate::graph_plan::{GraphOp, PatternElem, PlanAnnotation};
+use relgo_common::{FxHashMap, RelGoError, Result};
+use relgo_graph::{Direction, GraphView};
+use relgo_pattern::Pattern;
+use std::time::{Duration, Instant};
+
+/// Join-order search algorithm for the graph-agnostic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOrderAlgo {
+    /// Left-deep greedy (DuckDB-like).
+    Greedy,
+    /// Bushy subset DP with C_out objective (Umbra-like).
+    DpSize,
+    /// Unmemoized exhaustive enumeration (Calcite-like, Fig. 4b baseline).
+    Exhaustive,
+}
+
+/// Configuration of the agnostic pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct AgnosticConfig {
+    /// Join-order algorithm.
+    pub algo: JoinOrderAlgo,
+    /// Whether to run the GRainDB predefined-join upgrade.
+    pub use_graph_index: bool,
+    /// Optimization-time budget (the paper's 10-minute cap, scaled).
+    pub timeout: Duration,
+}
+
+/// Statistics about one optimization run (drives Fig. 4b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Plans (or states) the search visited.
+    pub plans_visited: u64,
+    /// Whether the search hit its timeout and fell back.
+    pub timed_out: bool,
+}
+
+/// Low-order cardinality estimation for the agnostic optimizers.
+///
+/// Items `0..m` are the edge relations. When `with_vertex_items` is set
+/// (the Calcite-like full Lemma-1 space), items `m..m+n` are the vertex
+/// relations — the optimizer then orders joins over all `n + m` relations,
+/// which is the search space whose size Fig. 4a/4b measure.
+struct LowOrderStats<'a> {
+    pattern: &'a Pattern,
+    /// Effective cardinality of each item (predicate selectivities folded
+    /// in with the heuristic estimator — no data access, mirroring an
+    /// optimizer that only has low-order statistics).
+    item_card: Vec<f64>,
+    /// |V| per pattern vertex (label cardinality).
+    vertex_card: Vec<f64>,
+    /// Whether vertex relations participate as join items.
+    with_vertex_items: bool,
+}
+
+impl<'a> LowOrderStats<'a> {
+    fn new(
+        pattern: &'a Pattern,
+        view: &'a GraphView,
+        with_vertex_items: bool,
+        use_histograms: bool,
+    ) -> Self {
+        // Umbra-like estimation consults equi-width histograms of the
+        // actual attribute distributions (the accuracy edge the paper
+        // credits Umbra with in §5.3.2); the others use heuristic priors.
+        let vsel = |label: relgo_common::LabelId, p: &relgo_storage::ScalarExpr| -> f64 {
+            if use_histograms {
+                relgo_storage::stats::predicate_selectivity(view.vertex_table(label), p)
+            } else {
+                p.estimated_selectivity()
+            }
+        };
+        let esel = |label: relgo_common::LabelId, p: &relgo_storage::ScalarExpr| -> f64 {
+            if use_histograms {
+                relgo_storage::stats::predicate_selectivity(view.edge_table(label), p)
+            } else {
+                p.estimated_selectivity()
+            }
+        };
+        let vertex_card: Vec<f64> = pattern
+            .vertices()
+            .iter()
+            .map(|v| (view.vertex_count(v.label) as f64).max(1.0))
+            .collect();
+        let mut item_card: Vec<f64> = pattern
+            .edges()
+            .iter()
+            .map(|e| {
+                let mut card = view.edge_count(e.label) as f64;
+                if let Some(p) = &e.predicate {
+                    card *= esel(e.label, p);
+                }
+                for v in [e.src, e.dst] {
+                    let pv = pattern.vertex(v);
+                    if let Some(p) = &pv.predicate {
+                        card *= vsel(pv.label, p);
+                    }
+                }
+                card.max(1e-3)
+            })
+            .collect();
+        if with_vertex_items {
+            for (v, pv) in pattern.vertices().iter().enumerate() {
+                let mut card = vertex_card[v];
+                if let Some(p) = &pv.predicate {
+                    card *= vsel(pv.label, p);
+                }
+                item_card.push(card.max(1e-3));
+            }
+        }
+        LowOrderStats {
+            pattern,
+            item_card,
+            vertex_card,
+            with_vertex_items,
+        }
+    }
+
+    /// Vertices bound by an item subset.
+    fn bound_vertices(&self, items: u32) -> u32 {
+        let m = self.pattern.edge_count();
+        let mut vs = 0u32;
+        for (i, e) in self.pattern.edges().iter().enumerate() {
+            if items & (1 << i) != 0 {
+                vs |= 1 << e.src;
+                vs |= 1 << e.dst;
+            }
+        }
+        if self.with_vertex_items {
+            for v in 0..self.pattern.vertex_count() {
+                if items & (1 << (m + v)) != 0 {
+                    vs |= 1 << v;
+                }
+            }
+        }
+        vs
+    }
+
+    /// Independence-assumption cardinality of joining two item sets.
+    fn join_card(&self, card_a: f64, items_a: u32, card_b: f64, items_b: u32) -> f64 {
+        let shared = self.bound_vertices(items_a) & self.bound_vertices(items_b);
+        let mut denom = 1.0f64;
+        for v in 0..self.pattern.vertex_count() {
+            if shared & (1 << v) != 0 {
+                denom *= self.vertex_card[v];
+            }
+        }
+        (card_a * card_b / denom).max(1e-3)
+    }
+
+    /// Whether two item sets are connected (share a vertex).
+    fn connected(&self, items_a: u32, items_b: u32) -> bool {
+        self.bound_vertices(items_a) & self.bound_vertices(items_b) != 0
+    }
+}
+
+/// A join tree over edge items.
+#[derive(Debug, Clone)]
+enum JoinTree {
+    Leaf(usize),
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+/// Optimize the matching operator graph-agnostically; returns the physical
+/// graph plan and search statistics.
+pub fn optimize_agnostic(
+    pattern: &Pattern,
+    view: &GraphView,
+    cfg: &AgnosticConfig,
+) -> Result<(GraphOp, SearchStats)> {
+    let m = pattern.edge_count();
+    if m == 0 {
+        // Single-vertex pattern: plain scan.
+        let v = 0;
+        let card = view.vertex_count(pattern.vertex(v).label) as f64;
+        return Ok((
+            GraphOp::ScanVertex {
+                v,
+                predicate: pattern.vertex(v).predicate.clone(),
+                ann: PlanAnnotation {
+                    est_card: card,
+                    est_cost: card,
+                },
+            },
+            SearchStats::default(),
+        ));
+    }
+    // The Calcite-like exhaustive search covers the *full* Lemma-1 relation
+    // set (n vertex + m edge relations, Fig. 4a's agnostic space); the
+    // pruned optimizers work over the redundancy-eliminated edge items.
+    let with_vertex_items = cfg.algo == JoinOrderAlgo::Exhaustive;
+    let use_histograms = cfg.algo == JoinOrderAlgo::DpSize;
+    let stats = LowOrderStats::new(pattern, view, with_vertex_items, use_histograms);
+    let (tree, search) = match cfg.algo {
+        JoinOrderAlgo::Greedy => (greedy_order(&stats)?, SearchStats::default()),
+        JoinOrderAlgo::DpSize => dp_order(&stats, cfg.timeout)?,
+        JoinOrderAlgo::Exhaustive => exhaustive_order(&stats, cfg.timeout)?,
+    };
+    let mut plan = tree_to_plan(pattern, view, &stats, &tree)?;
+    if cfg.use_graph_index {
+        plan = upgrade_to_predefined_joins(pattern, plan);
+    }
+    Ok((plan, search))
+}
+
+/// DuckDB-like greedy left-deep ordering.
+fn greedy_order(stats: &LowOrderStats<'_>) -> Result<JoinTree> {
+    let m = stats.item_card.len();
+    let start = (0..m)
+        .min_by(|&a, &b| stats.item_card[a].total_cmp(&stats.item_card[b]))
+        .expect("at least one edge");
+    let mut tree = JoinTree::Leaf(start);
+    let mut items: u32 = 1 << start;
+    let mut card = stats.item_card[start];
+    while items.count_ones() < m as u32 {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..m {
+            if items & (1 << j) != 0 || !stats.connected(items, 1 << j) {
+                continue;
+            }
+            let c = stats.join_card(card, items, stats.item_card[j], 1 << j);
+            if best.map_or(true, |(_, bc)| c < bc) {
+                best = Some((j, c));
+            }
+        }
+        let (j, c) = best.ok_or_else(|| RelGoError::plan("pattern is disconnected"))?;
+        tree = JoinTree::Join(Box::new(tree), Box::new(JoinTree::Leaf(j)));
+        items |= 1 << j;
+        card = c;
+    }
+    Ok(tree)
+}
+
+/// Umbra-like bushy DP (C_out objective, connected subsets only).
+fn dp_order(stats: &LowOrderStats<'_>, timeout: Duration) -> Result<(JoinTree, SearchStats)> {
+    let m = stats.item_card.len();
+    if m > 14 {
+        // Beyond the DP budget: Umbra would switch strategies; fall back.
+        return Ok((greedy_order(stats)?, SearchStats { plans_visited: 0, timed_out: true }));
+    }
+    let start = Instant::now();
+    let full: u32 = (1u32 << m) - 1;
+    // best[s] = (cost, card, tree)
+    let mut best: FxHashMap<u32, (f64, f64, JoinTree)> = FxHashMap::default();
+    for i in 0..m {
+        best.insert(1 << i, (0.0, stats.item_card[i], JoinTree::Leaf(i)));
+    }
+    let mut visited = 0u64;
+    let mut subsets: Vec<u32> = (1..=full).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+    for s in subsets {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        if start.elapsed() > timeout {
+            return Ok((
+                greedy_order(stats)?,
+                SearchStats {
+                    plans_visited: visited,
+                    timed_out: true,
+                },
+            ));
+        }
+        let mut chosen: Option<(f64, f64, JoinTree)> = None;
+        // Enumerate splits with the lowest bit pinned to the left side.
+        let low = s & s.wrapping_neg();
+        let rest = s & !low;
+        let mut sub = rest;
+        loop {
+            let left = sub | low;
+            let right = s & !left;
+            if right != 0 {
+                if let (Some((cl, kl, tl)), Some((cr, kr, tr))) = (best.get(&left), best.get(&right))
+                {
+                    if stats.connected(left, right) {
+                        visited += 1;
+                        let out = stats.join_card(*kl, left, *kr, right);
+                        let cost = cl + cr + out; // C_out
+                        if chosen.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                            chosen = Some((
+                                cost,
+                                out,
+                                JoinTree::Join(Box::new(tl.clone()), Box::new(tr.clone())),
+                            ));
+                        }
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        if let Some(c) = chosen {
+            best.insert(s, c);
+        }
+    }
+    let (_, _, tree) = best
+        .remove(&full)
+        .ok_or_else(|| RelGoError::plan("pattern is disconnected"))?;
+    Ok((
+        tree,
+        SearchStats {
+            plans_visited: visited,
+            timed_out: false,
+        },
+    ))
+}
+
+/// Calcite-like exhaustive enumeration: recursively explores *every*
+/// ordered connected binary join tree without memoization, tracking the
+/// C_out-cheapest. The visit count grows with the full agnostic search
+/// space of Fig. 4a; the timeout bounds the damage and falls back to the
+/// best plan found so far (or greedy if none completed).
+fn exhaustive_order(
+    stats: &LowOrderStats<'_>,
+    timeout: Duration,
+) -> Result<(JoinTree, SearchStats)> {
+    let m = stats.item_card.len();
+    let full: u32 = (1u32 << m) - 1;
+    let start = Instant::now();
+    let mut visited = 0u64;
+    let mut timed_out = false;
+
+    // Returns (cost, card, tree) for the cheapest plan of `s`, exploring
+    // every split every time (no memo — deliberately Calcite-Volcano-ish).
+    fn explore(
+        stats: &LowOrderStats<'_>,
+        s: u32,
+        start: &Instant,
+        timeout: Duration,
+        visited: &mut u64,
+        timed_out: &mut bool,
+    ) -> Option<(f64, f64, JoinTree)> {
+        *visited += 1;
+        if *visited % 64 == 0 && start.elapsed() > timeout {
+            *timed_out = true;
+        }
+        if *timed_out {
+            return None;
+        }
+        if s.count_ones() == 1 {
+            let i = s.trailing_zeros() as usize;
+            return Some((0.0, stats.item_card[i], JoinTree::Leaf(i)));
+        }
+        let mut best: Option<(f64, f64, JoinTree)> = None;
+        let low = s & s.wrapping_neg();
+        let rest = s & !low;
+        let mut sub = rest;
+        loop {
+            let left = sub | low;
+            let right = s & !left;
+            if right != 0 && stats.connected(left, right) && connected_set(stats, left)
+                && connected_set(stats, right)
+            {
+                if let Some((cl, kl, tl)) =
+                    explore(stats, left, start, timeout, visited, timed_out)
+                {
+                    if let Some((cr, kr, tr)) =
+                        explore(stats, right, start, timeout, visited, timed_out)
+                    {
+                        let out = stats.join_card(kl, left, kr, right);
+                        let cost = cl + cr + out;
+                        if best.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                            best = Some((
+                                cost,
+                                out,
+                                JoinTree::Join(Box::new(tl), Box::new(tr)),
+                            ));
+                        }
+                    }
+                }
+            }
+            if sub == 0 || *timed_out {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        best
+    }
+
+    let result = explore(stats, full, &start, timeout, &mut visited, &mut timed_out);
+    let tree = match result {
+        Some((_, _, t)) if !timed_out => t,
+        _ => {
+            timed_out = true;
+            greedy_order(stats)?
+        }
+    };
+    Ok((
+        tree,
+        SearchStats {
+            plans_visited: visited,
+            timed_out,
+        },
+    ))
+}
+
+/// Whether an item subset is connected through shared vertices.
+fn connected_set(stats: &LowOrderStats<'_>, items: u32) -> bool {
+    if items == 0 {
+        return false;
+    }
+    let m = stats.item_card.len();
+    let start = items.trailing_zeros();
+    let mut seen = 1u32 << start;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..m {
+            if items & (1 << i) != 0 && seen & (1 << i) == 0 {
+                for j in 0..m {
+                    if seen & (1 << j) != 0 && stats.connected(1 << i, 1 << j) {
+                        seen |= 1 << i;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    seen == items
+}
+
+/// Convert a join tree over edge items into a physical graph plan: leaves
+/// scan edge relations (applying pushed vertex predicates at their first
+/// binding), internal nodes hash-join on shared bound vertices.
+fn tree_to_plan(
+    pattern: &Pattern,
+    view: &GraphView,
+    stats: &LowOrderStats<'_>,
+    tree: &JoinTree,
+) -> Result<GraphOp> {
+    // Assign each predicated vertex to the lowest-indexed incident edge so
+    // the filter is applied exactly once. When vertex relations are join
+    // items themselves, their scans carry the predicate instead.
+    let mut filter_site: FxHashMap<usize, usize> = FxHashMap::default();
+    if !stats.with_vertex_items {
+        for v in 0..pattern.vertex_count() {
+            if pattern.vertex(v).predicate.is_some() {
+                let site = pattern
+                    .incident_edges(v)
+                    .into_iter()
+                    .min()
+                    .ok_or_else(|| RelGoError::plan("predicated vertex has no incident edge"))?;
+                filter_site.insert(v, site);
+            }
+        }
+    }
+    build_plan(pattern, view, stats, tree, &filter_site).map(|(op, _, _)| op)
+}
+
+fn build_plan(
+    pattern: &Pattern,
+    view: &GraphView,
+    stats: &LowOrderStats<'_>,
+    tree: &JoinTree,
+    filter_site: &FxHashMap<usize, usize>,
+) -> Result<(GraphOp, u32, f64)> {
+    match tree {
+        JoinTree::Leaf(i) if *i >= pattern.edge_count() => {
+            // A vertex-relation leaf (Calcite-like full search space).
+            let v = *i - pattern.edge_count();
+            let card = stats.item_card[*i];
+            Ok((
+                GraphOp::ScanVertex {
+                    v,
+                    predicate: pattern.vertex(v).predicate.clone(),
+                    ann: PlanAnnotation {
+                        est_card: card,
+                        est_cost: stats.vertex_card[v],
+                    },
+                },
+                1 << *i,
+                card,
+            ))
+        }
+        JoinTree::Leaf(i) => {
+            let e = pattern.edge(*i);
+            let raw = view.edge_count(e.label) as f64;
+            let mut op = GraphOp::ScanEdge {
+                e: *i,
+                predicate: e.predicate.clone(),
+                ann: PlanAnnotation {
+                    est_card: raw,
+                    est_cost: raw,
+                },
+            };
+            let mut card = stats.item_card[*i];
+            for v in [e.src, e.dst] {
+                if filter_site.get(&v) == Some(i) {
+                    let predicate = pattern
+                        .vertex(v)
+                        .predicate
+                        .clone()
+                        .expect("filter sites only exist for predicated vertices");
+                    op = GraphOp::FilterVertex {
+                        input: Box::new(op),
+                        v,
+                        predicate,
+                        ann: PlanAnnotation {
+                            est_card: card,
+                            est_cost: raw,
+                        },
+                    };
+                }
+            }
+            let _ = &mut card;
+            Ok((op, 1 << *i, stats.item_card[*i]))
+        }
+        JoinTree::Join(l, r) => {
+            let (lop, litems, lcard) = build_plan(pattern, view, stats, l, filter_site)?;
+            let (rop, ritems, rcard) = build_plan(pattern, view, stats, r, filter_site)?;
+            let shared = stats.bound_vertices(litems) & stats.bound_vertices(ritems);
+            let on_vertices: Vec<usize> = (0..pattern.vertex_count())
+                .filter(|&v| shared & (1 << v) != 0)
+                .collect();
+            let card = stats.join_card(lcard, litems, rcard, ritems);
+            let cost = lop.annotation().est_cost + rop.annotation().est_cost + card;
+            Ok((
+                GraphOp::JoinSub {
+                    left: Box::new(lop),
+                    right: Box::new(rop),
+                    on_vertices,
+                    on_edges: Vec::new(),
+                    ann: PlanAnnotation {
+                        est_card: card,
+                        est_cost: cost,
+                    },
+                },
+                litems | ritems,
+                card,
+            ))
+        }
+    }
+}
+
+/// GRainDB upgrade: rewrite `JoinSub(left, ScanEdge e)` (or its mirror)
+/// into `EXPAND` when exactly one endpoint of `e` is bound on the other
+/// side — the predefined join. Joins that close a cycle (both endpoints
+/// bound) stay hash joins, which is precisely where GRainDB loses to
+/// RelGo's `EXPAND_INTERSECT`.
+pub fn upgrade_to_predefined_joins(pattern: &Pattern, op: GraphOp) -> GraphOp {
+    match op {
+        GraphOp::JoinSub {
+            left,
+            right,
+            on_vertices,
+            on_edges,
+            ann,
+        } => {
+            let left = Box::new(upgrade_to_predefined_joins(pattern, *left));
+            let right = Box::new(upgrade_to_predefined_joins(pattern, *right));
+            // Try to turn the join into an expand of a single edge leaf.
+            for (probe, leaf) in [(&left, &right), (&right, &left)] {
+                if let Some((e, filters)) = as_edge_leaf(leaf) {
+                    let edge = pattern.edge(e);
+                    let probe_bound = probe.bound_elements(pattern);
+                    let src_bound = probe_bound.contains(&PatternElem::Vertex(edge.src));
+                    let dst_bound = probe_bound.contains(&PatternElem::Vertex(edge.dst));
+                    if src_bound != dst_bound {
+                        let (from, to, dir) = if src_bound {
+                            (edge.src, edge.dst, Direction::Out)
+                        } else {
+                            (edge.dst, edge.src, Direction::In)
+                        };
+                        // Vertex filters the leaf carried must not be lost:
+                        // a filter on the *target* runs inline during the
+                        // expansion; a filter on the *source* (bound by the
+                        // probe but never evaluated, since its site was
+                        // this leaf) is applied below the expand so it
+                        // prunes before the fan-out.
+                        let mut input = probe.clone();
+                        let mut vertex_predicate = None;
+                        for (v, pred) in filters {
+                            if v == to {
+                                vertex_predicate = Some(match vertex_predicate {
+                                    None => pred,
+                                    Some(p) => relgo_storage::ScalarExpr::And(
+                                        Box::new(p),
+                                        Box::new(pred),
+                                    ),
+                                });
+                            } else {
+                                input = Box::new(GraphOp::FilterVertex {
+                                    input,
+                                    v,
+                                    predicate: pred,
+                                    ann,
+                                });
+                            }
+                        }
+                        return GraphOp::Expand {
+                            input,
+                            from,
+                            edge: e,
+                            to,
+                            dir,
+                            emit_edge: true,
+                            edge_predicate: edge.predicate.clone(),
+                            vertex_predicate,
+                            ann,
+                        };
+                    }
+                }
+            }
+            GraphOp::JoinSub {
+                left,
+                right,
+                on_vertices,
+                on_edges,
+                ann,
+            }
+        }
+        GraphOp::Expand {
+            input,
+            from,
+            edge,
+            to,
+            dir,
+            emit_edge,
+            edge_predicate,
+            vertex_predicate,
+            ann,
+        } => GraphOp::Expand {
+            input: Box::new(upgrade_to_predefined_joins(pattern, *input)),
+            from,
+            edge,
+            to,
+            dir,
+            emit_edge,
+            edge_predicate,
+            vertex_predicate,
+            ann,
+        },
+        GraphOp::ExpandIntersect {
+            input,
+            legs,
+            to,
+            emit_edges,
+            vertex_predicate,
+            ann,
+        } => GraphOp::ExpandIntersect {
+            input: Box::new(upgrade_to_predefined_joins(pattern, *input)),
+            legs,
+            to,
+            emit_edges,
+            vertex_predicate,
+            ann,
+        },
+        GraphOp::FilterVertex {
+            input,
+            v,
+            predicate,
+            ann,
+        } => GraphOp::FilterVertex {
+            input: Box::new(upgrade_to_predefined_joins(pattern, *input)),
+            v,
+            predicate,
+            ann,
+        },
+        leaf => leaf,
+    }
+}
+
+/// If `op` is a `ScanEdge` optionally wrapped in vertex filters, return the
+/// edge index and the filters (innermost first).
+fn as_edge_leaf(op: &GraphOp) -> Option<(usize, Vec<(usize, relgo_storage::ScalarExpr)>)> {
+    let mut filters = Vec::new();
+    let mut cur = op;
+    loop {
+        match cur {
+            GraphOp::ScanEdge { e, .. } => return Some((*e, filters)),
+            GraphOp::FilterVertex {
+                input, v, predicate, ..
+            } => {
+                filters.push((*v, predicate.clone()));
+                cur = input;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Kùzu-like graph-native heuristic plan: start at the most selective
+/// vertex, then expand edges in BFS order (no cost model, no intersection,
+/// full edge materialization); cycle-closing edges become hash joins with
+/// their edge relation.
+pub fn kuzu_heuristic_plan(pattern: &Pattern, view: &GraphView) -> Result<GraphOp> {
+    let n = pattern.vertex_count();
+    if n == 0 {
+        return Err(RelGoError::plan("empty pattern"));
+    }
+    // Start vertex: predicated if any, else smallest label cardinality.
+    let start = (0..n)
+        .find(|&v| pattern.vertex(v).predicate.is_some())
+        .unwrap_or_else(|| {
+            (0..n)
+                .min_by_key(|&v| view.vertex_count(pattern.vertex(v).label))
+                .expect("non-empty pattern")
+        });
+    let start_card = view.vertex_count(pattern.vertex(start).label) as f64;
+    let mut plan = GraphOp::ScanVertex {
+        v: start,
+        predicate: pattern.vertex(start).predicate.clone(),
+        ann: PlanAnnotation {
+            est_card: start_card,
+            est_cost: start_card,
+        },
+    };
+    let mut bound_v: u32 = 1 << start;
+    let mut bound_e: u64 = 0;
+    // BFS over pattern edges.
+    loop {
+        // First, close any edge whose endpoints are both bound (cycle).
+        let mut progressed = false;
+        for (ei, e) in pattern.edges().iter().enumerate() {
+            if bound_e & (1 << ei) != 0 {
+                continue;
+            }
+            let sb = bound_v & (1 << e.src) != 0;
+            let db = bound_v & (1 << e.dst) != 0;
+            if sb && db {
+                let raw = view.edge_count(e.label) as f64;
+                plan = GraphOp::JoinSub {
+                    left: Box::new(plan),
+                    right: Box::new(GraphOp::ScanEdge {
+                        e: ei,
+                        predicate: e.predicate.clone(),
+                        ann: PlanAnnotation {
+                            est_card: raw,
+                            est_cost: raw,
+                        },
+                    }),
+                    on_vertices: vec![e.src, e.dst],
+                    on_edges: Vec::new(),
+                    ann: PlanAnnotation::default(),
+                };
+                bound_e |= 1 << ei;
+                progressed = true;
+            }
+        }
+        // Then expand the lowest-indexed frontier edge.
+        if let Some((ei, e)) = pattern
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(ei, e)| {
+                bound_e & (1 << ei) == 0
+                    && (bound_v & (1 << e.src) != 0) != (bound_v & (1 << e.dst) != 0)
+            })
+        {
+            let src_bound = bound_v & (1 << e.src) != 0;
+            let (from, to, dir) = if src_bound {
+                (e.src, e.dst, Direction::Out)
+            } else {
+                (e.dst, e.src, Direction::In)
+            };
+            plan = GraphOp::Expand {
+                input: Box::new(plan),
+                from,
+                edge: ei,
+                to,
+                dir,
+                emit_edge: true,
+                edge_predicate: e.predicate.clone(),
+                vertex_predicate: pattern.vertex(to).predicate.clone(),
+                ann: PlanAnnotation::default(),
+            };
+            bound_v |= 1 << to;
+            bound_e |= 1 << ei;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if bound_e.count_ones() as usize != pattern.edge_count() {
+        return Err(RelGoError::plan("Kùzu heuristic failed to cover all edges"));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_common::{DataType, LabelId};
+    use relgo_graph::RGMapping;
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::table::table_of;
+    use relgo_storage::{Database, ScalarExpr};
+
+    fn view() -> GraphView {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Knows",
+            &[
+                ("knows_id", DataType::Int),
+                ("pid1", DataType::Int),
+                ("pid2", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 2.into()],
+                vec![2.into(), 2.into(), 1.into()],
+                vec![3.into(), 2.into(), 3.into()],
+                vec![4.into(), 3.into(), 2.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        db.set_primary_key("Knows", "knows_id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person");
+        let mut g = GraphView::build(&mut db, mapping).unwrap();
+        g.build_index().unwrap();
+        g
+    }
+
+    fn triangle() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", LabelId(0));
+        let p2 = b.vertex("p2", LabelId(0));
+        let m = b.vertex("m", LabelId(1));
+        b.edge(p1, p2, LabelId(1)).unwrap();
+        b.edge(p1, m, LabelId(0)).unwrap();
+        b.edge(p2, m, LabelId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg(algo: JoinOrderAlgo, index: bool) -> AgnosticConfig {
+        AgnosticConfig {
+            algo,
+            use_graph_index: index,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn greedy_covers_all_edges_with_joins() {
+        let v = view();
+        let (plan, _) = optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Greedy, false))
+            .unwrap();
+        let bound = plan.bound_elements(&triangle());
+        for e in 0..3 {
+            assert!(bound.contains(&PatternElem::Edge(e)), "edge {e} unbound");
+        }
+        assert!(plan.uses_join());
+        assert!(!plan.uses_intersect(), "agnostic plans never intersect");
+    }
+
+    #[test]
+    fn graindb_upgrade_introduces_expands() {
+        let v = view();
+        let (hash_plan, _) =
+            optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Greedy, false)).unwrap();
+        let (upgraded, _) =
+            optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Greedy, true)).unwrap();
+        fn count_expands(op: &GraphOp) -> usize {
+            match op {
+                GraphOp::Expand { input, .. } => 1 + count_expands(input),
+                GraphOp::ExpandIntersect { input, .. } | GraphOp::FilterVertex { input, .. } => {
+                    count_expands(input)
+                }
+                GraphOp::JoinSub { left, right, .. } => count_expands(left) + count_expands(right),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_expands(&hash_plan), 0);
+        assert!(count_expands(&upgraded) >= 1, "plan: {upgraded:?}");
+        // The triangle-closing edge must stay a hash join.
+        assert!(upgraded.uses_join(), "cycle closure stays a join");
+    }
+
+    #[test]
+    fn dp_and_exhaustive_agree_on_small_patterns() {
+        let v = view();
+        let (dp, s1) = optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::DpSize, false))
+            .unwrap();
+        let (ex, s2) =
+            optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Exhaustive, false)).unwrap();
+        assert!(!s1.timed_out);
+        assert!(!s2.timed_out);
+        // The exhaustive search must visit at least as many plans as DP.
+        assert!(s2.plans_visited >= s1.plans_visited);
+        // Both cover all edges.
+        for plan in [&dp, &ex] {
+            let bound = plan.bound_elements(&triangle());
+            assert_eq!(
+                bound.iter().filter(|e| matches!(e, PatternElem::Edge(_))).count(),
+                3
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_times_out_gracefully() {
+        // A 8-edge path explodes without memoization; a zero timeout forces
+        // the greedy fallback immediately.
+        let mut b = PatternBuilder::new();
+        let mut prev = b.vertex("v0", LabelId(0));
+        for i in 1..=6 {
+            let v = b.vertex(&format!("v{i}"), LabelId(0));
+            b.edge(prev, v, LabelId(1)).unwrap();
+            prev = v;
+        }
+        let p = b.build().unwrap();
+        let v = view();
+        let mut c = cfg(JoinOrderAlgo::Exhaustive, false);
+        c.timeout = Duration::from_millis(0);
+        let (plan, stats) = optimize_agnostic(&p, &v, &c).unwrap();
+        assert!(stats.timed_out);
+        assert_eq!(
+            plan.bound_elements(&p)
+                .iter()
+                .filter(|e| matches!(e, PatternElem::Edge(_)))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn vertex_predicates_become_filters_once() {
+        let mut p = triangle();
+        p.add_vertex_predicate(0, ScalarExpr::col_eq(1, "Tom"));
+        let v = view();
+        let (plan, _) = optimize_agnostic(&p, &v, &cfg(JoinOrderAlgo::Greedy, false)).unwrap();
+        fn count_filters(op: &GraphOp) -> usize {
+            match op {
+                GraphOp::FilterVertex { input, .. } => 1 + count_filters(input),
+                GraphOp::Expand { input, .. } | GraphOp::ExpandIntersect { input, .. } => {
+                    count_filters(input)
+                }
+                GraphOp::JoinSub { left, right, .. } => count_filters(left) + count_filters(right),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_filters(&plan), 1, "plan: {plan:?}");
+    }
+
+    #[test]
+    fn kuzu_plan_is_expand_heavy_and_covers_pattern() {
+        let v = view();
+        let plan = kuzu_heuristic_plan(&triangle(), &v).unwrap();
+        let bound = plan.bound_elements(&triangle());
+        assert_eq!(bound.len(), 6, "3 vertices + 3 edges: {bound:?}");
+        assert!(!plan.uses_intersect(), "Kùzu-like mode has no EI join");
+    }
+
+    #[test]
+    fn single_vertex_pattern_scans() {
+        let mut b = PatternBuilder::new();
+        b.vertex("p", LabelId(0));
+        let p = b.build().unwrap();
+        let v = view();
+        let (plan, _) = optimize_agnostic(&p, &v, &cfg(JoinOrderAlgo::Greedy, true)).unwrap();
+        assert!(matches!(plan, GraphOp::ScanVertex { .. }));
+    }
+}

@@ -1,0 +1,469 @@
+//! The graph-aware cost-based optimizer (paper §3.1.2, §4.2.1).
+//!
+//! Searches the space of decomposition trees by dynamic programming over
+//! connected induced vertex subsets of the pattern (states), with legal
+//! transitions enumerated by `relgo-pattern::decompose`:
+//!
+//! * singleton states are `SCAN` of the vertex relation;
+//! * `Expand` transitions become `EXPAND_EDGE`+`GET_VERTEX` (later fused by
+//!   `TrimAndFuseRule`);
+//! * `ExpandIntersect` transitions become the worst-case-optimal EI-join —
+//!   or, when disabled (`RelGoNoEI`), a chain of one `EXPAND` plus hash
+//!   joins against the remaining star edges;
+//! * `BinaryJoin` transitions become `HASH_JOIN` on the common vertices.
+//!
+//! Cardinalities come from GLogue (exact for small sub-patterns, predicates
+//! included — the high-order statistics of §4.3); costs from
+//! [`CostModel`]. The optimal plan is the cheapest tree over the full
+//! vertex set, which is exactly GLogS's shortest-path search expressed as a
+//! subset DP.
+
+use crate::graph_plan::{GraphOp, PlanAnnotation, StarLeg};
+use relgo_common::{FxHashMap, RelGoError, Result};
+use relgo_glogue::{CostModel, GLogue};
+use relgo_graph::Direction;
+use relgo_pattern::decompose::{
+    connected_induced_subsets, contains, full_set, transitions_into, Transition, VertexSet,
+};
+use relgo_pattern::Pattern;
+
+/// Configuration of the graph-aware search.
+#[derive(Debug, Clone, Copy)]
+pub struct AwareConfig {
+    /// Whether `EXPAND_INTERSECT` may be used (`false` = RelGoNoEI).
+    pub allow_ei: bool,
+    /// The physical cost model (indexed or not — RelGoHash uses the
+    /// unindexed model and the executor falls back to hash resolution).
+    pub cost: CostModel,
+}
+
+impl Default for AwareConfig {
+    fn default() -> Self {
+        AwareConfig {
+            allow_ei: true,
+            cost: CostModel::indexed(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Best {
+    cost: f64,
+    card: f64,
+    op: GraphOp,
+}
+
+/// Optimize the matching of `pattern` into a physical graph plan.
+pub fn optimize_pattern(
+    pattern: &Pattern,
+    glogue: &GLogue,
+    cfg: &AwareConfig,
+) -> Result<GraphOp> {
+    let n = pattern.vertex_count();
+    let full = full_set(n);
+    let mut best: FxHashMap<VertexSet, Best> = FxHashMap::default();
+    let mut cards: FxHashMap<VertexSet, f64> = FxHashMap::default();
+
+    let subsets = connected_induced_subsets(pattern);
+    for &s in &subsets {
+        let card = glogue.subset_cardinality(pattern, s)?;
+        cards.insert(s, card);
+    }
+
+    for &s in &subsets {
+        let card = cards[&s];
+        if s.count_ones() == 1 {
+            let v = s.trailing_zeros() as usize;
+            let label = pattern.vertex(v).label;
+            let table_rows = glogue.view().vertex_count(label) as f64;
+            let cost = cfg.cost.scan(table_rows);
+            best.insert(
+                s,
+                Best {
+                    cost,
+                    card,
+                    op: GraphOp::ScanVertex {
+                        v,
+                        predicate: pattern.vertex(v).predicate.clone(),
+                        ann: PlanAnnotation {
+                            est_card: card,
+                            est_cost: cost,
+                        },
+                    },
+                },
+            );
+            continue;
+        }
+        let mut chosen: Option<Best> = None;
+        for t in transitions_into(pattern, s) {
+            let candidate = match t {
+                Transition::Expand {
+                    from,
+                    new_vertex,
+                    edge,
+                } => {
+                    let b = &best[&from];
+                    expand_candidate(pattern, glogue, cfg, b, from, new_vertex, edge, card)?
+                }
+                Transition::ExpandIntersect {
+                    from,
+                    new_vertex,
+                    edges,
+                } => {
+                    let b = best[&from].clone();
+                    if cfg.allow_ei {
+                        ei_candidate(pattern, glogue, cfg, &b, new_vertex, &edges, card)?
+                    } else {
+                        no_ei_candidate(pattern, glogue, cfg, &b, from, new_vertex, &edges, card)?
+                    }
+                }
+                Transition::BinaryJoin { left, right } => {
+                    let bl = &best[&left];
+                    let br = &best[&right];
+                    let join_cost = cfg.cost.hash_join(bl.card, br.card);
+                    let cost = bl.cost + br.cost + join_cost;
+                    let on_vertices: Vec<usize> =
+                        (0..n).filter(|&v| contains(left & right, v)).collect();
+                    Best {
+                        cost,
+                        card,
+                        op: GraphOp::JoinSub {
+                            left: Box::new(bl.op.clone()),
+                            right: Box::new(br.op.clone()),
+                            on_vertices,
+                            on_edges: Vec::new(),
+                            ann: PlanAnnotation {
+                                est_card: card,
+                                est_cost: cost,
+                            },
+                        },
+                    }
+                }
+            };
+            if chosen.as_ref().map_or(true, |c| candidate.cost < c.cost) {
+                chosen = Some(candidate);
+            }
+        }
+        let chosen = chosen.ok_or_else(|| {
+            RelGoError::plan(format!("no decomposition found for subset {s:#b}"))
+        })?;
+        best.insert(s, chosen);
+    }
+
+    best.remove(&full)
+        .map(|b| b.op)
+        .ok_or_else(|| RelGoError::plan("pattern has no connected decomposition"))
+}
+
+/// Direction of traversal for `edge` starting at bound vertex `from_v`.
+fn traversal(pattern: &Pattern, edge: usize, from_v: usize) -> (usize, Direction) {
+    let e = pattern.edge(edge);
+    if e.src == from_v {
+        (e.dst, Direction::Out)
+    } else {
+        (e.src, Direction::In)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_candidate(
+    pattern: &Pattern,
+    glogue: &GLogue,
+    cfg: &AwareConfig,
+    b: &Best,
+    _from: VertexSet,
+    new_vertex: usize,
+    edge: usize,
+    card: f64,
+) -> Result<Best> {
+    let e = pattern.edge(edge);
+    let from_v = if e.src == new_vertex { e.dst } else { e.src };
+    let (to, dir) = traversal(pattern, edge, from_v);
+    debug_assert_eq!(to, new_vertex);
+    let d_avg = glogue.avg_degree(e.label, dir);
+    let edge_rows = glogue.view().edge_count(e.label) as f64;
+    let step = cfg.cost.expand(b.card, d_avg, edge_rows);
+    let cost = b.cost + step;
+    Ok(Best {
+        cost,
+        card,
+        op: GraphOp::Expand {
+            input: Box::new(b.op.clone()),
+            from: from_v,
+            edge,
+            to: new_vertex,
+            dir,
+            emit_edge: true,
+            edge_predicate: e.predicate.clone(),
+            vertex_predicate: pattern.vertex(new_vertex).predicate.clone(),
+            ann: PlanAnnotation {
+                est_card: card,
+                est_cost: cost,
+            },
+        },
+    })
+}
+
+fn ei_candidate(
+    pattern: &Pattern,
+    glogue: &GLogue,
+    cfg: &AwareConfig,
+    b: &Best,
+    new_vertex: usize,
+    edges: &[usize],
+    card: f64,
+) -> Result<Best> {
+    let mut legs = Vec::with_capacity(edges.len());
+    let mut degrees = Vec::with_capacity(edges.len());
+    for &ei in edges {
+        let e = pattern.edge(ei);
+        let from_v = if e.src == new_vertex { e.dst } else { e.src };
+        let dir = if e.src == from_v {
+            Direction::Out
+        } else {
+            Direction::In
+        };
+        degrees.push(glogue.avg_degree(e.label, dir));
+        legs.push(StarLeg {
+            from: from_v,
+            edge: ei,
+            dir,
+        });
+    }
+    let step = cfg.cost.expand_intersect(b.card, &degrees, card);
+    let cost = b.cost + step;
+    Ok(Best {
+        cost,
+        card,
+        op: GraphOp::ExpandIntersect {
+            input: Box::new(b.op.clone()),
+            legs,
+            to: new_vertex,
+            emit_edges: true,
+            vertex_predicate: pattern.vertex(new_vertex).predicate.clone(),
+            ann: PlanAnnotation {
+                est_card: card,
+                est_cost: cost,
+            },
+        },
+    })
+}
+
+/// The RelGoNoEI fallback for a complete star: expand the first leg, then
+/// close each remaining leg with a hash join against its edge relation —
+/// "a traditional multiple join" (§5.2).
+#[allow(clippy::too_many_arguments)]
+fn no_ei_candidate(
+    pattern: &Pattern,
+    glogue: &GLogue,
+    cfg: &AwareConfig,
+    b: &Best,
+    _from: VertexSet,
+    new_vertex: usize,
+    edges: &[usize],
+    card: f64,
+) -> Result<Best> {
+    // Expand through the first leg.
+    let first = expand_candidate(pattern, glogue, cfg, b, 0, new_vertex, edges[0], {
+        // Cardinality after binding only the first star edge: estimated via
+        // the average degree of that edge (partial star is not induced, so
+        // GLogue's subset lookup does not apply).
+        let e = pattern.edge(edges[0]);
+        let from_v = if e.src == new_vertex { e.dst } else { e.src };
+        let dir = if e.src == from_v { Direction::Out } else { Direction::In };
+        b.card * glogue.avg_degree(e.label, dir).max(1e-3)
+    })?;
+    let mut acc = first;
+    for (i, &ei) in edges.iter().enumerate().skip(1) {
+        let e = pattern.edge(ei);
+        let from_v = if e.src == new_vertex { e.dst } else { e.src };
+        let edge_rows = glogue.view().edge_count(e.label) as f64;
+        let scan = GraphOp::ScanEdge {
+            e: ei,
+            predicate: e.predicate.clone(),
+            ann: PlanAnnotation {
+                est_card: edge_rows,
+                est_cost: edge_rows,
+            },
+        };
+        let step = cfg.cost.hash_join(acc.card, edge_rows);
+        let cost = acc.cost + step + edge_rows;
+        let out_card = if i + 1 == edges.len() { card } else { acc.card };
+        acc = Best {
+            cost,
+            card: out_card,
+            op: GraphOp::JoinSub {
+                left: Box::new(acc.op),
+                right: Box::new(scan),
+                on_vertices: vec![from_v, new_vertex],
+                on_edges: Vec::new(),
+                ann: PlanAnnotation {
+                    est_card: out_card,
+                    est_cost: cost,
+                },
+            },
+        };
+    }
+    acc.card = card;
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_common::{DataType, LabelId, Value};
+    use relgo_graph::{GraphView, RGMapping};
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::table::table_of;
+    use relgo_storage::{Database, ScalarExpr};
+    use std::sync::Arc;
+
+    fn fig2_glogue() -> GLogue {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+                ("date", DataType::Date),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into(), Value::Date(31)],
+                vec![2.into(), 2.into(), 100.into(), Value::Date(28)],
+                vec![3.into(), 2.into(), 200.into(), Value::Date(20)],
+                vec![4.into(), 3.into(), 200.into(), Value::Date(21)],
+            ],
+        ));
+        db.add_table(table_of(
+            "Knows",
+            &[
+                ("knows_id", DataType::Int),
+                ("pid1", DataType::Int),
+                ("pid2", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 2.into()],
+                vec![2.into(), 2.into(), 1.into()],
+                vec![3.into(), 2.into(), 3.into()],
+                vec![4.into(), 3.into(), 2.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        db.set_primary_key("Knows", "knows_id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person");
+        let mut g = GraphView::build(&mut db, mapping).unwrap();
+        g.build_index().unwrap();
+        GLogue::new(Arc::new(g), 3, 1).unwrap()
+    }
+
+    fn triangle() -> relgo_pattern::Pattern {
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", LabelId(0));
+        let p2 = b.vertex("p2", LabelId(0));
+        let m = b.vertex("m", LabelId(1));
+        b.edge(p1, p2, LabelId(1)).unwrap();
+        b.edge(p1, m, LabelId(0)).unwrap();
+        b.edge(p2, m, LabelId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn triangle_plan_uses_expand_intersect() {
+        let gl = fig2_glogue();
+        let plan = optimize_pattern(&triangle(), &gl, &AwareConfig::default()).unwrap();
+        assert!(plan.uses_intersect(), "plan: {plan:?}");
+        assert!(plan.annotation().est_card > 0.0);
+    }
+
+    #[test]
+    fn no_ei_config_avoids_intersect() {
+        let gl = fig2_glogue();
+        let cfg = AwareConfig {
+            allow_ei: false,
+            cost: CostModel::indexed(),
+        };
+        let plan = optimize_pattern(&triangle(), &gl, &cfg).unwrap();
+        assert!(!plan.uses_intersect());
+        // The triangle now needs a hash join to close the cycle.
+        assert!(plan.uses_join(), "plan: {plan:?}");
+    }
+
+    #[test]
+    fn single_vertex_pattern_is_a_scan() {
+        let gl = fig2_glogue();
+        let mut b = PatternBuilder::new();
+        b.vertex("p", LabelId(0));
+        let p = b.build().unwrap();
+        let plan = optimize_pattern(&p, &gl, &AwareConfig::default()).unwrap();
+        assert!(matches!(plan, GraphOp::ScanVertex { v: 0, .. }));
+    }
+
+    #[test]
+    fn predicated_vertex_becomes_cheap_entry_point() {
+        let gl = fig2_glogue();
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", LabelId(0));
+        let p2 = b.vertex("p2", LabelId(0));
+        b.edge(p1, p2, LabelId(1)).unwrap();
+        b.vertex_predicate(p1, ScalarExpr::col_eq(1, "Tom"));
+        let p = b.build().unwrap();
+        let plan = optimize_pattern(&p, &gl, &AwareConfig::default()).unwrap();
+        // The plan must start scanning at the predicated vertex (card 1)
+        // and expand outward.
+        match &plan {
+            GraphOp::Expand { input, from, .. } => {
+                assert_eq!(*from, 0, "expansion starts at Tom");
+                match input.as_ref() {
+                    GraphOp::ScanVertex { v: 0, predicate, .. } => {
+                        assert!(predicate.is_some())
+                    }
+                    other => panic!("unexpected entry {other:?}"),
+                }
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn costs_accumulate_monotonically() {
+        let gl = fig2_glogue();
+        let plan = optimize_pattern(&triangle(), &gl, &AwareConfig::default()).unwrap();
+        fn check(op: &GraphOp) -> f64 {
+            let own = op.annotation().est_cost;
+            let child_max = match op {
+                GraphOp::ScanVertex { .. } | GraphOp::ScanEdge { .. } => 0.0,
+                GraphOp::Expand { input, .. }
+                | GraphOp::ExpandIntersect { input, .. }
+                | GraphOp::FilterVertex { input, .. } => check(input),
+                GraphOp::JoinSub { left, right, .. } => check(left).max(check(right)),
+            };
+            assert!(
+                own >= child_max,
+                "cumulative cost must not decrease: {own} < {child_max}"
+            );
+            own
+        }
+        check(&plan);
+    }
+}

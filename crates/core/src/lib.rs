@@ -1,0 +1,41 @@
+//! # relgo-core
+//!
+//! The RelGo converged relational-graph optimizer — the primary contribution
+//! of *"Towards a Converged Relational-Graph Optimization Framework"*
+//! (Lou et al., SIGMOD 2024), reimplemented from scratch.
+//!
+//! Pipeline (paper Fig. 6):
+//!
+//! 1. An [`spjm::SpjmQuery`] captures
+//!    `Q = π_A(σ_Ψ(R₁ ⋈ … ⋈ R_m ⋈ π̂_A*(M_G(P))))` — the SPJM skeleton.
+//! 2. Heuristic rules rewrite across the relational/graph boundary:
+//!    [`rules::filter_into_match`] pushes σ predicates into the pattern,
+//!    [`rules::trim_and_fuse`] drops unused edge outputs and fuses
+//!    `EXPAND_EDGE` + `GET_VERTEX` into `EXPAND`.
+//! 3. The **graph optimizer** ([`aware`]) searches decomposition trees with
+//!    GLogue cardinalities and the §4.2.1 cost model, producing a
+//!    worst-case-optimal-friendly [`graph_plan::GraphOp`] tree, encapsulated
+//!    in `SCAN_GRAPH_TABLE`.
+//! 4. The **relational optimizer** composes the remaining SPJ operators
+//!    around it ([`rel_plan::RelOp`]).
+//!
+//! The graph-agnostic baselines of §4.1 ([`agnostic`]) share the same IRs:
+//! the Lemma-1 transformation turns `M(P)` into a join tree over vertex and
+//! edge relations, ordered by a greedy (DuckDB-like), DP (Umbra-like) or
+//! exhaustive (Calcite-like) join-order optimizer, optionally upgraded with
+//! GRainDB predefined joins.
+
+pub mod agnostic;
+pub mod aware;
+pub mod convert;
+pub mod graph_plan;
+pub mod optimizer;
+pub mod rel_plan;
+pub mod rules;
+pub mod spjm;
+
+pub use graph_plan::{GraphOp, PatternElem};
+pub use optimizer::{optimize, OptStats, OptimizerMode, PlannerContext};
+pub use rel_plan::{PhysicalPlan, RelOp};
+pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
+pub use spjm::{AggSpec, AttrRef, GraphColumn, SpjmBuilder, SpjmQuery};

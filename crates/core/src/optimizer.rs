@@ -1,0 +1,490 @@
+//! The converged optimizer entry point and the compared-system matrix.
+//!
+//! [`optimize`] takes an [`SpjmQuery`] and produces a [`PhysicalPlan`]
+//! according to the chosen [`OptimizerMode`] — the full set of systems the
+//! paper evaluates (§5.1):
+//!
+//! | mode | transform | ordering | index | rules | EI |
+//! |------|-----------|----------|-------|-------|----|
+//! | `DuckDbLike`  | agnostic | greedy | – | pushdown | – |
+//! | `GRainDb`     | agnostic | greedy | ✓ | pushdown | – |
+//! | `UmbraLike`   | agnostic | DP     | ✓ | pushdown | – |
+//! | `CalciteLike` | agnostic | exhaustive (no pruning) | – | pushdown | – |
+//! | `KuzuLike`    | native heuristic | BFS | ✓ | pushdown | – |
+//! | `RelGo`       | aware | GLogue cost-based | ✓ | both | ✓ |
+//! | `RelGoHash`   | aware | GLogue cost-based | – | both | – |
+//! | `RelGoNoRule` | aware | GLogue cost-based | ✓ | – | ✓ |
+//! | `RelGoNoEI`   | aware | GLogue cost-based | ✓ | both | – |
+
+use crate::agnostic::{kuzu_heuristic_plan, optimize_agnostic, AgnosticConfig, JoinOrderAlgo};
+use crate::aware::{optimize_pattern, AwareConfig};
+use crate::rel_plan::{PhysicalPlan, RelOp};
+use crate::rules::{conjoin_all, filter_into_match, split_conjuncts, trim_and_fuse};
+use crate::spjm::SpjmQuery;
+use relgo_common::{RelGoError, Result};
+use relgo_glogue::{CostModel, GLogue};
+use relgo_graph::GraphView;
+use relgo_storage::{Database, ScalarExpr};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which system's optimizer to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerMode {
+    /// Graph-agnostic greedy, hash joins only (the naive §4.1 baseline).
+    DuckDbLike,
+    /// Graph-agnostic greedy + graph index (predefined joins).
+    GRainDb,
+    /// Graph-agnostic DP join ordering + graph index.
+    UmbraLike,
+    /// Graph-agnostic exhaustive enumeration, no pruning (Fig. 4b).
+    CalciteLike,
+    /// Graph-native heuristic engine baseline.
+    KuzuLike,
+    /// The full converged optimizer.
+    RelGo,
+    /// RelGo's converged planning, executed without the graph index.
+    RelGoHash,
+    /// RelGo without `FilterIntoMatchRule`/`TrimAndFuseRule`.
+    RelGoNoRule,
+    /// RelGo without `EXPAND_INTERSECT`.
+    RelGoNoEI,
+}
+
+impl OptimizerMode {
+    /// All modes, for exhaustive test sweeps.
+    pub const ALL: [OptimizerMode; 9] = [
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::GRainDb,
+        OptimizerMode::UmbraLike,
+        OptimizerMode::CalciteLike,
+        OptimizerMode::KuzuLike,
+        OptimizerMode::RelGo,
+        OptimizerMode::RelGoHash,
+        OptimizerMode::RelGoNoRule,
+        OptimizerMode::RelGoNoEI,
+    ];
+
+    /// Whether the executor may use the graph index for this mode.
+    pub fn uses_graph_index(self) -> bool {
+        !matches!(
+            self,
+            OptimizerMode::DuckDbLike | OptimizerMode::CalciteLike | OptimizerMode::RelGoHash
+        )
+    }
+
+    /// Whether this mode runs the converged (graph-aware) pipeline.
+    pub fn is_graph_aware(self) -> bool {
+        matches!(
+            self,
+            OptimizerMode::RelGo
+                | OptimizerMode::RelGoHash
+                | OptimizerMode::RelGoNoRule
+                | OptimizerMode::RelGoNoEI
+        )
+    }
+
+    /// Short display name (benchmark tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerMode::DuckDbLike => "DuckDB",
+            OptimizerMode::GRainDb => "GRainDB",
+            OptimizerMode::UmbraLike => "UmbraPlans",
+            OptimizerMode::CalciteLike => "Calcite",
+            OptimizerMode::KuzuLike => "Kuzu",
+            OptimizerMode::RelGo => "RelGo",
+            OptimizerMode::RelGoHash => "RelGoHash",
+            OptimizerMode::RelGoNoRule => "RelGoNoRule",
+            OptimizerMode::RelGoNoEI => "RelGoNoEI",
+        }
+    }
+}
+
+/// Everything the planner needs to know about the data.
+#[derive(Clone)]
+pub struct PlannerContext {
+    /// The property-graph view (index built if any mode requires it).
+    pub view: Arc<GraphView>,
+    /// The catalog holding the relational tables of the SPJ part.
+    pub db: Arc<Database>,
+    /// High-order statistics (required by graph-aware modes).
+    pub glogue: Option<Arc<GLogue>>,
+    /// Optimization-time budget (Calcite-like enumeration obeys it).
+    pub timeout: Duration,
+}
+
+/// Optimization statistics (drives Fig. 4b and Fig. 7's opt-time bars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptStats {
+    /// Wall-clock optimization time.
+    pub elapsed: Duration,
+    /// Plans/states visited by the join-order search (0 for aware modes'
+    /// subset DP, which reports subsets instead).
+    pub plans_visited: u64,
+    /// Whether the search timed out and fell back.
+    pub timed_out: bool,
+}
+
+/// Optimize an SPJM query under the given mode.
+pub fn optimize(
+    query: &SpjmQuery,
+    mode: OptimizerMode,
+    ctx: &PlannerContext,
+) -> Result<(PhysicalPlan, OptStats)> {
+    query.validate(&ctx.view, &ctx.db)?;
+    let start = Instant::now();
+    let mut stats = OptStats::default();
+
+    // Predicate pushdown into the pattern. For agnostic modes this is the
+    // ordinary relational filter-pushdown; for aware modes it is
+    // FilterIntoMatchRule (disabled in RelGoNoRule).
+    let pushed = if mode == OptimizerMode::RelGoNoRule {
+        query.clone()
+    } else {
+        filter_into_match(query)
+    };
+
+    let (rewritten, graph_op) = match mode {
+        OptimizerMode::RelGo
+        | OptimizerMode::RelGoHash
+        | OptimizerMode::RelGoNoRule
+        | OptimizerMode::RelGoNoEI => {
+            let glogue = ctx.glogue.as_ref().ok_or_else(|| {
+                RelGoError::plan("graph-aware modes require a GLogue in the planner context")
+            })?;
+            let cfg = AwareConfig {
+                allow_ei: mode != OptimizerMode::RelGoNoEI,
+                cost: if mode == OptimizerMode::RelGoHash {
+                    CostModel::unindexed()
+                } else {
+                    CostModel::indexed()
+                },
+            };
+            let plan = optimize_pattern(&pushed.pattern, glogue, &cfg)?;
+            if mode == OptimizerMode::RelGoNoRule {
+                (pushed, plan)
+            } else {
+                let (q, p) = trim_and_fuse(&pushed, plan);
+                (q, p)
+            }
+        }
+        OptimizerMode::KuzuLike => {
+            let plan = kuzu_heuristic_plan(&pushed.pattern, &ctx.view)?;
+            (pushed, plan)
+        }
+        OptimizerMode::DuckDbLike
+        | OptimizerMode::GRainDb
+        | OptimizerMode::UmbraLike
+        | OptimizerMode::CalciteLike => {
+            let algo = match mode {
+                OptimizerMode::UmbraLike => JoinOrderAlgo::DpSize,
+                OptimizerMode::CalciteLike => JoinOrderAlgo::Exhaustive,
+                _ => JoinOrderAlgo::Greedy,
+            };
+            let cfg = AgnosticConfig {
+                algo,
+                use_graph_index: mode.uses_graph_index(),
+                timeout: ctx.timeout,
+            };
+            let (plan, search) = optimize_agnostic(&pushed.pattern, &ctx.view, &cfg)?;
+            stats.plans_visited = search.plans_visited;
+            stats.timed_out = search.timed_out;
+            (pushed, plan)
+        }
+    };
+
+    let root = build_relational(&rewritten, graph_op, &ctx.db)?;
+    stats.elapsed = start.elapsed();
+    Ok((
+        PhysicalPlan {
+            pattern: rewritten.pattern.clone(),
+            root,
+        },
+        stats,
+    ))
+}
+
+/// Compose the relational component around `SCAN_GRAPH_TABLE` (§4.2.2):
+/// graph-only residual selection directly above the graph table, then the
+/// declared joins (single-table conjuncts pushed into the table scans), then
+/// the residual cross-table selection, projection, aggregation and DISTINCT.
+fn build_relational(
+    query: &SpjmQuery,
+    graph: crate::graph_plan::GraphOp,
+    db: &Database,
+) -> Result<RelOp> {
+    let gw = query.graph_width();
+    // Global column ranges of each relational table.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(query.tables.len());
+    let mut acc = gw;
+    for t in &query.tables {
+        let w = db.table(t)?.schema().len();
+        ranges.push((acc, acc + w));
+        acc += w;
+    }
+
+    let mut root = RelOp::ScanGraphTable {
+        graph,
+        columns: query.columns.clone(),
+    };
+
+    // Partition the residual selection: graph-only conjuncts right above
+    // the graph table, single-table conjuncts pushed into the table scan
+    // (rewritten over local columns), the rest above the joins.
+    let mut graph_only: Vec<ScalarExpr> = Vec::new();
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    let mut table_pred: Vec<Vec<ScalarExpr>> = vec![Vec::new(); query.tables.len()];
+    if let Some(sel) = &query.selection {
+        'conjunct: for c in split_conjuncts(sel) {
+            let refs = c.referenced_columns();
+            if refs.iter().all(|&r| r < gw) {
+                graph_only.push(c);
+                continue;
+            }
+            for (ti, &(lo, hi)) in ranges.iter().enumerate() {
+                if refs.iter().all(|&r| r >= lo && r < hi) {
+                    table_pred[ti].push(c.remap_columns(&|r| r - lo));
+                    continue 'conjunct;
+                }
+            }
+            residual.push(c);
+        }
+    }
+
+    if let Some(pred) = conjoin_all(graph_only) {
+        root = RelOp::Filter {
+            input: Box::new(root),
+            predicate: pred,
+        };
+    }
+
+    // Joins with the declared tables, in declaration order; join keys whose
+    // right side falls in this table's range are rewritten right-local.
+    for (ti, tname) in query.tables.iter().enumerate() {
+        let (lo, hi) = ranges[ti];
+        let keys: Vec<(usize, usize)> = query
+            .join_on
+            .iter()
+            .filter(|&&(_, r)| r >= lo && r < hi)
+            .map(|&(l, r)| (l, r - lo))
+            .collect();
+        root = RelOp::HashJoin {
+            left: Box::new(root),
+            right: Box::new(RelOp::ScanTable {
+                table: tname.clone(),
+                predicate: conjoin_all(std::mem::take(&mut table_pred[ti])),
+            }),
+            keys,
+        };
+    }
+
+    if let Some(pred) = conjoin_all(residual) {
+        root = RelOp::Filter {
+            input: Box::new(root),
+            predicate: pred,
+        };
+    }
+    if !query.projection.is_empty() {
+        root = RelOp::Project {
+            input: Box::new(root),
+            cols: query.projection.clone(),
+        };
+    }
+    if !query.aggregates.is_empty() {
+        root = RelOp::Aggregate {
+            input: Box::new(root),
+            aggs: query.aggregates.clone(),
+        };
+    }
+    if query.distinct {
+        root = RelOp::Distinct {
+            input: Box::new(root),
+        };
+    }
+    if !query.order_by.is_empty() {
+        root = RelOp::Sort {
+            input: Box::new(root),
+            keys: query.order_by.clone(),
+        };
+    }
+    if let Some(n) = query.limit {
+        root = RelOp::Limit {
+            input: Box::new(root),
+            n,
+        };
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spjm::SpjmBuilder;
+    use relgo_common::{DataType, LabelId};
+    use relgo_graph::RGMapping;
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::table::table_of;
+
+    fn setup() -> PlannerContext {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[
+                ("person_id", DataType::Int),
+                ("name", DataType::Str),
+                ("place_id", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), "Tom".into(), 10.into()],
+                vec![2.into(), "Bob".into(), 20.into()],
+                vec![3.into(), "David".into(), 30.into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Knows",
+            &[
+                ("knows_id", DataType::Int),
+                ("pid1", DataType::Int),
+                ("pid2", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 2.into()],
+                vec![2.into(), 2.into(), 1.into()],
+                vec![3.into(), 2.into(), 3.into()],
+                vec![4.into(), 3.into(), 2.into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Place",
+            &[("id", DataType::Int), ("pname", DataType::Str)],
+            vec![
+                vec![10.into(), "Germany".into()],
+                vec![20.into(), "Denmark".into()],
+                vec![30.into(), "China".into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        db.set_primary_key("Knows", "knows_id").unwrap();
+        db.set_primary_key("Place", "id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person");
+        let mut view = GraphView::build(&mut db, mapping).unwrap();
+        view.build_index().unwrap();
+        let view = Arc::new(view);
+        let glogue = Arc::new(GLogue::new(Arc::clone(&view), 3, 1).unwrap());
+        PlannerContext {
+            view,
+            db: Arc::new(db),
+            glogue: Some(glogue),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// The paper's Fig. 1 query as an SPJM AST.
+    fn fig1_query() -> SpjmQuery {
+        let mut pb = PatternBuilder::new();
+        let p1 = pb.vertex("p1", LabelId(0));
+        let p2 = pb.vertex("p2", LabelId(0));
+        let m = pb.vertex("m", LabelId(1));
+        pb.edge(p1, m, LabelId(0)).unwrap();
+        pb.edge(p2, m, LabelId(0)).unwrap();
+        pb.edge(p1, p2, LabelId(1)).unwrap();
+        let pattern = pb.build().unwrap();
+        let mut b = SpjmBuilder::new(pattern);
+        let p1_name = b.vertex_column(0, 1, "p1_name");
+        let p1_place = b.vertex_column(0, 2, "p1_place_id");
+        let p2_name = b.vertex_column(1, 1, "p2_name");
+        b.table("Place");
+        b.join(p1_place, 3); // g.p1_place_id = place.id (global col 3)
+        b.select(ScalarExpr::col_eq(p1_name, "Tom"));
+        b.project(&[p2_name, 4]); // p2_name, place.pname
+        b.build()
+    }
+
+    #[test]
+    fn all_modes_produce_plans_for_fig1() {
+        let ctx = setup();
+        for mode in OptimizerMode::ALL {
+            let (plan, _) = optimize(&fig1_query(), mode, &ctx)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            let s = plan.explain();
+            assert!(s.contains("SCAN_GRAPH_TABLE"), "{mode:?}\n{s}");
+        }
+    }
+
+    #[test]
+    fn relgo_pushes_tom_filter_into_match() {
+        let ctx = setup();
+        let (plan, _) = optimize(&fig1_query(), OptimizerMode::RelGo, &ctx).unwrap();
+        assert!(
+            plan.pattern.vertex(0).predicate.is_some(),
+            "FilterIntoMatchRule must constrain p1"
+        );
+        let s = plan.explain();
+        assert!(!s.contains("SELECTION ($0 = 'Tom')"), "filter is gone:\n{s}");
+    }
+
+    #[test]
+    fn norule_keeps_selection_outside() {
+        let ctx = setup();
+        let (plan, _) = optimize(&fig1_query(), OptimizerMode::RelGoNoRule, &ctx).unwrap();
+        assert!(plan.pattern.vertex(0).predicate.is_none());
+        let s = plan.explain();
+        assert!(s.contains("SELECTION"), "{s}");
+    }
+
+    #[test]
+    fn relgo_uses_intersect_on_fig1_triangle() {
+        let ctx = setup();
+        let (plan, _) = optimize(&fig1_query(), OptimizerMode::RelGo, &ctx).unwrap();
+        let g = plan.root.graph_plan().unwrap();
+        assert!(g.uses_intersect(), "{}", plan.explain());
+    }
+
+    #[test]
+    fn noei_avoids_intersect() {
+        let ctx = setup();
+        let (plan, _) = optimize(&fig1_query(), OptimizerMode::RelGoNoEI, &ctx).unwrap();
+        let g = plan.root.graph_plan().unwrap();
+        assert!(!g.uses_intersect());
+    }
+
+    #[test]
+    fn opt_stats_reports_timing() {
+        let ctx = setup();
+        let (_, stats) = optimize(&fig1_query(), OptimizerMode::RelGo, &ctx).unwrap();
+        assert!(stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn aware_modes_require_glogue() {
+        let mut ctx = setup();
+        ctx.glogue = None;
+        assert!(optimize(&fig1_query(), OptimizerMode::RelGo, &ctx).is_err());
+        assert!(optimize(&fig1_query(), OptimizerMode::DuckDbLike, &ctx).is_ok());
+    }
+}

@@ -1,0 +1,374 @@
+//! IMDB-like generator backing the JOB-style join-order workload.
+//!
+//! Entities: `title`, `name`, `company_name`, `keyword`, `company_type`,
+//! `info_type`. Link tables (edges): `cast_info` (name→title),
+//! `movie_companies` (company_name→title, carrying a company-type
+//! attribute), `movie_keyword` (keyword→title), `movie_info`
+//! (info_type→title, carrying an info string).
+//!
+//! JOB stresses join-order choices through correlated, skewed predicates:
+//! production years cluster, country codes are zipfian, a handful of
+//! keywords dominate, and cast sizes are heavy-tailed — all reproduced here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgo_common::{DataType, Schema, Value};
+use relgo_graph::RGMapping;
+use relgo_storage::{Database, TableBuilder};
+
+/// Scale parameters of the IMDB-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbParams {
+    /// Scale factor: titles = 4000 × sf, names = 6000 × sf, …
+    pub sf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbParams {
+    fn default() -> Self {
+        ImdbParams { sf: 0.25, seed: 4242 }
+    }
+}
+
+const COUNTRY_CODES: [&str; 12] = [
+    "[us]", "[gb]", "[de]", "[fr]", "[it]", "[jp]", "[in]", "[ca]", "[es]", "[se]", "[dk]", "[au]",
+];
+
+const KEYWORDS_SPECIAL: [&str; 8] = [
+    "character-name-in-title",
+    "based-on-novel",
+    "sequel",
+    "murder",
+    "love",
+    "independent-film",
+    "revenge",
+    "female-nudity",
+];
+
+const SURNAME_INITIALS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+fn skewed(rng: &mut StdRng, n: usize) -> usize {
+    let x: f64 = rng.gen::<f64>();
+    ((x * x) * n as f64) as usize % n.max(1)
+}
+
+/// Cubic skew for highly concentrated dimensions (country codes: most
+/// studios are American, like the real IMDB).
+fn heavily_skewed(rng: &mut StdRng, n: usize) -> usize {
+    let x: f64 = rng.gen::<f64>();
+    ((x * x * x) * n as f64) as usize % n.max(1)
+}
+
+/// Generate the database and its RGMapping.
+pub fn generate_imdb(params: &ImdbParams) -> (Database, RGMapping) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n_title = ((4000.0 * params.sf) as usize).max(50);
+    let n_name = ((6000.0 * params.sf) as usize).max(60);
+    let n_company = ((400.0 * params.sf) as usize).max(20);
+    let n_keyword = ((800.0 * params.sf) as usize).max(KEYWORDS_SPECIAL.len());
+
+    let mut db = Database::new();
+
+    // ---- company_type / info_type (tiny dimension tables) ----------------
+    let mut t = TableBuilder::new(
+        "company_type",
+        Schema::of(&[("id", DataType::Int), ("kind", DataType::Str)]),
+    );
+    for (i, kind) in ["production companies", "distributors", "special effects", "misc"]
+        .iter()
+        .enumerate()
+    {
+        t.push_row(vec![Value::Int(i as i64), Value::str(*kind)]).unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("company_type", "id").unwrap();
+
+    let mut t = TableBuilder::new(
+        "info_type",
+        Schema::of(&[("id", DataType::Int), ("info", DataType::Str)]),
+    );
+    for (i, info) in ["budget", "rating", "genres", "languages", "runtimes", "votes"]
+        .iter()
+        .enumerate()
+    {
+        t.push_row(vec![Value::Int(i as i64), Value::str(*info)]).unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("info_type", "id").unwrap();
+
+    // ---- title ------------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "title",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("title", DataType::Str),
+            ("production_year", DataType::Int),
+            ("kind_id", DataType::Int),
+        ]),
+        n_title,
+    );
+    for i in 0..n_title {
+        // Years cluster toward the present (skew matters for year filters).
+        let year = 2015 - skewed(&mut rng, 100) as i64;
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("movie_{i}")),
+            Value::Int(year),
+            Value::Int(rng.gen_range(0..4)),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("title", "id").unwrap();
+
+    // ---- name ---------------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "name",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("gender", DataType::Str),
+        ]),
+        n_name,
+    );
+    for i in 0..n_name {
+        let initial = SURNAME_INITIALS[skewed(&mut rng, SURNAME_INITIALS.len())] as char;
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("{initial}actor_{i}")),
+            Value::str(if rng.gen::<bool>() { "m" } else { "f" }),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("name", "id").unwrap();
+
+    // ---- company_name ----------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "company_name",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("country_code", DataType::Str),
+        ]),
+        n_company,
+    );
+    for i in 0..n_company {
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("studio_{i}")),
+            Value::str(COUNTRY_CODES[heavily_skewed(&mut rng, COUNTRY_CODES.len())]),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("company_name", "id").unwrap();
+
+    // ---- keyword -------------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "keyword",
+        Schema::of(&[("id", DataType::Int), ("keyword", DataType::Str)]),
+        n_keyword,
+    );
+    for i in 0..n_keyword {
+        let kw = if i < KEYWORDS_SPECIAL.len() {
+            KEYWORDS_SPECIAL[i].to_string()
+        } else {
+            format!("keyword_{i}")
+        };
+        t.push_row(vec![Value::Int(i as i64), Value::str(kw)]).unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("keyword", "id").unwrap();
+
+    // ---- cast_info (heavy-tailed cast sizes) -----------------------------------
+    let mut t = TableBuilder::new(
+        "cast_info",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("person_id", DataType::Int),
+            ("movie_id", DataType::Int),
+            ("role_id", DataType::Int),
+        ]),
+    );
+    let mut eid = 0i64;
+    for m in 0..n_title {
+        let cast = 2 + skewed(&mut rng, 12);
+        for _ in 0..cast {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(skewed(&mut rng, n_name) as i64),
+                Value::Int(m as i64),
+                Value::Int(rng.gen_range(0..11)),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("cast_info", "id").unwrap();
+
+    // ---- movie_companies ----------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "movie_companies",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("movie_id", DataType::Int),
+            ("company_id", DataType::Int),
+            ("company_type_id", DataType::Int),
+        ]),
+    );
+    let mut eid = 0i64;
+    for m in 0..n_title {
+        let k = 1 + skewed(&mut rng, 3);
+        for _ in 0..k {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(m as i64),
+                Value::Int(skewed(&mut rng, n_company) as i64),
+                Value::Int(skewed(&mut rng, 4) as i64),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("movie_companies", "id").unwrap();
+
+    // ---- movie_keyword ---------------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "movie_keyword",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("movie_id", DataType::Int),
+            ("keyword_id", DataType::Int),
+        ]),
+    );
+    let mut eid = 0i64;
+    for m in 0..n_title {
+        let k = 1 + skewed(&mut rng, 4);
+        for _ in 0..k {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(m as i64),
+                Value::Int(skewed(&mut rng, n_keyword) as i64),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("movie_keyword", "id").unwrap();
+
+    // ---- movie_info --------------------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "movie_info",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("movie_id", DataType::Int),
+            ("info_type_id", DataType::Int),
+            ("info", DataType::Str),
+        ]),
+    );
+    let mut eid = 0i64;
+    for m in 0..n_title {
+        let k = 1 + skewed(&mut rng, 3);
+        for _ in 0..k {
+            let it = skewed(&mut rng, 6);
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(m as i64),
+                Value::Int(it as i64),
+                Value::str(format!("info_{}", skewed(&mut rng, 40))),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("movie_info", "id").unwrap();
+
+    (db, imdb_mapping())
+}
+
+/// The IMDB RGMapping: entity tables become vertices, link tables edges.
+pub fn imdb_mapping() -> RGMapping {
+    RGMapping::new()
+        .vertex("title")
+        .vertex("name")
+        .vertex("company_name")
+        .vertex("keyword")
+        .vertex("info_type")
+        .edge("cast_info", "person_id", "name", "movie_id", "title")
+        .edge(
+            "movie_companies",
+            "company_id",
+            "company_name",
+            "movie_id",
+            "title",
+        )
+        .edge("movie_keyword", "keyword_id", "keyword", "movie_id", "title")
+        .edge("movie_info", "info_type_id", "info_type", "movie_id", "title")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_graph::GraphView;
+
+    #[test]
+    fn deterministic_and_mapped() {
+        let p = ImdbParams { sf: 0.1, seed: 9 };
+        let (db1, m1) = generate_imdb(&p);
+        let (db2, _) = generate_imdb(&p);
+        assert_eq!(
+            db1.table("cast_info").unwrap().num_rows(),
+            db2.table("cast_info").unwrap().num_rows()
+        );
+        let mut db = db1;
+        let mut view = GraphView::build(&mut db, m1).unwrap();
+        view.build_index().unwrap();
+    }
+
+    #[test]
+    fn special_keywords_present() {
+        let (db, _) = generate_imdb(&ImdbParams { sf: 0.1, seed: 9 });
+        let kw = db.table("keyword").unwrap();
+        let mut found = false;
+        for r in 0..kw.num_rows() as u32 {
+            if kw.value(r, 1) == Value::str("character-name-in-title") {
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn country_codes_are_skewed_to_us() {
+        let (db, _) = generate_imdb(&ImdbParams { sf: 0.5, seed: 9 });
+        let cn = db.table("company_name").unwrap();
+        let us = (0..cn.num_rows() as u32)
+            .filter(|&r| cn.value(r, 2) == Value::str("[us]"))
+            .count();
+        assert!(
+            us * 3 > cn.num_rows(),
+            "us studios dominate: {us}/{}",
+            cn.num_rows()
+        );
+    }
+
+    #[test]
+    fn cast_sizes_heavy_tailed() {
+        let (db, _) = generate_imdb(&ImdbParams { sf: 0.5, seed: 9 });
+        let ci = db.table("cast_info").unwrap();
+        let n_name = db.table("name").unwrap().num_rows();
+        let mut deg = vec![0usize; n_name];
+        for r in 0..ci.num_rows() as u32 {
+            deg[ci.value(r, 1).as_int().unwrap() as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = ci.num_rows() as f64 / n_name as f64;
+        assert!(max as f64 > 5.0 * avg);
+    }
+}

@@ -1,0 +1,20 @@
+//! # relgo-datagen
+//!
+//! Deterministic synthetic datasets standing in for the paper's benchmarks:
+//!
+//! * [`snb`] — an LDBC-SNB-like social network (persons, messages, forums,
+//!   tags, places, companies, and the full set of relationship tables) with
+//!   power-law `Knows`/`Likes` degree distributions and a scale-factor knob.
+//!   `sf = 0.1 / 0.3 / 1.0` play the roles of the paper's LDBC 10/30/100.
+//! * [`imdb`] — an IMDB-like movie database (titles, names, companies,
+//!   keywords, and the JOB link tables) with skewed cast/keyword
+//!   distributions, backing the JOB-style join-order workload.
+//!
+//! All generation is seeded (`rand::StdRng`) and reproducible; every foreign
+//! key is total (the λ functions of RGMapping must be total functions).
+
+pub mod imdb;
+pub mod snb;
+
+pub use imdb::{generate_imdb, ImdbParams};
+pub use snb::{generate_snb, SnbParams};

@@ -1,0 +1,602 @@
+//! LDBC-SNB-like social network generator.
+//!
+//! Entities: `Place`, `TagClass`, `Tag`, `Company`, `Person`, `Forum`,
+//! `Message`. Relationships (edge tables): `Knows`, `Likes`, `HasCreator`,
+//! `ReplyOf`, `HasTag`, `HasMember`, `ContainerOf`, `MsgLocatedIn`,
+//! `PersonLocatedIn`, `CompanyLocatedIn`, `WorksAt`, `TagHasType`.
+//!
+//! Shapes that matter for the experiments are reproduced: `Knows` is
+//! power-law and stored in both directions (as LDBC does), `Likes` is
+//! skewed, every message has exactly one creator and location, posts live
+//! in forums, and attribute values (names, dates, countries) are drawn from
+//! small pools so equality predicates have realistic selectivities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgo_common::{DataType, Value};
+use relgo_graph::RGMapping;
+use relgo_storage::{Database, TableBuilder};
+use relgo_common::Schema;
+
+/// Scale parameters of the SNB-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbParams {
+    /// Scale factor: persons = 1000 × sf, messages = 8 × persons, …
+    pub sf: f64,
+    /// RNG seed (all tables derive from it deterministically).
+    pub seed: u64,
+}
+
+impl Default for SnbParams {
+    fn default() -> Self {
+        SnbParams { sf: 0.1, seed: 42 }
+    }
+}
+
+/// First-name pool (size 40 → `name = X` keeps ~2.5% of persons).
+const FIRST_NAMES: [&str; 40] = [
+    "Jan", "Tom", "Bob", "Ada", "Eve", "Max", "Ida", "Leo", "Mia", "Kai", "Uma", "Rex", "Zoe",
+    "Ben", "Amy", "Gus", "Ivy", "Sam", "Lia", "Ned", "Ola", "Pia", "Quy", "Ron", "Sue", "Tim",
+    "Ula", "Vic", "Wes", "Xia", "Yan", "Zed", "Abe", "Bea", "Cal", "Dot", "Eli", "Fay", "Gil",
+    "Hal",
+];
+
+const COUNTRIES: usize = 30;
+const TAG_CLASSES: usize = 8;
+const TAGS: usize = 80;
+const COMPANIES: usize = 60;
+
+fn days(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    rng.gen_range(lo..hi)
+}
+
+/// Skewed partner sampling: quadratic bias toward low ids (a cheap
+/// power-law stand-in that concentrates degree on "old" entities).
+fn skewed(rng: &mut StdRng, n: usize) -> usize {
+    let x: f64 = rng.gen::<f64>();
+    ((x * x) * n as f64) as usize % n.max(1)
+}
+
+/// Generate the database and its RGMapping.
+pub fn generate_snb(params: &SnbParams) -> (Database, RGMapping) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n_person = ((1000.0 * params.sf) as usize).max(20);
+    let n_message = n_person * 8;
+    let n_forum = (n_person / 2).max(4);
+
+    let mut db = Database::new();
+
+    // ---- Place -------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "Place",
+        Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+        COUNTRIES,
+    );
+    for i in 0..COUNTRIES {
+        t.push_row(vec![Value::Int(i as i64), Value::str(format!("country_{i}"))])
+            .expect("static row");
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Place", "id").unwrap();
+
+    // ---- TagClass ------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "TagClass",
+        Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+    );
+    for i in 0..TAG_CLASSES {
+        t.push_row(vec![Value::Int(i as i64), Value::str(format!("class_{i}"))])
+            .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("TagClass", "id").unwrap();
+
+    // ---- Tag -----------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "Tag",
+        Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+    );
+    let mut tag_class_rows = Vec::with_capacity(TAGS);
+    for i in 0..TAGS {
+        t.push_row(vec![Value::Int(i as i64), Value::str(format!("tag_{i}"))])
+            .unwrap();
+        tag_class_rows.push(i % TAG_CLASSES);
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Tag", "id").unwrap();
+
+    // ---- Company -------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "Company",
+        Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+    );
+    let mut company_place = Vec::with_capacity(COMPANIES);
+    for i in 0..COMPANIES {
+        t.push_row(vec![Value::Int(i as i64), Value::str(format!("company_{i}"))])
+            .unwrap();
+        company_place.push(skewed(&mut rng, COUNTRIES));
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Company", "id").unwrap();
+
+    // ---- Person --------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "Person",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("creation_date", DataType::Date),
+        ]),
+        n_person,
+    );
+    let mut person_place = Vec::with_capacity(n_person);
+    for i in 0..n_person {
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]),
+            Value::Date(days(&mut rng, 11000, 18000)),
+        ])
+        .unwrap();
+        person_place.push(skewed(&mut rng, COUNTRIES));
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Person", "id").unwrap();
+
+    // ---- Forum ---------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "Forum",
+        Schema::of(&[("id", DataType::Int), ("title", DataType::Str)]),
+    );
+    for i in 0..n_forum {
+        t.push_row(vec![Value::Int(i as i64), Value::str(format!("forum_{i}"))])
+            .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Forum", "id").unwrap();
+
+    // ---- Message -------------------------------------------------------
+    // The first 40% are posts (they live in forums); the rest are comments
+    // replying to an earlier message.
+    let n_post = n_message * 2 / 5;
+    let mut t = TableBuilder::with_capacity(
+        "Message",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("content", DataType::Str),
+            ("creation_date", DataType::Date),
+            ("is_post", DataType::Bool),
+            ("length", DataType::Int),
+        ]),
+        n_message,
+    );
+    let mut msg_creator = Vec::with_capacity(n_message);
+    let mut msg_place = Vec::with_capacity(n_message);
+    for i in 0..n_message {
+        let is_post = i < n_post;
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("content_{}", i % 97)),
+            Value::Date(days(&mut rng, 15000, 19000)),
+            Value::Bool(is_post),
+            Value::Int(rng.gen_range(5..200)),
+        ])
+        .unwrap();
+        msg_creator.push(skewed(&mut rng, n_person));
+        msg_place.push(skewed(&mut rng, COUNTRIES));
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Message", "id").unwrap();
+
+    // ---- Knows (power-law, both directions) -----------------------------
+    let mut t = TableBuilder::new(
+        "Knows",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("p1", DataType::Int),
+            ("p2", DataType::Int),
+            ("date", DataType::Date),
+        ]),
+    );
+    let mut eid = 0i64;
+    let mut seen = relgo_common::FxHashSet::default();
+    for p in 0..n_person {
+        // Average ~6 undirected friendships per person → ~12 directed rows.
+        let d = 1 + skewed(&mut rng, 11);
+        for _ in 0..d {
+            let q = skewed(&mut rng, n_person);
+            if q == p || !seen.insert((p.min(q), p.max(q))) {
+                continue;
+            }
+            let date = days(&mut rng, 12000, 19000);
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(p as i64),
+                Value::Int(q as i64),
+                Value::Date(date),
+            ])
+            .unwrap();
+            eid += 1;
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(q as i64),
+                Value::Int(p as i64),
+                Value::Date(date),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Knows", "id").unwrap();
+
+    // ---- Likes (skewed toward popular messages) -------------------------
+    let mut t = TableBuilder::new(
+        "Likes",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("person", DataType::Int),
+            ("message", DataType::Int),
+            ("date", DataType::Date),
+        ]),
+    );
+    let mut eid = 0i64;
+    for p in 0..n_person {
+        let d = 2 + skewed(&mut rng, 14);
+        for _ in 0..d {
+            let m = skewed(&mut rng, n_message);
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(p as i64),
+                Value::Int(m as i64),
+                Value::Date(days(&mut rng, 15000, 19000)),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("Likes", "id").unwrap();
+
+    // ---- HasCreator ------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "HasCreator",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("message", DataType::Int),
+            ("person", DataType::Int),
+        ]),
+        n_message,
+    );
+    for (m, &p) in msg_creator.iter().enumerate() {
+        t.push_row(vec![
+            Value::Int(m as i64),
+            Value::Int(m as i64),
+            Value::Int(p as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("HasCreator", "id").unwrap();
+
+    // ---- ReplyOf ---------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "ReplyOf",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("comment", DataType::Int),
+            ("parent", DataType::Int),
+        ]),
+    );
+    let mut eid = 0i64;
+    for c in n_post..n_message {
+        // Reply to some earlier message (post-heavy).
+        let parent = skewed(&mut rng, c.max(1));
+        t.push_row(vec![
+            Value::Int(eid),
+            Value::Int(c as i64),
+            Value::Int(parent as i64),
+        ])
+        .unwrap();
+        eid += 1;
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("ReplyOf", "id").unwrap();
+
+    // ---- HasTag ----------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "HasTag",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("message", DataType::Int),
+            ("tag", DataType::Int),
+        ]),
+    );
+    let mut eid = 0i64;
+    for m in 0..n_message {
+        let k = 1 + skewed(&mut rng, 2);
+        for _ in 0..k {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(m as i64),
+                Value::Int(skewed(&mut rng, TAGS) as i64),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("HasTag", "id").unwrap();
+
+    // ---- HasMember ---------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "HasMember",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("forum", DataType::Int),
+            ("person", DataType::Int),
+            ("join_date", DataType::Date),
+        ]),
+    );
+    let mut eid = 0i64;
+    for f in 0..n_forum {
+        let k = 4 + skewed(&mut rng, 24);
+        for _ in 0..k {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(f as i64),
+                Value::Int(skewed(&mut rng, n_person) as i64),
+                Value::Date(days(&mut rng, 13000, 19000)),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("HasMember", "id").unwrap();
+
+    // ---- ContainerOf (each post in exactly one forum) ---------------------
+    let mut t = TableBuilder::with_capacity(
+        "ContainerOf",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("forum", DataType::Int),
+            ("post", DataType::Int),
+        ]),
+        n_post,
+    );
+    for m in 0..n_post {
+        t.push_row(vec![
+            Value::Int(m as i64),
+            Value::Int(skewed(&mut rng, n_forum) as i64),
+            Value::Int(m as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("ContainerOf", "id").unwrap();
+
+    // ---- Location edges ----------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "MsgLocatedIn",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("message", DataType::Int),
+            ("place", DataType::Int),
+        ]),
+        n_message,
+    );
+    for (m, &pl) in msg_place.iter().enumerate() {
+        t.push_row(vec![
+            Value::Int(m as i64),
+            Value::Int(m as i64),
+            Value::Int(pl as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("MsgLocatedIn", "id").unwrap();
+
+    let mut t = TableBuilder::with_capacity(
+        "PersonLocatedIn",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("person", DataType::Int),
+            ("place", DataType::Int),
+        ]),
+        n_person,
+    );
+    for (p, &pl) in person_place.iter().enumerate() {
+        t.push_row(vec![
+            Value::Int(p as i64),
+            Value::Int(p as i64),
+            Value::Int(pl as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("PersonLocatedIn", "id").unwrap();
+
+    let mut t = TableBuilder::with_capacity(
+        "CompanyLocatedIn",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("company", DataType::Int),
+            ("place", DataType::Int),
+        ]),
+        COMPANIES,
+    );
+    for (c, &pl) in company_place.iter().enumerate() {
+        t.push_row(vec![
+            Value::Int(c as i64),
+            Value::Int(c as i64),
+            Value::Int(pl as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("CompanyLocatedIn", "id").unwrap();
+
+    // ---- WorksAt -----------------------------------------------------------
+    let mut t = TableBuilder::new(
+        "WorksAt",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("person", DataType::Int),
+            ("company", DataType::Int),
+            ("since", DataType::Date),
+        ]),
+    );
+    let mut eid = 0i64;
+    for p in 0..n_person {
+        let jobs = 1 + (rng.gen::<f64>() < 0.2) as usize;
+        for _ in 0..jobs {
+            t.push_row(vec![
+                Value::Int(eid),
+                Value::Int(p as i64),
+                Value::Int(skewed(&mut rng, COMPANIES) as i64),
+                Value::Date(days(&mut rng, 11000, 18000)),
+            ])
+            .unwrap();
+            eid += 1;
+        }
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("WorksAt", "id").unwrap();
+
+    // ---- TagHasType ----------------------------------------------------------
+    let mut t = TableBuilder::with_capacity(
+        "TagHasType",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("tag", DataType::Int),
+            ("class", DataType::Int),
+        ]),
+        TAGS,
+    );
+    for (tag, &cls) in tag_class_rows.iter().enumerate() {
+        t.push_row(vec![
+            Value::Int(tag as i64),
+            Value::Int(tag as i64),
+            Value::Int(cls as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(t.finish());
+    db.set_primary_key("TagHasType", "id").unwrap();
+
+    let mapping = snb_mapping();
+    (db, mapping)
+}
+
+/// The SNB RGMapping (CREATE PROPERTY GRAPH equivalent).
+pub fn snb_mapping() -> RGMapping {
+    RGMapping::new()
+        .vertex("Person")
+        .vertex("Message")
+        .vertex("Forum")
+        .vertex("Tag")
+        .vertex("TagClass")
+        .vertex("Place")
+        .vertex("Company")
+        .edge("Knows", "p1", "Person", "p2", "Person")
+        .edge("Likes", "person", "Person", "message", "Message")
+        .edge("HasCreator", "message", "Message", "person", "Person")
+        .edge("ReplyOf", "comment", "Message", "parent", "Message")
+        .edge("HasTag", "message", "Message", "tag", "Tag")
+        .edge("HasMember", "forum", "Forum", "person", "Person")
+        .edge("ContainerOf", "forum", "Forum", "post", "Message")
+        .edge("MsgLocatedIn", "message", "Message", "place", "Place")
+        .edge("PersonLocatedIn", "person", "Person", "place", "Place")
+        .edge("CompanyLocatedIn", "company", "Company", "place", "Place")
+        .edge("WorksAt", "person", "Person", "company", "Company")
+        .edge("TagHasType", "tag", "Tag", "class", "TagClass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_graph::GraphView;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SnbParams { sf: 0.05, seed: 7 };
+        let (db1, _) = generate_snb(&p);
+        let (db2, _) = generate_snb(&p);
+        for name in db1.table_names() {
+            let t1 = db1.table(name).unwrap();
+            let t2 = db2.table(name).unwrap();
+            assert_eq!(t1.num_rows(), t2.num_rows(), "{name}");
+            if t1.num_rows() > 0 {
+                assert_eq!(t1.row(0), t2.row(0), "{name}");
+                let last = (t1.num_rows() - 1) as u32;
+                assert_eq!(t1.row(last), t2.row(last), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = generate_snb(&SnbParams { sf: 0.05, seed: 1 });
+        let (b, _) = generate_snb(&SnbParams { sf: 0.05, seed: 2 });
+        assert_ne!(
+            a.table("Knows").unwrap().num_rows(),
+            b.table("Knows").unwrap().num_rows()
+        );
+    }
+
+    #[test]
+    fn mapping_validates_and_index_builds() {
+        let (mut db, mapping) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let mut view = GraphView::build(&mut db, mapping).unwrap();
+        view.build_index().unwrap();
+        let s = view.stats();
+        assert!(s.total_vertices() > 0);
+        assert!(s.total_edges() > 0);
+    }
+
+    #[test]
+    fn scale_factor_scales_rows() {
+        let (small, _) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let (large, _) = generate_snb(&SnbParams { sf: 0.2, seed: 42 });
+        assert!(
+            large.table("Person").unwrap().num_rows()
+                > 2 * small.table("Person").unwrap().num_rows()
+        );
+        assert!(
+            large.table("Message").unwrap().num_rows()
+                > 2 * small.table("Message").unwrap().num_rows()
+        );
+    }
+
+    #[test]
+    fn knows_is_symmetric() {
+        let (db, _) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let knows = db.table("Knows").unwrap();
+        let mut pairs = relgo_common::FxHashSet::default();
+        for r in 0..knows.num_rows() as u32 {
+            let p1 = knows.value(r, 1).as_int().unwrap();
+            let p2 = knows.value(r, 2).as_int().unwrap();
+            pairs.insert((p1, p2));
+        }
+        for &(a, b) in pairs.iter() {
+            assert!(pairs.contains(&(b, a)), "missing reverse of ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let (db, _) = generate_snb(&SnbParams { sf: 0.2, seed: 42 });
+        let likes = db.table("Likes").unwrap();
+        let n_msg = db.table("Message").unwrap().num_rows();
+        let mut indeg = vec![0usize; n_msg];
+        for r in 0..likes.num_rows() as u32 {
+            indeg[likes.value(r, 2).as_int().unwrap() as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = likes.num_rows() as f64 / n_msg as f64;
+        assert!(
+            max as f64 > 4.0 * avg,
+            "popular messages should be far above average (max {max}, avg {avg:.1})"
+        );
+    }
+}

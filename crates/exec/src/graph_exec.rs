@@ -1,0 +1,763 @@
+//! Interpreter for physical graph plans ([`GraphOp`] trees).
+//!
+//! Two execution regimes, selected by [`GraphExecContext::use_index`]:
+//!
+//! * **indexed** — `EXPAND`/`EXPAND_INTERSECT` traverse the VE-index;
+//!   `SCAN_EDGE` reads endpoints from the EV-index (GRainDB's predefined
+//!   join);
+//! * **unindexed** — `EXPAND` builds a transient hash multimap over the
+//!   edge relation (a hash join, which is what DuckDB-like and RelGoHash
+//!   executions pay); endpoint resolution goes through the λ key indexes.
+//!
+//! Bag semantics are preserved exactly: expansions iterate *adjacency
+//! entries* (one output row per data edge), so trimming the edge column
+//! never changes multiplicities.
+
+use crate::chunk::GraphChunk;
+use relgo_common::{FxHashMap, RelGoError, Result, RowId};
+use relgo_core::graph_plan::{GraphOp, StarLeg};
+use relgo_graph::{Direction, GraphIndex, GraphView};
+use relgo_pattern::Pattern;
+use relgo_storage::ScalarExpr;
+
+/// Execution context for the graph component.
+pub struct GraphExecContext<'a> {
+    /// The graph view (tables + λ resolution).
+    pub view: &'a GraphView,
+    /// The pattern being matched (for edge endpoint metadata).
+    pub pattern: &'a Pattern,
+    /// Whether VE/EV indexes may be used.
+    pub use_index: bool,
+    /// Maximum rows any intermediate may reach before aborting with
+    /// `ResourceExhausted` (models the paper's OOM runs).
+    pub row_limit: usize,
+}
+
+impl<'a> GraphExecContext<'a> {
+    fn index(&self) -> Result<&'a GraphIndex> {
+        self.view
+            .index()
+            .map(|a| a.as_ref())
+            .ok_or_else(|| RelGoError::execution("graph index required but not built"))
+    }
+
+    fn guard(&self, rows: usize) -> Result<()> {
+        if rows > self.row_limit {
+            return Err(RelGoError::ResourceExhausted(format!(
+                "intermediate graph relation of {rows} rows exceeds the {} row budget",
+                self.row_limit
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Execute a graph plan into a chunk of bindings.
+pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphChunk> {
+    let nv = ctx.pattern.vertex_count();
+    let ne = ctx.pattern.edge_count();
+    match op {
+        GraphOp::ScanVertex { v, predicate, .. } => {
+            let label = ctx.pattern.vertex(*v).label;
+            let table = ctx.view.vertex_table(label);
+            let rows: Vec<RowId> = match predicate {
+                Some(p) => p.filter(table)?,
+                None => (0..table.num_rows() as RowId).collect(),
+            };
+            ctx.guard(rows.len())?;
+            Ok(GraphChunk::from_vertex(nv, ne, *v, rows))
+        }
+        GraphOp::ScanEdge { e, predicate, .. } => scan_edge(*e, predicate.as_ref(), ctx),
+        GraphOp::Expand {
+            input,
+            from,
+            edge,
+            to,
+            dir,
+            emit_edge,
+            edge_predicate,
+            vertex_predicate,
+            ..
+        } => {
+            let inp = execute_graph(input, ctx)?;
+            expand(
+                &inp,
+                *from,
+                *edge,
+                *to,
+                *dir,
+                *emit_edge,
+                edge_predicate.as_ref(),
+                vertex_predicate.as_ref(),
+                ctx,
+            )
+        }
+        GraphOp::ExpandIntersect {
+            input,
+            legs,
+            to,
+            emit_edges,
+            vertex_predicate,
+            ..
+        } => {
+            let inp = execute_graph(input, ctx)?;
+            expand_intersect(&inp, legs, *to, *emit_edges, vertex_predicate.as_ref(), ctx)
+        }
+        GraphOp::JoinSub {
+            left,
+            right,
+            on_vertices,
+            on_edges,
+            ..
+        } => {
+            let l = execute_graph(left, ctx)?;
+            let r = execute_graph(right, ctx)?;
+            join_chunks(&l, &r, on_vertices, on_edges, ctx)
+        }
+        GraphOp::FilterVertex {
+            input, v, predicate, ..
+        } => {
+            let inp = execute_graph(input, ctx)?;
+            let label = ctx.pattern.vertex(*v).label;
+            let table = ctx.view.vertex_table(label);
+            let col = inp.vertex_col(*v)?;
+            let mut keep = Vec::new();
+            for (i, &rid) in col.iter().enumerate() {
+                if predicate.matches(table, rid)? {
+                    keep.push(i);
+                }
+            }
+            Ok(inp.take(&keep))
+        }
+    }
+}
+
+/// `SCAN_EDGE`: bind the edge and both endpoints.
+fn scan_edge(e: usize, predicate: Option<&ScalarExpr>, ctx: &GraphExecContext<'_>) -> Result<GraphChunk> {
+    let pe = ctx.pattern.edge(e);
+    let table = ctx.view.edge_table(pe.label);
+    let rows: Vec<RowId> = match predicate {
+        Some(p) => p.filter(table)?,
+        None => (0..table.num_rows() as RowId).collect(),
+    };
+    ctx.guard(rows.len())?;
+    let mut srcs = Vec::with_capacity(rows.len());
+    let mut dsts = Vec::with_capacity(rows.len());
+    if ctx.use_index {
+        let idx = ctx.index()?;
+        for &r in &rows {
+            srcs.push(idx.edge_src(pe.label, r));
+            dsts.push(idx.edge_dst(pe.label, r));
+        }
+    } else {
+        for &r in &rows {
+            srcs.push(ctx.view.resolve_src(pe.label, r)?);
+            dsts.push(ctx.view.resolve_dst(pe.label, r)?);
+        }
+    }
+    // Src column seeds the chunk; dst and the edge binding extend it.
+    let base = GraphChunk::from_vertex(
+        ctx.pattern.vertex_count(),
+        ctx.pattern.edge_count(),
+        pe.src,
+        srcs,
+    );
+    let gather: Vec<usize> = (0..rows.len()).collect();
+    base.extend(&gather, Some((pe.dst, dsts)), vec![(e, rows)])
+}
+
+/// Adjacency provider for one `(edge label, direction)`: the VE-index, or a
+/// transient hash multimap over the edge relation (the hash-join fallback).
+enum Adjacency<'a> {
+    Indexed {
+        index: &'a GraphIndex,
+        label: relgo_common::LabelId,
+        dir: Direction,
+    },
+    Hashed {
+        /// from-vertex row → (edge row, neighbor row) pairs.
+        map: FxHashMap<RowId, Vec<(RowId, RowId)>>,
+    },
+}
+
+impl<'a> Adjacency<'a> {
+    fn build(
+        edge: usize,
+        dir: Direction,
+        ctx: &'a GraphExecContext<'_>,
+    ) -> Result<Adjacency<'a>> {
+        let pe = ctx.pattern.edge(edge);
+        if ctx.use_index {
+            return Ok(Adjacency::Indexed {
+                index: ctx.index()?,
+                label: pe.label,
+                dir,
+            });
+        }
+        // Hash fallback: resolve both endpoints of every edge row through
+        // the λ key indexes and group by the from-side vertex row.
+        let table = ctx.view.edge_table(pe.label);
+        let mut map: FxHashMap<RowId, Vec<(RowId, RowId)>> = FxHashMap::default();
+        for r in 0..table.num_rows() as RowId {
+            let s = ctx.view.resolve_src(pe.label, r)?;
+            let t = ctx.view.resolve_dst(pe.label, r)?;
+            let (from, to) = match dir {
+                Direction::Out => (s, t),
+                Direction::In => (t, s),
+            };
+            map.entry(from).or_default().push((r, to));
+        }
+        // Sort each bucket by neighbor so intersection logic can merge.
+        for v in map.values_mut() {
+            v.sort_unstable_by_key(|&(_, n)| n);
+        }
+        Ok(Adjacency::Hashed { map })
+    }
+
+    /// `(edges, neighbors)` adjacent to `v`, sorted by neighbor.
+    fn neighbors(&self, v: RowId) -> (Vec<RowId>, Vec<RowId>) {
+        match self {
+            Adjacency::Indexed { index, label, dir } => {
+                let (es, ns) = index.neighbors(*label, *dir, v);
+                (es.to_vec(), ns.to_vec())
+            }
+            Adjacency::Hashed { map } => match map.get(&v) {
+                Some(pairs) => (
+                    pairs.iter().map(|&(e, _)| e).collect(),
+                    pairs.iter().map(|&(_, n)| n).collect(),
+                ),
+                None => (Vec::new(), Vec::new()),
+            },
+        }
+    }
+}
+
+/// `EXPAND` (fused or edge-materializing).
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    input: &GraphChunk,
+    from: usize,
+    edge: usize,
+    to: usize,
+    dir: Direction,
+    emit_edge: bool,
+    edge_predicate: Option<&ScalarExpr>,
+    vertex_predicate: Option<&ScalarExpr>,
+    ctx: &GraphExecContext<'_>,
+) -> Result<GraphChunk> {
+    let pe = ctx.pattern.edge(edge);
+    let adj = Adjacency::build(edge, dir, ctx)?;
+    let etable = ctx.view.edge_table(pe.label);
+    let vtable = ctx.view.vertex_table(ctx.pattern.vertex(to).label);
+
+    let from_col = input.vertex_col(from)?;
+    let mut gather = Vec::new();
+    let mut to_col = Vec::new();
+    let mut edge_col = Vec::new();
+    for (i, &v) in from_col.iter().enumerate() {
+        let (es, ns) = adj.neighbors(v);
+        for (&erow, &nrow) in es.iter().zip(ns.iter()) {
+            if let Some(p) = edge_predicate {
+                if !p.matches(etable, erow)? {
+                    continue;
+                }
+            }
+            if let Some(p) = vertex_predicate {
+                if !p.matches(vtable, nrow)? {
+                    continue;
+                }
+            }
+            gather.push(i);
+            to_col.push(nrow);
+            if emit_edge {
+                edge_col.push(erow);
+            }
+        }
+        ctx.guard(gather.len())?;
+    }
+    let new_edges = if emit_edge {
+        vec![(edge, edge_col)]
+    } else {
+        Vec::new()
+    };
+    input.extend(&gather, Some((to, to_col)), new_edges)
+}
+
+/// `EXPAND_INTERSECT`: per input row, intersect the (sorted) adjacency
+/// lists of every leg; parallel data edges multiply matches, preserving
+/// homomorphism bag semantics.
+fn expand_intersect(
+    input: &GraphChunk,
+    legs: &[StarLeg],
+    to: usize,
+    emit_edges: bool,
+    vertex_predicate: Option<&ScalarExpr>,
+    ctx: &GraphExecContext<'_>,
+) -> Result<GraphChunk> {
+    if legs.len() < 2 {
+        return Err(RelGoError::execution(
+            "EXPAND_INTERSECT requires at least two legs",
+        ));
+    }
+    let adjs: Vec<Adjacency<'_>> = legs
+        .iter()
+        .map(|l| Adjacency::build(l.edge, l.dir, ctx))
+        .collect::<Result<_>>()?;
+    let etables: Vec<_> = legs
+        .iter()
+        .map(|l| ctx.view.edge_table(ctx.pattern.edge(l.edge).label))
+        .collect();
+    let epreds: Vec<Option<&ScalarExpr>> = legs
+        .iter()
+        .map(|l| ctx.pattern.edge(l.edge).predicate.as_ref())
+        .collect();
+    let vtable = ctx.view.vertex_table(ctx.pattern.vertex(to).label);
+
+    let mut gather = Vec::new();
+    let mut to_col: Vec<RowId> = Vec::new();
+    let mut edge_cols: Vec<Vec<RowId>> = vec![Vec::new(); legs.len()];
+
+    // Reusable per-row buffers (performance-guide workhorse pattern).
+    let mut lists: Vec<(Vec<RowId>, Vec<RowId>)> = Vec::with_capacity(legs.len());
+    for (row, _) in (0..input.len()).map(|r| (r, ())) {
+        lists.clear();
+        for (leg, adj) in legs.iter().zip(&adjs) {
+            let v = input.vertex_at(leg.from, row)?;
+            lists.push(adj.neighbors(v));
+        }
+        // Intersect candidate neighbor sets, shortest first.
+        let mut order: Vec<usize> = (0..legs.len()).collect();
+        order.sort_by_key(|&i| lists[i].1.len());
+        let (first, rest) = order.split_first().expect("≥2 legs");
+        'candidate: for (pos, &w) in lists[*first].1.iter().enumerate() {
+            // Skip duplicate runs in the first list; multiplicity is
+            // handled by enumerating edge combinations below.
+            if pos > 0 && lists[*first].1[pos - 1] == w {
+                continue;
+            }
+            for &i in rest {
+                if lists[i].1.binary_search(&w).is_err() {
+                    continue 'candidate;
+                }
+            }
+            if let Some(p) = vertex_predicate {
+                if !p.matches(vtable, w)? {
+                    continue;
+                }
+            }
+            // Edge candidates per leg pointing at w (predicate-filtered).
+            let mut per_leg: Vec<Vec<RowId>> = Vec::with_capacity(legs.len());
+            for (i, (es, ns)) in lists.iter().enumerate() {
+                let lo = ns.partition_point(|&x| x < w);
+                let hi = ns.partition_point(|&x| x <= w);
+                let mut cands = Vec::with_capacity(hi - lo);
+                for &erow in &es[lo..hi] {
+                    if let Some(p) = epreds[i] {
+                        if !p.matches(etables[i], erow)? {
+                            continue;
+                        }
+                    }
+                    cands.push(erow);
+                }
+                if cands.is_empty() {
+                    continue 'candidate;
+                }
+                per_leg.push(cands);
+            }
+            // Cartesian product over per-leg edge candidates (usually 1×1).
+            let mut idx = vec![0usize; per_leg.len()];
+            loop {
+                gather.push(row);
+                to_col.push(w);
+                if emit_edges {
+                    for (i, &j) in idx.iter().enumerate() {
+                        edge_cols[i].push(per_leg[i][j]);
+                    }
+                }
+                // Advance the mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == idx.len() {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < per_leg[k].len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == idx.len() {
+                    break;
+                }
+            }
+        }
+        ctx.guard(gather.len())?;
+    }
+    let new_edges = if emit_edges {
+        legs.iter()
+            .map(|l| l.edge)
+            .zip(edge_cols)
+            .collect::<Vec<_>>()
+    } else {
+        Vec::new()
+    };
+    input.extend(&gather, Some((to, to_col)), new_edges)
+}
+
+/// Hash join of two chunks on common element bindings.
+fn join_chunks(
+    left: &GraphChunk,
+    right: &GraphChunk,
+    on_vertices: &[usize],
+    on_edges: &[usize],
+    ctx: &GraphExecContext<'_>,
+) -> Result<GraphChunk> {
+    // Build on the smaller side.
+    let (build, probe, swapped) = if left.len() <= right.len() {
+        (left, right, false)
+    } else {
+        (right, left, true)
+    };
+    let key_of = |chunk: &GraphChunk, row: usize| -> Result<Vec<RowId>> {
+        let mut k = Vec::with_capacity(on_vertices.len() + on_edges.len());
+        for &v in on_vertices {
+            k.push(chunk.vertex_at(v, row)?);
+        }
+        for &e in on_edges {
+            k.push(chunk.edge_at(e, row)?);
+        }
+        Ok(k)
+    };
+    let mut table: FxHashMap<Vec<RowId>, Vec<usize>> = FxHashMap::default();
+    for row in 0..build.len() {
+        table.entry(key_of(build, row)?).or_default().push(row);
+    }
+    let mut out = GraphChunk::join_layout(left, right);
+    for prow in 0..probe.len() {
+        if let Some(rows) = table.get(&key_of(probe, prow)?) {
+            for &brow in rows {
+                let (li, ri) = if swapped { (prow, brow) } else { (brow, prow) };
+                out.push_joined(left, li, right, ri)?;
+                // Guard inside the loop: joins are where blow-ups happen.
+            }
+            ctx.guard(out.len())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_common::{DataType, LabelId, Value};
+    use relgo_core::graph_plan::PlanAnnotation;
+    use relgo_graph::RGMapping;
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::table::table_of;
+    use relgo_storage::Database;
+
+    fn fig2_view() -> GraphView {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+                ("date", DataType::Date),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into(), Value::Date(31)],
+                vec![2.into(), 2.into(), 100.into(), Value::Date(28)],
+                vec![3.into(), 2.into(), 200.into(), Value::Date(20)],
+                vec![4.into(), 3.into(), 200.into(), Value::Date(21)],
+            ],
+        ));
+        db.add_table(table_of(
+            "Knows",
+            &[
+                ("knows_id", DataType::Int),
+                ("pid1", DataType::Int),
+                ("pid2", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 2.into()],
+                vec![2.into(), 2.into(), 1.into()],
+                vec![3.into(), 2.into(), 3.into()],
+                vec![4.into(), 3.into(), 2.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        db.set_primary_key("Knows", "knows_id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person");
+        let mut g = GraphView::build(&mut db, mapping).unwrap();
+        g.build_index().unwrap();
+        g
+    }
+
+    fn wedge_pattern() -> relgo_pattern::Pattern {
+        // (p1)-[Likes]->(m)<-[Likes]-(p2)
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", LabelId(0));
+        let p2 = b.vertex("p2", LabelId(0));
+        let m = b.vertex("m", LabelId(1));
+        b.edge(p1, m, LabelId(0)).unwrap();
+        b.edge(p2, m, LabelId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ctx<'a>(view: &'a GraphView, pattern: &'a relgo_pattern::Pattern, idx: bool) -> GraphExecContext<'a> {
+        GraphExecContext {
+            view,
+            pattern,
+            use_index: idx,
+            row_limit: 1_000_000,
+        }
+    }
+
+    fn ann() -> PlanAnnotation {
+        PlanAnnotation::default()
+    }
+
+    #[test]
+    fn scan_and_expand_indexed_vs_hashed_agree() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::Expand {
+            input: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: ann(),
+            }),
+            from: 0,
+            edge: 0,
+            to: 2,
+            dir: Direction::Out,
+            emit_edge: true,
+            edge_predicate: None,
+            vertex_predicate: None,
+            ann: ann(),
+        };
+        let with = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        let without = execute_graph(&plan, &ctx(&view, &pat, false)).unwrap();
+        assert_eq!(with.len(), 4);
+        assert_eq!(without.len(), 4);
+        let mut a: Vec<(RowId, RowId)> = (0..4)
+            .map(|i| (with.vertex_at(0, i).unwrap(), with.edge_at(0, i).unwrap()))
+            .collect();
+        let mut b: Vec<(RowId, RowId)> = (0..4)
+            .map(|i| {
+                (
+                    without.vertex_at(0, i).unwrap(),
+                    without.edge_at(0, i).unwrap(),
+                )
+            })
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_edge_binds_endpoints() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::ScanEdge {
+            e: 0,
+            predicate: None,
+            ann: ann(),
+        };
+        let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.binds_vertex(0));
+        assert!(out.binds_vertex(2));
+        assert!(out.binds_edge(0));
+        // Edge row 1 (l2): Bob (row 1) likes m1 (row 0).
+        let row = (0..4)
+            .find(|&i| out.edge_at(0, i).unwrap() == 1)
+            .unwrap();
+        assert_eq!(out.vertex_at(0, row).unwrap(), 1);
+        assert_eq!(out.vertex_at(2, row).unwrap(), 0);
+    }
+
+    #[test]
+    fn wedge_via_intersect_matches_count() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        // Bind p1 and p2 with a cross product (join on no keys), then
+        // intersect their Likes adjacencies to find m.
+        let cross = GraphOp::JoinSub {
+            left: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: ann(),
+            }),
+            right: Box::new(GraphOp::ScanVertex {
+                v: 1,
+                predicate: None,
+                ann: ann(),
+            }),
+            on_vertices: vec![],
+            on_edges: vec![],
+            ann: ann(),
+        };
+        let plan = GraphOp::ExpandIntersect {
+            input: Box::new(cross),
+            legs: vec![
+                StarLeg {
+                    from: 0,
+                    edge: 0,
+                    dir: Direction::Out,
+                },
+                StarLeg {
+                    from: 1,
+                    edge: 1,
+                    dir: Direction::Out,
+                },
+            ],
+            to: 2,
+            emit_edges: true,
+            vertex_predicate: None,
+            ann: ann(),
+        };
+        let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        // Homomorphic wedges: 8 (m1: {T,B}², m2: {B,D}²).
+        assert_eq!(out.len(), 8);
+        // Fused EI preserves multiplicity.
+        let fused = match plan {
+            GraphOp::ExpandIntersect {
+                input, legs, to, ..
+            } => GraphOp::ExpandIntersect {
+                input,
+                legs,
+                to,
+                emit_edges: false,
+                vertex_predicate: None,
+                ann: ann(),
+            },
+            _ => unreachable!(),
+        };
+        let out2 = execute_graph(&fused, &ctx(&view, &pat, true)).unwrap();
+        assert_eq!(out2.len(), 8);
+        assert!(!out2.binds_edge(0));
+    }
+
+    #[test]
+    fn join_on_shared_vertex() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let left = GraphOp::ScanEdge {
+            e: 0,
+            predicate: None,
+            ann: ann(),
+        };
+        let right = GraphOp::ScanEdge {
+            e: 1,
+            predicate: None,
+            ann: ann(),
+        };
+        let plan = GraphOp::JoinSub {
+            left: Box::new(left),
+            right: Box::new(right),
+            on_vertices: vec![2],
+            on_edges: vec![],
+            ann: ann(),
+        };
+        let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        assert_eq!(out.len(), 8, "wedges again, via join");
+    }
+
+    #[test]
+    fn filter_vertex_prunes_bindings() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::FilterVertex {
+            input: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: ann(),
+            }),
+            v: 0,
+            predicate: ScalarExpr::col_eq(1, "Bob"),
+            ann: ann(),
+        };
+        let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.vertex_at(0, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn row_limit_aborts_expansion() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::Expand {
+            input: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: ann(),
+            }),
+            from: 0,
+            edge: 0,
+            to: 2,
+            dir: Direction::Out,
+            emit_edge: false,
+            edge_predicate: None,
+            vertex_predicate: None,
+            ann: ann(),
+        };
+        let mut c = ctx(&view, &pat, true);
+        c.row_limit = 2;
+        match execute_graph(&plan, &c) {
+            Err(RelGoError::ResourceExhausted(_)) => {}
+            other => panic!("expected resource exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_predicate_applied_during_expand() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::Expand {
+            input: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: ann(),
+            }),
+            from: 0,
+            edge: 0,
+            to: 2,
+            dir: Direction::Out,
+            emit_edge: false,
+            edge_predicate: Some(ScalarExpr::col_cmp(
+                3,
+                relgo_storage::BinaryOp::Ge,
+                Value::Date(28),
+            )),
+            vertex_predicate: None,
+            ann: ann(),
+        };
+        let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        assert_eq!(out.len(), 2, "likes with date ≥ 28: l1, l2");
+    }
+}

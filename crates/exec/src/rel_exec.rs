@@ -1,0 +1,428 @@
+//! Interpreter for relational physical plans ([`RelOp`] trees).
+//!
+//! `SCAN_GRAPH_TABLE` is the bridge: it runs the embedded graph plan, applies
+//! the pattern's matching semantics (the *all-distinct* operator of §2.2
+//! when isomorphism-like semantics are requested), and flattens bindings
+//! through the `COLUMNS` clause into a columnar [`Table`] — the π̂ operator.
+
+use crate::chunk::GraphChunk;
+use crate::graph_exec::{execute_graph, GraphExecContext};
+use relgo_common::{DataType, ElementId, Field, FxHashMap, Result, Schema};
+use relgo_core::rel_plan::{PhysicalPlan, RelOp};
+use relgo_core::spjm::{AttrRef, GraphColumn, PatternElemRef};
+use relgo_graph::GraphView;
+use relgo_pattern::{MatchSemantics, Pattern};
+use relgo_storage::ops;
+use relgo_storage::{Column, Database, Table};
+use std::sync::Arc;
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Whether graph-index-backed operators may be used.
+    pub use_index: bool,
+    /// Intermediate-size budget (rows) before `ResourceExhausted`.
+    pub row_limit: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            use_index: true,
+            row_limit: 50_000_000,
+        }
+    }
+}
+
+/// Execute a complete physical plan into a result table.
+pub fn execute_plan(
+    plan: &PhysicalPlan,
+    view: &GraphView,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<Table> {
+    let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg)?;
+    Ok(Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone()))
+}
+
+fn exec_rel(
+    op: &RelOp,
+    pattern: &Pattern,
+    view: &GraphView,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<Arc<Table>> {
+    match op {
+        RelOp::ScanGraphTable { graph, columns } => {
+            let ctx = GraphExecContext {
+                view,
+                pattern,
+                use_index: cfg.use_index,
+                row_limit: cfg.row_limit,
+            };
+            let chunk = execute_graph(graph, &ctx)?;
+            let chunk = apply_semantics(&chunk, pattern, view)?;
+            Ok(Arc::new(project_graph_table(&chunk, pattern, view, columns)?))
+        }
+        RelOp::ScanTable { table, predicate } => {
+            let t = db.table(table)?;
+            match predicate {
+                None => Ok(Arc::clone(t)),
+                Some(p) => Ok(Arc::new(ops::filter(t, p)?)),
+            }
+        }
+        RelOp::HashJoin { left, right, keys } => {
+            let l = exec_rel(left, pattern, view, db, cfg)?;
+            let r = exec_rel(right, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::hash_join(&l, &r, keys)?))
+        }
+        RelOp::Filter { input, predicate } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::filter(&t, predicate)?))
+        }
+        RelOp::Project { input, cols } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::project(&t, cols)?))
+        }
+        RelOp::Aggregate { input, aggs } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let spec: Vec<(ops::AggFunc, usize)> =
+                aggs.iter().map(|a| (a.func, a.column)).collect();
+            Ok(Arc::new(ops::aggregate(&t, &spec)?))
+        }
+        RelOp::Distinct { input } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::distinct(&t)))
+        }
+        RelOp::Sort { input, keys } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::sort(&t, keys)?))
+        }
+        RelOp::Limit { input, n } => {
+            let t = exec_rel(input, pattern, view, db, cfg)?;
+            Ok(Arc::new(ops::limit(&t, *n)))
+        }
+    }
+}
+
+/// Apply the all-distinct operator when the pattern requests isomorphism-
+/// like semantics (§2.2 / §3.1).
+pub fn apply_semantics(
+    chunk: &GraphChunk,
+    pattern: &Pattern,
+    _view: &GraphView,
+) -> Result<GraphChunk> {
+    match pattern.semantics() {
+        MatchSemantics::Homomorphism => Ok(chunk.clone()),
+        MatchSemantics::DistinctVertices => {
+            // Only same-label vertices can collide.
+            let groups = same_label_groups(pattern);
+            if groups.is_empty() {
+                return Ok(chunk.clone());
+            }
+            let mut keep = Vec::new();
+            'row: for row in 0..chunk.len() {
+                for group in &groups {
+                    for (i, &a) in group.iter().enumerate() {
+                        for &b in &group[i + 1..] {
+                            if chunk.vertex_at(a, row)? == chunk.vertex_at(b, row)? {
+                                continue 'row;
+                            }
+                        }
+                    }
+                }
+                keep.push(row);
+            }
+            Ok(chunk.take(&keep))
+        }
+        MatchSemantics::DistinctEdges => {
+            let mut groups: FxHashMap<u16, Vec<usize>> = FxHashMap::default();
+            for (e, pe) in pattern.edges().iter().enumerate() {
+                groups.entry(pe.label.0).or_default().push(e);
+            }
+            let groups: Vec<Vec<usize>> =
+                groups.into_values().filter(|g| g.len() > 1).collect();
+            if groups.is_empty() {
+                return Ok(chunk.clone());
+            }
+            let mut keep = Vec::new();
+            'row: for row in 0..chunk.len() {
+                for group in &groups {
+                    for (i, &a) in group.iter().enumerate() {
+                        for &b in &group[i + 1..] {
+                            if chunk.edge_at(a, row)? == chunk.edge_at(b, row)? {
+                                continue 'row;
+                            }
+                        }
+                    }
+                }
+                keep.push(row);
+            }
+            Ok(chunk.take(&keep))
+        }
+    }
+}
+
+/// Groups of same-label pattern vertices with ≥ 2 members.
+fn same_label_groups(pattern: &Pattern) -> Vec<Vec<usize>> {
+    let mut groups: FxHashMap<u16, Vec<usize>> = FxHashMap::default();
+    for (v, pv) in pattern.vertices().iter().enumerate() {
+        groups.entry(pv.label.0).or_default().push(v);
+    }
+    groups.into_values().filter(|g| g.len() > 1).collect()
+}
+
+/// π̂ — flatten bindings into a relational table through the COLUMNS clause.
+pub fn project_graph_table(
+    chunk: &GraphChunk,
+    pattern: &Pattern,
+    view: &GraphView,
+    columns: &[GraphColumn],
+) -> Result<Table> {
+    let mut fields = Vec::with_capacity(columns.len());
+    let mut cols = Vec::with_capacity(columns.len());
+    for gc in columns {
+        match (gc.element, gc.attr) {
+            (PatternElemRef::Vertex(v), AttrRef::Id) => {
+                let label = pattern.vertex(v).label;
+                let rids = chunk.vertex_col(v)?;
+                let mut data = Vec::with_capacity(rids.len());
+                for &r in rids {
+                    data.push(ElementId::vertex(label, r).0 as i64);
+                }
+                fields.push(Field::new(gc.alias.clone(), DataType::Int));
+                cols.push(Column::Int(data, None));
+            }
+            (PatternElemRef::Edge(e), AttrRef::Id) => {
+                let label = pattern.edge(e).label;
+                let rids = chunk.edge_col(e)?;
+                let mut data = Vec::with_capacity(rids.len());
+                for &r in rids {
+                    data.push(ElementId::edge(label, r).0 as i64);
+                }
+                fields.push(Field::new(gc.alias.clone(), DataType::Int));
+                cols.push(Column::Int(data, None));
+            }
+            (PatternElemRef::Vertex(v), AttrRef::Column(c)) => {
+                let table = view.vertex_table(pattern.vertex(v).label);
+                let rids = chunk.vertex_col(v)?;
+                fields.push(Field::new(gc.alias.clone(), table.schema().field(c).dtype));
+                cols.push(table.column(c).take(rids));
+            }
+            (PatternElemRef::Edge(e), AttrRef::Column(c)) => {
+                let table = view.edge_table(pattern.edge(e).label);
+                let rids = chunk.edge_col(e)?;
+                fields.push(Field::new(gc.alias.clone(), table.schema().field(c).dtype));
+                cols.push(table.column(c).take(rids));
+            }
+        }
+    }
+    Table::from_columns("graph_table", Schema::new(fields)?, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_common::{LabelId, Value};
+    use relgo_core::graph_plan::{GraphOp, PlanAnnotation};
+    use relgo_graph::{Direction, RGMapping};
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::table::table_of;
+
+    fn fig2_setup() -> (GraphView, Database) {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message");
+        let mut g = GraphView::build(&mut db, mapping).unwrap();
+        g.build_index().unwrap();
+        (g, db)
+    }
+
+    fn like_pattern() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let p = b.vertex("p", LabelId(0));
+        let m = b.vertex("m", LabelId(1));
+        b.edge(p, m, LabelId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn like_plan() -> GraphOp {
+        GraphOp::Expand {
+            input: Box::new(GraphOp::ScanVertex {
+                v: 0,
+                predicate: None,
+                ann: PlanAnnotation::default(),
+            }),
+            from: 0,
+            edge: 0,
+            to: 1,
+            dir: Direction::Out,
+            emit_edge: true,
+            edge_predicate: None,
+            vertex_predicate: None,
+            ann: PlanAnnotation::default(),
+        }
+    }
+
+    #[test]
+    fn scan_graph_table_projects_attributes_and_ids() {
+        let (view, db) = fig2_setup();
+        let pattern = like_pattern();
+        let plan = PhysicalPlan {
+            pattern: pattern.clone(),
+            root: RelOp::ScanGraphTable {
+                graph: like_plan(),
+                columns: vec![
+                    GraphColumn {
+                        element: PatternElemRef::Vertex(0),
+                        attr: AttrRef::Column(1),
+                        alias: "p_name".into(),
+                    },
+                    GraphColumn {
+                        element: PatternElemRef::Vertex(1),
+                        attr: AttrRef::Id,
+                        alias: "m_id".into(),
+                    },
+                    GraphColumn {
+                        element: PatternElemRef::Edge(0),
+                        attr: AttrRef::Id,
+                        alias: "e_id".into(),
+                    },
+                ],
+            },
+        };
+        let out = execute_plan(&plan, &view, &db, &ExecConfig::default()).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.schema().field(0).name, "p_name");
+        let names: Vec<Value> = (0..4).map(|r| out.value(r, 0)).collect();
+        assert!(names.contains(&Value::str("Tom")));
+        // Ids are vertex-encoded ints (label 1 = Message).
+        let id = out.value(0, 1).as_int().unwrap() as u64;
+        assert!(!ElementId(id).is_edge());
+        assert_eq!(ElementId(id).label(), LabelId(1));
+        let eid = out.value(0, 2).as_int().unwrap() as u64;
+        assert!(ElementId(eid).is_edge());
+    }
+
+    #[test]
+    fn full_pipeline_with_filter_and_join() {
+        let (view, db) = fig2_setup();
+        let pattern = like_pattern();
+        // σ(p_name = 'Bob') over the graph table, then join Person table on
+        // message-id? Keep it simple: filter + project.
+        let plan = PhysicalPlan {
+            pattern: pattern.clone(),
+            root: RelOp::Project {
+                input: Box::new(RelOp::Filter {
+                    input: Box::new(RelOp::ScanGraphTable {
+                        graph: like_plan(),
+                        columns: vec![
+                            GraphColumn {
+                                element: PatternElemRef::Vertex(0),
+                                attr: AttrRef::Column(1),
+                                alias: "p_name".into(),
+                            },
+                            GraphColumn {
+                                element: PatternElemRef::Vertex(1),
+                                attr: AttrRef::Column(0),
+                                alias: "m_key".into(),
+                            },
+                        ],
+                    }),
+                    predicate: relgo_storage::ScalarExpr::col_eq(0, "Bob"),
+                }),
+                cols: vec![1],
+            },
+        };
+        let out = execute_plan(&plan, &view, &db, &ExecConfig::default()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let mut keys: Vec<i64> = (0..2).map(|r| out.value(r, 0).as_int().unwrap()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![100, 200]);
+    }
+
+    #[test]
+    fn distinct_vertices_semantics_filters_same_label_collisions() {
+        let (view, _) = fig2_setup();
+        // Wedge (p1)-likes->(m)<-likes-(p2), homomorphic count 8; with
+        // distinct-vertex semantics p1 ≠ p2 removes the 4 diagonal rows.
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", LabelId(0));
+        let p2 = b.vertex("p2", LabelId(0));
+        let m = b.vertex("m", LabelId(1));
+        b.edge(p1, m, LabelId(0)).unwrap();
+        b.edge(p2, m, LabelId(0)).unwrap();
+        let pattern = b
+            .build()
+            .unwrap()
+            .with_semantics(MatchSemantics::DistinctVertices);
+        let plan = GraphOp::Expand {
+            input: Box::new(GraphOp::Expand {
+                input: Box::new(GraphOp::ScanVertex {
+                    v: 0,
+                    predicate: None,
+                    ann: PlanAnnotation::default(),
+                }),
+                from: 0,
+                edge: 0,
+                to: 2,
+                dir: Direction::Out,
+                emit_edge: false,
+                edge_predicate: None,
+                vertex_predicate: None,
+                ann: PlanAnnotation::default(),
+            }),
+            from: 2,
+            edge: 1,
+            to: 1,
+            dir: Direction::In,
+            emit_edge: false,
+            edge_predicate: None,
+            vertex_predicate: None,
+            ann: PlanAnnotation::default(),
+        };
+        let ctx = GraphExecContext {
+            view: &view,
+            pattern: &pattern,
+            use_index: true,
+            row_limit: 1_000_000,
+        };
+        let chunk = execute_graph(&plan, &ctx).unwrap();
+        assert_eq!(chunk.len(), 8);
+        let filtered = apply_semantics(&chunk, &pattern, &view).unwrap();
+        assert_eq!(filtered.len(), 4);
+    }
+}

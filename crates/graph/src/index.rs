@@ -1,0 +1,321 @@
+//! The GRainDB-style graph index (paper §3.2.1, Fig. 5).
+//!
+//! * **EV-index**: for every edge tuple, the pre-resolved row ids of its
+//!   source and target vertex tuples — GRainDB's extra `*_rowid` columns.
+//!   It routes an edge to its joinable vertex tuples without hashing.
+//! * **VE-index**: for every vertex tuple, the adjacent edge tuples and the
+//!   corresponding neighbor vertex tuples, stored per edge label and
+//!   direction in CSR form. Neighbor lists are sorted by neighbor row id so
+//!   `EXPAND_INTERSECT` can intersect them with linear merges.
+
+use crate::view::GraphView;
+use relgo_common::{LabelId, Result, RowId};
+
+/// Traversal direction through an edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Follow edges from source to target (λˢ side to λᵗ side).
+    Out,
+    /// Follow edges from target to source.
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+/// EV-index of one edge label: `src_rid[e]` / `dst_rid[e]` are the row ids of
+/// the source / target vertex tuples of edge row `e`.
+#[derive(Debug, Clone, Default)]
+pub struct EvIndex {
+    /// Source vertex row per edge row.
+    pub src_rid: Vec<RowId>,
+    /// Target vertex row per edge row.
+    pub dst_rid: Vec<RowId>,
+}
+
+/// CSR adjacency of one (edge label, direction): for vertex row `v`, the
+/// adjacent `(edge row, neighbor row)` pairs are
+/// `entries[offsets[v]..offsets[v+1]]`, sorted by neighbor row id.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    edge_rid: Vec<RowId>,
+    nbr_rid: Vec<RowId>,
+}
+
+impl Csr {
+    fn build(num_vertices: usize, mut triples: Vec<(RowId, RowId, RowId)>) -> Csr {
+        // triples = (vertex, edge, neighbor); counting sort by vertex then
+        // sort each bucket by neighbor for intersection-friendly lists.
+        triples.sort_unstable_by_key(|&(v, _, n)| (v, n));
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for &(v, _, _) in &triples {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let edge_rid = triples.iter().map(|&(_, e, _)| e).collect();
+        let nbr_rid = triples.iter().map(|&(_, _, n)| n).collect();
+        Csr {
+            offsets,
+            edge_rid,
+            nbr_rid,
+        }
+    }
+
+    /// Adjacent `(edges, neighbors)` slices of vertex row `v`.
+    #[inline]
+    pub fn neighbors(&self, v: RowId) -> (&[RowId], &[RowId]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.edge_rid[lo..hi], &self.nbr_rid[lo..hi])
+    }
+
+    /// Degree of vertex row `v`.
+    #[inline]
+    pub fn degree(&self, v: RowId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Total number of adjacency entries.
+    pub fn len(&self) -> usize {
+        self.edge_rid.len()
+    }
+
+    /// Whether the CSR holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.edge_rid.is_empty()
+    }
+}
+
+/// The complete graph index: EV per edge label, VE (CSR) per edge label and
+/// direction.
+#[derive(Debug, Clone, Default)]
+pub struct GraphIndex {
+    ev: Vec<EvIndex>,
+    ve_out: Vec<Csr>,
+    ve_in: Vec<Csr>,
+}
+
+impl GraphIndex {
+    /// Build both index families for every edge label of the view. Fails if
+    /// any λ function is partial (dangling foreign key).
+    pub fn build(view: &GraphView) -> Result<GraphIndex> {
+        let n_edges = view.schema().edge_label_count();
+        let mut ev = Vec::with_capacity(n_edges);
+        let mut ve_out = Vec::with_capacity(n_edges);
+        let mut ve_in = Vec::with_capacity(n_edges);
+        for li in 0..n_edges as u16 {
+            let el = LabelId(li);
+            let (src_label, dst_label) = view.schema().edge_endpoints(el);
+            let m = view.edge_count(el);
+            let mut idx = EvIndex {
+                src_rid: Vec::with_capacity(m),
+                dst_rid: Vec::with_capacity(m),
+            };
+            let mut out_triples = Vec::with_capacity(m);
+            let mut in_triples = Vec::with_capacity(m);
+            for e in 0..m as RowId {
+                let s = view.resolve_src(el, e)?;
+                let t = view.resolve_dst(el, e)?;
+                idx.src_rid.push(s);
+                idx.dst_rid.push(t);
+                out_triples.push((s, e, t));
+                in_triples.push((t, e, s));
+            }
+            ve_out.push(Csr::build(view.vertex_count(src_label), out_triples));
+            ve_in.push(Csr::build(view.vertex_count(dst_label), in_triples));
+            ev.push(idx);
+        }
+        Ok(GraphIndex { ev, ve_out, ve_in })
+    }
+
+    /// EV-index lookup: source vertex row of edge row `e` (label `el`).
+    #[inline]
+    pub fn edge_src(&self, el: LabelId, e: RowId) -> RowId {
+        self.ev[el.0 as usize].src_rid[e as usize]
+    }
+
+    /// EV-index lookup: target vertex row of edge row `e` (label `el`).
+    #[inline]
+    pub fn edge_dst(&self, el: LabelId, e: RowId) -> RowId {
+        self.ev[el.0 as usize].dst_rid[e as usize]
+    }
+
+    /// Endpoint of edge `e` in direction `dir` (the vertex reached).
+    #[inline]
+    pub fn edge_endpoint(&self, el: LabelId, e: RowId, dir: Direction) -> RowId {
+        match dir {
+            Direction::Out => self.edge_dst(el, e),
+            Direction::In => self.edge_src(el, e),
+        }
+    }
+
+    /// VE-index lookup: `(edges, neighbors)` adjacent to vertex row `v`
+    /// through edge label `el` in direction `dir`; sorted by neighbor.
+    #[inline]
+    pub fn neighbors(&self, el: LabelId, dir: Direction, v: RowId) -> (&[RowId], &[RowId]) {
+        match dir {
+            Direction::Out => self.ve_out[el.0 as usize].neighbors(v),
+            Direction::In => self.ve_in[el.0 as usize].neighbors(v),
+        }
+    }
+
+    /// Degree of vertex row `v` through `(el, dir)`.
+    #[inline]
+    pub fn degree(&self, el: LabelId, dir: Direction, v: RowId) -> usize {
+        match dir {
+            Direction::Out => self.ve_out[el.0 as usize].degree(v),
+            Direction::In => self.ve_in[el.0 as usize].degree(v),
+        }
+    }
+
+    /// Total adjacency entries of `(el, dir)` (= edge count; for tests).
+    pub fn adjacency_len(&self, el: LabelId, dir: Direction) -> usize {
+        match dir {
+            Direction::Out => self.ve_out[el.0 as usize].len(),
+            Direction::In => self.ve_in[el.0 as usize].len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RGMapping;
+    use crate::view::GraphView;
+    use relgo_common::DataType;
+    use relgo_storage::table::table_of;
+    use relgo_storage::Database;
+
+    fn setup() -> GraphView {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message");
+        let mut g = GraphView::build(&mut db, mapping).unwrap();
+        g.build_index().unwrap();
+        g
+    }
+
+    #[test]
+    fn ev_index_matches_fig5a() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        // Fig 5(a): likes rows map to (person_rowid, message_rowid)
+        // l1→(0,0), l2→(1,0), l3→(1,1), l4→(2,1).
+        assert_eq!(idx.edge_src(likes, 0), 0);
+        assert_eq!(idx.edge_dst(likes, 0), 0);
+        assert_eq!(idx.edge_src(likes, 1), 1);
+        assert_eq!(idx.edge_dst(likes, 1), 0);
+        assert_eq!(idx.edge_src(likes, 3), 2);
+        assert_eq!(idx.edge_dst(likes, 3), 1);
+    }
+
+    #[test]
+    fn ve_index_matches_fig5b() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        // vp1 → [(l1, vm1)]
+        let (es, ns) = idx.neighbors(likes, Direction::Out, 0);
+        assert_eq!(es, &[0]);
+        assert_eq!(ns, &[0]);
+        // vp2 → [(l2, vm1), (l3, vm2)]
+        let (es, ns) = idx.neighbors(likes, Direction::Out, 1);
+        assert_eq!(es, &[1, 2]);
+        assert_eq!(ns, &[0, 1]);
+        // vp3 → [(l4, vm2)]
+        assert_eq!(idx.degree(likes, Direction::Out, 2), 1);
+    }
+
+    #[test]
+    fn reverse_direction_adjacency() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        // m1 is liked by p1 and p2.
+        let (es, ns) = idx.neighbors(likes, Direction::In, 0);
+        assert_eq!(ns, &[0, 1]);
+        assert_eq!(es.len(), 2);
+        // m2 is liked by p2 and p3.
+        let (_, ns) = idx.neighbors(likes, Direction::In, 1);
+        assert_eq!(ns, &[1, 2]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        for v in 0..3 {
+            let (_, ns) = idx.neighbors(likes, Direction::Out, v);
+            assert!(ns.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn adjacency_totals_equal_edge_count() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        assert_eq!(idx.adjacency_len(likes, Direction::Out), 4);
+        assert_eq!(idx.adjacency_len(likes, Direction::In), 4);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+    }
+
+    #[test]
+    fn edge_endpoint_by_direction() {
+        let g = setup();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        let idx = g.index().unwrap();
+        assert_eq!(idx.edge_endpoint(likes, 1, Direction::Out), 0, "→ message");
+        assert_eq!(idx.edge_endpoint(likes, 1, Direction::In), 1, "→ person");
+    }
+}

@@ -1,0 +1,28 @@
+//! # relgo-graph
+//!
+//! The property-graph lens over relational tables: `RGMapping`, the graph
+//! schema, and GRainDB-style graph indexes.
+//!
+//! Paper correspondence:
+//!
+//! * §2.1 *RGMapping* — [`mapping::RGMapping`] maps vertex relations and
+//!   edge relations (with λˢ/λᵗ total functions derived from foreign keys)
+//!   into a property graph. No graph is ever materialized.
+//! * §3.2.1 *Graph Index* — [`index::GraphIndex`] holds the **EV-index**
+//!   (per-edge source/target row ids, i.e. the extra rowid columns of
+//!   GRainDB) and the **VE-index** (CSR adjacency per edge label and
+//!   direction, neighbor lists sorted to support intersection).
+//! * Graph statistics ([`stats::GraphStats`]) — label cardinalities and
+//!   average degrees, the `d̄` of the paper's cost model.
+
+pub mod index;
+pub mod mapping;
+pub mod schema;
+pub mod stats;
+pub mod view;
+
+pub use index::{Direction, GraphIndex};
+pub use mapping::{EdgeMapping, RGMapping, VertexMapping};
+pub use schema::GraphSchema;
+pub use stats::GraphStats;
+pub use view::GraphView;

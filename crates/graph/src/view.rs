@@ -1,0 +1,319 @@
+//! The graph view: a property-graph lens over relational tables.
+//!
+//! A [`GraphView`] owns no graph data; it resolves the RGMapping against a
+//! [`Database`] into label→table bindings, key indexes for the λˢ/λᵗ total
+//! functions, and (on demand) the GRainDB-style [`GraphIndex`].
+
+use crate::index::GraphIndex;
+use crate::mapping::RGMapping;
+use crate::schema::GraphSchema;
+use crate::stats::GraphStats;
+use relgo_common::{LabelId, RelGoError, Result, RowId};
+use relgo_storage::{Database, KeyIndex, Table};
+use std::sync::Arc;
+
+/// A resolved, queryable property-graph view over relations.
+#[derive(Debug, Clone)]
+pub struct GraphView {
+    schema: GraphSchema,
+    mapping: RGMapping,
+    vertex_tables: Vec<Arc<Table>>,
+    edge_tables: Vec<Arc<Table>>,
+    /// Column index of the source / target foreign key in each edge table.
+    edge_src_col: Vec<usize>,
+    edge_dst_col: Vec<usize>,
+    /// Column index of each vertex table's primary key.
+    vertex_pk_col: Vec<usize>,
+    /// Unique key index over each vertex table's primary key — the runtime
+    /// realization of the λ total functions when no graph index exists.
+    vertex_pk_index: Vec<Arc<KeyIndex>>,
+    /// GRainDB-style graph index (EV + VE); built on demand.
+    index: Option<Arc<GraphIndex>>,
+}
+
+impl GraphView {
+    /// Resolve `mapping` against `db`. Validates the mapping, binds tables,
+    /// and builds the vertex primary-key indexes. Does **not** build the
+    /// graph index — call [`GraphView::build_index`] for that.
+    pub fn build(db: &mut Database, mapping: RGMapping) -> Result<Self> {
+        mapping.validate(db)?;
+        let schema = GraphSchema::from_mapping(&mapping)?;
+
+        let mut vertex_tables = Vec::with_capacity(mapping.vertices().len());
+        let mut vertex_pk_col = Vec::with_capacity(mapping.vertices().len());
+        let mut vertex_pk_index = Vec::with_capacity(mapping.vertices().len());
+        for v in mapping.vertices() {
+            let table = Arc::clone(db.table(&v.table)?);
+            let pk = db
+                .primary_key(&v.table)
+                .ok_or_else(|| RelGoError::schema(format!("no primary key on {}", v.table)))?
+                .to_string();
+            vertex_pk_col.push(table.schema().index_of(&pk)?);
+            vertex_pk_index.push(db.key_index(&v.table, &pk)?);
+            vertex_tables.push(table);
+        }
+
+        let mut edge_tables = Vec::with_capacity(mapping.edges().len());
+        let mut edge_src_col = Vec::with_capacity(mapping.edges().len());
+        let mut edge_dst_col = Vec::with_capacity(mapping.edges().len());
+        for e in mapping.edges() {
+            let table = Arc::clone(db.table(&e.table)?);
+            edge_src_col.push(table.schema().index_of(&e.src_key)?);
+            edge_dst_col.push(table.schema().index_of(&e.dst_key)?);
+            edge_tables.push(table);
+        }
+
+        Ok(GraphView {
+            schema,
+            mapping,
+            vertex_tables,
+            edge_tables,
+            edge_src_col,
+            edge_dst_col,
+            vertex_pk_col,
+            vertex_pk_index,
+            index: None,
+        })
+    }
+
+    /// Build (or rebuild) the GRainDB-style graph index over this view.
+    pub fn build_index(&mut self) -> Result<()> {
+        let index = GraphIndex::build(self)?;
+        self.index = Some(Arc::new(index));
+        Ok(())
+    }
+
+    /// The graph index, if built.
+    pub fn index(&self) -> Option<&Arc<GraphIndex>> {
+        self.index.as_ref()
+    }
+
+    /// The graph schema.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// The originating mapping.
+    pub fn mapping(&self) -> &RGMapping {
+        &self.mapping
+    }
+
+    /// Vertex table backing label `l`.
+    pub fn vertex_table(&self, l: LabelId) -> &Arc<Table> {
+        &self.vertex_tables[l.0 as usize]
+    }
+
+    /// Edge table backing label `l`.
+    pub fn edge_table(&self, l: LabelId) -> &Arc<Table> {
+        &self.edge_tables[l.0 as usize]
+    }
+
+    /// Number of vertices with label `l`.
+    pub fn vertex_count(&self, l: LabelId) -> usize {
+        self.vertex_tables[l.0 as usize].num_rows()
+    }
+
+    /// Number of edges with label `l`.
+    pub fn edge_count(&self, l: LabelId) -> usize {
+        self.edge_tables[l.0 as usize].num_rows()
+    }
+
+    /// Primary-key column index of vertex label `l`.
+    pub fn vertex_pk_col(&self, l: LabelId) -> usize {
+        self.vertex_pk_col[l.0 as usize]
+    }
+
+    /// Source FK column index of edge label `l`.
+    pub fn edge_src_col(&self, l: LabelId) -> usize {
+        self.edge_src_col[l.0 as usize]
+    }
+
+    /// Target FK column index of edge label `l`.
+    pub fn edge_dst_col(&self, l: LabelId) -> usize {
+        self.edge_dst_col[l.0 as usize]
+    }
+
+    /// λˢ: resolve the source vertex row of edge row `erow` of label `el`
+    /// through a hash lookup on the vertex primary key (the *no-index* path;
+    /// with a graph index, use [`GraphIndex::edge_src`] instead).
+    pub fn resolve_src(&self, el: LabelId, erow: RowId) -> Result<RowId> {
+        let (src_label, _) = self.schema.edge_endpoints(el);
+        let key = self.edge_tables[el.0 as usize]
+            .column(self.edge_src_col[el.0 as usize])
+            .get_int(erow)
+            .ok_or_else(|| {
+                RelGoError::execution(format!(
+                    "λs: NULL source key in edge {}@{erow}",
+                    self.schema.edge_label_name(el)
+                ))
+            })?;
+        self.vertex_pk_index[src_label.0 as usize]
+            .lookup(key)
+            .ok_or_else(|| {
+                RelGoError::execution(format!(
+                    "λs: dangling source key {key} in edge {}@{erow} (λ must be total)",
+                    self.schema.edge_label_name(el)
+                ))
+            })
+    }
+
+    /// λᵗ: resolve the target vertex row of edge row `erow` of label `el`.
+    pub fn resolve_dst(&self, el: LabelId, erow: RowId) -> Result<RowId> {
+        let (_, dst_label) = self.schema.edge_endpoints(el);
+        let key = self.edge_tables[el.0 as usize]
+            .column(self.edge_dst_col[el.0 as usize])
+            .get_int(erow)
+            .ok_or_else(|| {
+                RelGoError::execution(format!(
+                    "λt: NULL target key in edge {}@{erow}",
+                    self.schema.edge_label_name(el)
+                ))
+            })?;
+        self.vertex_pk_index[dst_label.0 as usize]
+            .lookup(key)
+            .ok_or_else(|| {
+                RelGoError::execution(format!(
+                    "λt: dangling target key {key} in edge {}@{erow} (λ must be total)",
+                    self.schema.edge_label_name(el)
+                ))
+            })
+    }
+
+    /// Compute label-level statistics (cardinalities, average degrees).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RGMapping;
+    use relgo_common::DataType;
+    use relgo_storage::table::table_of;
+
+    /// The running example of the paper's Fig. 2.
+    pub(crate) fn fig2_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[
+                ("person_id", DataType::Int),
+                ("name", DataType::Str),
+                ("place_id", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), "Tom".into(), 10.into()],
+                vec![2.into(), "Bob".into(), 20.into()],
+                vec![3.into(), "David".into(), 30.into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int), ("content", DataType::Str)],
+            vec![
+                vec![100.into(), "m1".into()],
+                vec![200.into(), "m2".into()],
+            ],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+                ("date", DataType::Date),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into(), Value::Date(31)],
+                vec![2.into(), 2.into(), 100.into(), Value::Date(28)],
+                vec![3.into(), 2.into(), 200.into(), Value::Date(20)],
+                vec![4.into(), 3.into(), 200.into(), Value::Date(21)],
+            ],
+        ));
+        db.add_table(table_of(
+            "Knows",
+            &[
+                ("knows_id", DataType::Int),
+                ("pid1", DataType::Int),
+                ("pid2", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 2.into()],
+                vec![2.into(), 2.into(), 1.into()],
+                vec![3.into(), 2.into(), 3.into()],
+                vec![4.into(), 3.into(), 2.into()],
+            ],
+        ));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Message", "message_id").unwrap();
+        db.set_primary_key("Likes", "likes_id").unwrap();
+        db.set_primary_key("Knows", "knows_id").unwrap();
+        db
+    }
+
+    use relgo_common::Value;
+
+    pub(crate) fn fig2_mapping() -> RGMapping {
+        RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person")
+    }
+
+    #[test]
+    fn build_resolves_tables_and_counts() {
+        let mut db = fig2_db();
+        let g = GraphView::build(&mut db, fig2_mapping()).unwrap();
+        let person = g.schema().vertex_label_id("Person").unwrap();
+        let message = g.schema().vertex_label_id("Message").unwrap();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        assert_eq!(g.vertex_count(person), 3);
+        assert_eq!(g.vertex_count(message), 2);
+        assert_eq!(g.edge_count(likes), 4);
+    }
+
+    #[test]
+    fn lambda_functions_resolve_rows() {
+        let mut db = fig2_db();
+        let g = GraphView::build(&mut db, fig2_mapping()).unwrap();
+        let likes = g.schema().edge_label_id("Likes").unwrap();
+        // Edge l2 = row 1: Bob (person row 1) likes m1 (message row 0).
+        assert_eq!(g.resolve_src(likes, 1).unwrap(), 1);
+        assert_eq!(g.resolve_dst(likes, 1).unwrap(), 0);
+        let knows = g.schema().edge_label_id("Knows").unwrap();
+        // Edge k4 = row 3: David (row 2) knows Bob (row 1).
+        assert_eq!(g.resolve_src(knows, 3).unwrap(), 2);
+        assert_eq!(g.resolve_dst(knows, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn dangling_key_is_an_error() {
+        let mut db = fig2_db();
+        db.add_table(table_of(
+            "Bad",
+            &[
+                ("bad_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![vec![1.into(), 99.into(), 100.into()]],
+        ));
+        db.set_primary_key("Bad", "bad_id").unwrap();
+        let m = fig2_mapping().edge("Bad", "pid", "Person", "mid", "Message");
+        let g = GraphView::build(&mut db, m).unwrap();
+        let bad = g.schema().edge_label_id("Bad").unwrap();
+        assert!(g.resolve_src(bad, 0).is_err());
+        assert!(g.resolve_dst(bad, 0).is_ok());
+    }
+
+    #[test]
+    fn index_is_lazy() {
+        let mut db = fig2_db();
+        let mut g = GraphView::build(&mut db, fig2_mapping()).unwrap();
+        assert!(g.index().is_none());
+        g.build_index().unwrap();
+        assert!(g.index().is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! Isomorphism-invariant canonical codes for patterns.
+//!
+//! GLogue keys its cardinality table by *pattern shape*: two patterns that
+//! differ only by vertex renaming must hit the same statistics entry. We
+//! compute an exact canonical form by minimizing the pattern's encoding over
+//! all label-preserving vertex permutations.
+//!
+//! Patterns are small (the paper uses `k = 3` for GLogue vertices and query
+//! patterns rarely exceed 8 vertices), so the factorial search — restricted
+//! to label-sorted arrangements and pruned lexicographically — is exact and
+//! fast in practice.
+
+use crate::pattern::Pattern;
+use relgo_common::fxhash::{combine, hash_u64};
+
+/// A canonical pattern code: the lexicographically minimal encoding over all
+/// label-preserving vertex relabelings. Equal codes ⇔ isomorphic skeletons
+/// (labels respected, predicates ignored).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonCode(Box<[u32]>);
+
+impl CanonCode {
+    /// A compact 64-bit fingerprint (for diagnostics; the full code is what
+    /// hash maps key on).
+    pub fn fingerprint(&self) -> u64 {
+        self.0
+            .iter()
+            .fold(hash_u64(self.0.len() as u64), |acc, &w| {
+                combine(acc, w as u64)
+            })
+    }
+}
+
+/// Encode the pattern under a fixed permutation `perm` (`perm[old] = new`).
+fn encode(p: &Pattern, perm: &[usize]) -> Vec<u32> {
+    let n = p.vertex_count();
+    let mut code = Vec::with_capacity(2 + n + 3 * p.edge_count());
+    code.push(n as u32);
+    code.push(p.edge_count() as u32);
+    // Vertex labels in new order.
+    let mut labels = vec![0u32; n];
+    for (old, &new) in perm.iter().enumerate() {
+        labels[new] = p.vertex(old).label.0 as u32;
+    }
+    code.extend_from_slice(&labels);
+    // Edge triples (src', dst', label), sorted.
+    let mut edges: Vec<[u32; 3]> = p
+        .edges()
+        .iter()
+        .map(|e| {
+            [
+                perm[e.src] as u32,
+                perm[e.dst] as u32,
+                e.label.0 as u32,
+            ]
+        })
+        .collect();
+    edges.sort_unstable();
+    for e in edges {
+        code.extend_from_slice(&e);
+    }
+    code
+}
+
+/// Compute the canonical code of `p`'s skeleton.
+///
+/// The minimal encoding necessarily lists vertex labels in non-decreasing
+/// order, so the search only permutes vertices *within* equal-label groups;
+/// group arrangements are enumerated by backtracking with lexicographic
+/// pruning against the best encoding found so far.
+pub fn canonical_code(p: &Pattern) -> CanonCode {
+    let n = p.vertex_count();
+    // Group vertices by label; the label-block layout is forced.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| p.vertex(v).label.0);
+    // perm[old] = new position; start from the label-sorted arrangement.
+    let mut best: Option<Vec<u32>> = None;
+    let mut perm = vec![usize::MAX; n];
+
+    // Recursive assignment of new positions 0..n to vertices, restricted to
+    // the label-block structure (position i may only take vertices whose
+    // label equals the label of order[i]).
+    fn rec(
+        p: &Pattern,
+        order: &[usize],
+        pos: usize,
+        used: &mut Vec<bool>,
+        perm: &mut Vec<usize>,
+        best: &mut Option<Vec<u32>>,
+    ) {
+        let n = order.len();
+        if pos == n {
+            let code = encode(p, perm);
+            if best.as_ref().map_or(true, |b| code < *b) {
+                *best = Some(code);
+            }
+            return;
+        }
+        let want_label = p.vertex(order[pos]).label;
+        for v in 0..n {
+            if used[v] || p.vertex(v).label != want_label {
+                continue;
+            }
+            used[v] = true;
+            perm[v] = pos;
+            rec(p, order, pos + 1, used, perm, best);
+            perm[v] = usize::MAX;
+            used[v] = false;
+        }
+    }
+
+    let mut used = vec![false; n];
+    rec(p, &order, 0, &mut used, &mut perm, &mut best);
+    CanonCode(best.expect("at least one permutation exists").into_boxed_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{PatternBuilder, Pattern};
+    use relgo_common::LabelId;
+
+    fn triangle(order: [usize; 3]) -> Pattern {
+        // Build the Fig-2 triangle with vertices inserted in the given
+        // role order; roles: 0 = p1 (Person), 1 = p2 (Person), 2 = m
+        // (Message). Edges: Knows(p1→p2), Likes(p1→m), Likes(p2→m).
+        let mut b = PatternBuilder::new();
+        let mut idx = [usize::MAX; 3];
+        for (slot, &role) in order.iter().enumerate() {
+            let label = if role == 2 { LabelId(1) } else { LabelId(0) };
+            idx[role] = b.vertex(&format!("v{slot}"), label);
+        }
+        b.edge(idx[0], idx[1], LabelId(1)).unwrap();
+        b.edge(idx[0], idx[2], LabelId(0)).unwrap();
+        b.edge(idx[1], idx[2], LabelId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn isomorphic_patterns_share_codes() {
+        let a = canonical_code(&triangle([0, 1, 2]));
+        let b = canonical_code(&triangle([2, 0, 1]));
+        let c = canonical_code(&triangle([1, 2, 0]));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn different_labels_different_codes() {
+        let mut b1 = PatternBuilder::new();
+        let x = b1.vertex("x", LabelId(0));
+        let y = b1.vertex("y", LabelId(0));
+        b1.edge(x, y, LabelId(0)).unwrap();
+        let p1 = b1.build().unwrap();
+
+        let mut b2 = PatternBuilder::new();
+        let x = b2.vertex("x", LabelId(0));
+        let y = b2.vertex("y", LabelId(1));
+        b2.edge(x, y, LabelId(0)).unwrap();
+        let p2 = b2.build().unwrap();
+
+        assert_ne!(canonical_code(&p1), canonical_code(&p2));
+    }
+
+    #[test]
+    fn edge_direction_matters() {
+        // a→b vs b→a over distinct labels are non-isomorphic.
+        let mut b1 = PatternBuilder::new();
+        let x = b1.vertex("x", LabelId(0));
+        let y = b1.vertex("y", LabelId(1));
+        b1.edge(x, y, LabelId(0)).unwrap();
+        let p1 = b1.build().unwrap();
+
+        let mut b2 = PatternBuilder::new();
+        let x = b2.vertex("x", LabelId(0));
+        let y = b2.vertex("y", LabelId(1));
+        b2.edge(y, x, LabelId(0)).unwrap();
+        let p2 = b2.build().unwrap();
+
+        assert_ne!(canonical_code(&p1), canonical_code(&p2));
+    }
+
+    #[test]
+    fn direction_symmetric_pair_same_code_when_labels_equal() {
+        // Over a single vertex label, a→b is isomorphic to b→a (swap).
+        let mk = |flip: bool| {
+            let mut b = PatternBuilder::new();
+            let x = b.vertex("x", LabelId(0));
+            let y = b.vertex("y", LabelId(0));
+            if flip {
+                b.edge(y, x, LabelId(0)).unwrap();
+            } else {
+                b.edge(x, y, LabelId(0)).unwrap();
+            }
+            b.build().unwrap()
+        };
+        assert_eq!(canonical_code(&mk(false)), canonical_code(&mk(true)));
+    }
+
+    #[test]
+    fn path_vs_star_differ() {
+        use crate::pattern::fixtures::path;
+        let p3 = path(3);
+        // Star with 3 leaves: center c, edges c→l1, c→l2, c→l3.
+        let mut b = PatternBuilder::new();
+        let c = b.vertex("c", LabelId(0));
+        for i in 0..3 {
+            let l = b.vertex(&format!("l{i}"), LabelId(0));
+            b.edge(c, l, LabelId(0)).unwrap();
+        }
+        let star = b.build().unwrap();
+        assert_ne!(canonical_code(&p3), canonical_code(&star));
+    }
+
+    #[test]
+    fn predicates_do_not_change_code() {
+        use relgo_storage::ScalarExpr;
+        let p = triangle([0, 1, 2]);
+        let mut q = p.clone();
+        q.add_vertex_predicate(0, ScalarExpr::col_eq(1, "Tom"));
+        assert_eq!(canonical_code(&p), canonical_code(&q));
+    }
+
+    #[test]
+    fn multi_edge_patterns_distinguished() {
+        // One Likes edge vs two parallel Likes edges between the same pair.
+        let mut b1 = PatternBuilder::new();
+        let x = b1.vertex("x", LabelId(0));
+        let y = b1.vertex("y", LabelId(1));
+        b1.edge(x, y, LabelId(0)).unwrap();
+        let single = b1.build().unwrap();
+
+        let mut b2 = PatternBuilder::new();
+        let x = b2.vertex("x", LabelId(0));
+        let y = b2.vertex("y", LabelId(1));
+        b2.edge(x, y, LabelId(0)).unwrap();
+        b2.edge(x, y, LabelId(0)).unwrap();
+        let double = b2.build().unwrap();
+
+        assert_ne!(canonical_code(&single), canonical_code(&double));
+    }
+}

@@ -1,0 +1,24 @@
+//! # relgo-pattern
+//!
+//! Pattern graphs and the combinatorial machinery behind the graph-aware
+//! transformation of the paper (§3.1.2):
+//!
+//! * [`pattern::Pattern`] — connected, labeled pattern graphs `P(V, E)` with
+//!   optional per-element predicates (the `(P, Ψ)` extension used by
+//!   `FilterIntoMatchRule`);
+//! * [`canonical::CanonCode`] — isomorphism-invariant canonical codes, the
+//!   keys of the GLogue statistics store;
+//! * [`decompose`] — vertex-subset algebra for decomposition trees:
+//!   connected induced sub-patterns, complete-star detection, and the legal
+//!   transitions (EXPAND / EXPAND_INTERSECT / binary join);
+//! * [`search_space`] — exact plan-space counters for the graph-aware and
+//!   graph-agnostic regimes (regenerates the paper's Fig. 4a).
+
+pub mod canonical;
+pub mod decompose;
+pub mod pattern;
+pub mod search_space;
+
+pub use canonical::{canonical_code, CanonCode};
+pub use decompose::VertexSet;
+pub use pattern::{MatchSemantics, Pattern, PatternBuilder, PatternEdge, PatternVertex};

@@ -1,0 +1,398 @@
+//! Exact search-space counters (regenerates Fig. 4a).
+//!
+//! *Graph-aware* space: the number of distinct decomposition trees of `P`
+//! under the constraints of §3.1.2 (induced intermediates, single-vertex /
+//! complete-star MMCs). Binary-join children are counted **ordered**
+//! (left/right swap = different physical plan), matching a Volcano-style
+//! enumeration.
+//!
+//! *Graph-agnostic* space: the number of ordered bushy join trees without
+//! cross products over the SPJ join graph produced by the Lemma-1
+//! transformation (`n` vertex relations + `m` edge relations, EVJoin edges).
+//! For path patterns the join graph is a relation chain and we use an
+//! `O(k³)` interval DP; general join graphs fall back to a connected-subset
+//! DP (practical to ~16 relations).
+
+use crate::decompose::{
+    connected_induced_subsets, full_set, len, transitions_into, Transition, VertexSet,
+};
+use crate::pattern::Pattern;
+use relgo_common::{FxHashMap, RelGoError, Result};
+
+/// Count decomposition trees of the full pattern (graph-aware space).
+pub fn aware_plan_count(p: &Pattern) -> u128 {
+    let mut memo: FxHashMap<VertexSet, u128> = FxHashMap::default();
+    for s in connected_induced_subsets(p) {
+        let plans = if len(s) == 1 {
+            1
+        } else {
+            let mut total: u128 = 0;
+            for t in transitions_into(p, s) {
+                match t {
+                    Transition::Expand { from, .. } | Transition::ExpandIntersect { from, .. } => {
+                        // The MMC leaf is fixed; choices live in the left
+                        // child. A single-vertex `from` still counts 1 (the
+                        // paper's "which vertex to expand from" choice is
+                        // captured by there being several Expand transitions
+                        // into the 2-vertex target).
+                        total += memo[&from];
+                    }
+                    Transition::BinaryJoin { left, right } => {
+                        // Ordered children: count both orientations.
+                        total += 2 * memo[&left] * memo[&right];
+                    }
+                }
+            }
+            total
+        };
+        memo.insert(s, plans);
+    }
+    memo[&full_set(p.vertex_count())]
+}
+
+/// The join graph of the graph-agnostic transformation: node `i < n` is the
+/// vertex relation of pattern vertex `i`; node `n + j` is the edge relation
+/// of pattern edge `j`; EVJoin links every edge relation to its two endpoint
+/// vertex relations.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Number of relation nodes.
+    pub relations: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl JoinGraph {
+    /// Build the agnostic join graph of `p`.
+    pub fn from_pattern(p: &Pattern) -> JoinGraph {
+        let n = p.vertex_count();
+        let k = n + p.edge_count();
+        let mut adj = vec![Vec::new(); k];
+        for (j, e) in p.edges().iter().enumerate() {
+            let enode = n + j;
+            for vnode in [e.src, e.dst] {
+                adj[enode].push(vnode);
+                adj[vnode].push(enode);
+            }
+        }
+        JoinGraph { relations: k, adj }
+    }
+
+    /// Neighbors of relation node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Whether the join graph is a simple chain (every node has degree ≤ 2,
+    /// exactly two endpoints of degree 1, connected, no duplicate links).
+    fn chain_order(&self) -> Option<Vec<usize>> {
+        let mut simple_adj: Vec<Vec<usize>> = self
+            .adj
+            .iter()
+            .map(|ns| {
+                let mut v = ns.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        // Reject multi-edges (parallel pattern edges make the agnostic join
+        // graph a multigraph, which is not a chain).
+        for (i, ns) in self.adj.iter().enumerate() {
+            let mut v = ns.clone();
+            v.sort_unstable();
+            let had = v.len();
+            v.dedup();
+            if v.len() != had {
+                return None;
+            }
+            let _ = i;
+        }
+        let ends: Vec<usize> = (0..self.relations)
+            .filter(|&i| simple_adj[i].len() == 1)
+            .collect();
+        if self.relations == 1 {
+            return Some(vec![0]);
+        }
+        if ends.len() != 2 || simple_adj.iter().any(|ns| ns.len() > 2) {
+            return None;
+        }
+        let mut order = vec![ends[0]];
+        let mut prev = usize::MAX;
+        let mut cur = ends[0];
+        while order.len() < self.relations {
+            let next = *simple_adj[cur].iter().find(|&&x| x != prev)?;
+            order.push(next);
+            prev = cur;
+            cur = next;
+            simple_adj[prev].retain(|&x| x != usize::MAX); // no-op, keep borrowck happy
+        }
+        Some(order)
+    }
+}
+
+/// Count ordered bushy join trees without cross products over `jg`.
+///
+/// Uses the interval DP when the join graph is a chain; otherwise a
+/// connected-subset DP (limited to 24 relations; patterns that large are far
+/// beyond anything the optimizers handle).
+pub fn count_join_trees(jg: &JoinGraph) -> Result<u128> {
+    if jg.relations == 0 {
+        return Ok(0);
+    }
+    if let Some(order) = jg.chain_order() {
+        return Ok(count_chain_trees(order.len()));
+    }
+    if jg.relations > 24 {
+        return Err(RelGoError::plan(format!(
+            "join-tree counting limited to 24 relations, got {}",
+            jg.relations
+        )));
+    }
+    Ok(count_general_trees(jg))
+}
+
+/// Ordered bushy trees over a chain of `k` relations: interval DP.
+fn count_chain_trees(k: usize) -> u128 {
+    // plans[i][j] = ordered join trees for the interval [i, j].
+    let mut plans = vec![vec![0u128; k]; k];
+    for i in 0..k {
+        plans[i][i] = 1;
+    }
+    for span in 2..=k {
+        for i in 0..=(k - span) {
+            let j = i + span - 1;
+            let mut total = 0u128;
+            for split in i..j {
+                // Both (A,B) and (B,A) orientations.
+                total += 2 * plans[i][split] * plans[split + 1][j];
+            }
+            plans[i][j] = total;
+        }
+    }
+    plans[0][k - 1]
+}
+
+/// Generic connected-subset DP for arbitrary join graphs (ordered trees,
+/// cross products excluded).
+fn count_general_trees(jg: &JoinGraph) -> u128 {
+    let k = jg.relations;
+    let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+    let connected = |s: u32| -> bool {
+        if s == 0 {
+            return false;
+        }
+        let start = s.trailing_zeros() as usize;
+        let mut seen: u32 = 1 << start;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &n in jg.neighbors(v) {
+                let bit = 1u32 << n;
+                if s & bit != 0 && seen & bit == 0 {
+                    seen |= bit;
+                    stack.push(n);
+                }
+            }
+        }
+        seen == s
+    };
+    let mut memo: FxHashMap<u32, u128> = FxHashMap::default();
+    // Evaluate subsets in increasing popcount order.
+    let mut subsets: Vec<u32> = (1..=full).filter(|&s| connected(s)).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+    for &s in &subsets {
+        if s.count_ones() == 1 {
+            memo.insert(s, 1);
+            continue;
+        }
+        let mut total = 0u128;
+        // Enumerate proper non-empty subsets a of s with fixed lowest bit to
+        // halve the work, then count ordered ×2.
+        let low = s & s.wrapping_neg();
+        let rest = s & !low;
+        let mut a = rest;
+        loop {
+            let left = a | low;
+            if left != s {
+                let right = s & !left;
+                if let (Some(&pl), Some(&pr)) = (memo.get(&left), memo.get(&right)) {
+                    // Cross-product exclusion: both sides connected (implied
+                    // by memo hit) and at least one join-graph edge between.
+                    let linked = (0..k).any(|v| {
+                        left & (1 << v) != 0
+                            && jg.neighbors(v).iter().any(|&n| right & (1 << n) != 0)
+                    });
+                    if linked {
+                        total += 2 * pl * pr;
+                    }
+                }
+            }
+            if a == 0 {
+                break;
+            }
+            a = (a - 1) & rest;
+        }
+        memo.insert(s, total);
+    }
+    memo.get(&full).copied().unwrap_or(0)
+}
+
+/// Count the agnostic search space of pattern `p` (join trees over the
+/// Lemma-1 transformation's join graph).
+pub fn agnostic_plan_count(p: &Pattern) -> Result<u128> {
+    count_join_trees(&JoinGraph::from_pattern(p))
+}
+
+/// One row of the Fig. 4a series: edge count, aware space, agnostic space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpaceRow {
+    /// Path length (number of pattern edges).
+    pub edges: usize,
+    /// Graph-aware plan count.
+    pub aware: u128,
+    /// Graph-agnostic plan count.
+    pub agnostic: u128,
+}
+
+/// Compute the Fig. 4a series for path patterns of `1..=max_edges` edges.
+pub fn fig4a_series(max_edges: usize) -> Result<Vec<SearchSpaceRow>> {
+    let mut rows = Vec::with_capacity(max_edges);
+    for m in 1..=max_edges {
+        let p = path_pattern(m);
+        rows.push(SearchSpaceRow {
+            edges: m,
+            aware: aware_plan_count(&p),
+            agnostic: agnostic_plan_count(&p)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// A single-label path pattern with `m` edges (the micro-benchmark's shape).
+pub fn path_pattern(m: usize) -> Pattern {
+    use crate::pattern::PatternBuilder;
+    use relgo_common::LabelId;
+    let mut b = PatternBuilder::new();
+    let mut prev = b.vertex("v0", LabelId(0));
+    for i in 1..=m {
+        let v = b.vertex(&format!("v{i}"), LabelId(0));
+        b.edge(prev, v, LabelId(0)).expect("valid chain edge");
+        prev = v;
+    }
+    b.build().expect("paths are connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::fixtures::fig2_triangle;
+
+    #[test]
+    fn chain_counts_match_closed_form() {
+        // Ordered bushy no-cross-product trees over a chain of k relations:
+        // N(k) = 2^(k-1) * Catalan(k-1).
+        fn closed(k: usize) -> u128 {
+            let catalan = |n: u128| -> u128 {
+                let mut c = 1u128;
+                for i in 0..n {
+                    c = c * 2 * (2 * i + 1) / (i + 2);
+                }
+                c
+            };
+            2u128.pow(k as u32 - 1) * catalan(k as u128 - 1)
+        }
+        // count_chain_trees(1) = 1 (single relation, no join).
+        assert_eq!(count_chain_trees(1), 1);
+        assert_eq!(count_chain_trees(2), 2);
+        assert_eq!(count_chain_trees(3), 8);
+        assert_eq!(count_chain_trees(4), 40);
+        for k in 2..=10 {
+            assert_eq!(count_chain_trees(k), closed(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn general_counter_agrees_with_chain_counter() {
+        for m in 1..=3 {
+            let p = path_pattern(m);
+            let jg = JoinGraph::from_pattern(&p);
+            assert_eq!(
+                count_general_trees(&jg),
+                count_chain_trees(jg.relations),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn aware_single_edge_has_two_plans() {
+        assert_eq!(aware_plan_count(&path_pattern(1)), 2);
+    }
+
+    #[test]
+    fn aware_space_grows_but_slower_than_agnostic() {
+        let rows = fig4a_series(6).unwrap();
+        for w in rows.windows(2) {
+            assert!(w[1].aware >= w[0].aware);
+            assert!(w[1].agnostic > w[0].agnostic);
+        }
+        for r in &rows {
+            assert!(
+                r.agnostic > r.aware,
+                "m={}: agnostic {} must exceed aware {}",
+                r.edges,
+                r.agnostic,
+                r.aware
+            );
+        }
+        // The gap must widen multiplicatively (Theorem 1: exponential gap).
+        let first_ratio = rows[0].agnostic as f64 / rows[0].aware as f64;
+        let last_ratio = rows[5].agnostic as f64 / rows[5].aware as f64;
+        assert!(last_ratio > 10.0 * first_ratio);
+    }
+
+    #[test]
+    fn agnostic_path_m10_is_about_1e15() {
+        // The paper's Fig 4a shows ~10^15 at m = 10 (21-relation chain).
+        let p = path_pattern(10);
+        let c = agnostic_plan_count(&p).unwrap();
+        assert!(c > 10u128.pow(14), "got {c}");
+        assert!(c < 10u128.pow(17), "got {c}");
+    }
+
+    #[test]
+    fn ratio_at_m10_matches_paper_magnitude() {
+        // Fig 4a (right): Agnostic/Aware reaches ~10^5 at m = 10.
+        let p = path_pattern(10);
+        let aware = aware_plan_count(&p);
+        let agnostic = agnostic_plan_count(&p).unwrap();
+        let ratio = agnostic as f64 / aware as f64;
+        assert!(
+            (1e4..1e7).contains(&ratio),
+            "ratio {ratio:.3e} out of the paper's magnitude window"
+        );
+    }
+
+    #[test]
+    fn triangle_join_graph_is_not_a_chain() {
+        let t = fig2_triangle();
+        let jg = JoinGraph::from_pattern(&t);
+        assert_eq!(jg.relations, 6);
+        assert!(jg.chain_order().is_none());
+        // Still countable by the general DP.
+        let c = count_join_trees(&jg).unwrap();
+        assert!(c > 0);
+        assert!(c > aware_plan_count(&t));
+    }
+
+    #[test]
+    fn join_graph_structure() {
+        let p = path_pattern(2);
+        let jg = JoinGraph::from_pattern(&p);
+        // 3 vertex relations + 2 edge relations.
+        assert_eq!(jg.relations, 5);
+        // Edge relation node 3 links vertices 0 and 1.
+        let mut ns = jg.neighbors(3).to_vec();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0, 1]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The end-to-end session API: data + mapping → optimized, executed SPJM
+//! queries under any of the paper's compared systems.
+
+use relgo_common::{RelGoError, Result};
+use relgo_core::{optimize, OptStats, OptimizerMode, PhysicalPlan, PlannerContext, SpjmQuery};
+use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
+use relgo_exec::{execute_plan, ExecConfig};
+use relgo_glogue::GLogue;
+use relgo_graph::{GraphView, RGMapping};
+use relgo_storage::{Database, Table};
+use relgo_workloads::job_queries::ImdbSchema;
+use relgo_workloads::snb_queries::SnbSchema;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Session construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionOptions {
+    /// GLogue exact-counting threshold `k` (paper default: 3).
+    pub glogue_k: usize,
+    /// GLogue sparsification stride (1 = exact counting).
+    pub glogue_stride: usize,
+    /// Optimizer time budget (the paper's 10-minute cap, scaled down).
+    pub opt_timeout: Duration,
+    /// Intermediate-result row budget (models OOM).
+    pub row_limit: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            glogue_k: 3,
+            glogue_stride: 1,
+            opt_timeout: Duration::from_secs(10),
+            row_limit: 50_000_000,
+        }
+    }
+}
+
+/// The result of one end-to-end query run.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query result.
+    pub table: Table,
+    /// Optimizer statistics (wall time, plans visited, timeout flag).
+    pub opt: OptStats,
+    /// Execution wall time.
+    pub exec_time: Duration,
+}
+
+impl QueryOutcome {
+    /// End-to-end time: optimization + execution (the paper's reporting
+    /// unit from §5.2 onward).
+    pub fn e2e(&self) -> Duration {
+        self.opt.elapsed + self.exec_time
+    }
+}
+
+/// An open database + property-graph session.
+pub struct Session {
+    db: Arc<Database>,
+    view: Arc<GraphView>,
+    glogue: Arc<GLogue>,
+    options: SessionOptions,
+}
+
+impl Session {
+    /// Open a session over `db` with the given RGMapping: builds the graph
+    /// view, the GRainDB-style graph index, and the GLogue statistics.
+    pub fn open(db: Database, mapping: RGMapping) -> Result<Session> {
+        Session::open_with(db, mapping, SessionOptions::default())
+    }
+
+    /// Open with explicit options.
+    pub fn open_with(
+        mut db: Database,
+        mapping: RGMapping,
+        options: SessionOptions,
+    ) -> Result<Session> {
+        let mut view = GraphView::build(&mut db, mapping)?;
+        view.build_index()?;
+        let view = Arc::new(view);
+        let glogue = Arc::new(GLogue::new(
+            Arc::clone(&view),
+            options.glogue_k,
+            options.glogue_stride,
+        )?);
+        Ok(Session {
+            db: Arc::new(db),
+            view,
+            glogue,
+            options,
+        })
+    }
+
+    /// Generate and open the LDBC-SNB-like dataset at scale factor `sf`.
+    pub fn snb(sf: f64, seed: u64) -> Result<(Session, SnbSchema)> {
+        let (db, mapping) = generate_snb(&SnbParams { sf, seed });
+        let session = Session::open(db, mapping)?;
+        let schema = SnbSchema::resolve(session.view.schema())?;
+        Ok((session, schema))
+    }
+
+    /// Generate and open the IMDB-like dataset at scale factor `sf`.
+    pub fn imdb(sf: f64, seed: u64) -> Result<(Session, ImdbSchema)> {
+        let (db, mapping) = generate_imdb(&ImdbParams { sf, seed });
+        let session = Session::open(db, mapping)?;
+        let schema = ImdbSchema::resolve(session.view.schema())?;
+        Ok((session, schema))
+    }
+
+    /// The catalog.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The graph view.
+    pub fn view(&self) -> &Arc<GraphView> {
+        &self.view
+    }
+
+    /// The GLogue statistics.
+    pub fn glogue(&self) -> &Arc<GLogue> {
+        &self.glogue
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    fn planner_context(&self) -> PlannerContext {
+        PlannerContext {
+            view: Arc::clone(&self.view),
+            db: Arc::clone(&self.db),
+            glogue: Some(Arc::clone(&self.glogue)),
+            timeout: self.options.opt_timeout,
+        }
+    }
+
+    /// Optimize a query under `mode`.
+    pub fn optimize(
+        &self,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        optimize(query, mode, &self.planner_context())
+    }
+
+    /// Execute a previously optimized plan under `mode`'s execution regime.
+    pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
+        let cfg = ExecConfig {
+            use_index: mode.uses_graph_index(),
+            row_limit: self.options.row_limit,
+        };
+        execute_plan(plan, &self.view, &self.db, &cfg)
+    }
+
+    /// Optimize + execute, reporting timings.
+    pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
+        let (plan, opt) = self.optimize(query, mode)?;
+        let start = Instant::now();
+        let table = self.execute(&plan, mode)?;
+        Ok(QueryOutcome {
+            table,
+            opt,
+            exec_time: start.elapsed(),
+        })
+    }
+
+    /// Execute the query through the naive oracle (no optimizer at all).
+    pub fn oracle(&self, query: &SpjmQuery) -> Result<Table> {
+        relgo_exec::oracle::execute_query(query, &self.view, &self.db)
+    }
+
+    /// EXPLAIN: the optimized plan as text.
+    pub fn explain(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<String> {
+        let (plan, _) = self.optimize(query, mode)?;
+        Ok(plan.explain())
+    }
+
+    /// Check that every optimizer mode agrees with the oracle on `query`;
+    /// returns the per-mode outcomes (testing and demo helper).
+    pub fn verify_all_modes(
+        &self,
+        query: &SpjmQuery,
+    ) -> Result<Vec<(OptimizerMode, QueryOutcome)>> {
+        let expected = self.oracle(query)?.sorted_rows();
+        let mut outcomes = Vec::new();
+        for mode in OptimizerMode::ALL {
+            let outcome = self.run(query, mode)?;
+            if outcome.table.sorted_rows() != expected {
+                return Err(RelGoError::execution(format!(
+                    "{} disagrees with the oracle ({} vs {} rows)",
+                    mode.name(),
+                    outcome.table.num_rows(),
+                    expected.len()
+                )));
+            }
+            outcomes.push((mode, outcome));
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_workloads::snb_queries;
+
+    #[test]
+    fn snb_session_runs_fig1_in_all_modes() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let query = snb_queries::fig1_example(&schema, "Tom").unwrap();
+        let outcomes = session.verify_all_modes(&query).unwrap();
+        assert_eq!(outcomes.len(), OptimizerMode::ALL.len());
+    }
+
+    #[test]
+    fn explain_mentions_graph_table() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let query = snb_queries::ic1(&schema, 1, 5).unwrap();
+        let s = session.explain(&query, OptimizerMode::RelGo).unwrap();
+        assert!(s.contains("SCAN_GRAPH_TABLE"), "{s}");
+    }
+
+    #[test]
+    fn imdb_session_opens() {
+        let (session, schema) = Session::imdb(0.05, 7).unwrap();
+        let q = relgo_workloads::job_queries::build_job(
+            &schema,
+            &relgo_workloads::job_queries::job_specs()[0],
+        )
+        .unwrap();
+        let out = session.run(&q, OptimizerMode::RelGo).unwrap();
+        assert_eq!(out.table.num_rows(), 1, "MIN aggregate returns one row");
+    }
+}

@@ -1,0 +1,31 @@
+//! # relgo-storage
+//!
+//! The columnar relational storage substrate underneath RelGo-RS.
+//!
+//! The paper executes optimized plans on DuckDB; this crate is the stand-in:
+//! an in-memory, single-node columnar store with
+//!
+//! * typed columns ([`column::Column`]) and immutable tables
+//!   ([`table::Table`]) built through [`table::TableBuilder`];
+//! * a catalog ([`catalog::Database`]) carrying primary/foreign-key metadata
+//!   — the raw material for `RGMapping`'s λ total functions;
+//! * a scalar expression AST ([`expr::ScalarExpr`]) with row-at-a-time and
+//!   batch evaluation;
+//! * unique-key hash indexes ([`catalog::KeyIndex`]) used to resolve foreign
+//!   keys into row ids when graph indexes are built;
+//! * baseline relational operators ([`ops`]) — filter, project, hash join,
+//!   aggregate — shared by the executor and by the test oracles;
+//! * table statistics ([`stats`]) consumed by the relational optimizers.
+
+pub mod catalog;
+pub mod column;
+pub mod expr;
+pub mod ops;
+pub mod stats;
+pub mod table;
+
+pub use catalog::{Database, ForeignKey, KeyIndex};
+pub use column::Column;
+pub use expr::{BinaryOp, ScalarExpr};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Table, TableBuilder};

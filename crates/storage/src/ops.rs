@@ -1,0 +1,431 @@
+//! Baseline relational operators.
+//!
+//! These are the physical building blocks of the *relational* part of every
+//! plan: filter, project, hash join (build/probe), rid join (GRainDB's
+//! predefined join primitive at the relational level) and ungrouped
+//! aggregation. The graph-specific operators (EXPAND, EXPAND_INTERSECT, …)
+//! live in `relgo-exec`; the test oracles reuse the functions here.
+
+use crate::expr::ScalarExpr;
+use crate::table::Table;
+use relgo_common::{FxHashMap, RelGoError, Result, RowId, Schema, Value};
+
+/// σ — keep the rows of `input` satisfying `predicate`.
+pub fn filter(input: &Table, predicate: &ScalarExpr) -> Result<Table> {
+    let rows = predicate.filter(input)?;
+    Ok(input.take(&rows))
+}
+
+/// π — project `input` to the columns at `cols`.
+pub fn project(input: &Table, cols: &[usize]) -> Result<Table> {
+    for &c in cols {
+        if c >= input.num_columns() {
+            return Err(RelGoError::query(format!(
+                "projection column {c} out of bounds ({} columns)",
+                input.num_columns()
+            )));
+        }
+    }
+    Ok(input.project(cols))
+}
+
+/// Join keys: pairs of (left column, right column) compared with equality.
+pub type JoinKeys = [(usize, usize)];
+
+fn key_of(table: &Table, row: RowId, cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = table.value(row, c);
+        if v.is_null() {
+            return None; // SQL equi-join drops NULL keys.
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+/// ⋈ — equi hash join. Builds on the smaller side is the *optimizer's* job;
+/// this operator always builds on `left`.
+pub fn hash_join(left: &Table, right: &Table, keys: &JoinKeys) -> Result<Table> {
+    let lcols: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
+    let mut build: FxHashMap<Vec<Value>, Vec<RowId>> = FxHashMap::default();
+    for r in 0..left.num_rows() as RowId {
+        if let Some(k) = key_of(left, r, &lcols) {
+            build.entry(k).or_default().push(r);
+        }
+    }
+    let mut lrows = Vec::new();
+    let mut rrows = Vec::new();
+    for r in 0..right.num_rows() as RowId {
+        if let Some(k) = key_of(right, r, &rcols) {
+            if let Some(matches) = build.get(&k) {
+                for &l in matches {
+                    lrows.push(l);
+                    rrows.push(r);
+                }
+            }
+        }
+    }
+    concat_rows(left, right, &lrows, &rrows)
+}
+
+/// GRainDB-style predefined (rid) join: `rid_col` of `left` holds *row ids*
+/// into `right`; no hash table is built — each probe is a direct array
+/// lookup. A negative rid (or NULL) drops the row, mirroring a dangling
+/// foreign key.
+pub fn rid_join(left: &Table, rid_col: usize, right: &Table) -> Result<Table> {
+    let col = left.column(rid_col);
+    let mut lrows = Vec::new();
+    let mut rrows = Vec::new();
+    for r in 0..left.num_rows() as RowId {
+        if let Some(rid) = col.get_int(r) {
+            if rid >= 0 && (rid as usize) < right.num_rows() {
+                lrows.push(r);
+                rrows.push(rid as RowId);
+            }
+        }
+    }
+    concat_rows(left, right, &lrows, &rrows)
+}
+
+fn concat_rows(left: &Table, right: &Table, lrows: &[RowId], rrows: &[RowId]) -> Result<Table> {
+    let lpart = left.take(lrows);
+    let rpart = right.take(rrows);
+    let schema = left.schema().join(right.schema());
+    let mut columns = Vec::with_capacity(left.num_columns() + right.num_columns());
+    for i in 0..lpart.num_columns() {
+        columns.push(lpart.column(i).clone());
+    }
+    for i in 0..rpart.num_columns() {
+        columns.push(rpart.column(i).clone());
+    }
+    Table::from_columns(format!("{}_join_{}", left.name(), right.name()), schema, columns)
+}
+
+/// Aggregate functions for ungrouped aggregation (what JOB's `SELECT MIN(..)`
+/// queries need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `COUNT(*)` (column ignored)
+    Count,
+}
+
+/// Ungrouped aggregation producing a single row.
+pub fn aggregate(input: &Table, aggs: &[(AggFunc, usize)]) -> Result<Table> {
+    use relgo_common::{DataType, Field};
+    let mut fields = Vec::with_capacity(aggs.len());
+    let mut row = Vec::with_capacity(aggs.len());
+    for (i, &(func, col)) in aggs.iter().enumerate() {
+        match func {
+            AggFunc::Count => {
+                fields.push(Field::new(format!("count_{i}"), DataType::Int));
+                row.push(Value::Int(input.num_rows() as i64));
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if col >= input.num_columns() {
+                    return Err(RelGoError::query(format!("aggregate column {col} out of bounds")));
+                }
+                let c = input.column(col);
+                let mut best: Option<Value> = None;
+                for r in 0..input.num_rows() as RowId {
+                    let v = c.get(r);
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match v.try_cmp(&b) {
+                                Some(o) => {
+                                    if func == AggFunc::Min {
+                                        o == std::cmp::Ordering::Less
+                                    } else {
+                                        o == std::cmp::Ordering::Greater
+                                    }
+                                }
+                                None => false,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                let prefix = if func == AggFunc::Min { "min" } else { "max" };
+                fields.push(Field::new(
+                    format!("{prefix}_{}", input.schema().field(col).name),
+                    input.schema().field(col).dtype,
+                ));
+                row.push(best.unwrap_or(Value::Null));
+            }
+        }
+    }
+    let schema = Schema::new(fields)?;
+    let mut b = crate::table::TableBuilder::new("agg", schema);
+    b.push_row(row)?;
+    Ok(b.finish())
+}
+
+/// Sort key: column index + direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column to sort by.
+    pub column: usize,
+    /// Whether to sort descending.
+    pub descending: bool,
+}
+
+/// ORDER BY — stable multi-key sort (NULLs first ascending, last
+/// descending, via the total value order).
+pub fn sort(input: &Table, keys: &[SortKey]) -> Result<Table> {
+    for k in keys {
+        if k.column >= input.num_columns() {
+            return Err(RelGoError::query(format!(
+                "sort column {} out of bounds ({} columns)",
+                k.column,
+                input.num_columns()
+            )));
+        }
+    }
+    let mut order: Vec<RowId> = (0..input.num_rows() as RowId).collect();
+    order.sort_by(|&a, &b| {
+        for k in keys {
+            let va = input.value(a, k.column);
+            let vb = input.value(b, k.column);
+            let ord = if k.descending {
+                vb.cmp(&va)
+            } else {
+                va.cmp(&vb)
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b) // stability tie-break
+    });
+    Ok(input.take(&order))
+}
+
+/// LIMIT — keep the first `n` rows.
+pub fn limit(input: &Table, n: usize) -> Table {
+    let keep: Vec<RowId> = (0..input.num_rows().min(n) as RowId).collect();
+    input.take(&keep)
+}
+
+/// Deduplicate full rows (DISTINCT).
+pub fn distinct(input: &Table) -> Table {
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    let mut keep = Vec::new();
+    for r in 0..input.num_rows() as RowId {
+        if seen.insert(input.row(r)) {
+            keep.push(r);
+        }
+    }
+    input.take(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::table_of;
+    use relgo_common::DataType;
+
+    fn person() -> Table {
+        table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![10.into(), "Tom".into()],
+                vec![20.into(), "Bob".into()],
+                vec![30.into(), "Eve".into()],
+            ],
+        )
+    }
+
+    fn likes() -> Table {
+        table_of(
+            "Likes",
+            &[("pid", DataType::Int), ("mid", DataType::Int)],
+            vec![
+                vec![10.into(), 100.into()],
+                vec![20.into(), 100.into()],
+                vec![20.into(), 200.into()],
+                vec![99.into(), 300.into()], // dangling
+            ],
+        )
+    }
+
+    #[test]
+    fn filter_project() {
+        let t = person();
+        let f = filter(&t, &ScalarExpr::col_eq(1, "Bob")).unwrap();
+        assert_eq!(f.num_rows(), 1);
+        let p = project(&f, &[1]).unwrap();
+        assert_eq!(p.value(0, 0), Value::str("Bob"));
+        assert!(project(&t, &[9]).is_err());
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let j = hash_join(&person(), &likes(), &[(0, 0)]).unwrap();
+        // Tom→1 like, Bob→2 likes, Eve→0, dangling dropped.
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.num_columns(), 4);
+        let names: Vec<Value> = (0..3).map(|r| j.value(r, 1)).collect();
+        assert!(names.contains(&Value::str("Tom")));
+        assert!(names.contains(&Value::str("Bob")));
+    }
+
+    #[test]
+    fn hash_join_multi_key() {
+        let a = table_of(
+            "a",
+            &[("x", DataType::Int), ("y", DataType::Int)],
+            vec![vec![1.into(), 1.into()], vec![1.into(), 2.into()]],
+        );
+        let b = table_of(
+            "b",
+            &[("x", DataType::Int), ("y", DataType::Int)],
+            vec![vec![1.into(), 1.into()], vec![1.into(), 3.into()]],
+        );
+        let j = hash_join(&a, &b, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(j.num_rows(), 1);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let a = table_of(
+            "a",
+            &[("x", DataType::Int)],
+            vec![vec![Value::Null], vec![1.into()]],
+        );
+        let b = table_of(
+            "b",
+            &[("x", DataType::Int)],
+            vec![vec![Value::Null], vec![1.into()]],
+        );
+        let j = hash_join(&a, &b, &[(0, 0)]).unwrap();
+        assert_eq!(j.num_rows(), 1);
+    }
+
+    #[test]
+    fn rid_join_is_positional() {
+        // rid column points straight at person row ids.
+        let edges = table_of(
+            "e",
+            &[("rid", DataType::Int)],
+            vec![vec![2.into()], vec![0.into()], vec![7.into()], vec![Value::Null]],
+        );
+        let j = rid_join(&edges, 0, &person()).unwrap();
+        assert_eq!(j.num_rows(), 2);
+        assert_eq!(j.value(0, 2), Value::str("Eve"));
+        assert_eq!(j.value(1, 2), Value::str("Tom"));
+    }
+
+    #[test]
+    fn join_schema_disambiguates() {
+        let j = hash_join(&likes(), &likes(), &[(0, 0)]).unwrap();
+        assert!(j.schema().index_of("pid").is_ok());
+        assert!(j.schema().index_of("pid_1").is_ok());
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = person();
+        let a = aggregate(
+            &t,
+            &[(AggFunc::Min, 1), (AggFunc::Max, 0), (AggFunc::Count, 0)],
+        )
+        .unwrap();
+        assert_eq!(a.num_rows(), 1);
+        assert_eq!(a.value(0, 0), Value::str("Bob"));
+        assert_eq!(a.value(0, 1), Value::Int(30));
+        assert_eq!(a.value(0, 2), Value::Int(3));
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_null_and_zero() {
+        let t = person().take(&[]);
+        let a = aggregate(&t, &[(AggFunc::Min, 1), (AggFunc::Count, 0)]).unwrap();
+        assert_eq!(a.value(0, 0), Value::Null);
+        assert_eq!(a.value(0, 1), Value::Int(0));
+    }
+
+    #[test]
+    fn sort_orders_multi_key_and_is_stable() {
+        let t = table_of(
+            "s",
+            &[("a", DataType::Int), ("b", DataType::Str)],
+            vec![
+                vec![2.into(), "x".into()],
+                vec![1.into(), "z".into()],
+                vec![2.into(), "a".into()],
+                vec![1.into(), "a".into()],
+            ],
+        );
+        let sorted = sort(
+            &t,
+            &[
+                SortKey { column: 0, descending: false },
+                SortKey { column: 1, descending: true },
+            ],
+        )
+        .unwrap();
+        let rows: Vec<(i64, String)> = (0..4)
+            .map(|r| {
+                (
+                    sorted.value(r, 0).as_int().unwrap(),
+                    sorted.value(r, 1).as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (1, "z".into()),
+                (1, "a".into()),
+                (2, "x".into()),
+                (2, "a".into())
+            ]
+        );
+        assert!(sort(&t, &[SortKey { column: 9, descending: false }]).is_err());
+    }
+
+    #[test]
+    fn sort_handles_nulls_deterministically() {
+        let t = table_of(
+            "n",
+            &[("a", DataType::Int)],
+            vec![vec![2.into()], vec![Value::Null], vec![1.into()]],
+        );
+        let asc = sort(&t, &[SortKey { column: 0, descending: false }]).unwrap();
+        assert_eq!(asc.value(0, 0), Value::Null, "NULLs first ascending");
+        let desc = sort(&t, &[SortKey { column: 0, descending: true }]).unwrap();
+        assert_eq!(desc.value(2, 0), Value::Null, "NULLs last descending");
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let t = person();
+        assert_eq!(limit(&t, 2).num_rows(), 2);
+        assert_eq!(limit(&t, 10).num_rows(), 3);
+        assert_eq!(limit(&t, 0).num_rows(), 0);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let t = table_of(
+            "d",
+            &[("x", DataType::Int)],
+            vec![vec![1.into()], vec![2.into()], vec![1.into()]],
+        );
+        assert_eq!(distinct(&t).num_rows(), 2);
+    }
+}

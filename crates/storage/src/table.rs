@@ -1,0 +1,353 @@
+//! Immutable columnar tables and their builder.
+
+use crate::column::Column;
+use relgo_common::{DataType, RelGoError, Result, RowId, Schema, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, named, columnar relation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Construct from pre-built columns (lengths must agree).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(RelGoError::schema(format!(
+                "schema has {} fields but {} columns supplied",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(RelGoError::schema(format!(
+                    "column {i} has {} rows, expected {rows}",
+                    c.len()
+                )));
+            }
+            if c.dtype() != schema.field(i).dtype {
+                return Err(RelGoError::schema(format!(
+                    "column {i} has type {}, schema says {}",
+                    c.dtype(),
+                    schema.field(i).dtype
+                )));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Create an empty table with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Value at `(row, col)`.
+    pub fn value(&self, row: RowId, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Materialize row `row` as a `Vec<Value>`.
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Gather `indices` into a new table (same schema).
+    pub fn take(&self, indices: &[RowId]) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Project to the columns at `cols` (renaming per the projected schema).
+    pub fn project(&self, cols: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.project(cols),
+            columns: cols.iter().map(|&i| self.columns[i].clone()).collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// All rows, materialized and sorted — deterministic representation for
+    /// result comparison in tests.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = (0..self.rows as RowId).map(|r| self.row(r)).collect();
+        rows.sort();
+        rows
+    }
+
+    /// Render at most `limit` rows as an aligned ASCII table.
+    pub fn display(&self, limit: usize) -> String {
+        let mut header: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let shown = self.rows.min(limit);
+        let mut body: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for r in 0..shown as RowId {
+            body.push(self.row(r).iter().map(|v| v.to_string()).collect());
+        }
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+        for row in &body {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (h, w) in header.iter_mut().zip(&widths) {
+            *h = format!("{h:<w$}");
+        }
+        let mut out = String::new();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in body {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows > shown {
+            out.push_str(&format!("... ({} more rows)\n", self.rows - shown));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{} rows]", self.name, self.schema, self.rows)
+    }
+}
+
+/// Row-at-a-time builder for [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Pre-reserve capacity in every column.
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, cap: usize) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, cap))
+            .collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows were appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row; arity and types must match the schema.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(RelGoError::schema(format!(
+                "row has {} values, schema {} expects {}",
+                values.len(),
+                self.schema,
+                self.columns.len()
+            )));
+        }
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            c.push(v)?;
+        }
+        self.rows += 1;
+        if self.rows > u32::MAX as usize {
+            return Err(RelGoError::schema("table exceeds u32::MAX rows"));
+        }
+        Ok(())
+    }
+
+    /// Finish, producing the immutable table.
+    pub fn finish(self) -> Table {
+        Table {
+            name: self.name,
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Convenience: build a table from a schema spec and row literals (tests and
+/// examples).
+pub fn table_of(name: &str, spec: &[(&str, DataType)], rows: Vec<Vec<Value>>) -> Table {
+    let mut b = TableBuilder::new(name, Schema::of(spec));
+    for r in rows {
+        b.push_row(r).expect("literal rows must match the schema");
+    }
+    b.finish()
+}
+
+/// Shared-ownership alias used across the planner and executor.
+pub type TableRef = Arc<Table>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        table_of(
+            "Person",
+            &[
+                ("id", DataType::Int),
+                ("name", DataType::Str),
+                ("place_id", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), "Tom".into(), 10.into()],
+                vec![2.into(), "Bob".into(), 20.into()],
+                vec![3.into(), "David".into(), 20.into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn build_and_read() {
+        let t = people();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(1, 1), Value::str("Bob"));
+        assert_eq!(t.row(0), vec![1.into(), "Tom".into(), 10.into()]);
+        assert_eq!(t.column_by_name("place_id").unwrap().get_int(2), Some(20));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = TableBuilder::new("t", Schema::of(&[("a", DataType::Int)]));
+        assert!(b.push_row(vec![1.into(), 2.into()]).is_err());
+    }
+
+    #[test]
+    fn from_columns_validates_lengths_and_types() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let mut c1 = Column::new(DataType::Int);
+        c1.push(1.into()).unwrap();
+        let c2 = Column::new(DataType::Str); // wrong length
+        assert!(Table::from_columns("t", schema.clone(), vec![c1.clone(), c2]).is_err());
+        let c3 = Column::new(DataType::Int); // wrong type for 'b'
+        assert!(Table::from_columns("t", schema, vec![c1, c3]).is_err());
+    }
+
+    #[test]
+    fn take_and_project() {
+        let t = people();
+        let sub = t.take(&[2, 0]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.value(0, 1), Value::str("David"));
+        let proj = t.project(&[1]);
+        assert_eq!(proj.num_columns(), 1);
+        assert_eq!(proj.schema().field(0).name, "name");
+    }
+
+    #[test]
+    fn sorted_rows_deterministic() {
+        let t = people();
+        let a = t.take(&[2, 1, 0]).sorted_rows();
+        let b = t.sorted_rows();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_contains_header_and_rows() {
+        let s = people().display(2);
+        assert!(s.contains("name"));
+        assert!(s.contains("Tom"));
+        assert!(s.contains("1 more rows"));
+    }
+}

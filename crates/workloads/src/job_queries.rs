@@ -1,0 +1,292 @@
+//! JOB-style join-order workload over the IMDB-like schema (paper §5.1).
+//!
+//! Thirty-three acyclic queries shaped like the Join Order Benchmark's "a"
+//! variants: star patterns around `title` with 2–4 link-table legs, skewed
+//! correlated predicates (keywords, country codes, name prefixes,
+//! production years, company types, info strings) and `MIN` aggregates.
+
+use crate::Workload;
+use relgo_common::{LabelId, Result, Value};
+use relgo_core::{SpjmBuilder, SpjmQuery};
+use relgo_graph::GraphSchema;
+use relgo_pattern::PatternBuilder;
+use relgo_storage::ops::AggFunc;
+use relgo_storage::{BinaryOp, ScalarExpr};
+
+/// Resolved label handles of the IMDB-like graph.
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbSchema {
+    /// `title` vertex label.
+    pub title: LabelId,
+    /// `name` vertex label.
+    pub name: LabelId,
+    /// `company_name` vertex label.
+    pub company_name: LabelId,
+    /// `keyword` vertex label.
+    pub keyword: LabelId,
+    /// `info_type` vertex label.
+    pub info_type: LabelId,
+    /// `cast_info` edge (name → title).
+    pub cast_info: LabelId,
+    /// `movie_companies` edge (company_name → title).
+    pub movie_companies: LabelId,
+    /// `movie_keyword` edge (keyword → title).
+    pub movie_keyword: LabelId,
+    /// `movie_info` edge (info_type → title).
+    pub movie_info: LabelId,
+}
+
+impl ImdbSchema {
+    /// Resolve from the graph schema.
+    pub fn resolve(schema: &GraphSchema) -> Result<ImdbSchema> {
+        Ok(ImdbSchema {
+            title: schema.vertex_label_id("title")?,
+            name: schema.vertex_label_id("name")?,
+            company_name: schema.vertex_label_id("company_name")?,
+            keyword: schema.vertex_label_id("keyword")?,
+            info_type: schema.vertex_label_id("info_type")?,
+            cast_info: schema.edge_label_id("cast_info")?,
+            movie_companies: schema.edge_label_id("movie_companies")?,
+            movie_keyword: schema.edge_label_id("movie_keyword")?,
+            movie_info: schema.edge_label_id("movie_info")?,
+        })
+    }
+}
+
+/// Column indexes in the IMDB-like tables.
+pub mod cols {
+    /// `title.title`.
+    pub const TITLE: usize = 1;
+    /// `title.production_year`.
+    pub const YEAR: usize = 2;
+    /// `name.name`.
+    pub const NAME: usize = 1;
+    /// `company_name.country_code`.
+    pub const COUNTRY: usize = 2;
+    /// `keyword.keyword`.
+    pub const KEYWORD: usize = 1;
+    /// `movie_companies.company_type_id`.
+    pub const MC_CTYPE: usize = 3;
+    /// `movie_info.info`.
+    pub const MI_INFO: usize = 3;
+}
+
+/// Declarative description of one JOB-style query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobSpec {
+    /// Include the `cast_info` leg (actor).
+    pub with_cast: bool,
+    /// Include the `movie_companies` leg (studio).
+    pub with_company: bool,
+    /// Include the `movie_keyword` leg.
+    pub with_keyword: bool,
+    /// Include the `movie_info` leg.
+    pub with_info: bool,
+    /// `keyword.keyword = …`.
+    pub kw: Option<&'static str>,
+    /// `company_name.country_code = …`.
+    pub country: Option<&'static str>,
+    /// `name.name STARTS WITH …`.
+    pub name_prefix: Option<&'static str>,
+    /// `title.production_year > …`.
+    pub year_gt: Option<i64>,
+    /// `movie_companies.company_type_id = …` (edge predicate).
+    pub ctype: Option<i64>,
+    /// `movie_info.info = …` (edge predicate).
+    pub info: Option<&'static str>,
+}
+
+/// Build one query from a spec.
+pub fn build_job(s: &ImdbSchema, spec: &JobSpec) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let t = pb.vertex("t", s.title);
+    let mut n = None;
+    let mut cn = None;
+    if spec.with_cast {
+        let v = pb.vertex("n", s.name);
+        pb.edge(v, t, s.cast_info)?;
+        n = Some(v);
+    }
+    if spec.with_company {
+        let v = pb.vertex("cn", s.company_name);
+        let e = pb.edge(v, t, s.movie_companies)?;
+        if let Some(ct) = spec.ctype {
+            pb.edge_predicate(e, ScalarExpr::col_eq(cols::MC_CTYPE, ct));
+        }
+        cn = Some(v);
+    }
+    if spec.with_keyword {
+        let v = pb.vertex("k", s.keyword);
+        pb.edge(v, t, s.movie_keyword)?;
+        if let Some(kw) = spec.kw {
+            pb.vertex_predicate(v, ScalarExpr::col_eq(cols::KEYWORD, kw));
+        }
+    }
+    if spec.with_info {
+        let v = pb.vertex("it", s.info_type);
+        let e = pb.edge(v, t, s.movie_info)?;
+        if let Some(info) = spec.info {
+            pb.edge_predicate(e, ScalarExpr::col_eq(cols::MI_INFO, info));
+        }
+    }
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let t_title = b.vertex_column(t, cols::TITLE, "t_title");
+    let t_year = b.vertex_column(t, cols::YEAR, "t_year");
+    let mut aggs = vec![t_title];
+    if let Some(nv) = n {
+        let n_name = b.vertex_column(nv, cols::NAME, "n_name");
+        aggs.push(n_name);
+        if let Some(prefix) = spec.name_prefix {
+            b.select(ScalarExpr::StartsWith(
+                Box::new(ScalarExpr::Col(n_name)),
+                prefix.to_string(),
+            ));
+        }
+    }
+    if let Some(cv) = cn {
+        let country_col = b.vertex_column(cv, cols::COUNTRY, "cn_country");
+        if let Some(cc) = spec.country {
+            b.select(ScalarExpr::col_eq(country_col, cc));
+        }
+    }
+    if let Some(y) = spec.year_gt {
+        b.select(ScalarExpr::col_cmp(t_year, BinaryOp::Gt, Value::Int(y)));
+    }
+    for a in aggs {
+        b.aggregate(AggFunc::Min, a);
+    }
+    Ok(b.build())
+}
+
+/// The 33 JOB-style queries. `JOB17` reproduces the paper's Fig. 12 case
+/// study (`character-name-in-title`, `[us]` studios, names starting with
+/// "B").
+pub fn job_specs() -> Vec<JobSpec> {
+    let kw = |k| Some(k);
+    vec![
+        // 1–4: keyword + company combos (Fig 7b's subset).
+        JobSpec { with_company: true, with_keyword: true, kw: kw("sequel"), country: Some("[de]"), ..Default::default() },
+        JobSpec { with_company: true, with_keyword: true, kw: kw("murder"), ctype: Some(0), ..Default::default() },
+        JobSpec { with_keyword: true, with_info: true, kw: kw("based-on-novel"), info: Some("info_1"), ..Default::default() },
+        JobSpec { with_company: true, with_info: true, country: Some("[gb]"), info: Some("info_2"), ..Default::default() },
+        // 5–10: cast-centric with prefixes and years.
+        JobSpec { with_cast: true, with_keyword: true, kw: kw("love"), name_prefix: Some("A"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, country: Some("[us]"), year_gt: Some(2000), ..Default::default() },
+        JobSpec { with_cast: true, with_info: true, info: Some("info_3"), name_prefix: Some("C"), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, with_company: true, kw: kw("revenge"), country: Some("[fr]"), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, kw: kw("independent-film"), year_gt: Some(1990), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, ctype: Some(1), name_prefix: Some("B"), ..Default::default() },
+        // 11–16: three-leg combinations.
+        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("sequel"), info: Some("info_5"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_info: true, country: Some("[it]"), info: Some("info_7"), ..Default::default() },
+        JobSpec { with_company: true, with_keyword: true, kw: kw("female-nudity"), country: Some("[us]"), ctype: Some(2), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, with_info: true, kw: kw("murder"), info: Some("info_11"), ..Default::default() },
+        JobSpec { with_company: true, with_info: true, country: Some("[jp]"), year_gt: Some(2005), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, kw: kw("character-name-in-title"), name_prefix: Some("D"), ..Default::default() },
+        // 17: the Fig. 12 case study.
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("character-name-in-title"), country: Some("[us]"), name_prefix: Some("B"), ..Default::default() },
+        // 18–25: four-leg stars.
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("sequel"), country: Some("[us]"), info: Some("info_13"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("love"), ctype: Some(0), year_gt: Some(1995), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, with_info: true, kw: kw("revenge"), info: Some("info_17"), name_prefix: Some("E"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_info: true, country: Some("[ca]"), info: Some("info_19"), ..Default::default() },
+        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("based-on-novel"), country: Some("[gb]"), info: Some("info_23"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("murder"), country: Some("[us]"), info: Some("info_29"), name_prefix: Some("F"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, country: Some("[es]"), name_prefix: Some("G"), ..Default::default() },
+        JobSpec { with_keyword: true, with_info: true, kw: kw("independent-film"), info: Some("info_31"), year_gt: Some(1985), ..Default::default() },
+        // 26–33: selectivity extremes.
+        JobSpec { with_cast: true, with_keyword: true, kw: kw("character-name-in-title"), year_gt: Some(2010), ..Default::default() },
+        JobSpec { with_company: true, with_keyword: true, kw: kw("sequel"), country: Some("[se]"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("love"), country: Some("[dk]"), name_prefix: Some("H"), ..Default::default() },
+        JobSpec { with_cast: true, with_info: true, info: Some("info_37"), year_gt: Some(1980), ..Default::default() },
+        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("revenge"), ctype: Some(3), info: Some("info_2"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("based-on-novel"), country: Some("[au]"), ..Default::default() },
+        JobSpec { with_cast: true, with_keyword: true, with_company: true, with_info: true, kw: kw("female-nudity"), country: Some("[us]"), ctype: Some(0), info: Some("info_3"), ..Default::default() },
+        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("character-name-in-title"), country: Some("[gb]"), info: Some("info_5"), name_prefix: Some("B"), year_gt: Some(1975), ..Default::default() },
+    ]
+}
+
+/// All 33 workloads, named `JOB1..JOB33`.
+pub fn job_queries(s: &ImdbSchema) -> Result<Vec<Workload>> {
+    job_specs()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            Ok(Workload::new(
+                format!("JOB{}", i + 1),
+                build_job(s, spec)?,
+                false,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_datagen::{generate_imdb, ImdbParams};
+    use relgo_graph::GraphView;
+
+    fn schema() -> ImdbSchema {
+        let (mut db, mapping) = generate_imdb(&ImdbParams { sf: 0.1, seed: 1 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        ImdbSchema::resolve(view.schema()).unwrap()
+    }
+
+    #[test]
+    fn thirty_three_queries_build() {
+        let s = schema();
+        let ws = job_queries(&s).unwrap();
+        assert_eq!(ws.len(), 33);
+        for w in &ws {
+            assert!(w.query.pattern.is_connected(), "{}", w.name);
+            assert!(!w.query.aggregates.is_empty(), "{}", w.name);
+            assert!(!w.cyclic, "JOB has no cyclic queries");
+        }
+    }
+
+    #[test]
+    fn job17_matches_fig12_shape() {
+        let s = schema();
+        let specs = job_specs();
+        let j17 = &specs[16];
+        assert!(j17.with_cast && j17.with_company && j17.with_keyword);
+        assert_eq!(j17.kw, Some("character-name-in-title"));
+        assert_eq!(j17.country, Some("[us]"));
+        assert_eq!(j17.name_prefix, Some("B"));
+        let q = build_job(&s, j17).unwrap();
+        // Pattern: t + n + cn + k = 4 vertices, 3 edges.
+        assert_eq!(q.pattern.vertex_count(), 4);
+        assert_eq!(q.pattern.edge_count(), 3);
+    }
+
+    #[test]
+    fn specs_are_distinct() {
+        let specs = job_specs();
+        for (i, a) in specs.iter().enumerate() {
+            for (j, b) in specs.iter().enumerate() {
+                if i < j {
+                    assert_ne!(format!("{a:?}"), format!("{b:?}"), "JOB{} vs JOB{}", i + 1, j + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leg_counts_vary() {
+        let specs = job_specs();
+        let edge_counts: Vec<usize> = specs
+            .iter()
+            .map(|s| {
+                [s.with_cast, s.with_company, s.with_keyword, s.with_info]
+                    .iter()
+                    .filter(|&&x| x)
+                    .count()
+            })
+            .collect();
+        assert!(edge_counts.contains(&2));
+        assert!(edge_counts.contains(&3));
+        assert!(edge_counts.contains(&4));
+    }
+}

@@ -1,0 +1,617 @@
+//! LDBC-SNB-like query workloads: IC variants, QR rule micro-benchmarks,
+//! QC cyclic micro-benchmarks (paper §5.1).
+//!
+//! Following the paper, variable-length-path queries are split into
+//! fixed-length variants suffixed `-l`. Query parameters (person names,
+//! countries, tags, dates) are pinned to values the generator guarantees to
+//! exist.
+
+use crate::Workload;
+use relgo_common::{LabelId, RelGoError, Result, Value};
+use relgo_core::{SpjmBuilder, SpjmQuery};
+use relgo_graph::GraphSchema;
+use relgo_pattern::{MatchSemantics, PatternBuilder};
+use relgo_storage::ops::AggFunc;
+use relgo_storage::{BinaryOp, ScalarExpr};
+
+/// Resolved label handles of the SNB-like graph.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbSchema {
+    /// `Person` vertex label.
+    pub person: LabelId,
+    /// `Message` vertex label.
+    pub message: LabelId,
+    /// `Forum` vertex label.
+    pub forum: LabelId,
+    /// `Tag` vertex label.
+    pub tag: LabelId,
+    /// `TagClass` vertex label.
+    pub tagclass: LabelId,
+    /// `Place` vertex label.
+    pub place: LabelId,
+    /// `Company` vertex label.
+    pub company: LabelId,
+    /// `Knows` edge label (Person → Person).
+    pub knows: LabelId,
+    /// `Likes` edge label (Person → Message).
+    pub likes: LabelId,
+    /// `HasCreator` edge label (Message → Person).
+    pub has_creator: LabelId,
+    /// `ReplyOf` edge label (Message → Message).
+    pub reply_of: LabelId,
+    /// `HasTag` edge label (Message → Tag).
+    pub has_tag: LabelId,
+    /// `HasMember` edge label (Forum → Person).
+    pub has_member: LabelId,
+    /// `ContainerOf` edge label (Forum → Message).
+    pub container_of: LabelId,
+    /// `MsgLocatedIn` edge label (Message → Place).
+    pub msg_located_in: LabelId,
+    /// `PersonLocatedIn` edge label (Person → Place).
+    pub person_located_in: LabelId,
+    /// `CompanyLocatedIn` edge label (Company → Place).
+    pub company_located_in: LabelId,
+    /// `WorksAt` edge label (Person → Company).
+    pub works_at: LabelId,
+    /// `TagHasType` edge label (Tag → TagClass).
+    pub tag_has_type: LabelId,
+}
+
+/// Column indexes in the generator's tables (kept in one place).
+pub mod cols {
+    /// `Person.name`.
+    pub const PERSON_NAME: usize = 1;
+    /// `Person.creation_date`.
+    pub const PERSON_DATE: usize = 2;
+    /// `Message.content`.
+    pub const MSG_CONTENT: usize = 1;
+    /// `Message.creation_date`.
+    pub const MSG_DATE: usize = 2;
+    /// `Message.is_post`.
+    pub const MSG_IS_POST: usize = 3;
+    /// `Tag.name` / `TagClass.name` / `Place.name` / `Company.name`.
+    pub const NAME: usize = 1;
+    /// `Forum.title`.
+    pub const FORUM_TITLE: usize = 1;
+    /// `Likes.date` / `Knows.date`.
+    pub const EDGE_DATE: usize = 3;
+    /// `HasMember.join_date`.
+    pub const MEMBER_DATE: usize = 3;
+    /// `WorksAt.since`.
+    pub const WORKS_SINCE: usize = 3;
+}
+
+impl SnbSchema {
+    /// Resolve handles from the graph schema (panics never; errors if the
+    /// mapping does not look like the SNB mapping).
+    pub fn resolve(schema: &GraphSchema) -> Result<SnbSchema> {
+        Ok(SnbSchema {
+            person: schema.vertex_label_id("Person")?,
+            message: schema.vertex_label_id("Message")?,
+            forum: schema.vertex_label_id("Forum")?,
+            tag: schema.vertex_label_id("Tag")?,
+            tagclass: schema.vertex_label_id("TagClass")?,
+            place: schema.vertex_label_id("Place")?,
+            company: schema.vertex_label_id("Company")?,
+            knows: schema.edge_label_id("Knows")?,
+            likes: schema.edge_label_id("Likes")?,
+            has_creator: schema.edge_label_id("HasCreator")?,
+            reply_of: schema.edge_label_id("ReplyOf")?,
+            has_tag: schema.edge_label_id("HasTag")?,
+            has_member: schema.edge_label_id("HasMember")?,
+            container_of: schema.edge_label_id("ContainerOf")?,
+            msg_located_in: schema.edge_label_id("MsgLocatedIn")?,
+            person_located_in: schema.edge_label_id("PersonLocatedIn")?,
+            company_located_in: schema.edge_label_id("CompanyLocatedIn")?,
+            works_at: schema.edge_label_id("WorksAt")?,
+            tag_has_type: schema.edge_label_id("TagHasType")?,
+        })
+    }
+}
+
+/// Helper: a `knows^l` chain `p0 -> p1 -> … -> pl` inside a builder;
+/// returns the vertex indices.
+fn knows_chain(b: &mut PatternBuilder, s: &SnbSchema, l: usize) -> Result<Vec<usize>> {
+    let mut vs = vec![b.vertex("p0", s.person)];
+    for i in 1..=l {
+        let v = b.vertex(&format!("p{i}"), s.person);
+        b.edge(vs[i - 1], v, s.knows)?;
+        vs.push(v);
+    }
+    Ok(vs)
+}
+
+/// IC1-l: persons at knows-distance `l` from the seed person (LDBC
+/// parameterizes the IC queries by unique person id).
+pub fn ic1(s: &SnbSchema, l: usize, person: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let friend = *vs.last().ok_or_else(|| RelGoError::query("empty chain"))?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let f_name = b.vertex_column(friend, cols::PERSON_NAME, "f_name");
+    let f_date = b.vertex_column(friend, cols::PERSON_DATE, "f_date");
+    b.select(ScalarExpr::col_eq(p_id, person));
+    b.project(&[f_name, f_date]);
+    Ok(b.build())
+}
+
+/// IC2: recent messages by friends of the named person.
+pub fn ic2(s: &SnbSchema, person: i64, before: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p = pb.vertex("p", s.person);
+    let f = pb.vertex("f", s.person);
+    let m = pb.vertex("m", s.message);
+    pb.edge(p, f, s.knows)?;
+    pb.edge(m, f, s.has_creator)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(p, 0, "p_id");
+    let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
+    let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
+    let m_date = b.vertex_column(m, cols::MSG_DATE, "m_date");
+    b.select(
+        ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
+            m_date,
+            BinaryOp::Le,
+            Value::Date(before),
+        )),
+    );
+    b.project(&[f_name, m_content, m_date]);
+    Ok(b.build())
+}
+
+/// IC3-l: messages by friends (distance `l`) located in the named country.
+pub fn ic3(s: &SnbSchema, l: usize, person: i64, country: &str) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let f = *vs.last().expect("chain");
+    let m = pb.vertex("m", s.message);
+    let pl = pb.vertex("pl", s.place);
+    pb.edge(m, f, s.has_creator)?;
+    pb.edge(m, pl, s.msg_located_in)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
+    let pl_name = b.vertex_column(pl, cols::NAME, "pl_name");
+    let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
+    b.select(ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_eq(pl_name, country)));
+    b.project(&[f_name, m_content]);
+    Ok(b.build())
+}
+
+/// IC4: tags on recent posts by friends of the named person.
+pub fn ic4(s: &SnbSchema, person: i64, from: i64, to: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p = pb.vertex("p", s.person);
+    let f = pb.vertex("f", s.person);
+    let m = pb.vertex("m", s.message);
+    let t = pb.vertex("t", s.tag);
+    pb.edge(p, f, s.knows)?;
+    pb.edge(m, f, s.has_creator)?;
+    pb.edge(m, t, s.has_tag)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(p, 0, "p_id");
+    let is_post = b.vertex_column(m, cols::MSG_IS_POST, "is_post");
+    let m_date = b.vertex_column(m, cols::MSG_DATE, "m_date");
+    let t_name = b.vertex_column(t, cols::NAME, "t_name");
+    b.select(
+        ScalarExpr::col_eq(p_id, person)
+            .and(ScalarExpr::col_eq(is_post, true))
+            .and(ScalarExpr::col_cmp(m_date, BinaryOp::Ge, Value::Date(from)))
+            .and(ScalarExpr::col_cmp(m_date, BinaryOp::Lt, Value::Date(to))),
+    );
+    b.project(&[t_name]);
+    Ok(b.build())
+}
+
+/// IC5-l (cyclic): forums where friends (distance `l`) posted, joined after
+/// a date — the friend/forum/post triangle.
+pub fn ic5(s: &SnbSchema, l: usize, person: i64, joined_after: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let f = *vs.last().expect("chain");
+    let fo = pb.vertex("fo", s.forum);
+    let po = pb.vertex("po", s.message);
+    let e_member = pb.edge(fo, f, s.has_member)?;
+    pb.edge(fo, po, s.container_of)?;
+    pb.edge(po, f, s.has_creator)?;
+    pb.edge_predicate(
+        e_member,
+        ScalarExpr::col_cmp(cols::MEMBER_DATE, BinaryOp::Gt, Value::Date(joined_after)),
+    );
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let fo_title = b.vertex_column(fo, cols::FORUM_TITLE, "fo_title");
+    b.select(ScalarExpr::col_eq(p_id, person));
+    b.project(&[fo_title]);
+    Ok(b.build())
+}
+
+/// IC6-l: posts by friends (distance `l`) with the named tag.
+pub fn ic6(s: &SnbSchema, l: usize, person: i64, tag: &str) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let f = *vs.last().expect("chain");
+    let m = pb.vertex("m", s.message);
+    let t = pb.vertex("t", s.tag);
+    pb.edge(m, f, s.has_creator)?;
+    pb.edge(m, t, s.has_tag)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let is_post = b.vertex_column(m, cols::MSG_IS_POST, "is_post");
+    let t_name = b.vertex_column(t, cols::NAME, "t_name");
+    let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
+    b.select(
+        ScalarExpr::col_eq(p_id, person)
+            .and(ScalarExpr::col_eq(t_name, tag))
+            .and(ScalarExpr::col_eq(is_post, true)),
+    );
+    b.project(&[m_content]);
+    Ok(b.build())
+}
+
+/// IC7 (cyclic): who liked the named person's messages and knows them —
+/// the person/message/liker triangle.
+pub fn ic7(s: &SnbSchema, person: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p = pb.vertex("p", s.person);
+    let m = pb.vertex("m", s.message);
+    let liker = pb.vertex("liker", s.person);
+    pb.edge(m, p, s.has_creator)?;
+    let e_like = pb.edge(liker, m, s.likes)?;
+    pb.edge(liker, p, s.knows)?;
+    let _ = e_like;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(p, 0, "p_id");
+    let liker_name = b.vertex_column(liker, cols::PERSON_NAME, "liker_name");
+    let like_date = b.edge_column(1, cols::EDGE_DATE, "like_date");
+    b.select(ScalarExpr::col_eq(p_id, person));
+    b.project(&[liker_name, like_date]);
+    Ok(b.build())
+}
+
+/// IC8: repliers to the named person's messages.
+pub fn ic8(s: &SnbSchema, person: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p = pb.vertex("p", s.person);
+    let m = pb.vertex("m", s.message);
+    let c = pb.vertex("c", s.message);
+    let author = pb.vertex("author", s.person);
+    pb.edge(m, p, s.has_creator)?;
+    pb.edge(c, m, s.reply_of)?;
+    pb.edge(c, author, s.has_creator)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(p, 0, "p_id");
+    let author_name = b.vertex_column(author, cols::PERSON_NAME, "author_name");
+    let c_date = b.vertex_column(c, cols::MSG_DATE, "c_date");
+    let c_content = b.vertex_column(c, cols::MSG_CONTENT, "c_content");
+    b.select(ScalarExpr::col_eq(p_id, person));
+    b.project(&[author_name, c_date, c_content]);
+    Ok(b.build())
+}
+
+/// IC9-l: messages by friends (distance `l`) created before a date.
+pub fn ic9(s: &SnbSchema, l: usize, person: i64, before: i64) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let f = *vs.last().expect("chain");
+    let m = pb.vertex("m", s.message);
+    pb.edge(m, f, s.has_creator)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
+    let m_date = b.vertex_column(m, cols::MSG_DATE, "m_date");
+    let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
+    b.select(
+        ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
+            m_date,
+            BinaryOp::Lt,
+            Value::Date(before),
+        )),
+    );
+    b.project(&[f_name, m_content, m_date]);
+    Ok(b.build())
+}
+
+/// IC11-l: friends (distance `l`) working at companies in the named country.
+pub fn ic11(s: &SnbSchema, l: usize, person: i64, country: &str) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let vs = knows_chain(&mut pb, s, l)?;
+    let f = *vs.last().expect("chain");
+    let co = pb.vertex("co", s.company);
+    let pl = pb.vertex("pl", s.place);
+    let e_works = pb.edge(f, co, s.works_at)?;
+    pb.edge(co, pl, s.company_located_in)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(vs[0], 0, "p_id");
+    let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
+    let co_name = b.vertex_column(co, cols::NAME, "co_name");
+    let since = b.edge_column(e_works, cols::WORKS_SINCE, "since");
+    let pl_name = b.vertex_column(pl, cols::NAME, "pl_name");
+    b.select(ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_eq(pl_name, country)));
+    b.project(&[f_name, co_name, since]);
+    Ok(b.build())
+}
+
+/// IC12: reply authors among friends, where the reply's parent post has a
+/// tag of the named class.
+pub fn ic12(s: &SnbSchema, person: i64, class: &str) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p = pb.vertex("p", s.person);
+    let f = pb.vertex("f", s.person);
+    let c = pb.vertex("c", s.message);
+    let po = pb.vertex("po", s.message);
+    let t = pb.vertex("t", s.tag);
+    let tc = pb.vertex("tc", s.tagclass);
+    pb.edge(p, f, s.knows)?;
+    pb.edge(c, f, s.has_creator)?;
+    pb.edge(c, po, s.reply_of)?;
+    pb.edge(po, t, s.has_tag)?;
+    pb.edge(t, tc, s.tag_has_type)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p_id = b.vertex_column(p, 0, "p_id");
+    let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
+    let t_name = b.vertex_column(t, cols::NAME, "t_name");
+    let tc_name = b.vertex_column(tc, cols::NAME, "tc_name");
+    b.select(ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_eq(tc_name, class)));
+    b.project(&[f_name, t_name]);
+    Ok(b.build())
+}
+
+/// The IC workload of the paper's figures: the 18 fixed-length variants
+/// `1-1,1-2,1-3, 2, 3-1,3-2, 4, 5-1,5-2, 6-1,6-2, 7, 8, 9-1,9-2, 11-1,11-2,
+/// 12`.
+pub fn ldbc_interactive(s: &SnbSchema) -> Result<Vec<Workload>> {
+    // Low person ids are hubs under the generator's preferential skew —
+    // like LDBC's official parameter selection, the seed has activity.
+    let person = 5i64;
+    Ok(vec![
+        Workload::new("IC1-1", ic1(s, 1, person)?, false),
+        Workload::new("IC1-2", ic1(s, 2, person)?, false),
+        Workload::new("IC1-3", ic1(s, 3, person)?, false),
+        Workload::new("IC2", ic2(s, person, 18500)?, false),
+        Workload::new("IC3-1", ic3(s, 1, person, "country_3")?, false),
+        Workload::new("IC3-2", ic3(s, 2, person, "country_3")?, false),
+        Workload::new("IC4", ic4(s, person, 15500, 18500)?, false),
+        Workload::new("IC5-1", ic5(s, 1, person, 14000)?, true),
+        Workload::new("IC5-2", ic5(s, 2, person, 14000)?, true),
+        Workload::new("IC6-1", ic6(s, 1, person, "tag_3")?, false),
+        Workload::new("IC6-2", ic6(s, 2, person, "tag_3")?, false),
+        Workload::new("IC7", ic7(s, person)?, true),
+        Workload::new("IC8", ic8(s, person)?, false),
+        Workload::new("IC9-1", ic9(s, 1, person, 17000)?, false),
+        Workload::new("IC9-2", ic9(s, 2, person, 17000)?, false),
+        Workload::new("IC11-1", ic11(s, 1, person, "country_2")?, false),
+        Workload::new("IC11-2", ic11(s, 2, person, "country_2")?, false),
+        Workload::new("IC12", ic12(s, person, "class_1")?, false),
+    ])
+}
+
+/// QR1/QR2 exercise `FilterIntoMatchRule` (selective predicates phrased as
+/// post-match selections); QR3/QR4 exercise `TrimAndFuseRule` in isolation
+/// (no selective predicates — the only difference the rule makes is
+/// trimming unused columns and fusing `EXPAND_EDGE`+`GET_VERTEX`).
+pub fn qr_queries(s: &SnbSchema) -> Result<Vec<Workload>> {
+    // QR1: two-hop friends of a seed person; the id filter is written as a
+    // post-match selection for FilterIntoMatchRule to push down.
+    let qr1 = ic1(s, 2, 11)?;
+    // QR2: tags on the messages a seed person likes; same pushdown story
+    // through a two-edge pattern.
+    let qr2 = {
+        let mut pb = PatternBuilder::new();
+        let p = pb.vertex("p", s.person);
+        let m = pb.vertex("m", s.message);
+        let t = pb.vertex("t", s.tag);
+        pb.edge(p, m, s.likes)?;
+        pb.edge(m, t, s.has_tag)?;
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        let p_id = b.vertex_column(p, 0, "p_id");
+        let t_name = b.vertex_column(t, cols::NAME, "t_name");
+        b.select(ScalarExpr::col_eq(p_id, 11i64));
+        b.project(&[t_name]);
+        b.build()
+    };
+    // QR3: three-hop knows paths projecting only the endpoint name — every
+    // edge column is trimmable and the expands fuse; no predicates, so the
+    // RelGo/RelGoNoRule gap isolates TrimAndFuseRule.
+    let qr3 = {
+        let mut pb = PatternBuilder::new();
+        let vs = knows_chain(&mut pb, s, 3)?;
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        // Project edge ids too — then never use them (the field trimmer's
+        // "projected in SCAN_GRAPH_TABLE but unused" case).
+        let _e0 = b.edge_id(0, "k0_id");
+        let _e1 = b.edge_id(1, "k1_id");
+        let _e2 = b.edge_id(2, "k2_id");
+        let f_name = b.vertex_column(vs[3], cols::PERSON_NAME, "f_name");
+        b.project(&[f_name]);
+        b.build()
+    };
+    // QR4: likes → tag chain projecting only the tag name; unfiltered, so
+    // again only the trim/fuse differs.
+    let qr4 = {
+        let mut pb = PatternBuilder::new();
+        let p = pb.vertex("p", s.person);
+        let m = pb.vertex("m", s.message);
+        let t = pb.vertex("t", s.tag);
+        pb.edge(p, m, s.likes)?;
+        pb.edge(m, t, s.has_tag)?;
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        let _like_id = b.edge_id(0, "like_id");
+        let _tag_edge_id = b.edge_id(1, "ht_id");
+        let t_name = b.vertex_column(t, cols::NAME, "t_name");
+        b.project(&[t_name]);
+        b.build()
+    };
+    Ok(vec![
+        Workload::new("QR1", qr1, false),
+        Workload::new("QR2", qr2, false),
+        Workload::new("QR3", qr3, false),
+        Workload::new("QR4", qr4, false),
+    ])
+}
+
+/// QC1 triangle, QC2 square, QC3 4-clique over `Knows`, counted with
+/// distinct-vertex semantics (the paper's cyclic micro-benchmarks).
+pub fn qc_queries(s: &SnbSchema) -> Result<Vec<Workload>> {
+    let triangle = {
+        let mut pb = PatternBuilder::new();
+        let a = pb.vertex("a", s.person);
+        let b_ = pb.vertex("b", s.person);
+        let c = pb.vertex("c", s.person);
+        pb.edge(a, b_, s.knows)?;
+        pb.edge(b_, c, s.knows)?;
+        pb.edge(a, c, s.knows)?;
+        pb.semantics(MatchSemantics::DistinctVertices);
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        let a_id = b.vertex_id(a, "a_id");
+        b.aggregate(AggFunc::Count, a_id);
+        b.build()
+    };
+    let square = {
+        let mut pb = PatternBuilder::new();
+        let a = pb.vertex("a", s.person);
+        let b_ = pb.vertex("b", s.person);
+        let c = pb.vertex("c", s.person);
+        let d = pb.vertex("d", s.person);
+        pb.edge(a, b_, s.knows)?;
+        pb.edge(b_, c, s.knows)?;
+        pb.edge(c, d, s.knows)?;
+        pb.edge(d, a, s.knows)?;
+        pb.semantics(MatchSemantics::DistinctVertices);
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        let a_id = b.vertex_id(a, "a_id");
+        b.aggregate(AggFunc::Count, a_id);
+        b.build()
+    };
+    let clique4 = {
+        let mut pb = PatternBuilder::new();
+        let a = pb.vertex("a", s.person);
+        let b_ = pb.vertex("b", s.person);
+        let c = pb.vertex("c", s.person);
+        let d = pb.vertex("d", s.person);
+        pb.edge(a, b_, s.knows)?;
+        pb.edge(a, c, s.knows)?;
+        pb.edge(a, d, s.knows)?;
+        pb.edge(b_, c, s.knows)?;
+        pb.edge(b_, d, s.knows)?;
+        pb.edge(c, d, s.knows)?;
+        pb.semantics(MatchSemantics::DistinctVertices);
+        let pattern = pb.build()?;
+        let mut b = SpjmBuilder::new(pattern);
+        let a_id = b.vertex_id(a, "a_id");
+        b.aggregate(AggFunc::Count, a_id);
+        b.build()
+    };
+    Ok(vec![
+        Workload::new("QC1", triangle, true),
+        Workload::new("QC2", square, true),
+        Workload::new("QC3", clique4, true),
+    ])
+}
+
+/// The paper's Fig. 1 running example: a hybrid SPJM query — the graph
+/// component matches the likes/knows triangle (with `p1`'s location), and
+/// the relational component joins the `Place` table to fetch the place name.
+///
+/// In the paper, `Person.place_id` is a plain column; our generator stores
+/// location as the `PersonLocatedIn` edge, so the pattern includes the
+/// place vertex and the relational join goes through its key — the same
+/// graph-plus-relational-join shape.
+pub fn fig1_example(s: &SnbSchema, name: &str) -> Result<SpjmQuery> {
+    let mut pb = PatternBuilder::new();
+    let p1 = pb.vertex("p1", s.person);
+    let p2 = pb.vertex("p2", s.person);
+    let m = pb.vertex("m", s.message);
+    let pl = pb.vertex("pl", s.place);
+    pb.edge(p1, m, s.likes)?;
+    pb.edge(p2, m, s.likes)?;
+    pb.edge(p1, p2, s.knows)?;
+    pb.edge(p1, pl, s.person_located_in)?;
+    let pattern = pb.build()?;
+    let mut b = SpjmBuilder::new(pattern);
+    let p1_name = b.vertex_column(p1, cols::PERSON_NAME, "p1_name");
+    let p2_name = b.vertex_column(p2, cols::PERSON_NAME, "p2_name");
+    let pl_id = b.vertex_column(pl, 0, "pl_id");
+    b.table("Place");
+    // Global schema: 3 graph columns, then Place(id, name) at 3..5.
+    b.join(pl_id, 3);
+    b.select(ScalarExpr::col_eq(p1_name, name));
+    b.project(&[p2_name, 4]);
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_datagen::{generate_snb, SnbParams};
+    use relgo_graph::GraphView;
+
+    fn schema() -> (SnbSchema, GraphView) {
+        let (mut db, mapping) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let s = SnbSchema::resolve(view.schema()).unwrap();
+        (s, view)
+    }
+
+    #[test]
+    fn all_ic_queries_build_and_validate_structurally() {
+        let (s, _) = schema();
+        let ws = ldbc_interactive(&s).unwrap();
+        assert_eq!(ws.len(), 18);
+        for w in &ws {
+            assert!(w.query.pattern.is_connected(), "{}", w.name);
+            assert!(!w.query.columns.is_empty(), "{}", w.name);
+        }
+        // Cyclic markers on IC5 and IC7.
+        let cyclic: Vec<&str> = ws
+            .iter()
+            .filter(|w| w.cyclic)
+            .map(|w| w.name.as_str())
+            .collect();
+        assert_eq!(cyclic, vec!["IC5-1", "IC5-2", "IC7"]);
+    }
+
+    #[test]
+    fn qr_and_qc_build() {
+        let (s, _) = schema();
+        assert_eq!(qr_queries(&s).unwrap().len(), 4);
+        let qc = qc_queries(&s).unwrap();
+        assert_eq!(qc.len(), 3);
+        for w in &qc {
+            assert_eq!(
+                w.query.pattern.semantics(),
+                MatchSemantics::DistinctVertices,
+                "{}",
+                w.name
+            );
+            assert!(!w.query.aggregates.is_empty());
+        }
+        assert_eq!(qc[2].query.pattern.edge_count(), 6, "4-clique");
+    }
+
+    #[test]
+    fn fig1_is_hybrid() {
+        let (s, _) = schema();
+        let q = fig1_example(&s, "Tom").unwrap();
+        assert_eq!(q.tables, vec!["Place".to_string()]);
+        assert_eq!(q.join_on, vec![(2, 3)]);
+        assert!(q.selection.is_some());
+    }
+}

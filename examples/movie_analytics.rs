@@ -1,0 +1,62 @@
+//! Join-order analytics on the IMDB-like dataset: the JOB-style workload
+//! under the join-order-sensitive systems (paper Fig. 10's setting).
+//!
+//! Run with: `cargo run --release --example movie_analytics`
+
+use relgo::prelude::*;
+use relgo::workloads::job_queries;
+
+fn main() -> Result<()> {
+    let sf = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("generating IMDB-like dataset at sf = {sf} ...");
+    let (session, schema) = Session::imdb(sf, 7)?;
+    for t in session.db().tables() {
+        println!("  {:<16} {:>8} rows", t.name(), t.num_rows());
+    }
+    println!();
+
+    let queries = job_queries::job_queries(&schema)?;
+    let modes = [
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::GRainDb,
+        OptimizerMode::RelGoHash,
+        OptimizerMode::RelGo,
+    ];
+    println!(
+        "{:<7} {}",
+        "query",
+        modes
+            .iter()
+            .map(|m| format!("{:>12}", m.name()))
+            .collect::<String>()
+    );
+    let mut totals = vec![0f64; modes.len()];
+    for w in queries.iter().take(10) {
+        let mut line = String::new();
+        for (i, mode) in modes.iter().enumerate() {
+            let out = session.run(&w.query, *mode)?;
+            let ms = out.e2e().as_secs_f64() * 1e3;
+            totals[i] += ms;
+            line.push_str(&format!("{ms:>10.2}ms"));
+        }
+        println!("{:<7} {}", w.name, line);
+    }
+    println!(
+        "{:<7} {}",
+        "total",
+        totals
+            .iter()
+            .map(|t| format!("{t:>10.2}ms"))
+            .collect::<String>()
+    );
+    println!(
+        "\nspeedup over DuckDB-like: GRainDB {:.1}x, RelGoHash {:.1}x, RelGo {:.1}x",
+        totals[0] / totals[1],
+        totals[0] / totals[2],
+        totals[0] / totals[3]
+    );
+    Ok(())
+}

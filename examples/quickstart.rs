@@ -1,0 +1,143 @@
+//! Quickstart: the paper's running example (Fig. 1/Fig. 2) end to end.
+//!
+//! Builds the four relational tables of Fig. 2, declares the property graph
+//! via RGMapping, expresses the Fig. 1 SQL/PGQ query as an SPJM AST, and
+//! runs it under the converged optimizer and the graph-agnostic baseline.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use relgo::core::spjm::SpjmBuilder;
+use relgo::prelude::*;
+
+fn main() -> Result<()> {
+    // ---- Relational tables (paper Fig. 2a) -----------------------------
+    let mut db = Database::new();
+    db.add_table(table_of(
+        "Person",
+        &[
+            ("person_id", DataType::Int),
+            ("name", DataType::Str),
+            ("place_id", DataType::Int),
+        ],
+        vec![
+            vec![1.into(), "Tom".into(), 10.into()],
+            vec![2.into(), "Bob".into(), 20.into()],
+            vec![3.into(), "David".into(), 30.into()],
+        ],
+    ));
+    db.add_table(table_of(
+        "Message",
+        &[("message_id", DataType::Int), ("content", DataType::Str)],
+        vec![
+            vec![100.into(), "hello graph".into()],
+            vec![200.into(), "hello relation".into()],
+        ],
+    ));
+    db.add_table(table_of(
+        "Likes",
+        &[
+            ("likes_id", DataType::Int),
+            ("pid", DataType::Int),
+            ("mid", DataType::Int),
+            ("date", DataType::Date),
+        ],
+        vec![
+            vec![1.into(), 1.into(), 100.into(), Value::Date(31)],
+            vec![2.into(), 2.into(), 100.into(), Value::Date(28)],
+            vec![3.into(), 2.into(), 200.into(), Value::Date(20)],
+            vec![4.into(), 3.into(), 200.into(), Value::Date(21)],
+        ],
+    ));
+    db.add_table(table_of(
+        "Knows",
+        &[
+            ("knows_id", DataType::Int),
+            ("pid1", DataType::Int),
+            ("pid2", DataType::Int),
+        ],
+        vec![
+            vec![1.into(), 1.into(), 2.into()],
+            vec![2.into(), 2.into(), 1.into()],
+            vec![3.into(), 2.into(), 3.into()],
+            vec![4.into(), 3.into(), 2.into()],
+        ],
+    ));
+    db.add_table(table_of(
+        "Place",
+        &[("id", DataType::Int), ("name", DataType::Str)],
+        vec![
+            vec![10.into(), "Germany".into()],
+            vec![20.into(), "Denmark".into()],
+            vec![30.into(), "China".into()],
+        ],
+    ));
+    for (t, k) in [
+        ("Person", "person_id"),
+        ("Message", "message_id"),
+        ("Likes", "likes_id"),
+        ("Knows", "knows_id"),
+        ("Place", "id"),
+    ] {
+        db.set_primary_key(t, k)?;
+    }
+
+    // ---- CREATE PROPERTY GRAPH (RGMapping, Fig. 2a) ---------------------
+    let mapping = RGMapping::new()
+        .vertex("Person")
+        .vertex("Message")
+        .edge("Likes", "pid", "Person", "mid", "Message")
+        .edge("Knows", "pid1", "Person", "pid2", "Person");
+
+    let session = Session::open(db, mapping)?;
+    let schema = session.view().schema();
+    let person = schema.vertex_label_id("Person")?;
+    let message = schema.vertex_label_id("Message")?;
+    let likes = schema.edge_label_id("Likes")?;
+    let knows = schema.edge_label_id("Knows")?;
+
+    // ---- The Fig. 1 SQL/PGQ query as an SPJM AST -------------------------
+    // MATCH (p1:Person)-[:Likes]->(m:Message),
+    //       (p2:Person)-[:Likes]->(m),
+    //       (p1)-[:Knows]->(p2)
+    // COLUMNS (p1.name, p1.place_id, p2.name)
+    // JOIN Place ON p1.place_id = Place.id
+    // WHERE p1.name = 'Tom'
+    // SELECT p2.name, Place.name
+    let mut pb = PatternBuilder::new();
+    let p1 = pb.vertex("p1", person);
+    let p2 = pb.vertex("p2", person);
+    let m = pb.vertex("m", message);
+    pb.edge(p1, m, likes)?;
+    pb.edge(p2, m, likes)?;
+    pb.edge(p1, p2, knows)?;
+    let pattern = pb.build()?;
+
+    let mut b = SpjmBuilder::new(pattern);
+    let p1_name = b.vertex_column(p1, 1, "p1_name");
+    let p1_place = b.vertex_column(p1, 2, "p1_place_id");
+    let p2_name = b.vertex_column(p2, 1, "p2_name");
+    b.table("Place");
+    b.join(p1_place, 3); // g.p1_place_id = Place.id
+    b.select(ScalarExpr::col_eq(p1_name, "Tom"));
+    b.project(&[p2_name, 4]); // p2_name, Place.name
+    let query = b.build();
+
+    // ---- Optimize + execute under two systems ----------------------------
+    println!("== RelGo (converged) plan ==");
+    println!("{}", session.explain(&query, OptimizerMode::RelGo)?);
+    println!("== DuckDB-like (graph-agnostic) plan ==");
+    println!("{}", session.explain(&query, OptimizerMode::DuckDbLike)?);
+
+    let relgo = session.run(&query, OptimizerMode::RelGo)?;
+    let agnostic = session.run(&query, OptimizerMode::DuckDbLike)?;
+    assert_eq!(relgo.table.sorted_rows(), agnostic.table.sorted_rows());
+
+    println!("== Result ==");
+    print!("{}", relgo.table.display(10));
+    println!(
+        "\nRelGo e2e: {:?}  |  graph-agnostic e2e: {:?}",
+        relgo.e2e(),
+        agnostic.e2e()
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Social-network analytics on the LDBC-SNB-like dataset: runs a selection
+//! of the IC workload under every compared system and prints an execution
+//! summary — a miniature of the paper's §5.3 comprehensive experiment.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use relgo::prelude::*;
+use relgo::workloads::snb_queries;
+
+fn main() -> Result<()> {
+    let sf = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("generating SNB-like dataset at sf = {sf} ...");
+    let (session, schema) = Session::snb(sf, 42)?;
+    let stats = session.view().stats();
+    println!(
+        "graph: {} vertices, {} edges\n",
+        stats.total_vertices(),
+        stats.total_edges()
+    );
+
+    let queries = snb_queries::ldbc_interactive(&schema)?;
+    let modes = [
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::GRainDb,
+        OptimizerMode::UmbraLike,
+        OptimizerMode::KuzuLike,
+        OptimizerMode::RelGo,
+    ];
+
+    println!(
+        "{:<8} {:>8} {}",
+        "query",
+        "rows",
+        modes
+            .iter()
+            .map(|m| format!("{:>12}", m.name()))
+            .collect::<String>()
+    );
+    for w in queries.iter().filter(|w| {
+        // Keep the demo snappy: the 1-hop variants plus the cyclic queries.
+        !w.name.ends_with("-2") && !w.name.ends_with("-3")
+    }) {
+        let mut row = String::new();
+        let mut rows = 0;
+        for mode in modes {
+            let out = session.run(&w.query, mode)?;
+            rows = out.table.num_rows();
+            row.push_str(&format!("{:>10.2}ms", out.e2e().as_secs_f64() * 1e3));
+        }
+        println!("{:<8} {:>8} {}{}", w.name, rows, row, if w.cyclic { "  (cyclic)" } else { "" });
+    }
+
+    println!("\ncyclic micro-benchmarks (QC, distinct-vertex semantics):");
+    for w in snb_queries::qc_queries(&schema)? {
+        let relgo = session.run(&w.query, OptimizerMode::RelGo)?;
+        let noei = session.run(&w.query, OptimizerMode::RelGoNoEI);
+        let count = relgo.table.value(0, 0);
+        match noei {
+            Ok(out) => println!(
+                "{}: count={}  RelGo {:.2}ms vs NoEI {:.2}ms",
+                w.name,
+                count,
+                relgo.e2e().as_secs_f64() * 1e3,
+                out.e2e().as_secs_f64() * 1e3
+            ),
+            Err(RelGoError::ResourceExhausted(_)) => println!(
+                "{}: count={}  RelGo {:.2}ms vs NoEI OOM",
+                w.name,
+                count,
+                relgo.e2e().as_secs_f64() * 1e3
+            ),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
