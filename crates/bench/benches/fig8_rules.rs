@@ -13,11 +13,9 @@ fn bench(c: &mut Criterion) {
     for w in &qr {
         for mode in [OptimizerMode::RelGo, OptimizerMode::RelGoNoRule] {
             let _ = session.run(&w.query, mode).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(mode.name(), &w.name),
-                &w.query,
-                |b, q| b.iter(|| session.run(q, mode).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(mode.name(), &w.name), &w.query, |b, q| {
+                b.iter(|| session.run(q, mode).unwrap())
+            });
         }
     }
     group.finish();

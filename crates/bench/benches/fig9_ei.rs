@@ -17,11 +17,9 @@ fn bench(c: &mut Criterion) {
                 // paper reports it as OOM; skip benchmarking that cell.
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(mode.name(), &w.name),
-                &w.query,
-                |b, q| b.iter(|| session.run(q, mode).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(mode.name(), &w.name), &w.query, |b, q| {
+                b.iter(|| session.run(q, mode).unwrap())
+            });
         }
     }
     group.finish();

@@ -10,8 +10,20 @@ use std::fmt::Write as _;
 pub fn fig4a() -> Result<String> {
     let rows = fig4a_series(10)?;
     let mut out = String::new();
-    writeln!(out, "Fig 4a — Search space: graph-aware vs graph-agnostic (path patterns)").ok();
-    writeln!(out, "{} {} {} {}", cell("m", 3), cell("aware", 16), cell("agnostic", 22), cell("ratio", 12)).ok();
+    writeln!(
+        out,
+        "Fig 4a — Search space: graph-aware vs graph-agnostic (path patterns)"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{} {} {} {}",
+        cell("m", 3),
+        cell("aware", 16),
+        cell("agnostic", 22),
+        cell("ratio", 12)
+    )
+    .ok();
     for r in &rows {
         writeln!(
             out,
@@ -32,8 +44,21 @@ pub fn fig4b(cfg: &BenchConfig) -> Result<String> {
     let (session, schema) = Session::snb(cfg.snb_sf_small, 42)?;
     let queries = snb_queries::ldbc_interactive(&schema)?;
     let mut out = String::new();
-    writeln!(out, "Fig 4b — Optimization time (ms), Calcite-like vs RelGo (timeout {:?})", cfg.opt_timeout).ok();
-    writeln!(out, "{} {} {} {}", cell("query", 7), cell("Calcite", 12), cell("RelGo", 10), cell("visited", 12)).ok();
+    writeln!(
+        out,
+        "Fig 4b — Optimization time (ms), Calcite-like vs RelGo (timeout {:?})",
+        cfg.opt_timeout
+    )
+    .ok();
+    writeln!(
+        out,
+        "{} {} {} {}",
+        cell("query", 7),
+        cell("Calcite", 12),
+        cell("RelGo", 10),
+        cell("visited", 12)
+    )
+    .ok();
     for w in &queries {
         // RelGo: warm GLogue once, then time the optimization alone.
         let _ = session.optimize(&w.query, OptimizerMode::RelGo)?;
@@ -49,7 +74,10 @@ pub fn fig4b(cfg: &BenchConfig) -> Result<String> {
             "{} {} {} {}",
             cell(&w.name, 7),
             cell(&calcite_txt, 12),
-            cell(&format!("{:.3}", relgo_stats.elapsed.as_secs_f64() * 1e3), 10),
+            cell(
+                &format!("{:.3}", relgo_stats.elapsed.as_secs_f64() * 1e3),
+                10
+            ),
             cell(&calcite_stats.plans_visited.to_string(), 12),
         )
         .ok();
@@ -82,7 +110,12 @@ fn run_matrix(
         for mode in modes {
             let t = measure(session, &w.query, *mode, reps)?;
             match (&t, split_opt_exec) {
-                (Timing::Ok { opt_ms, exec_ms, .. }, true) => {
+                (
+                    Timing::Ok {
+                        opt_ms, exec_ms, ..
+                    },
+                    true,
+                ) => {
                     line.push_str(&cell(&format!("{opt_ms:.2}"), 14));
                     line.push_str(&cell(&format!("{exec_ms:.2}"), 14));
                 }
@@ -109,7 +142,10 @@ pub fn fig7(cfg: &BenchConfig) -> Result<String> {
     let (session, schema) = Session::snb(cfg.snb_sf_mid, 42)?;
     let all = snb_queries::ldbc_interactive(&schema)?;
     let pick = ["IC1-3", "IC2", "IC4", "IC7"];
-    let subset: Vec<&Workload> = all.iter().filter(|w| pick.contains(&w.name.as_str())).collect();
+    let subset: Vec<&Workload> = all
+        .iter()
+        .filter(|w| pick.contains(&w.name.as_str()))
+        .collect();
     run_matrix(
         &session,
         &subset,
@@ -138,7 +174,10 @@ pub fn fig7(cfg: &BenchConfig) -> Result<String> {
 pub fn fig8(cfg: &BenchConfig) -> Result<String> {
     let mut out = String::new();
     writeln!(out, "Fig 8 — RelGo vs RelGoNoRule on QR1..4 (e2e ms)").ok();
-    for (tag, sf) in [("LDBC10-like", cfg.snb_sf_small), ("LDBC30-like", cfg.snb_sf_mid)] {
+    for (tag, sf) in [
+        ("LDBC10-like", cfg.snb_sf_small),
+        ("LDBC30-like", cfg.snb_sf_mid),
+    ] {
         writeln!(out, "({tag}, sf={sf})").ok();
         let (session, schema) = Session::snb(sf, 42)?;
         let qr = snb_queries::qr_queries(&schema)?;
@@ -151,11 +190,16 @@ pub fn fig8(cfg: &BenchConfig) -> Result<String> {
             &mut out,
             false,
         )?;
-        let speedups: Vec<f64> = rows
-            .iter()
-            .map(|r| r[1].e2e_ms() / r[0].e2e_ms())
-            .collect();
-        writeln!(out, "  speedup per query: {:?}", speedups.iter().map(|s| format!("{s:.1}x")).collect::<Vec<_>>()).ok();
+        let speedups: Vec<f64> = rows.iter().map(|r| r[1].e2e_ms() / r[0].e2e_ms()).collect();
+        writeln!(
+            out,
+            "  speedup per query: {:?}",
+            speedups
+                .iter()
+                .map(|s| format!("{s:.1}x"))
+                .collect::<Vec<_>>()
+        )
+        .ok();
         writeln!(
             out,
             "  FilterIntoMatch (QR1,QR2) geomean: {:.1}x;  TrimAndFuse (QR3,QR4) geomean: {:.1}x",
@@ -171,7 +215,10 @@ pub fn fig8(cfg: &BenchConfig) -> Result<String> {
 pub fn fig9(cfg: &BenchConfig) -> Result<String> {
     let mut out = String::new();
     writeln!(out, "Fig 9 — RelGo vs RelGoNoEI on QC1..3 (e2e ms)").ok();
-    for (tag, sf) in [("LDBC10-like", cfg.snb_sf_small), ("LDBC30-like", cfg.snb_sf_mid)] {
+    for (tag, sf) in [
+        ("LDBC10-like", cfg.snb_sf_small),
+        ("LDBC30-like", cfg.snb_sf_mid),
+    ] {
         writeln!(out, "({tag}, sf={sf})").ok();
         let (session, schema) = Session::snb(sf, 42)?;
         let qc = snb_queries::qc_queries(&schema)?;
@@ -184,11 +231,16 @@ pub fn fig9(cfg: &BenchConfig) -> Result<String> {
             &mut out,
             false,
         )?;
-        let speedups: Vec<f64> = rows
-            .iter()
-            .map(|r| r[1].e2e_ms() / r[0].e2e_ms())
-            .collect();
-        writeln!(out, "  NoEI/RelGo per query: {:?}", speedups.iter().map(|s| format!("{s:.2}x")).collect::<Vec<_>>()).ok();
+        let speedups: Vec<f64> = rows.iter().map(|r| r[1].e2e_ms() / r[0].e2e_ms()).collect();
+        writeln!(
+            out,
+            "  NoEI/RelGo per query: {:?}",
+            speedups
+                .iter()
+                .map(|s| format!("{s:.2}x"))
+                .collect::<Vec<_>>()
+        )
+        .ok();
     }
     Ok(out)
 }
@@ -197,7 +249,12 @@ pub fn fig9(cfg: &BenchConfig) -> Result<String> {
 /// ten JOB queries.
 pub fn fig10(cfg: &BenchConfig) -> Result<String> {
     let mut out = String::new();
-    writeln!(out, "Fig 10 — Join-order efficiency on JOB (e2e ms), sf={}", cfg.imdb_sf).ok();
+    writeln!(
+        out,
+        "Fig 10 — Join-order efficiency on JOB (e2e ms), sf={}",
+        cfg.imdb_sf
+    )
+    .ok();
     let (session, schema) = Session::imdb(cfg.imdb_sf, 7)?;
     let jobs = job_queries::job_queries(&schema)?;
     let subset: Vec<&Workload> = jobs.iter().take(10).collect();
@@ -210,8 +267,18 @@ pub fn fig10(cfg: &BenchConfig) -> Result<String> {
     let rows = run_matrix(&session, &subset, &modes, cfg.reps, &mut out, false)?;
     let vs_graindb: Vec<f64> = rows.iter().map(|r| r[1].e2e_ms() / r[0].e2e_ms()).collect();
     let hash_vs_duck: Vec<f64> = rows.iter().map(|r| r[3].e2e_ms() / r[2].e2e_ms()).collect();
-    writeln!(out, "  RelGo vs GRainDB geomean speedup: {:.1}x", geomean(&vs_graindb)).ok();
-    writeln!(out, "  RelGoHash vs DuckDB geomean speedup: {:.1}x", geomean(&hash_vs_duck)).ok();
+    writeln!(
+        out,
+        "  RelGo vs GRainDB geomean speedup: {:.1}x",
+        geomean(&vs_graindb)
+    )
+    .ok();
+    writeln!(
+        out,
+        "  RelGoHash vs DuckDB geomean speedup: {:.1}x",
+        geomean(&hash_vs_duck)
+    )
+    .ok();
     Ok(out)
 }
 
@@ -226,13 +293,23 @@ pub fn fig11(cfg: &BenchConfig) -> Result<String> {
         OptimizerMode::GRainDb,
         OptimizerMode::KuzuLike,
     ];
-    writeln!(out, "Fig 11a — Speedup vs DuckDB on SNB-like sf={}", cfg.snb_sf_large).ok();
+    writeln!(
+        out,
+        "Fig 11a — Speedup vs DuckDB on SNB-like sf={}",
+        cfg.snb_sf_large
+    )
+    .ok();
     let (session, schema) = Session::snb(cfg.snb_sf_large, 42)?;
     let queries = snb_queries::ldbc_interactive(&schema)?;
     let refs: Vec<&Workload> = queries.iter().collect();
     speedup_table(&session, &refs, &modes, cfg.reps, &mut out)?;
 
-    writeln!(out, "\nFig 11b — Speedup vs DuckDB on IMDB-like sf={}", cfg.imdb_sf).ok();
+    writeln!(
+        out,
+        "\nFig 11b — Speedup vs DuckDB on IMDB-like sf={}",
+        cfg.imdb_sf
+    )
+    .ok();
     let (session, schema) = Session::imdb(cfg.imdb_sf, 7)?;
     let jobs = job_queries::job_queries(&schema)?;
     let refs: Vec<&Workload> = jobs.iter().collect();

@@ -83,7 +83,9 @@ impl Timing {
     /// paper treats failed runs when averaging speedups).
     pub fn e2e_ms(&self) -> f64 {
         match self {
-            Timing::Ok { opt_ms, exec_ms, .. } => opt_ms + exec_ms,
+            Timing::Ok {
+                opt_ms, exec_ms, ..
+            } => opt_ms + exec_ms,
             Timing::Oom => f64::INFINITY,
         }
     }
@@ -91,7 +93,9 @@ impl Timing {
     /// Render like the paper's tables (`12.34` or `OOM`).
     pub fn display(&self) -> String {
         match self {
-            Timing::Ok { opt_ms, exec_ms, .. } => format!("{:.2}", opt_ms + exec_ms),
+            Timing::Ok {
+                opt_ms, exec_ms, ..
+            } => format!("{:.2}", opt_ms + exec_ms),
             Timing::Oom => "OOM".to_string(),
         }
     }
@@ -145,7 +149,11 @@ pub fn cell(s: &str, width: usize) -> String {
 /// Geometric mean of positive finite values (the paper's "average
 /// speedup"); infinite entries (OOM baselines) are excluded.
 pub fn geomean(xs: &[f64]) -> f64 {
-    let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite() && *x > 0.0).collect();
+    let finite: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
     if finite.is_empty() {
         return f64::NAN;
     }
@@ -170,7 +178,9 @@ mod tests {
         let q = relgo::workloads::snb_queries::ic1(&schema, 1, 5).unwrap();
         let t = measure(&session, &q, OptimizerMode::RelGo, 2).unwrap();
         match t {
-            Timing::Ok { opt_ms, exec_ms, .. } => {
+            Timing::Ok {
+                opt_ms, exec_ms, ..
+            } => {
                 assert!(opt_ms >= 0.0 && exec_ms >= 0.0);
             }
             Timing::Oom => panic!("tiny query must not OOM"),

@@ -176,9 +176,6 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(
-            person().to_string(),
-            "(id: INT, name: STR, place_id: INT)"
-        );
+        assert_eq!(person().to_string(), "(id: INT, name: STR, place_id: INT)");
     }
 }

@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::Null,
             Value::Int(3),

@@ -246,7 +246,7 @@ fn greedy_order(stats: &LowOrderStats<'_>) -> Result<JoinTree> {
                 continue;
             }
             let c = stats.join_card(card, items, stats.item_card[j], 1 << j);
-            if best.map_or(true, |(_, bc)| c < bc) {
+            if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((j, c));
             }
         }
@@ -263,7 +263,13 @@ fn dp_order(stats: &LowOrderStats<'_>, timeout: Duration) -> Result<(JoinTree, S
     let m = stats.item_card.len();
     if m > 14 {
         // Beyond the DP budget: Umbra would switch strategies; fall back.
-        return Ok((greedy_order(stats)?, SearchStats { plans_visited: 0, timed_out: true }));
+        return Ok((
+            greedy_order(stats)?,
+            SearchStats {
+                plans_visited: 0,
+                timed_out: true,
+            },
+        ));
     }
     let start = Instant::now();
     let full: u32 = (1u32 << m) - 1;
@@ -297,13 +303,14 @@ fn dp_order(stats: &LowOrderStats<'_>, timeout: Duration) -> Result<(JoinTree, S
             let left = sub | low;
             let right = s & !left;
             if right != 0 {
-                if let (Some((cl, kl, tl)), Some((cr, kr, tr))) = (best.get(&left), best.get(&right))
+                if let (Some((cl, kl, tl)), Some((cr, kr, tr))) =
+                    (best.get(&left), best.get(&right))
                 {
                     if stats.connected(left, right) {
                         visited += 1;
                         let out = stats.join_card(*kl, left, *kr, right);
                         let cost = cl + cr + out; // C_out
-                        if chosen.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                        if chosen.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                             chosen = Some((
                                 cost,
                                 out,
@@ -360,7 +367,7 @@ fn exhaustive_order(
         timed_out: &mut bool,
     ) -> Option<(f64, f64, JoinTree)> {
         *visited += 1;
-        if *visited % 64 == 0 && start.elapsed() > timeout {
+        if (*visited).is_multiple_of(64) && start.elapsed() > timeout {
             *timed_out = true;
         }
         if *timed_out {
@@ -377,23 +384,20 @@ fn exhaustive_order(
         loop {
             let left = sub | low;
             let right = s & !left;
-            if right != 0 && stats.connected(left, right) && connected_set(stats, left)
+            if right != 0
+                && stats.connected(left, right)
+                && connected_set(stats, left)
                 && connected_set(stats, right)
             {
-                if let Some((cl, kl, tl)) =
-                    explore(stats, left, start, timeout, visited, timed_out)
+                if let Some((cl, kl, tl)) = explore(stats, left, start, timeout, visited, timed_out)
                 {
                     if let Some((cr, kr, tr)) =
                         explore(stats, right, start, timeout, visited, timed_out)
                     {
                         let out = stats.join_card(kl, left, kr, right);
                         let cost = cl + cr + out;
-                        if best.as_ref().map_or(true, |(c, _, _)| cost < *c) {
-                            best = Some((
-                                cost,
-                                out,
-                                JoinTree::Join(Box::new(tl), Box::new(tr)),
-                            ));
+                        if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                            best = Some((cost, out, JoinTree::Join(Box::new(tl), Box::new(tr))));
                         }
                     }
                 }
@@ -465,11 +469,10 @@ fn tree_to_plan(
     if !stats.with_vertex_items {
         for v in 0..pattern.vertex_count() {
             if pattern.vertex(v).predicate.is_some() {
-                let site = pattern
-                    .incident_edges(v)
-                    .into_iter()
-                    .min()
-                    .ok_or_else(|| RelGoError::plan("predicated vertex has no incident edge"))?;
+                let site =
+                    pattern.incident_edges(v).into_iter().min().ok_or_else(|| {
+                        RelGoError::plan("predicated vertex has no incident edge")
+                    })?;
                 filter_site.insert(v, site);
             }
         }
@@ -603,10 +606,9 @@ pub fn upgrade_to_predefined_joins(pattern: &Pattern, op: GraphOp) -> GraphOp {
                             if v == to {
                                 vertex_predicate = Some(match vertex_predicate {
                                     None => pred,
-                                    Some(p) => relgo_storage::ScalarExpr::And(
-                                        Box::new(p),
-                                        Box::new(pred),
-                                    ),
+                                    Some(p) => {
+                                        relgo_storage::ScalarExpr::And(Box::new(p), Box::new(pred))
+                                    }
                                 });
                             } else {
                                 input = Box::new(GraphOp::FilterVertex {
@@ -699,7 +701,10 @@ fn as_edge_leaf(op: &GraphOp) -> Option<(usize, Vec<(usize, relgo_storage::Scala
         match cur {
             GraphOp::ScanEdge { e, .. } => return Some((*e, filters)),
             GraphOp::FilterVertex {
-                input, v, predicate, ..
+                input,
+                v,
+                predicate,
+                ..
             } => {
                 filters.push((*v, predicate.clone()));
                 cur = input;
@@ -768,15 +773,10 @@ pub fn kuzu_heuristic_plan(pattern: &Pattern, view: &GraphView) -> Result<GraphO
             }
         }
         // Then expand the lowest-indexed frontier edge.
-        if let Some((ei, e)) = pattern
-            .edges()
-            .iter()
-            .enumerate()
-            .find(|(ei, e)| {
-                bound_e & (1 << ei) == 0
-                    && (bound_v & (1 << e.src) != 0) != (bound_v & (1 << e.dst) != 0)
-            })
-        {
+        if let Some((ei, e)) = pattern.edges().iter().enumerate().find(|(ei, e)| {
+            bound_e & (1 << ei) == 0
+                && (bound_v & (1 << e.src) != 0) != (bound_v & (1 << e.dst) != 0)
+        }) {
             let src_bound = bound_v & (1 << e.src) != 0;
             let (from, to, dir) = if src_bound {
                 (e.src, e.dst, Direction::Out)
@@ -897,8 +897,8 @@ mod tests {
     #[test]
     fn greedy_covers_all_edges_with_joins() {
         let v = view();
-        let (plan, _) = optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Greedy, false))
-            .unwrap();
+        let (plan, _) =
+            optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Greedy, false)).unwrap();
         let bound = plan.bound_elements(&triangle());
         for e in 0..3 {
             assert!(bound.contains(&PatternElem::Edge(e)), "edge {e} unbound");
@@ -933,8 +933,8 @@ mod tests {
     #[test]
     fn dp_and_exhaustive_agree_on_small_patterns() {
         let v = view();
-        let (dp, s1) = optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::DpSize, false))
-            .unwrap();
+        let (dp, s1) =
+            optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::DpSize, false)).unwrap();
         let (ex, s2) =
             optimize_agnostic(&triangle(), &v, &cfg(JoinOrderAlgo::Exhaustive, false)).unwrap();
         assert!(!s1.timed_out);
@@ -945,7 +945,10 @@ mod tests {
         for plan in [&dp, &ex] {
             let bound = plan.bound_elements(&triangle());
             assert_eq!(
-                bound.iter().filter(|e| matches!(e, PatternElem::Edge(_))).count(),
+                bound
+                    .iter()
+                    .filter(|e| matches!(e, PatternElem::Edge(_)))
+                    .count(),
                 3
             );
         }

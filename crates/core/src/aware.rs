@@ -54,11 +54,7 @@ struct Best {
 }
 
 /// Optimize the matching of `pattern` into a physical graph plan.
-pub fn optimize_pattern(
-    pattern: &Pattern,
-    glogue: &GLogue,
-    cfg: &AwareConfig,
-) -> Result<GraphOp> {
+pub fn optimize_pattern(pattern: &Pattern, glogue: &GLogue, cfg: &AwareConfig) -> Result<GraphOp> {
     let n = pattern.vertex_count();
     let full = full_set(n);
     let mut best: FxHashMap<VertexSet, Best> = FxHashMap::default();
@@ -140,13 +136,12 @@ pub fn optimize_pattern(
                     }
                 }
             };
-            if chosen.as_ref().map_or(true, |c| candidate.cost < c.cost) {
+            if chosen.as_ref().is_none_or(|c| candidate.cost < c.cost) {
                 chosen = Some(candidate);
             }
         }
-        let chosen = chosen.ok_or_else(|| {
-            RelGoError::plan(format!("no decomposition found for subset {s:#b}"))
-        })?;
+        let chosen = chosen
+            .ok_or_else(|| RelGoError::plan(format!("no decomposition found for subset {s:#b}")))?;
         best.insert(s, chosen);
     }
 
@@ -270,7 +265,11 @@ fn no_ei_candidate(
         // GLogue's subset lookup does not apply).
         let e = pattern.edge(edges[0]);
         let from_v = if e.src == new_vertex { e.dst } else { e.src };
-        let dir = if e.src == from_v { Direction::Out } else { Direction::In };
+        let dir = if e.src == from_v {
+            Direction::Out
+        } else {
+            Direction::In
+        };
         b.card * glogue.avg_degree(e.label, dir).max(1e-3)
     })?;
     let mut acc = first;
@@ -435,7 +434,9 @@ mod tests {
             GraphOp::Expand { input, from, .. } => {
                 assert_eq!(*from, 0, "expansion starts at Tom");
                 match input.as_ref() {
-                    GraphOp::ScanVertex { v: 0, predicate, .. } => {
+                    GraphOp::ScanVertex {
+                        v: 0, predicate, ..
+                    } => {
                         assert!(predicate.is_some())
                     }
                     other => panic!("unexpected entry {other:?}"),

@@ -94,7 +94,13 @@ pub fn spj_to_spjm(spj: &SpjQuery, view: &GraphView, db: &Database) -> Result<Co
         let dst_col = t.schema().index_of(&em.dst_key)?;
         edge_meta.insert(
             em.table.as_str(),
-            (label, src_col, dst_col, em.src_table.clone(), em.dst_table.clone()),
+            (
+                label,
+                src_col,
+                dst_col,
+                em.src_table.clone(),
+                em.dst_table.clone(),
+            ),
         );
     }
     let pk_col = |table: &str| -> Result<usize> {
@@ -199,8 +205,11 @@ pub fn spj_to_spjm(spj: &SpjQuery, view: &GraphView, db: &Database) -> Result<Co
     // occurrence, plus every column a *surviving* join condition needs.
     let mut columns: Vec<GraphColumn> = Vec::new();
     let mut col_index: FxHashMap<(usize, usize), usize> = FxHashMap::default();
-    let graph_col = |occ: usize, col: usize, fold: &[Option<Fold>], columns: &mut Vec<GraphColumn>,
-                         col_index: &mut FxHashMap<(usize, usize), usize>|
+    let graph_col = |occ: usize,
+                     col: usize,
+                     fold: &[Option<Fold>],
+                     columns: &mut Vec<GraphColumn>,
+                     col_index: &mut FxHashMap<(usize, usize), usize>|
      -> Option<usize> {
         if let Some(&g) = col_index.get(&(occ, col)) {
             return Some(g);
@@ -302,7 +311,10 @@ pub fn spj_to_spjm(spj: &SpjQuery, view: &GraphView, db: &Database) -> Result<Co
             for (ri, t) in rel_tables.iter().enumerate() {
                 if let Some(p) = &t.predicate {
                     let off = rel_offsets[ri];
-                    sel = Some(ScalarExpr::conjoin(sel.take(), p.remap_columns(&|c| c + off)));
+                    sel = Some(ScalarExpr::conjoin(
+                        sel.take(),
+                        p.remap_columns(&|c| c + off),
+                    ));
                 }
             }
             sel
@@ -495,22 +507,64 @@ mod tests {
     fn fig1_spj() -> SpjQuery {
         SpjQuery {
             tables: vec![
-                SpjTable { table: "Person".into(), predicate: Some(ScalarExpr::col_eq(1, "Tom")) }, // 0 = p1
-                SpjTable { table: "Likes".into(), predicate: None },  // 1 = l1
-                SpjTable { table: "Message".into(), predicate: None }, // 2 = m
-                SpjTable { table: "Likes".into(), predicate: None },  // 3 = l2
-                SpjTable { table: "Person".into(), predicate: None }, // 4 = p2
-                SpjTable { table: "Knows".into(), predicate: None },  // 5 = k
-                SpjTable { table: "Place".into(), predicate: None },  // 6
+                SpjTable {
+                    table: "Person".into(),
+                    predicate: Some(ScalarExpr::col_eq(1, "Tom")),
+                }, // 0 = p1
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                }, // 1 = l1
+                SpjTable {
+                    table: "Message".into(),
+                    predicate: None,
+                }, // 2 = m
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                }, // 3 = l2
+                SpjTable {
+                    table: "Person".into(),
+                    predicate: None,
+                }, // 4 = p2
+                SpjTable {
+                    table: "Knows".into(),
+                    predicate: None,
+                }, // 5 = k
+                SpjTable {
+                    table: "Place".into(),
+                    predicate: None,
+                }, // 6
             ],
             joins: vec![
-                SpjJoin { left: (1, 1), right: (0, 0) }, // l1.pid = p1.person_id
-                SpjJoin { left: (1, 2), right: (2, 0) }, // l1.mid = m.message_id
-                SpjJoin { left: (3, 2), right: (2, 0) }, // l2.mid = m.message_id
-                SpjJoin { left: (3, 1), right: (4, 0) }, // l2.pid = p2.person_id
-                SpjJoin { left: (5, 1), right: (0, 0) }, // k.pid1 = p1.person_id
-                SpjJoin { left: (5, 2), right: (4, 0) }, // k.pid2 = p2.person_id
-                SpjJoin { left: (0, 2), right: (6, 0) }, // p1.place_id = Place.id
+                SpjJoin {
+                    left: (1, 1),
+                    right: (0, 0),
+                }, // l1.pid = p1.person_id
+                SpjJoin {
+                    left: (1, 2),
+                    right: (2, 0),
+                }, // l1.mid = m.message_id
+                SpjJoin {
+                    left: (3, 2),
+                    right: (2, 0),
+                }, // l2.mid = m.message_id
+                SpjJoin {
+                    left: (3, 1),
+                    right: (4, 0),
+                }, // l2.pid = p2.person_id
+                SpjJoin {
+                    left: (5, 1),
+                    right: (0, 0),
+                }, // k.pid1 = p1.person_id
+                SpjJoin {
+                    left: (5, 2),
+                    right: (4, 0),
+                }, // k.pid2 = p2.person_id
+                SpjJoin {
+                    left: (0, 2),
+                    right: (6, 0),
+                }, // p1.place_id = Place.id
             ],
             projection: vec![(4, 1), (6, 1)], // p2.name, Place.pname
         }
@@ -531,7 +585,10 @@ mod tests {
         assert!(q.pattern.has_predicates());
         assert!(conv.summary.iter().any(|s| s.contains("stays relational")));
         assert_eq!(
-            conv.summary.iter().filter(|s| s.contains("pattern edge")).count(),
+            conv.summary
+                .iter()
+                .filter(|s| s.contains("pattern edge"))
+                .count(),
             3
         );
     }
@@ -559,14 +616,27 @@ mod tests {
         // Likes ⋈ Person only (message endpoint never joined).
         let spj = SpjQuery {
             tables: vec![
-                SpjTable { table: "Likes".into(), predicate: None },
-                SpjTable { table: "Person".into(), predicate: None },
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                },
+                SpjTable {
+                    table: "Person".into(),
+                    predicate: None,
+                },
             ],
-            joins: vec![SpjJoin { left: (0, 1), right: (1, 0) }],
+            joins: vec![SpjJoin {
+                left: (0, 1),
+                right: (1, 0),
+            }],
             projection: vec![(1, 1)],
         };
         let conv = spj_to_spjm(&spj, &view, &db).unwrap();
-        assert_eq!(conv.query.pattern.vertex_count(), 2, "implicit Message vertex");
+        assert_eq!(
+            conv.query.pattern.vertex_count(),
+            2,
+            "implicit Message vertex"
+        );
         assert_eq!(conv.query.pattern.edge_count(), 1);
         // Row multiplicity is preserved (λ totality): 4 likes → 4 rows.
         let plain = evaluate_spj(&spj, &db).unwrap();
@@ -577,7 +647,10 @@ mod tests {
     fn pure_relational_query_is_rejected() {
         let (view, db) = setup();
         let spj = SpjQuery {
-            tables: vec![SpjTable { table: "Place".into(), predicate: None }],
+            tables: vec![SpjTable {
+                table: "Place".into(),
+                predicate: None,
+            }],
             joins: vec![],
             projection: vec![(0, 1)],
         };
@@ -590,8 +663,14 @@ mod tests {
         // Two unrelated Likes occurrences with no shared vertex.
         let spj = SpjQuery {
             tables: vec![
-                SpjTable { table: "Likes".into(), predicate: None },
-                SpjTable { table: "Likes".into(), predicate: None },
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                },
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                },
             ],
             joins: vec![],
             projection: vec![(0, 0), (1, 0)],
@@ -608,9 +687,15 @@ mod tests {
                     table: "Person".into(),
                     predicate: Some(ScalarExpr::col_eq(1, "Bob")),
                 },
-                SpjTable { table: "Likes".into(), predicate: None },
+                SpjTable {
+                    table: "Likes".into(),
+                    predicate: None,
+                },
             ],
-            joins: vec![SpjJoin { left: (1, 1), right: (0, 0) }],
+            joins: vec![SpjJoin {
+                left: (1, 1),
+                right: (0, 0),
+            }],
             projection: vec![(0, 1), (1, 3)],
         };
         let out = evaluate_spj(&spj, &db).unwrap();

@@ -329,7 +329,10 @@ impl GraphOp {
                 right.explain_into(out, indent + 1, names);
             }
             GraphOp::FilterVertex {
-                input, v, predicate, ..
+                input,
+                v,
+                predicate,
+                ..
             } => {
                 let _ = writeln!(
                     out,

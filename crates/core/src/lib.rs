@@ -34,8 +34,8 @@ pub mod rel_plan;
 pub mod rules;
 pub mod spjm;
 
+pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
 pub use graph_plan::{GraphOp, PatternElem};
 pub use optimizer::{optimize, OptStats, OptimizerMode, PlannerContext};
 pub use rel_plan::{PhysicalPlan, RelOp};
-pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
 pub use spjm::{AggSpec, AttrRef, GraphColumn, SpjmBuilder, SpjmQuery};

@@ -429,8 +429,8 @@ mod tests {
     fn all_modes_produce_plans_for_fig1() {
         let ctx = setup();
         for mode in OptimizerMode::ALL {
-            let (plan, _) = optimize(&fig1_query(), mode, &ctx)
-                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            let (plan, _) =
+                optimize(&fig1_query(), mode, &ctx).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
             let s = plan.explain();
             assert!(s.contains("SCAN_GRAPH_TABLE"), "{mode:?}\n{s}");
         }
@@ -445,7 +445,10 @@ mod tests {
             "FilterIntoMatchRule must constrain p1"
         );
         let s = plan.explain();
-        assert!(!s.contains("SELECTION ($0 = 'Tom')"), "filter is gone:\n{s}");
+        assert!(
+            !s.contains("SELECTION ($0 = 'Tom')"),
+            "filter is gone:\n{s}"
+        );
     }
 
     #[test]

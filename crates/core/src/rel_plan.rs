@@ -89,7 +89,10 @@ impl RelOp {
             RelOp::ScanGraphTable { columns, .. } => {
                 let mut fields = Vec::with_capacity(columns.len());
                 for c in columns {
-                    fields.push(Field::new(c.alias.clone(), graph_column_dtype(pattern, view, c)?));
+                    fields.push(Field::new(
+                        c.alias.clone(),
+                        graph_column_dtype(pattern, view, c)?,
+                    ));
                 }
                 Schema::new(fields)
             }
@@ -101,17 +104,13 @@ impl RelOp {
             | RelOp::Distinct { input }
             | RelOp::Sort { input, .. }
             | RelOp::Limit { input, .. } => input.schema(pattern, view, db),
-            RelOp::Project { input, cols } => {
-                Ok(input.schema(pattern, view, db)?.project(cols))
-            }
+            RelOp::Project { input, cols } => Ok(input.schema(pattern, view, db)?.project(cols)),
             RelOp::Aggregate { input, aggs } => {
                 let in_schema = input.schema(pattern, view, db)?;
                 let mut fields = Vec::with_capacity(aggs.len());
                 for (i, a) in aggs.iter().enumerate() {
                     let (name, dtype) = match a.func {
-                        relgo_storage::ops::AggFunc::Count => {
-                            (format!("count_{i}"), DataType::Int)
-                        }
+                        relgo_storage::ops::AggFunc::Count => (format!("count_{i}"), DataType::Int),
                         relgo_storage::ops::AggFunc::Min => (
                             format!("min_{}", in_schema.field(a.column).name),
                             in_schema.field(a.column).dtype,
@@ -133,9 +132,7 @@ impl RelOp {
         match self {
             RelOp::ScanGraphTable { graph, .. } => Some(graph),
             RelOp::ScanTable { .. } => None,
-            RelOp::HashJoin { left, right, .. } => {
-                left.graph_plan().or_else(|| right.graph_plan())
-            }
+            RelOp::HashJoin { left, right, .. } => left.graph_plan().or_else(|| right.graph_plan()),
             RelOp::Filter { input, .. }
             | RelOp::Project { input, .. }
             | RelOp::Aggregate { input, .. }
@@ -192,9 +189,7 @@ impl RelOp {
             RelOp::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!("${}{}", k.column, if k.descending { " DESC" } else { "" })
-                    })
+                    .map(|k| format!("${}{}", k.column, if k.descending { " DESC" } else { "" }))
                     .collect();
                 let _ = writeln!(out, "{pad}ORDER_BY [{}]", ks.join(", "));
                 input.explain_into(out, indent + 1, names);

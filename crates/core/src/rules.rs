@@ -35,7 +35,10 @@ pub fn conjoin_all(parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
 /// If every column referenced by `conjunct` is a graph column projected
 /// (as a plain attribute) from one single pattern element, return that
 /// element and the conjunct rewritten over the element's backing relation.
-fn pushable_target(query: &SpjmQuery, conjunct: &ScalarExpr) -> Option<(PatternElemRef, ScalarExpr)> {
+fn pushable_target(
+    query: &SpjmQuery,
+    conjunct: &ScalarExpr,
+) -> Option<(PatternElemRef, ScalarExpr)> {
     let refs = conjunct.referenced_columns();
     if refs.is_empty() {
         return None;
@@ -309,7 +312,10 @@ mod tests {
         ));
         let q = b.build();
         let rewritten = filter_into_match(&q);
-        assert!(rewritten.selection.is_some(), "cross-element predicate kept");
+        assert!(
+            rewritten.selection.is_some(),
+            "cross-element predicate kept"
+        );
         assert!(!rewritten.pattern.has_predicates());
     }
 

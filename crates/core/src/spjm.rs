@@ -90,11 +90,7 @@ impl SpjmQuery {
     }
 
     /// Compute the global schema against a graph view and its database.
-    pub fn global_schema(
-        &self,
-        view: &GraphView,
-        db: &relgo_storage::Database,
-    ) -> Result<Schema> {
+    pub fn global_schema(&self, view: &GraphView, db: &relgo_storage::Database) -> Result<Schema> {
         let mut fields = Vec::new();
         for c in &self.columns {
             fields.push(Field::new(c.alias.clone(), self.column_dtype(view, c)?));
@@ -313,7 +309,8 @@ impl SpjmBuilder {
 
     /// ORDER BY an output column (position in the final projection).
     pub fn order_by(&mut self, column: usize, descending: bool) -> &mut Self {
-        self.order_by.push(relgo_storage::ops::SortKey { column, descending });
+        self.order_by
+            .push(relgo_storage::ops::SortKey { column, descending });
         self
     }
 
@@ -376,9 +373,6 @@ mod tests {
         let q = b.build();
         // Validation needs a view; structural element bound check fires
         // before any schema resolution, so exercise it via direct check.
-        assert!(matches!(
-            q.columns[0].element,
-            PatternElemRef::Vertex(7)
-        ));
+        assert!(matches!(q.columns[0].element, PatternElemRef::Vertex(7)));
     }
 }

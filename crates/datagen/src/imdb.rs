@@ -27,7 +27,10 @@ pub struct ImdbParams {
 
 impl Default for ImdbParams {
     fn default() -> Self {
-        ImdbParams { sf: 0.25, seed: 4242 }
+        ImdbParams {
+            sf: 0.25,
+            seed: 4242,
+        }
     }
 }
 
@@ -75,11 +78,17 @@ pub fn generate_imdb(params: &ImdbParams) -> (Database, RGMapping) {
         "company_type",
         Schema::of(&[("id", DataType::Int), ("kind", DataType::Str)]),
     );
-    for (i, kind) in ["production companies", "distributors", "special effects", "misc"]
-        .iter()
-        .enumerate()
+    for (i, kind) in [
+        "production companies",
+        "distributors",
+        "special effects",
+        "misc",
+    ]
+    .iter()
+    .enumerate()
     {
-        t.push_row(vec![Value::Int(i as i64), Value::str(*kind)]).unwrap();
+        t.push_row(vec![Value::Int(i as i64), Value::str(*kind)])
+            .unwrap();
     }
     db.add_table(t.finish());
     db.set_primary_key("company_type", "id").unwrap();
@@ -88,11 +97,19 @@ pub fn generate_imdb(params: &ImdbParams) -> (Database, RGMapping) {
         "info_type",
         Schema::of(&[("id", DataType::Int), ("info", DataType::Str)]),
     );
-    for (i, info) in ["budget", "rating", "genres", "languages", "runtimes", "votes"]
-        .iter()
-        .enumerate()
+    for (i, info) in [
+        "budget",
+        "rating",
+        "genres",
+        "languages",
+        "runtimes",
+        "votes",
+    ]
+    .iter()
+    .enumerate()
     {
-        t.push_row(vec![Value::Int(i as i64), Value::str(*info)]).unwrap();
+        t.push_row(vec![Value::Int(i as i64), Value::str(*info)])
+            .unwrap();
     }
     db.add_table(t.finish());
     db.set_primary_key("info_type", "id").unwrap();
@@ -177,7 +194,8 @@ pub fn generate_imdb(params: &ImdbParams) -> (Database, RGMapping) {
         } else {
             format!("keyword_{i}")
         };
-        t.push_row(vec![Value::Int(i as i64), Value::str(kw)]).unwrap();
+        t.push_row(vec![Value::Int(i as i64), Value::str(kw)])
+            .unwrap();
     }
     db.add_table(t.finish());
     db.set_primary_key("keyword", "id").unwrap();
@@ -308,8 +326,20 @@ pub fn imdb_mapping() -> RGMapping {
             "movie_id",
             "title",
         )
-        .edge("movie_keyword", "keyword_id", "keyword", "movie_id", "title")
-        .edge("movie_info", "info_type_id", "info_type", "movie_id", "title")
+        .edge(
+            "movie_keyword",
+            "keyword_id",
+            "keyword",
+            "movie_id",
+            "title",
+        )
+        .edge(
+            "movie_info",
+            "info_type_id",
+            "info_type",
+            "movie_id",
+            "title",
+        )
 }
 
 #[cfg(test)]

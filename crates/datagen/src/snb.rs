@@ -13,10 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use relgo_common::Schema;
 use relgo_common::{DataType, Value};
 use relgo_graph::RGMapping;
 use relgo_storage::{Database, TableBuilder};
-use relgo_common::Schema;
 
 /// Scale parameters of the SNB-like generator.
 #[derive(Debug, Clone, Copy)]
@@ -73,8 +73,11 @@ pub fn generate_snb(params: &SnbParams) -> (Database, RGMapping) {
         COUNTRIES,
     );
     for i in 0..COUNTRIES {
-        t.push_row(vec![Value::Int(i as i64), Value::str(format!("country_{i}"))])
-            .expect("static row");
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("country_{i}")),
+        ])
+        .expect("static row");
     }
     db.add_table(t.finish());
     db.set_primary_key("Place", "id").unwrap();
@@ -112,8 +115,11 @@ pub fn generate_snb(params: &SnbParams) -> (Database, RGMapping) {
     );
     let mut company_place = Vec::with_capacity(COMPANIES);
     for i in 0..COMPANIES {
-        t.push_row(vec![Value::Int(i as i64), Value::str(format!("company_{i}"))])
-            .unwrap();
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("company_{i}")),
+        ])
+        .unwrap();
         company_place.push(skewed(&mut rng, COUNTRIES));
     }
     db.add_table(t.finish());

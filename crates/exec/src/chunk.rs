@@ -268,7 +268,9 @@ mod tests {
             .extend(&[0, 1], Some((1, vec![10, 20])), vec![(0, vec![100, 200])])
             .unwrap();
         let right = GraphChunk::from_vertex(3, 1, 1, vec![10, 30]);
-        let right = right.extend(&[0, 1], Some((2, vec![7, 8])), vec![]).unwrap();
+        let right = right
+            .extend(&[0, 1], Some((2, vec![7, 8])), vec![])
+            .unwrap();
         let mut out = GraphChunk::join_layout(&left, &right);
         // Join left row 0 (v1 = 10) with right row 0 (v1 = 10).
         out.push_joined(&left, 0, &right, 0).unwrap();

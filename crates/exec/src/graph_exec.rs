@@ -115,7 +115,10 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
             join_chunks(&l, &r, on_vertices, on_edges, ctx)
         }
         GraphOp::FilterVertex {
-            input, v, predicate, ..
+            input,
+            v,
+            predicate,
+            ..
         } => {
             let inp = execute_graph(input, ctx)?;
             let label = ctx.pattern.vertex(*v).label;
@@ -133,7 +136,11 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
 }
 
 /// `SCAN_EDGE`: bind the edge and both endpoints.
-fn scan_edge(e: usize, predicate: Option<&ScalarExpr>, ctx: &GraphExecContext<'_>) -> Result<GraphChunk> {
+fn scan_edge(
+    e: usize,
+    predicate: Option<&ScalarExpr>,
+    ctx: &GraphExecContext<'_>,
+) -> Result<GraphChunk> {
     let pe = ctx.pattern.edge(e);
     let table = ctx.view.edge_table(pe.label);
     let rows: Vec<RowId> = match predicate {
@@ -181,11 +188,7 @@ enum Adjacency<'a> {
 }
 
 impl<'a> Adjacency<'a> {
-    fn build(
-        edge: usize,
-        dir: Direction,
-        ctx: &'a GraphExecContext<'_>,
-    ) -> Result<Adjacency<'a>> {
+    fn build(edge: usize, dir: Direction, ctx: &'a GraphExecContext<'_>) -> Result<Adjacency<'a>> {
         let pe = ctx.pattern.edge(edge);
         if ctx.use_index {
             return Ok(Adjacency::Indexed {
@@ -527,7 +530,11 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn ctx<'a>(view: &'a GraphView, pattern: &'a relgo_pattern::Pattern, idx: bool) -> GraphExecContext<'a> {
+    fn ctx<'a>(
+        view: &'a GraphView,
+        pattern: &'a relgo_pattern::Pattern,
+        idx: bool,
+    ) -> GraphExecContext<'a> {
         GraphExecContext {
             view,
             pattern,
@@ -594,9 +601,7 @@ mod tests {
         assert!(out.binds_vertex(2));
         assert!(out.binds_edge(0));
         // Edge row 1 (l2): Bob (row 1) likes m1 (row 0).
-        let row = (0..4)
-            .find(|&i| out.edge_at(0, i).unwrap() == 1)
-            .unwrap();
+        let row = (0..4).find(|&i| out.edge_at(0, i).unwrap() == 1).unwrap();
         assert_eq!(out.vertex_at(0, row).unwrap(), 1);
         assert_eq!(out.vertex_at(2, row).unwrap(), 0);
     }

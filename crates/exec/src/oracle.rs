@@ -13,10 +13,7 @@ use relgo_storage::{Database, Table};
 
 /// Enumerate all homomorphisms of `pattern` in `view` by naive
 /// backtracking. Returns (vertex bindings, edge bindings) per match.
-pub fn match_pattern(
-    view: &GraphView,
-    pattern: &Pattern,
-) -> Result<Vec<(Vec<RowId>, Vec<RowId>)>> {
+pub fn match_pattern(view: &GraphView, pattern: &Pattern) -> Result<Vec<(Vec<RowId>, Vec<RowId>)>> {
     let index = view
         .index()
         .ok_or_else(|| RelGoError::execution("oracle requires the graph index"))?;
@@ -80,7 +77,16 @@ pub fn match_pattern(
             }
             vbind[v] = w;
             bind_edges(
-                view, index, pattern, order, depth, &constraints, 0, vbind, ebind, out,
+                view,
+                index,
+                pattern,
+                order,
+                depth,
+                &constraints,
+                0,
+                vbind,
+                ebind,
+                out,
             )?;
             vbind[v] = u32::MAX;
         }

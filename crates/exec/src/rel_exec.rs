@@ -62,7 +62,9 @@ fn exec_rel(
             };
             let chunk = execute_graph(graph, &ctx)?;
             let chunk = apply_semantics(&chunk, pattern, view)?;
-            Ok(Arc::new(project_graph_table(&chunk, pattern, view, columns)?))
+            Ok(Arc::new(project_graph_table(
+                &chunk, pattern, view, columns,
+            )?))
         }
         RelOp::ScanTable { table, predicate } => {
             let t = db.table(table)?;
@@ -140,8 +142,7 @@ pub fn apply_semantics(
             for (e, pe) in pattern.edges().iter().enumerate() {
                 groups.entry(pe.label.0).or_default().push(e);
             }
-            let groups: Vec<Vec<usize>> =
-                groups.into_values().filter(|g| g.len() > 1).collect();
+            let groups: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
             if groups.is_empty() {
                 return Ok(chunk.clone());
             }

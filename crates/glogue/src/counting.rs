@@ -54,12 +54,7 @@ pub fn traversal_order(pattern: &Pattern) -> Vec<usize> {
         // exists; patterns are connected).
         let next = (0..n)
             .filter(|&v| !seen[v])
-            .find(|&v| {
-                pattern
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| seen[u])
-            })
+            .find(|&v| pattern.neighbors(v).iter().any(|&u| seen[u]))
             .expect("pattern is connected");
         seen[next] = true;
         order.push(next);
@@ -139,12 +134,19 @@ fn extend(
             (binding[other] != u32::MAX).then_some((e, other, v_is_dst))
         })
         .collect();
-    debug_assert!(!constraints.is_empty(), "traversal order keeps connectivity");
+    debug_assert!(
+        !constraints.is_empty(),
+        "traversal order keeps connectivity"
+    );
 
     // Candidates: the (sorted) neighbor list through the first constraint,
     // deduplicated; remaining constraints contribute multiplicities.
     let (e0, u0, v_is_dst0) = constraints[0];
-    let dir0 = if v_is_dst0 { Direction::Out } else { Direction::In };
+    let dir0 = if v_is_dst0 {
+        Direction::Out
+    } else {
+        Direction::In
+    };
     let (_, nbrs) = index.neighbors(pattern.edge(e0).label, dir0, binding[u0]);
 
     let mut total = 0f64;
@@ -338,7 +340,10 @@ mod tests {
         let p1 = b.vertex("p1", person());
         let m = b.vertex("m", message());
         let e = b.edge(p1, m, likes()).unwrap();
-        b.edge_predicate(e, ScalarExpr::col_cmp(3, relgo_storage::BinaryOp::Ge, Value::Date(28)));
+        b.edge_predicate(
+            e,
+            ScalarExpr::col_cmp(3, relgo_storage::BinaryOp::Ge, Value::Date(28)),
+        );
         let p = b.build().unwrap();
         // Likes with date ≥ 28: l1 (31) and l2 (28).
         assert_eq!(count_homomorphisms(&g, &p, 1).unwrap(), 2.0);

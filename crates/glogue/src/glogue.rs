@@ -153,9 +153,9 @@ impl GLogue {
         }
         let closure_size = nbrs.len() + 1;
         if closure_size <= self.k {
-            let nbr_set = nbrs.iter().fold(0 as VertexSet, |s, &u| {
-                decompose::insert(s, u)
-            });
+            let nbr_set = nbrs
+                .iter()
+                .fold(0 as VertexSet, |s, &u| decompose::insert(s, u));
             // The neighbors-only pattern must be connected to be countable;
             // if not (e.g. two far-apart anchors), fall back to pairwise.
             if is_induced_connected(p, nbr_set) {
@@ -295,7 +295,11 @@ mod tests {
     #[test]
     fn requires_index() {
         let mut db = Database::new();
-        db.add_table(table_of("V", &[("id", DataType::Int)], vec![vec![1.into()]]));
+        db.add_table(table_of(
+            "V",
+            &[("id", DataType::Int)],
+            vec![vec![1.into()]],
+        ));
         db.set_primary_key("V", "id").unwrap();
         let g = GraphView::build(&mut db, RGMapping::new().vertex("V")).unwrap();
         assert!(GLogue::new(Arc::new(g), 3, 1).is_err());

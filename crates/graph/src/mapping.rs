@@ -6,8 +6,8 @@
 //! REFERENCE` clauses define the λˢ/λᵗ total functions through
 //! primary-foreign-key relationships.
 
-use relgo_storage::Database;
 use relgo_common::{RelGoError, Result};
+use relgo_storage::Database;
 
 /// A vertex mapping: one relation whose tuples become vertices labeled with
 /// the relation's name (or an explicit label).
@@ -223,7 +223,9 @@ mod tests {
 
     #[test]
     fn duplicate_labels_rejected() {
-        let m = RGMapping::new().vertex("Person").vertex_as("Message", "Person");
+        let m = RGMapping::new()
+            .vertex("Person")
+            .vertex_as("Message", "Person");
         assert!(m.validate(&db()).is_err());
     }
 

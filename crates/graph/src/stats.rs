@@ -88,7 +88,12 @@ mod tests {
         db.add_table(table_of(
             "V",
             &[("id", DataType::Int)],
-            vec![vec![1.into()], vec![2.into()], vec![3.into()], vec![4.into()]],
+            vec![
+                vec![1.into()],
+                vec![2.into()],
+                vec![3.into()],
+                vec![4.into()],
+            ],
         ));
         db.add_table(table_of(
             "E",

@@ -211,10 +211,7 @@ mod tests {
         db.add_table(table_of(
             "Message",
             &[("message_id", DataType::Int), ("content", DataType::Str)],
-            vec![
-                vec![100.into(), "m1".into()],
-                vec![200.into(), "m2".into()],
-            ],
+            vec![vec![100.into(), "m1".into()], vec![200.into(), "m2".into()]],
         ));
         db.add_table(table_of(
             "Likes",

@@ -47,13 +47,7 @@ fn encode(p: &Pattern, perm: &[usize]) -> Vec<u32> {
     let mut edges: Vec<[u32; 3]> = p
         .edges()
         .iter()
-        .map(|e| {
-            [
-                perm[e.src] as u32,
-                perm[e.dst] as u32,
-                e.label.0 as u32,
-            ]
-        })
+        .map(|e| [perm[e.src] as u32, perm[e.dst] as u32, e.label.0 as u32])
         .collect();
     edges.sort_unstable();
     for e in edges {
@@ -91,7 +85,7 @@ pub fn canonical_code(p: &Pattern) -> CanonCode {
         let n = order.len();
         if pos == n {
             let code = encode(p, perm);
-            if best.as_ref().map_or(true, |b| code < *b) {
+            if best.as_ref().is_none_or(|b| code < *b) {
                 *best = Some(code);
             }
             return;
@@ -111,13 +105,16 @@ pub fn canonical_code(p: &Pattern) -> CanonCode {
 
     let mut used = vec![false; n];
     rec(p, &order, 0, &mut used, &mut perm, &mut best);
-    CanonCode(best.expect("at least one permutation exists").into_boxed_slice())
+    CanonCode(
+        best.expect("at least one permutation exists")
+            .into_boxed_slice(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pattern::{PatternBuilder, Pattern};
+    use crate::pattern::{Pattern, PatternBuilder};
     use relgo_common::LabelId;
 
     fn triangle(order: [usize; 3]) -> Pattern {

@@ -359,9 +359,7 @@ mod tests {
         let p = path(1);
         let ts = transitions_into(&p, 0b11);
         assert_eq!(ts.len(), 2, "expand from either endpoint (paper Fig. 3)");
-        assert!(ts
-            .iter()
-            .all(|t| matches!(t, Transition::Expand { .. })));
+        assert!(ts.iter().all(|t| matches!(t, Transition::Expand { .. })));
     }
 
     #[test]

@@ -110,7 +110,8 @@ impl Database {
     pub fn set_primary_key(&mut self, table: &str, column: &str) -> Result<()> {
         let t = self.table(table)?;
         t.schema().index_of(column)?;
-        self.primary_keys.insert(table.to_string(), column.to_string());
+        self.primary_keys
+            .insert(table.to_string(), column.to_string());
         Ok(())
     }
 
@@ -207,10 +208,7 @@ mod tests {
         db.add_table(table_of(
             "Person",
             &[("person_id", DataType::Int), ("name", DataType::Str)],
-            vec![
-                vec![10.into(), "Tom".into()],
-                vec![20.into(), "Bob".into()],
-            ],
+            vec![vec![10.into(), "Tom".into()], vec![20.into(), "Bob".into()]],
         ));
         db.add_table(table_of(
             "Likes",
@@ -250,11 +248,17 @@ mod tests {
     #[test]
     fn foreign_key_requires_primary_key() {
         let mut db = db();
-        assert!(db.add_foreign_key("Likes", "pid", "Person", "person_id").is_ok());
+        assert!(db
+            .add_foreign_key("Likes", "pid", "Person", "person_id")
+            .is_ok());
         // Referencing a non-PK column fails.
-        assert!(db.add_foreign_key("Likes", "pid", "Person", "name").is_err());
+        assert!(db
+            .add_foreign_key("Likes", "pid", "Person", "name")
+            .is_err());
         // Unknown column fails.
-        assert!(db.add_foreign_key("Likes", "nope", "Person", "person_id").is_err());
+        assert!(db
+            .add_foreign_key("Likes", "nope", "Person", "person_id")
+            .is_err());
         assert_eq!(db.foreign_keys_of("Likes").count(), 1);
     }
 

@@ -188,7 +188,7 @@ impl ScalarExpr {
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
-                Ok(Value::Bool(list.iter().any(|x| *x == v)))
+                Ok(Value::Bool(list.contains(&v)))
             }
         }
     }
@@ -272,7 +272,9 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Col(_) | ScalarExpr::Lit(_) => 1.0,
             ScalarExpr::Cmp(op, _, _) => op.default_selectivity(),
-            ScalarExpr::And(l, r) => (l.estimated_selectivity() * r.estimated_selectivity()).max(1e-9),
+            ScalarExpr::And(l, r) => {
+                (l.estimated_selectivity() * r.estimated_selectivity()).max(1e-9)
+            }
             ScalarExpr::Or(l, r) => {
                 let (a, b) = (l.estimated_selectivity(), r.estimated_selectivity());
                 (a + b - a * b).min(1.0)
@@ -412,7 +414,10 @@ mod tests {
     fn selectivity_estimates_bounded() {
         let e = ScalarExpr::col_eq(0, 1)
             .and(ScalarExpr::col_cmp(0, BinaryOp::Gt, 2))
-            .or(ScalarExpr::StartsWith(Box::new(ScalarExpr::Col(1)), "B".into()));
+            .or(ScalarExpr::StartsWith(
+                Box::new(ScalarExpr::Col(1)),
+                "B".into(),
+            ));
         let s = e.estimated_selectivity();
         assert!(s > 0.0 && s <= 1.0);
     }

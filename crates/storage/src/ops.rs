@@ -100,7 +100,11 @@ fn concat_rows(left: &Table, right: &Table, lrows: &[RowId], rrows: &[RowId]) ->
     for i in 0..rpart.num_columns() {
         columns.push(rpart.column(i).clone());
     }
-    Table::from_columns(format!("{}_join_{}", left.name(), right.name()), schema, columns)
+    Table::from_columns(
+        format!("{}_join_{}", left.name(), right.name()),
+        schema,
+        columns,
+    )
 }
 
 /// Aggregate functions for ungrouped aggregation (what JOB's `SELECT MIN(..)`
@@ -128,7 +132,9 @@ pub fn aggregate(input: &Table, aggs: &[(AggFunc, usize)]) -> Result<Table> {
             }
             AggFunc::Min | AggFunc::Max => {
                 if col >= input.num_columns() {
-                    return Err(RelGoError::query(format!("aggregate column {col} out of bounds")));
+                    return Err(RelGoError::query(format!(
+                        "aggregate column {col} out of bounds"
+                    )));
                 }
                 let c = input.column(col);
                 let mut best: Option<Value> = None;
@@ -321,7 +327,12 @@ mod tests {
         let edges = table_of(
             "e",
             &[("rid", DataType::Int)],
-            vec![vec![2.into()], vec![0.into()], vec![7.into()], vec![Value::Null]],
+            vec![
+                vec![2.into()],
+                vec![0.into()],
+                vec![7.into()],
+                vec![Value::Null],
+            ],
         );
         let j = rid_join(&edges, 0, &person()).unwrap();
         assert_eq!(j.num_rows(), 2);
@@ -373,8 +384,14 @@ mod tests {
         let sorted = sort(
             &t,
             &[
-                SortKey { column: 0, descending: false },
-                SortKey { column: 1, descending: true },
+                SortKey {
+                    column: 0,
+                    descending: false,
+                },
+                SortKey {
+                    column: 1,
+                    descending: true,
+                },
             ],
         )
         .unwrap();
@@ -395,7 +412,14 @@ mod tests {
                 (2, "a".into())
             ]
         );
-        assert!(sort(&t, &[SortKey { column: 9, descending: false }]).is_err());
+        assert!(sort(
+            &t,
+            &[SortKey {
+                column: 9,
+                descending: false
+            }]
+        )
+        .is_err());
     }
 
     #[test]
@@ -405,9 +429,23 @@ mod tests {
             &[("a", DataType::Int)],
             vec![vec![2.into()], vec![Value::Null], vec![1.into()]],
         );
-        let asc = sort(&t, &[SortKey { column: 0, descending: false }]).unwrap();
+        let asc = sort(
+            &t,
+            &[SortKey {
+                column: 0,
+                descending: false,
+            }],
+        )
+        .unwrap();
         assert_eq!(asc.value(0, 0), Value::Null, "NULLs first ascending");
-        let desc = sort(&t, &[SortKey { column: 0, descending: true }]).unwrap();
+        let desc = sort(
+            &t,
+            &[SortKey {
+                column: 0,
+                descending: true,
+            }],
+        )
+        .unwrap();
         assert_eq!(desc.value(2, 0), Value::Null, "NULLs last descending");
     }
 

@@ -198,10 +198,10 @@ impl TableStats {
                     nulls += 1;
                     continue;
                 }
-                if min.as_ref().map_or(true, |m| v < *m) {
+                if min.as_ref().is_none_or(|m| v < *m) {
                     min = Some(v.clone());
                 }
-                if max.as_ref().map_or(true, |m| v > *m) {
+                if max.as_ref().is_none_or(|m| v > *m) {
                     max = Some(v.clone());
                 }
                 seen.insert(v);
@@ -379,10 +379,7 @@ mod tests {
         let sel = predicate_selectivity(&t, &ScalarExpr::col_eq(0, 3i64));
         assert!((sel - 0.1).abs() < 0.05, "got {sel}");
         // x >= 8 → 20%.
-        let sel = predicate_selectivity(
-            &t,
-            &ScalarExpr::col_cmp(0, BinaryOp::Ge, 8i64),
-        );
+        let sel = predicate_selectivity(&t, &ScalarExpr::col_cmp(0, BinaryOp::Ge, 8i64));
         assert!((sel - 0.2).abs() < 0.1, "got {sel}");
         // String predicates fall back to priors.
         let sel = predicate_selectivity(

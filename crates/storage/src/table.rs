@@ -160,7 +160,9 @@ impl Table {
         let mut out = String::new();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in body {
             let cells: Vec<String> = row

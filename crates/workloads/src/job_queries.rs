@@ -166,44 +166,278 @@ pub fn job_specs() -> Vec<JobSpec> {
     let kw = |k| Some(k);
     vec![
         // 1–4: keyword + company combos (Fig 7b's subset).
-        JobSpec { with_company: true, with_keyword: true, kw: kw("sequel"), country: Some("[de]"), ..Default::default() },
-        JobSpec { with_company: true, with_keyword: true, kw: kw("murder"), ctype: Some(0), ..Default::default() },
-        JobSpec { with_keyword: true, with_info: true, kw: kw("based-on-novel"), info: Some("info_1"), ..Default::default() },
-        JobSpec { with_company: true, with_info: true, country: Some("[gb]"), info: Some("info_2"), ..Default::default() },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            kw: kw("sequel"),
+            country: Some("[de]"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            kw: kw("murder"),
+            ctype: Some(0),
+            ..Default::default()
+        },
+        JobSpec {
+            with_keyword: true,
+            with_info: true,
+            kw: kw("based-on-novel"),
+            info: Some("info_1"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_info: true,
+            country: Some("[gb]"),
+            info: Some("info_2"),
+            ..Default::default()
+        },
         // 5–10: cast-centric with prefixes and years.
-        JobSpec { with_cast: true, with_keyword: true, kw: kw("love"), name_prefix: Some("A"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, country: Some("[us]"), year_gt: Some(2000), ..Default::default() },
-        JobSpec { with_cast: true, with_info: true, info: Some("info_3"), name_prefix: Some("C"), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, with_company: true, kw: kw("revenge"), country: Some("[fr]"), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, kw: kw("independent-film"), year_gt: Some(1990), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, ctype: Some(1), name_prefix: Some("B"), ..Default::default() },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            kw: kw("love"),
+            name_prefix: Some("A"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            country: Some("[us]"),
+            year_gt: Some(2000),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_info: true,
+            info: Some("info_3"),
+            name_prefix: Some("C"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            with_company: true,
+            kw: kw("revenge"),
+            country: Some("[fr]"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            kw: kw("independent-film"),
+            year_gt: Some(1990),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            ctype: Some(1),
+            name_prefix: Some("B"),
+            ..Default::default()
+        },
         // 11–16: three-leg combinations.
-        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("sequel"), info: Some("info_5"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_info: true, country: Some("[it]"), info: Some("info_7"), ..Default::default() },
-        JobSpec { with_company: true, with_keyword: true, kw: kw("female-nudity"), country: Some("[us]"), ctype: Some(2), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, with_info: true, kw: kw("murder"), info: Some("info_11"), ..Default::default() },
-        JobSpec { with_company: true, with_info: true, country: Some("[jp]"), year_gt: Some(2005), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, kw: kw("character-name-in-title"), name_prefix: Some("D"), ..Default::default() },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("sequel"),
+            info: Some("info_5"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_info: true,
+            country: Some("[it]"),
+            info: Some("info_7"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            kw: kw("female-nudity"),
+            country: Some("[us]"),
+            ctype: Some(2),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("murder"),
+            info: Some("info_11"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_info: true,
+            country: Some("[jp]"),
+            year_gt: Some(2005),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            kw: kw("character-name-in-title"),
+            name_prefix: Some("D"),
+            ..Default::default()
+        },
         // 17: the Fig. 12 case study.
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("character-name-in-title"), country: Some("[us]"), name_prefix: Some("B"), ..Default::default() },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            kw: kw("character-name-in-title"),
+            country: Some("[us]"),
+            name_prefix: Some("B"),
+            ..Default::default()
+        },
         // 18–25: four-leg stars.
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("sequel"), country: Some("[us]"), info: Some("info_13"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("love"), ctype: Some(0), year_gt: Some(1995), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, with_info: true, kw: kw("revenge"), info: Some("info_17"), name_prefix: Some("E"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_info: true, country: Some("[ca]"), info: Some("info_19"), ..Default::default() },
-        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("based-on-novel"), country: Some("[gb]"), info: Some("info_23"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("murder"), country: Some("[us]"), info: Some("info_29"), name_prefix: Some("F"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, country: Some("[es]"), name_prefix: Some("G"), ..Default::default() },
-        JobSpec { with_keyword: true, with_info: true, kw: kw("independent-film"), info: Some("info_31"), year_gt: Some(1985), ..Default::default() },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("sequel"),
+            country: Some("[us]"),
+            info: Some("info_13"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            kw: kw("love"),
+            ctype: Some(0),
+            year_gt: Some(1995),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("revenge"),
+            info: Some("info_17"),
+            name_prefix: Some("E"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_info: true,
+            country: Some("[ca]"),
+            info: Some("info_19"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("based-on-novel"),
+            country: Some("[gb]"),
+            info: Some("info_23"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("murder"),
+            country: Some("[us]"),
+            info: Some("info_29"),
+            name_prefix: Some("F"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            country: Some("[es]"),
+            name_prefix: Some("G"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_keyword: true,
+            with_info: true,
+            kw: kw("independent-film"),
+            info: Some("info_31"),
+            year_gt: Some(1985),
+            ..Default::default()
+        },
         // 26–33: selectivity extremes.
-        JobSpec { with_cast: true, with_keyword: true, kw: kw("character-name-in-title"), year_gt: Some(2010), ..Default::default() },
-        JobSpec { with_company: true, with_keyword: true, kw: kw("sequel"), country: Some("[se]"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("love"), country: Some("[dk]"), name_prefix: Some("H"), ..Default::default() },
-        JobSpec { with_cast: true, with_info: true, info: Some("info_37"), year_gt: Some(1980), ..Default::default() },
-        JobSpec { with_company: true, with_keyword: true, with_info: true, kw: kw("revenge"), ctype: Some(3), info: Some("info_2"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, kw: kw("based-on-novel"), country: Some("[au]"), ..Default::default() },
-        JobSpec { with_cast: true, with_keyword: true, with_company: true, with_info: true, kw: kw("female-nudity"), country: Some("[us]"), ctype: Some(0), info: Some("info_3"), ..Default::default() },
-        JobSpec { with_cast: true, with_company: true, with_keyword: true, with_info: true, kw: kw("character-name-in-title"), country: Some("[gb]"), info: Some("info_5"), name_prefix: Some("B"), year_gt: Some(1975), ..Default::default() },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            kw: kw("character-name-in-title"),
+            year_gt: Some(2010),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            kw: kw("sequel"),
+            country: Some("[se]"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            kw: kw("love"),
+            country: Some("[dk]"),
+            name_prefix: Some("H"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_info: true,
+            info: Some("info_37"),
+            year_gt: Some(1980),
+            ..Default::default()
+        },
+        JobSpec {
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("revenge"),
+            ctype: Some(3),
+            info: Some("info_2"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            kw: kw("based-on-novel"),
+            country: Some("[au]"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_keyword: true,
+            with_company: true,
+            with_info: true,
+            kw: kw("female-nudity"),
+            country: Some("[us]"),
+            ctype: Some(0),
+            info: Some("info_3"),
+            ..Default::default()
+        },
+        JobSpec {
+            with_cast: true,
+            with_company: true,
+            with_keyword: true,
+            with_info: true,
+            kw: kw("character-name-in-title"),
+            country: Some("[gb]"),
+            info: Some("info_5"),
+            name_prefix: Some("B"),
+            year_gt: Some(1975),
+            ..Default::default()
+        },
     ]
 }
 
@@ -267,7 +501,13 @@ mod tests {
         for (i, a) in specs.iter().enumerate() {
             for (j, b) in specs.iter().enumerate() {
                 if i < j {
-                    assert_ne!(format!("{a:?}"), format!("{b:?}"), "JOB{} vs JOB{}", i + 1, j + 1);
+                    assert_ne!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "JOB{} vs JOB{}",
+                        i + 1,
+                        j + 1
+                    );
                 }
             }
         }

@@ -151,13 +151,11 @@ pub fn ic2(s: &SnbSchema, person: i64, before: i64) -> Result<SpjmQuery> {
     let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
     let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
     let m_date = b.vertex_column(m, cols::MSG_DATE, "m_date");
-    b.select(
-        ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
-            m_date,
-            BinaryOp::Le,
-            Value::Date(before),
-        )),
-    );
+    b.select(ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
+        m_date,
+        BinaryOp::Le,
+        Value::Date(before),
+    )));
     b.project(&[f_name, m_content, m_date]);
     Ok(b.build())
 }
@@ -311,13 +309,11 @@ pub fn ic9(s: &SnbSchema, l: usize, person: i64, before: i64) -> Result<SpjmQuer
     let f_name = b.vertex_column(f, cols::PERSON_NAME, "f_name");
     let m_date = b.vertex_column(m, cols::MSG_DATE, "m_date");
     let m_content = b.vertex_column(m, cols::MSG_CONTENT, "m_content");
-    b.select(
-        ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
-            m_date,
-            BinaryOp::Lt,
-            Value::Date(before),
-        )),
-    );
+    b.select(ScalarExpr::col_eq(p_id, person).and(ScalarExpr::col_cmp(
+        m_date,
+        BinaryOp::Lt,
+        Value::Date(before),
+    )));
     b.project(&[f_name, m_content, m_date]);
     Ok(b.build())
 }

@@ -50,7 +50,13 @@ fn main() -> Result<()> {
             rows = out.table.num_rows();
             row.push_str(&format!("{:>10.2}ms", out.e2e().as_secs_f64() * 1e3));
         }
-        println!("{:<8} {:>8} {}{}", w.name, rows, row, if w.cyclic { "  (cyclic)" } else { "" });
+        println!(
+            "{:<8} {:>8} {}{}",
+            w.name,
+            rows,
+            row,
+            if w.cyclic { "  (cyclic)" } else { "" }
+        );
     }
 
     println!("\ncyclic micro-benchmarks (QC, distinct-vertex semantics):");

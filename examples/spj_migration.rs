@@ -34,31 +34,83 @@ fn main() -> Result<()> {
 fn spj_query(seed: i64) -> SpjQuery {
     SpjQuery {
         tables: vec![
-            SpjTable { table: "Person".into(), predicate: Some(ScalarExpr::col_eq(0, seed)) }, // p1
-            SpjTable { table: "Likes".into(), predicate: None },                               // l1
-            SpjTable { table: "Message".into(), predicate: None },                             // m
-            SpjTable { table: "Likes".into(), predicate: None },                               // l2
-            SpjTable { table: "Person".into(), predicate: None },                              // p2
-            SpjTable { table: "Knows".into(), predicate: None },                               // k
-            SpjTable { table: "PersonLocatedIn".into(), predicate: None },                     // loc
-            SpjTable { table: "Place".into(), predicate: None },                               // pl
+            SpjTable {
+                table: "Person".into(),
+                predicate: Some(ScalarExpr::col_eq(0, seed)),
+            }, // p1
+            SpjTable {
+                table: "Likes".into(),
+                predicate: None,
+            }, // l1
+            SpjTable {
+                table: "Message".into(),
+                predicate: None,
+            }, // m
+            SpjTable {
+                table: "Likes".into(),
+                predicate: None,
+            }, // l2
+            SpjTable {
+                table: "Person".into(),
+                predicate: None,
+            }, // p2
+            SpjTable {
+                table: "Knows".into(),
+                predicate: None,
+            }, // k
+            SpjTable {
+                table: "PersonLocatedIn".into(),
+                predicate: None,
+            }, // loc
+            SpjTable {
+                table: "Place".into(),
+                predicate: None,
+            }, // pl
         ],
         joins: vec![
-            SpjJoin { left: (1, 1), right: (0, 0) }, // l1.person = p1.id
-            SpjJoin { left: (1, 2), right: (2, 0) }, // l1.message = m.id
-            SpjJoin { left: (3, 2), right: (2, 0) }, // l2.message = m.id
-            SpjJoin { left: (3, 1), right: (4, 0) }, // l2.person = p2.id
-            SpjJoin { left: (5, 1), right: (0, 0) }, // k.p1 = p1.id
-            SpjJoin { left: (5, 2), right: (4, 0) }, // k.p2 = p2.id
-            SpjJoin { left: (6, 1), right: (4, 0) }, // loc.person = p2.id
-            SpjJoin { left: (6, 2), right: (7, 0) }, // loc.place = pl.id
+            SpjJoin {
+                left: (1, 1),
+                right: (0, 0),
+            }, // l1.person = p1.id
+            SpjJoin {
+                left: (1, 2),
+                right: (2, 0),
+            }, // l1.message = m.id
+            SpjJoin {
+                left: (3, 2),
+                right: (2, 0),
+            }, // l2.message = m.id
+            SpjJoin {
+                left: (3, 1),
+                right: (4, 0),
+            }, // l2.person = p2.id
+            SpjJoin {
+                left: (5, 1),
+                right: (0, 0),
+            }, // k.p1 = p1.id
+            SpjJoin {
+                left: (5, 2),
+                right: (4, 0),
+            }, // k.p2 = p2.id
+            SpjJoin {
+                left: (6, 1),
+                right: (4, 0),
+            }, // loc.person = p2.id
+            SpjJoin {
+                left: (6, 2),
+                right: (7, 0),
+            }, // loc.place = pl.id
         ],
         projection: vec![(4, 1), (7, 1)], // p2.name, place.name
     }
 }
 
 fn run(session: Session, spj: SpjQuery) -> Result<()> {
-    println!("plain SPJ: {} tables, {} join conditions", spj.tables.len(), spj.joins.len());
+    println!(
+        "plain SPJ: {} tables, {} join conditions",
+        spj.tables.len(),
+        spj.joins.len()
+    );
     let t0 = Instant::now();
     let plain = evaluate_spj(&spj, session.db())?;
     let plain_time = t0.elapsed();

@@ -1,0 +1,7 @@
+//! # relgo-repro
+//!
+//! The workspace's top-level package. It owns the cross-crate integration
+//! tests (`tests/`) and the runnable examples (`examples/`); the actual
+//! library surface lives in the [`relgo`] facade crate — start there.
+
+pub use relgo;

@@ -45,13 +45,25 @@ fn trim_and_fuse_produces_fused_expands() {
     let (plan, _) = session.optimize(q, OptimizerMode::RelGo).unwrap();
     let g = plan.root.graph_plan().unwrap();
     let fused = count_ops(g, &|op| {
-        matches!(op, GraphOp::Expand { emit_edge: false, .. })
+        matches!(
+            op,
+            GraphOp::Expand {
+                emit_edge: false,
+                ..
+            }
+        )
     });
     assert!(fused >= 1, "expected fused EXPANDs:\n{}", plan.explain());
     let (norule, _) = session.optimize(q, OptimizerMode::RelGoNoRule).unwrap();
     let g2 = norule.root.graph_plan().unwrap();
     let fused2 = count_ops(g2, &|op| {
-        matches!(op, GraphOp::Expand { emit_edge: false, .. })
+        matches!(
+            op,
+            GraphOp::Expand {
+                emit_edge: false,
+                ..
+            }
+        )
     });
     assert_eq!(fused2, 0, "NoRule keeps EXPAND_EDGE+GET_VERTEX pairs");
 }
@@ -66,7 +78,11 @@ fn qc_triangle_uses_intersect_only_in_ei_modes() {
     let (noei, _) = session.optimize(q, OptimizerMode::RelGoNoEI).unwrap();
     assert!(!noei.root.graph_plan().unwrap().uses_intersect());
     // Agnostic baselines never intersect.
-    for mode in [OptimizerMode::DuckDbLike, OptimizerMode::GRainDb, OptimizerMode::UmbraLike] {
+    for mode in [
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::GRainDb,
+        OptimizerMode::UmbraLike,
+    ] {
         let (p, _) = session.optimize(q, mode).unwrap();
         assert!(!p.root.graph_plan().unwrap().uses_intersect(), "{mode:?}");
     }
@@ -77,10 +93,8 @@ fn row_limit_models_oom_for_noei_clique() {
     // A tiny row budget kills the NoEI 4-clique (hash-join intermediates
     // explode) while the EI plan — whose intermediates stay bounded by the
     // true result size — survives. This mirrors the paper's QC3 OOM.
-    let (db, mapping) = relgo::datagen::generate_snb(&relgo::datagen::SnbParams {
-        sf: 0.3,
-        seed: 42,
-    });
+    let (db, mapping) =
+        relgo::datagen::generate_snb(&relgo::datagen::SnbParams { sf: 0.3, seed: 42 });
     let session = Session::open_with(
         db,
         mapping,
@@ -124,7 +138,9 @@ fn calcite_like_explodes_on_long_paths() {
     // the unmemoized enumerator grow explosively with path length.
     let short = snb_queries::ic1(&schema, 1, 5).unwrap();
     let long = snb_queries::ic1(&schema, 3, 5).unwrap();
-    let (_, s1) = session.optimize(&short, OptimizerMode::CalciteLike).unwrap();
+    let (_, s1) = session
+        .optimize(&short, OptimizerMode::CalciteLike)
+        .unwrap();
     let (_, s3) = session.optimize(&long, OptimizerMode::CalciteLike).unwrap();
     assert!(
         s3.plans_visited > 4 * s1.plans_visited.max(1),
@@ -196,22 +212,25 @@ fn order_by_and_limit_agree_with_oracle() {
     let q = b.build();
     let expected = session.oracle(&q).unwrap();
     assert_eq!(expected.num_rows(), 7);
-    for mode in [OptimizerMode::RelGo, OptimizerMode::DuckDbLike, OptimizerMode::KuzuLike] {
+    for mode in [
+        OptimizerMode::RelGo,
+        OptimizerMode::DuckDbLike,
+        OptimizerMode::KuzuLike,
+    ] {
         let out = session.run(&q, mode).unwrap();
         // ORDER BY makes the row *sequence* deterministic up to ties; the
         // sort is stable over a deterministic input order only in the
         // oracle, so compare as sorted multisets plus the sorted-ness
         // property itself.
         assert_eq!(out.table.num_rows(), 7, "{mode:?}");
-        assert_eq!(
-            out.table.sorted_rows(),
-            expected.sorted_rows(),
-            "{mode:?}"
-        );
+        assert_eq!(out.table.sorted_rows(), expected.sorted_rows(), "{mode:?}");
         let dates: Vec<i64> = (0..7)
             .map(|r| out.table.value(r, 1).as_int().unwrap())
             .collect();
-        assert!(dates.windows(2).all(|w| w[0] >= w[1]), "{mode:?}: {dates:?}");
+        assert!(
+            dates.windows(2).all(|w| w[0] >= w[1]),
+            "{mode:?}: {dates:?}"
+        );
     }
 }
 
@@ -219,7 +238,10 @@ fn order_by_and_limit_agree_with_oracle() {
 fn explain_shows_order_and_limit() {
     let (session, schema) = session();
     let mut q = snb_queries::ic1(&schema, 1, 5).unwrap();
-    q.order_by.push(relgo::storage::ops::SortKey { column: 0, descending: false });
+    q.order_by.push(relgo::storage::ops::SortKey {
+        column: 0,
+        descending: false,
+    });
     q.limit = Some(3);
     let s = session.explain(&q, OptimizerMode::RelGo).unwrap();
     assert!(s.contains("LIMIT 3"), "{s}");
@@ -234,17 +256,44 @@ fn spj_to_spjm_conversion_runs_end_to_end() {
     // ⋈ Knows k2 ⋈ Person g, WHERE p.id = 5.
     let spj = SpjQuery {
         tables: vec![
-            SpjTable { table: "Person".into(), predicate: Some(ScalarExpr::col_eq(0, 5i64)) },
-            SpjTable { table: "Knows".into(), predicate: None },
-            SpjTable { table: "Person".into(), predicate: None },
-            SpjTable { table: "Knows".into(), predicate: None },
-            SpjTable { table: "Person".into(), predicate: None },
+            SpjTable {
+                table: "Person".into(),
+                predicate: Some(ScalarExpr::col_eq(0, 5i64)),
+            },
+            SpjTable {
+                table: "Knows".into(),
+                predicate: None,
+            },
+            SpjTable {
+                table: "Person".into(),
+                predicate: None,
+            },
+            SpjTable {
+                table: "Knows".into(),
+                predicate: None,
+            },
+            SpjTable {
+                table: "Person".into(),
+                predicate: None,
+            },
         ],
         joins: vec![
-            SpjJoin { left: (1, 1), right: (0, 0) },
-            SpjJoin { left: (1, 2), right: (2, 0) },
-            SpjJoin { left: (3, 1), right: (2, 0) },
-            SpjJoin { left: (3, 2), right: (4, 0) },
+            SpjJoin {
+                left: (1, 1),
+                right: (0, 0),
+            },
+            SpjJoin {
+                left: (1, 2),
+                right: (2, 0),
+            },
+            SpjJoin {
+                left: (3, 1),
+                right: (2, 0),
+            },
+            SpjJoin {
+                left: (3, 2),
+                right: (4, 0),
+            },
         ],
         projection: vec![(4, 1), (4, 0)],
     };

@@ -3,12 +3,12 @@
 //! are isomorphism-invariant; the EV/VE indexes round-trip edges.
 
 use proptest::prelude::*;
-use relgo::core::spjm::SpjmBuilder;
-use relgo::prelude::*;
 use relgo::common::LabelId;
-use relgo::pattern::canonical_code;
-use relgo_storage::table::TableBuilder;
 use relgo::common::Schema as CommonSchema;
+use relgo::core::spjm::SpjmBuilder;
+use relgo::pattern::canonical_code;
+use relgo::prelude::*;
+use relgo_storage::table::TableBuilder;
 
 /// A random two-label property graph description.
 #[derive(Debug, Clone)]

@@ -133,7 +133,10 @@ fn aggregates_with_order_and_limit_compose() {
     // row out).
     let (session, schema) = session();
     let mut q = job_queries::build_job(&schema, &job_queries::job_specs()[0]).unwrap();
-    q.order_by.push(relgo::storage::ops::SortKey { column: 0, descending: false });
+    q.order_by.push(relgo::storage::ops::SortKey {
+        column: 0,
+        descending: false,
+    });
     q.limit = Some(1);
     let out = session.run(&q, OptimizerMode::RelGo).unwrap();
     assert_eq!(out.table.num_rows(), 1);

@@ -1,0 +1,186 @@
+//! Offline shim for `criterion`'s harness API: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and `black_box`.
+//!
+//! Instead of criterion's statistical sampling, each benchmark runs one
+//! warm-up iteration plus a small fixed number of timed iterations
+//! (override with `CRITERION_SHIM_ITERS`) and prints the per-iteration
+//! mean. Good enough to keep `cargo bench` meaningful offline; swap in the
+//! real crate for publishable numbers.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of the standard opaque-value hint, criterion-style.
+pub use std::hint::black_box;
+
+fn timed_iters() -> u32 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// A `function / parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Parameter-only id (`from_parameter` in real criterion).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        if self.function.is_empty() {
+            format!("{group}/{}", self.parameter)
+        } else {
+            format!("{group}/{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Accepted wherever criterion takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+/// Hands the measurement closure to the harness.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `routine` once to warm up, then `CRITERION_SHIM_ITERS` (default
+    /// 3) timed iterations, recording the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let iters = timed_iters();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count comes
+    /// from `CRITERION_SHIM_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), f)
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input))
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        println!(
+            "{:<60} time: {:>12.0} ns/iter",
+            id.render(&self.name),
+            bencher.mean_ns
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .run(BenchmarkId::from_parameter(""), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (for `[[bench]] harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as blanket-implemented marker traits
+//! and re-exports the no-op derive macros from the sibling `serde_derive`
+//! shim, so `#[derive(Serialize, Deserialize)]` in the main crates compiles
+//! without crates.io access. No serialization machinery exists here; see
+//! `vendor/README.md` for the swap-in story.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
