@@ -367,6 +367,117 @@ pub fn fig12(cfg: &BenchConfig) -> Result<String> {
     Ok(out)
 }
 
+/// Plan-cache figure (`fig_cache`): per-template optimizer time with a cold
+/// cache vs the warm `run_cached` path (parameterize + rebind), then a
+/// multi-threaded templated replay against one shared session with the
+/// cache-metric deltas.
+pub fn fig_cache(cfg: &BenchConfig) -> Result<String> {
+    use relgo::workloads::templates::{job_templates, snb_templates};
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fig_cache — plan cache: cold optimize vs warm rebind (opt ms)"
+    )
+    .ok();
+
+    // Explicit options (the `*_with` constructors): the harness's optimizer
+    // timeout, and cache sizing comfortably above the template count.
+    let options = SessionOptions {
+        opt_timeout: cfg.opt_timeout,
+        plan_cache_shards: 4,
+        plan_cache_capacity: 256,
+        ..SessionOptions::default()
+    };
+    let (snb, sschema) = Session::snb_with(cfg.snb_sf_small, 42, options)?;
+    let (imdb, ischema) = Session::imdb_with(cfg.imdb_sf, 7, options)?;
+    let suites: [(&str, &Session, Vec<QueryTemplate>); 2] = [
+        ("SNB", &snb, snb_templates(&sschema)),
+        ("JOB", &imdb, job_templates(&ischema)),
+    ];
+
+    for (tag, session, templates) in &suites {
+        writeln!(out, "({tag})").ok();
+        writeln!(
+            out,
+            "{} {} {} {}",
+            cell("template", 16),
+            cell("cold opt", 12),
+            cell("warm opt", 12),
+            cell("ratio", 10)
+        )
+        .ok();
+        let mut ratios = Vec::new();
+        for t in templates {
+            // Cold: the ordinary run path re-optimizes every repetition.
+            let mut cold = Vec::new();
+            for rep in 0..cfg.reps.max(1) {
+                let q = t.instantiate(rep as u64)?;
+                cold.push(session.run(&q, OptimizerMode::RelGo)?.opt.elapsed);
+            }
+            // Warm: prime once, then every instance rebinds.
+            session.run_cached(&t.instantiate(0)?, OptimizerMode::RelGo)?;
+            let mut warm = Vec::new();
+            for rep in 0..cfg.reps.max(1) {
+                let q = t.instantiate(1 + rep as u64)?;
+                let o = session.run_cached(&q, OptimizerMode::RelGo)?;
+                warm.push(o.opt.elapsed);
+            }
+            let cold_ms = median_duration_ms(&mut cold);
+            let warm_ms = median_duration_ms(&mut warm);
+            let ratio = cold_ms / warm_ms.max(1e-6);
+            ratios.push(ratio);
+            writeln!(
+                out,
+                "{} {} {} {}",
+                cell(t.name(), 16),
+                cell(&format!("{cold_ms:.3}"), 12),
+                cell(&format!("{warm_ms:.3}"), 12),
+                cell(&format!("{ratio:.0}x"), 10)
+            )
+            .ok();
+        }
+        writeln!(out, "  geomean opt-time ratio: {:.0}x", geomean(&ratios)).ok();
+    }
+
+    // Multi-threaded replay: 4 workers share the SNB session.
+    let templates = snb_templates(&sschema);
+    let threads = 4;
+    let rounds = cfg.reps.max(2);
+    for t in &templates {
+        snb.run_cached(&t.instantiate(0)?, OptimizerMode::RelGo)?;
+    }
+    let report = replay_concurrent(&snb, &templates, OptimizerMode::RelGo, threads, rounds)?;
+    writeln!(
+        out,
+        "(replay) {} threads x {} rounds x {} templates = {} queries in {:.0} ms ({:.0} q/s)",
+        threads,
+        rounds,
+        templates.len(),
+        report.queries,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.throughput()
+    )
+    .ok();
+    let m = report.metrics;
+    writeln!(
+        out,
+        "  cache: hits={} misses={} evictions={} rebind_failures={} (hit ratio {:.0}%)",
+        m.hits,
+        m.misses,
+        m.evictions,
+        m.rebind_failures,
+        m.hit_ratio() * 100.0
+    )
+    .ok();
+    Ok(out)
+}
+
+fn median_duration_ms(xs: &mut [std::time::Duration]) -> f64 {
+    xs.sort();
+    xs[xs.len() / 2].as_secs_f64() * 1e3
+}
+
 /// Dataset statistics (the "full version"'s dataset table).
 pub fn dataset_stats(cfg: &BenchConfig) -> Result<String> {
     let mut out = String::new();

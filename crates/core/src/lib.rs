@@ -30,6 +30,7 @@ pub mod aware;
 pub mod convert;
 pub mod graph_plan;
 pub mod optimizer;
+pub mod param;
 pub mod rel_plan;
 pub mod rules;
 pub mod spjm;
@@ -37,5 +38,6 @@ pub mod spjm;
 pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
 pub use graph_plan::{GraphOp, PatternElem};
 pub use optimizer::{optimize, OptStats, OptimizerMode, PlannerContext};
+pub use param::{parameterize, rebind_plan, ParamQuery, PlanKey};
 pub use rel_plan::{PhysicalPlan, RelOp};
 pub use spjm::{AggSpec, AttrRef, GraphColumn, SpjmBuilder, SpjmQuery};

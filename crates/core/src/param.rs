@@ -1,0 +1,691 @@
+//! Parameterized query templates (the plan-cache front end).
+//!
+//! Production traffic is dominated by query *templates* that differ only in
+//! comparison literals (`person_id = ?`, `creation_date < ?`). This module
+//! gives `SpjmQuery` a parameterized view:
+//!
+//! * [`parameterize`] lifts comparison literals into **parameter slots** and
+//!   renders the rest of the query — pattern elements renamed through
+//!   [`relgo_pattern::canonical_form`] — into an isomorphism-invariant
+//!   template descriptor. Together with the [`OptimizerMode`] and the
+//!   parameter-slot signature this forms [`PlanKey`], under which renamed
+//!   queries with different constants share one plan-cache entry.
+//! * [`rebind_plan`] takes a cached [`PhysicalPlan`] skeleton (optimized for
+//!   one set of literals) and substitutes fresh bindings into every
+//!   predicate — pattern constraints, graph operators and relational
+//!   operators alike — without re-running the optimizer.
+//!
+//! A literal is a parameter slot iff it is the literal side of a comparison
+//! whose other side is a non-literal expression (`col = lit`, `lit < expr`).
+//! Everything else — `IN`-list members, `STARTS WITH` prefixes, standalone
+//! boolean literals — is part of the template structure. Rebinding matches
+//! plan literals against the cached instance's slot values; if two slots
+//! shared a value but now diverge (or a slot value cannot be found in the
+//! plan), rebinding reports an error and the caller falls back to a full
+//! optimizer run, counting a *rebind failure*.
+
+use crate::optimizer::OptimizerMode;
+use crate::rel_plan::{PhysicalPlan, RelOp};
+use crate::spjm::{AttrRef, PatternElemRef, SpjmQuery};
+use relgo_common::fxhash::{combine, hash_u64, FxHasher};
+use relgo_common::{RelGoError, Result, Value};
+use relgo_storage::ScalarExpr;
+use std::fmt::Write as _;
+use std::hash::Hasher as _;
+
+/// The parameterized view of one query instance: the template descriptor
+/// (shape), the canonical pattern fingerprint, and the literal bindings.
+#[derive(Debug, Clone)]
+pub struct ParamQuery {
+    /// Isomorphism-invariant pattern fingerprint (via `canonical_form`).
+    pub canon_fingerprint: u64,
+    /// The full template descriptor: every structural aspect of the query
+    /// with parameter slots rendered as `?N`. Compared verbatim on cache
+    /// hits, so hash collisions cannot alias distinct templates.
+    pub shape: String,
+    /// Literal bindings, in slot order.
+    pub params: Vec<Value>,
+    /// One variant tag per slot (`i`/`f`/`s`/`b`/`d`/`n`).
+    pub slot_sig: String,
+}
+
+impl ParamQuery {
+    /// The cache key of this instance under `mode` (bindings excluded).
+    pub fn key(&self, mode: OptimizerMode) -> PlanKey {
+        PlanKey {
+            mode,
+            canon_fingerprint: self.canon_fingerprint,
+            shape: self.shape.clone(),
+            slot_sig: self.slot_sig.clone(),
+        }
+    }
+}
+
+/// A plan-cache key: `(mode, canonical pattern fingerprint, relational
+/// shape, parameter-slot signature)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The optimizer that produced (or would produce) the plan.
+    pub mode: OptimizerMode,
+    /// Isomorphism-invariant pattern fingerprint.
+    pub canon_fingerprint: u64,
+    /// The template descriptor (see [`ParamQuery::shape`]).
+    pub shape: String,
+    /// Parameter-slot signature.
+    pub slot_sig: String,
+}
+
+impl PlanKey {
+    /// A stable 64-bit hash (shard selection).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.canon_fingerprint);
+        h.write(self.shape.as_bytes());
+        h.write(self.slot_sig.as_bytes());
+        combine(hash_u64(self.mode as u64), h.finish())
+    }
+}
+
+fn slot_tag(v: &Value) -> char {
+    match v {
+        Value::Null => 'n',
+        Value::Int(_) => 'i',
+        Value::Float(_) => 'f',
+        Value::Str(_) => 's',
+        Value::Bool(_) => 'b',
+        Value::Date(_) => 'd',
+    }
+}
+
+/// Render a structural string into the shape with Rust-style escaping —
+/// free-form text must not be able to forge the descriptor's delimiters
+/// (two distinct templates rendering one shape would alias cache entries).
+fn render_str(out: &mut String, s: &str) {
+    let _ = write!(out, "{s:?}");
+}
+
+/// Render a structural literal type-injectively: `Value`'s `Display` prints
+/// `Int(1)` and `Float(1.0)` identically, so each variant gets its tag
+/// prefix — otherwise two differently-typed templates could share a shape.
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => render_str(out, s),
+        other => {
+            let _ = write!(out, "{}{}", slot_tag(other), other);
+        }
+    }
+}
+
+/// Is `e` a literal? (Slot detection: `Cmp` with exactly one literal side.)
+fn is_lit(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Lit(_))
+}
+
+/// Render `expr` into `out` with parameter-position literals lifted into
+/// `params` and printed as `?N`.
+fn render_template(expr: &ScalarExpr, out: &mut String, params: &mut Vec<Value>) {
+    match expr {
+        ScalarExpr::Col(i) => {
+            let _ = write!(out, "${i}");
+        }
+        ScalarExpr::Lit(v) => render_value(out, v),
+        ScalarExpr::Cmp(op, l, r) => {
+            match (is_lit(l), is_lit(r)) {
+                (false, true) => {
+                    render_template(l, out, params);
+                    let _ = write!(out, " {op} ?{}", params.len());
+                    if let ScalarExpr::Lit(v) = r.as_ref() {
+                        params.push(v.clone());
+                    }
+                }
+                (true, false) => {
+                    let _ = write!(out, "?{} {op} ", params.len());
+                    if let ScalarExpr::Lit(v) = l.as_ref() {
+                        params.push(v.clone());
+                    }
+                    render_template(r, out, params);
+                }
+                _ => {
+                    // Two literals or two expressions: structural.
+                    render_template(l, out, params);
+                    let _ = write!(out, " {op} ");
+                    render_template(r, out, params);
+                }
+            }
+        }
+        ScalarExpr::And(l, r) => {
+            out.push('(');
+            render_template(l, out, params);
+            out.push_str(" AND ");
+            render_template(r, out, params);
+            out.push(')');
+        }
+        ScalarExpr::Or(l, r) => {
+            out.push('(');
+            render_template(l, out, params);
+            out.push_str(" OR ");
+            render_template(r, out, params);
+            out.push(')');
+        }
+        ScalarExpr::Not(e) => {
+            out.push_str("NOT ");
+            render_template(e, out, params);
+        }
+        ScalarExpr::StartsWith(e, p) => {
+            render_template(e, out, params);
+            out.push_str(" STARTS WITH ");
+            render_str(out, p);
+        }
+        ScalarExpr::Contains(e, p) => {
+            render_template(e, out, params);
+            out.push_str(" CONTAINS ");
+            render_str(out, p);
+        }
+        ScalarExpr::IsNull(e) => {
+            render_template(e, out, params);
+            out.push_str(" IS NULL");
+        }
+        ScalarExpr::InList(e, list) => {
+            render_template(e, out, params);
+            out.push_str(" IN (");
+            for (i, v) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(out, v);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Compute the parameterized view of `query`.
+///
+/// Slot order is deterministic: the relational selection first (expression
+/// tree order), then pattern vertex predicates in canonical vertex order,
+/// then pattern edge predicates in canonical edge order — so two isomorphic
+/// instances of one template produce positionally aligned bindings.
+pub fn parameterize(query: &SpjmQuery) -> ParamQuery {
+    let form = relgo_pattern::canonical_form(&query.pattern);
+    let mut shape = String::with_capacity(256);
+    let mut params = Vec::new();
+
+    let _ = write!(shape, "sem:{:?};", query.pattern.semantics());
+
+    // COLUMNS in list order, elements renamed canonically. List order is
+    // semantic (it fixes the global column numbering), so it stays as-is.
+    shape.push_str("cols:");
+    for c in &query.columns {
+        match c.element {
+            PatternElemRef::Vertex(v) => {
+                let _ = write!(shape, "v{}", form.vertex_perm[v]);
+            }
+            PatternElemRef::Edge(e) => {
+                let _ = write!(shape, "e{}", form.edge_perm[e]);
+            }
+        }
+        match c.attr {
+            AttrRef::Id => shape.push_str(".id"),
+            AttrRef::Column(i) => {
+                let _ = write!(shape, ".{i}");
+            }
+        }
+        shape.push_str(" AS ");
+        render_str(&mut shape, &c.alias);
+        shape.push(';');
+    }
+
+    let _ = write!(shape, "tables:{:?};", query.tables);
+    let _ = write!(shape, "join:{:?};", query.join_on);
+
+    shape.push_str("sel:");
+    if let Some(sel) = &query.selection {
+        render_template(sel, &mut shape, &mut params);
+    }
+    shape.push(';');
+
+    // Pattern predicates in canonical element order.
+    let mut by_canon: Vec<(usize, usize)> = (0..query.pattern.vertex_count())
+        .map(|v| (form.vertex_perm[v], v))
+        .collect();
+    by_canon.sort_unstable();
+    shape.push_str("vpred:");
+    for &(canon, old) in &by_canon {
+        if let Some(p) = &query.pattern.vertex(old).predicate {
+            let _ = write!(shape, "v{canon}[");
+            render_template(p, &mut shape, &mut params);
+            shape.push_str("];");
+        }
+    }
+    let mut edges_by_canon: Vec<(usize, usize)> = (0..query.pattern.edge_count())
+        .map(|e| (form.edge_perm[e], e))
+        .collect();
+    edges_by_canon.sort_unstable();
+    shape.push_str("epred:");
+    for &(canon, old) in &edges_by_canon {
+        if let Some(p) = &query.pattern.edge(old).predicate {
+            let _ = write!(shape, "e{canon}[");
+            render_template(p, &mut shape, &mut params);
+            shape.push_str("];");
+        }
+    }
+
+    let _ = write!(shape, "proj:{:?};", query.projection);
+    shape.push_str("agg:");
+    for a in &query.aggregates {
+        let _ = write!(shape, "{:?}(${});", a.func, a.column);
+    }
+    let _ = write!(shape, "distinct:{};", query.distinct);
+    shape.push_str("order:");
+    for k in &query.order_by {
+        let _ = write!(
+            shape,
+            "{}{};",
+            k.column,
+            if k.descending { "d" } else { "a" }
+        );
+    }
+    let _ = write!(shape, "limit:{:?}", query.limit);
+
+    let slot_sig: String = params.iter().map(slot_tag).collect();
+    ParamQuery {
+        canon_fingerprint: form.code.fingerprint(),
+        shape,
+        params,
+        slot_sig,
+    }
+}
+
+/// The literal-substitution map of one rebind, with conflict detection.
+struct Bindings {
+    pairs: Vec<(Value, Value)>,
+    hit: Vec<bool>,
+}
+
+impl Bindings {
+    fn build(old: &[Value], new: &[Value]) -> Result<Bindings> {
+        if old.len() != new.len() {
+            return Err(RelGoError::plan(format!(
+                "rebind arity mismatch: {} cached slots, {} bindings",
+                old.len(),
+                new.len()
+            )));
+        }
+        let mut pairs: Vec<(Value, Value)> = Vec::with_capacity(old.len());
+        for (o, n) in old.iter().zip(new) {
+            match pairs.iter().find(|(po, _)| po == o) {
+                Some((_, pn)) if pn == n => {}
+                Some((_, pn)) => {
+                    return Err(RelGoError::plan(format!(
+                        "ambiguous rebind: cached literal {o} maps to both {pn} and {n}"
+                    )))
+                }
+                None => pairs.push((o.clone(), n.clone())),
+            }
+        }
+        let hit = vec![false; pairs.len()];
+        Ok(Bindings { pairs, hit })
+    }
+
+    fn substitute(&mut self, v: &Value) -> Option<Value> {
+        for (i, (o, n)) in self.pairs.iter().enumerate() {
+            if o == v {
+                self.hit[i] = true;
+                return Some(n.clone());
+            }
+        }
+        None
+    }
+
+    fn check_complete(&self) -> Result<()> {
+        for (i, hit) in self.hit.iter().enumerate() {
+            if !hit {
+                return Err(RelGoError::plan(format!(
+                    "rebind: cached literal {} not found in the plan",
+                    self.pairs[i].0
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Substitute parameter-position literals of `expr` through `b`.
+fn rebind_expr(expr: &ScalarExpr, b: &mut Bindings) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Cmp(op, l, r) => {
+            let rebound_side = |side: &ScalarExpr, b: &mut Bindings| match side {
+                ScalarExpr::Lit(v) => match b.substitute(v) {
+                    Some(n) => ScalarExpr::Lit(n),
+                    None => side.clone(),
+                },
+                other => rebind_expr(other, b),
+            };
+            match (is_lit(l), is_lit(r)) {
+                (false, true) => ScalarExpr::Cmp(
+                    *op,
+                    Box::new(rebind_expr(l, b)),
+                    Box::new(rebound_side(r, b)),
+                ),
+                (true, false) => ScalarExpr::Cmp(
+                    *op,
+                    Box::new(rebound_side(l, b)),
+                    Box::new(rebind_expr(r, b)),
+                ),
+                _ => ScalarExpr::Cmp(
+                    *op,
+                    Box::new(rebind_expr(l, b)),
+                    Box::new(rebind_expr(r, b)),
+                ),
+            }
+        }
+        ScalarExpr::And(l, r) => {
+            ScalarExpr::And(Box::new(rebind_expr(l, b)), Box::new(rebind_expr(r, b)))
+        }
+        ScalarExpr::Or(l, r) => {
+            ScalarExpr::Or(Box::new(rebind_expr(l, b)), Box::new(rebind_expr(r, b)))
+        }
+        ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(rebind_expr(e, b))),
+        ScalarExpr::StartsWith(e, p) => {
+            ScalarExpr::StartsWith(Box::new(rebind_expr(e, b)), p.clone())
+        }
+        ScalarExpr::Contains(e, p) => ScalarExpr::Contains(Box::new(rebind_expr(e, b)), p.clone()),
+        ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(rebind_expr(e, b))),
+        ScalarExpr::InList(e, list) => {
+            ScalarExpr::InList(Box::new(rebind_expr(e, b)), list.clone())
+        }
+        leaf @ (ScalarExpr::Col(_) | ScalarExpr::Lit(_)) => leaf.clone(),
+    }
+}
+
+fn rebind_opt(p: &Option<ScalarExpr>, b: &mut Bindings) -> Option<ScalarExpr> {
+    p.as_ref().map(|e| rebind_expr(e, b))
+}
+
+fn rebind_graph_op(
+    op: &crate::graph_plan::GraphOp,
+    b: &mut Bindings,
+) -> crate::graph_plan::GraphOp {
+    use crate::graph_plan::GraphOp;
+    match op {
+        GraphOp::ScanVertex { v, predicate, ann } => GraphOp::ScanVertex {
+            v: *v,
+            predicate: rebind_opt(predicate, b),
+            ann: *ann,
+        },
+        GraphOp::ScanEdge { e, predicate, ann } => GraphOp::ScanEdge {
+            e: *e,
+            predicate: rebind_opt(predicate, b),
+            ann: *ann,
+        },
+        GraphOp::Expand {
+            input,
+            from,
+            edge,
+            to,
+            dir,
+            emit_edge,
+            edge_predicate,
+            vertex_predicate,
+            ann,
+        } => GraphOp::Expand {
+            input: Box::new(rebind_graph_op(input, b)),
+            from: *from,
+            edge: *edge,
+            to: *to,
+            dir: *dir,
+            emit_edge: *emit_edge,
+            edge_predicate: rebind_opt(edge_predicate, b),
+            vertex_predicate: rebind_opt(vertex_predicate, b),
+            ann: *ann,
+        },
+        GraphOp::ExpandIntersect {
+            input,
+            legs,
+            to,
+            emit_edges,
+            vertex_predicate,
+            ann,
+        } => GraphOp::ExpandIntersect {
+            input: Box::new(rebind_graph_op(input, b)),
+            legs: legs.clone(),
+            to: *to,
+            emit_edges: *emit_edges,
+            vertex_predicate: rebind_opt(vertex_predicate, b),
+            ann: *ann,
+        },
+        GraphOp::JoinSub {
+            left,
+            right,
+            on_vertices,
+            on_edges,
+            ann,
+        } => GraphOp::JoinSub {
+            left: Box::new(rebind_graph_op(left, b)),
+            right: Box::new(rebind_graph_op(right, b)),
+            on_vertices: on_vertices.clone(),
+            on_edges: on_edges.clone(),
+            ann: *ann,
+        },
+        GraphOp::FilterVertex {
+            input,
+            v,
+            predicate,
+            ann,
+        } => GraphOp::FilterVertex {
+            input: Box::new(rebind_graph_op(input, b)),
+            v: *v,
+            predicate: rebind_expr(predicate, b),
+            ann: *ann,
+        },
+    }
+}
+
+fn rebind_rel_op(op: &RelOp, b: &mut Bindings) -> RelOp {
+    match op {
+        RelOp::ScanGraphTable { graph, columns } => RelOp::ScanGraphTable {
+            graph: rebind_graph_op(graph, b),
+            columns: columns.clone(),
+        },
+        RelOp::ScanTable { table, predicate } => RelOp::ScanTable {
+            table: table.clone(),
+            predicate: rebind_opt(predicate, b),
+        },
+        RelOp::HashJoin { left, right, keys } => RelOp::HashJoin {
+            left: Box::new(rebind_rel_op(left, b)),
+            right: Box::new(rebind_rel_op(right, b)),
+            keys: keys.clone(),
+        },
+        RelOp::Filter { input, predicate } => RelOp::Filter {
+            input: Box::new(rebind_rel_op(input, b)),
+            predicate: rebind_expr(predicate, b),
+        },
+        RelOp::Project { input, cols } => RelOp::Project {
+            input: Box::new(rebind_rel_op(input, b)),
+            cols: cols.clone(),
+        },
+        RelOp::Aggregate { input, aggs } => RelOp::Aggregate {
+            input: Box::new(rebind_rel_op(input, b)),
+            aggs: aggs.clone(),
+        },
+        RelOp::Distinct { input } => RelOp::Distinct {
+            input: Box::new(rebind_rel_op(input, b)),
+        },
+        RelOp::Sort { input, keys } => RelOp::Sort {
+            input: Box::new(rebind_rel_op(input, b)),
+            keys: keys.clone(),
+        },
+        RelOp::Limit { input, n } => RelOp::Limit {
+            input: Box::new(rebind_rel_op(input, b)),
+            n: *n,
+        },
+    }
+}
+
+/// Substitute fresh literal bindings into a cached plan skeleton.
+///
+/// `old` are the bindings the plan was optimized with (stored alongside the
+/// cache entry), `new` the current instance's. Every predicate site — the
+/// plan's pattern constraints, the graph operators inside
+/// `SCAN_GRAPH_TABLE`, and the relational operators — is rewritten.
+/// Errors (rather than producing a wrong plan) when the substitution is
+/// ambiguous or incomplete; callers count a rebind failure and fall back to
+/// the optimizer.
+pub fn rebind_plan(plan: &PhysicalPlan, old: &[Value], new: &[Value]) -> Result<PhysicalPlan> {
+    if old == new {
+        return Ok(plan.clone());
+    }
+    let mut b = Bindings::build(old, new)?;
+    let pattern = plan
+        .pattern
+        .map_predicates(&mut |e: &ScalarExpr| rebind_expr(e, &mut b));
+    let root = rebind_rel_op(&plan.root, &mut b);
+    b.check_complete()?;
+    Ok(PhysicalPlan { pattern, root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spjm::SpjmBuilder;
+    use relgo_common::LabelId;
+    use relgo_pattern::PatternBuilder;
+    use relgo_storage::BinaryOp;
+
+    /// A two-vertex likes pattern, optionally built with swapped vertex
+    /// insertion order (an isomorphic renaming).
+    fn query(person: i64, date: i64, swapped: bool) -> SpjmQuery {
+        let mut pb = PatternBuilder::new();
+        let (p, m) = if swapped {
+            let m = pb.vertex("m", LabelId(1));
+            let p = pb.vertex("p", LabelId(0));
+            (p, m)
+        } else {
+            let p = pb.vertex("p", LabelId(0));
+            let m = pb.vertex("m", LabelId(1));
+            (p, m)
+        };
+        pb.edge(p, m, LabelId(0)).unwrap();
+        let pattern = pb.build().unwrap();
+        let mut b = SpjmBuilder::new(pattern);
+        let pid = b.vertex_column(p, 0, "p_id");
+        let mdate = b.vertex_column(m, 2, "m_date");
+        b.select(ScalarExpr::col_eq(pid, person).and(ScalarExpr::col_cmp(
+            mdate,
+            BinaryOp::Lt,
+            Value::Date(date),
+        )));
+        b.project(&[mdate]);
+        b.build()
+    }
+
+    #[test]
+    fn literals_become_slots() {
+        let pq = parameterize(&query(5, 100, false));
+        assert_eq!(pq.params, vec![Value::Int(5), Value::Date(100)]);
+        assert_eq!(pq.slot_sig, "id");
+        assert!(pq.shape.contains("?0"), "{}", pq.shape);
+        assert!(pq.shape.contains("?1"), "{}", pq.shape);
+        assert!(!pq.shape.contains("100"), "literal leaked: {}", pq.shape);
+    }
+
+    #[test]
+    fn instances_share_shape_different_params() {
+        let a = parameterize(&query(5, 100, false));
+        let b = parameterize(&query(9, 777, false));
+        assert_eq!(a.shape, b.shape);
+        assert_eq!(a.canon_fingerprint, b.canon_fingerprint);
+        assert_eq!(a.slot_sig, b.slot_sig);
+        assert_ne!(a.params, b.params);
+        assert_eq!(
+            a.key(OptimizerMode::RelGo),
+            b.key(OptimizerMode::RelGo),
+            "same template, same key"
+        );
+        assert_ne!(
+            a.key(OptimizerMode::RelGo),
+            a.key(OptimizerMode::DuckDbLike),
+            "mode is part of the key"
+        );
+    }
+
+    #[test]
+    fn renamed_isomorphic_query_shares_fingerprint() {
+        let a = parameterize(&query(5, 100, false));
+        let b = parameterize(&query(6, 200, true));
+        assert_eq!(a.canon_fingerprint, b.canon_fingerprint);
+        assert_eq!(a.shape, b.shape, "renaming normalizes away");
+    }
+
+    #[test]
+    fn structural_literals_stay_in_shape() {
+        let mut pb = PatternBuilder::new();
+        let p = pb.vertex("p", LabelId(0));
+        let m = pb.vertex("m", LabelId(1));
+        pb.edge(p, m, LabelId(0)).unwrap();
+        let mut b = SpjmBuilder::new(pb.build().unwrap());
+        let pid = b.vertex_column(p, 0, "p_id");
+        b.select(ScalarExpr::InList(
+            Box::new(ScalarExpr::Col(pid)),
+            vec![Value::Int(1), Value::Int(2)],
+        ));
+        let q = b.build();
+        let pq = parameterize(&q);
+        assert!(pq.params.is_empty(), "IN-list members are structural");
+        assert!(pq.shape.contains("IN (i1, i2)"), "{}", pq.shape);
+    }
+
+    #[test]
+    fn forged_delimiters_cannot_alias_shapes() {
+        // A structural string containing the rendered delimiter sequence
+        // must not collapse two distinct predicates into one shape.
+        let mk = |expr: ScalarExpr| {
+            let mut pb = PatternBuilder::new();
+            let p = pb.vertex("p", LabelId(0));
+            let m = pb.vertex("m", LabelId(1));
+            pb.edge(p, m, LabelId(0)).unwrap();
+            let mut b = SpjmBuilder::new(pb.build().unwrap());
+            let c = b.vertex_column(p, 1, "p_name");
+            let _ = c;
+            b.select(expr);
+            b.build()
+        };
+        let nested = mk(ScalarExpr::Contains(
+            Box::new(ScalarExpr::Contains(
+                Box::new(ScalarExpr::Col(0)),
+                "a".into(),
+            )),
+            "b".into(),
+        ));
+        let forged = mk(ScalarExpr::Contains(
+            Box::new(ScalarExpr::Col(0)),
+            "a\" CONTAINS \"b".into(),
+        ));
+        assert_ne!(parameterize(&nested).shape, parameterize(&forged).shape);
+    }
+
+    #[test]
+    fn rebind_conflicting_duplicates_error() {
+        // Two slots share the old value but diverge in the new instance.
+        let old = vec![Value::Int(5), Value::Int(5)];
+        let new = vec![Value::Int(7), Value::Int(9)];
+        assert!(Bindings::build(&old, &new).is_err());
+        // Agreeing duplicates are fine.
+        let new_ok = vec![Value::Int(7), Value::Int(7)];
+        assert!(Bindings::build(&old, &new_ok).is_ok());
+    }
+
+    #[test]
+    fn rebind_expr_substitutes_param_positions_only() {
+        let e = ScalarExpr::col_eq(0, 5i64).and(ScalarExpr::InList(
+            Box::new(ScalarExpr::Col(1)),
+            vec![Value::Int(5)],
+        ));
+        let mut b = Bindings::build(&[Value::Int(5)], &[Value::Int(42)]).unwrap();
+        let rebound = rebind_expr(&e, &mut b);
+        let s = rebound.to_string();
+        assert!(s.contains("$0 = 42"), "{s}");
+        assert!(s.contains("IN (5)"), "IN-list untouched: {s}");
+        assert!(b.check_complete().is_ok());
+    }
+}

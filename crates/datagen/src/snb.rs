@@ -293,17 +293,15 @@ pub fn generate_snb(params: &SnbParams) -> (Database, RGMapping) {
             ("parent", DataType::Int),
         ]),
     );
-    let mut eid = 0i64;
-    for c in n_post..n_message {
+    for (eid, c) in (n_post..n_message).enumerate() {
         // Reply to some earlier message (post-heavy).
         let parent = skewed(&mut rng, c.max(1));
         t.push_row(vec![
-            Value::Int(eid),
+            Value::Int(eid as i64),
             Value::Int(c as i64),
             Value::Int(parent as i64),
         ])
         .unwrap();
-        eid += 1;
     }
     db.add_table(t.finish());
     db.set_primary_key("ReplyOf", "id").unwrap();

@@ -56,6 +56,22 @@ fn encode(p: &Pattern, perm: &[usize]) -> Vec<u32> {
     code
 }
 
+/// A canonical code together with the renaming that realizes it — enough to
+/// translate element references of the *original* pattern into canonical
+/// positions (plan-cache keys fingerprint whole queries this way, so that
+/// isomorphic/renamed queries normalize identically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical code itself.
+    pub code: CanonCode,
+    /// `vertex_perm[old] = canonical position` of each pattern vertex.
+    pub vertex_perm: Vec<usize>,
+    /// `edge_perm[old] = canonical position` of each pattern edge (position
+    /// in the code's sorted edge-triple list; ties between identical
+    /// parallel edges break by original index).
+    pub edge_perm: Vec<usize>,
+}
+
 /// Compute the canonical code of `p`'s skeleton.
 ///
 /// The minimal encoding necessarily lists vertex labels in non-decreasing
@@ -63,12 +79,17 @@ fn encode(p: &Pattern, perm: &[usize]) -> Vec<u32> {
 /// group arrangements are enumerated by backtracking with lexicographic
 /// pruning against the best encoding found so far.
 pub fn canonical_code(p: &Pattern) -> CanonCode {
+    canonical_form(p).code
+}
+
+/// Compute the canonical code *and* the vertex/edge renamings realizing it.
+pub fn canonical_form(p: &Pattern) -> CanonicalForm {
     let n = p.vertex_count();
     // Group vertices by label; the label-block layout is forced.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&v| p.vertex(v).label.0);
     // perm[old] = new position; start from the label-sorted arrangement.
-    let mut best: Option<Vec<u32>> = None;
+    let mut best: Option<(Vec<u32>, Vec<usize>)> = None;
     let mut perm = vec![usize::MAX; n];
 
     // Recursive assignment of new positions 0..n to vertices, restricted to
@@ -80,13 +101,13 @@ pub fn canonical_code(p: &Pattern) -> CanonCode {
         pos: usize,
         used: &mut Vec<bool>,
         perm: &mut Vec<usize>,
-        best: &mut Option<Vec<u32>>,
+        best: &mut Option<(Vec<u32>, Vec<usize>)>,
     ) {
         let n = order.len();
         if pos == n {
             let code = encode(p, perm);
-            if best.as_ref().is_none_or(|b| code < *b) {
-                *best = Some(code);
+            if best.as_ref().is_none_or(|(b, _)| code < *b) {
+                *best = Some((code, perm.clone()));
             }
             return;
         }
@@ -105,10 +126,37 @@ pub fn canonical_code(p: &Pattern) -> CanonCode {
 
     let mut used = vec![false; n];
     rec(p, &order, 0, &mut used, &mut perm, &mut best);
-    CanonCode(
-        best.expect("at least one permutation exists")
-            .into_boxed_slice(),
-    )
+    let (code, vertex_perm) = best.expect("at least one permutation exists");
+
+    // Canonical edge positions: the code lists edge triples sorted by
+    // (src', dst', label); recover each original edge's slot in that order,
+    // breaking ties between identical parallel edges by original index.
+    let mut triples: Vec<([u32; 3], usize)> = p
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            (
+                [
+                    vertex_perm[e.src] as u32,
+                    vertex_perm[e.dst] as u32,
+                    e.label.0 as u32,
+                ],
+                i,
+            )
+        })
+        .collect();
+    triples.sort();
+    let mut edge_perm = vec![usize::MAX; p.edge_count()];
+    for (canonical, &(_, old)) in triples.iter().enumerate() {
+        edge_perm[old] = canonical;
+    }
+
+    CanonicalForm {
+        code: CanonCode(code.into_boxed_slice()),
+        vertex_perm,
+        edge_perm,
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +189,35 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn canonical_form_aligns_renamed_elements() {
+        // The same triangle inserted in two different vertex orders: the
+        // canonical permutations must send corresponding roles (and the
+        // role-aligned edges) to the same canonical slots.
+        let a = canonical_form(&triangle([0, 1, 2]));
+        let b = canonical_form(&triangle([2, 0, 1]));
+        assert_eq!(a.code, b.code);
+        // triangle(order) puts role r at builder index idx[r] with
+        // order[slot] = role, so idx = inverse(order).
+        let idx_a = [0usize, 1, 2]; // order [0,1,2]
+        let idx_b = [1usize, 2, 0]; // order [2,0,1]
+        for role in 0..3 {
+            assert_eq!(
+                a.vertex_perm[idx_a[role]], b.vertex_perm[idx_b[role]],
+                "role {role}"
+            );
+        }
+        // Edges are inserted in role order in both builds.
+        assert_eq!(a.edge_perm, b.edge_perm);
+        // Both perms are permutations of 0..3.
+        let mut sa = a.vertex_perm.clone();
+        sa.sort_unstable();
+        assert_eq!(sa, vec![0, 1, 2]);
+        let mut ea = a.edge_perm.clone();
+        ea.sort_unstable();
+        assert_eq!(ea, vec![0, 1, 2]);
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod decompose;
 pub mod pattern;
 pub mod search_space;
 
-pub use canonical::{canonical_code, CanonCode};
+pub use canonical::{canonical_code, canonical_form, CanonCode, CanonicalForm};
 pub use decompose::VertexSet;
 pub use pattern::{MatchSemantics, Pattern, PatternBuilder, PatternEdge, PatternVertex};

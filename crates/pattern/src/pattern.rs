@@ -170,6 +170,23 @@ impl Pattern {
         *slot = Some(ScalarExpr::conjoin(slot.take(), pred));
     }
 
+    /// Rewrite every element predicate through `f` (plan-cache rebinding
+    /// substitutes fresh parameter literals this way).
+    pub fn map_predicates(&self, f: &mut dyn FnMut(&ScalarExpr) -> ScalarExpr) -> Pattern {
+        let mut out = self.clone();
+        for v in &mut out.vertices {
+            if let Some(p) = &v.predicate {
+                v.predicate = Some(f(p));
+            }
+        }
+        for e in &mut out.edges {
+            if let Some(p) = &e.predicate {
+                e.predicate = Some(f(p));
+            }
+        }
+        out
+    }
+
     /// Whether any pattern element carries a predicate.
     pub fn has_predicates(&self) -> bool {
         self.vertices.iter().any(|v| v.predicate.is_some())

@@ -1,0 +1,153 @@
+//! Property tests for the canonical-code machinery: `CanonCode` must be
+//! invariant under label-preserving vertex relabelings (the plan cache and
+//! GLogue both key on this), and sensitive to single-edge edits.
+
+use proptest::prelude::*;
+use relgo_common::LabelId;
+use relgo_pattern::{canonical_code, canonical_form, Pattern, PatternBuilder};
+
+/// A random connected pattern: `n` vertices with labels from a small
+/// alphabet, a random spanning tree plus a few extra random edges.
+#[derive(Debug, Clone)]
+struct RawPattern {
+    labels: Vec<u16>,
+    /// Spanning-tree attachment: vertex i (≥ 1) attaches to `tree[i - 1]`.
+    tree: Vec<usize>,
+    extra: Vec<(usize, usize)>,
+    edge_labels: Vec<u16>,
+}
+
+impl RawPattern {
+    fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = self
+            .tree
+            .iter()
+            .enumerate()
+            .map(|(i, &parent)| (parent % (i + 1), i + 1))
+            .collect();
+        let n = self.vertex_count();
+        edges.extend(self.extra.iter().map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                // Self-loop pattern edges are rejected; bend to a neighbor
+                // (n >= 2 by construction).
+                b = (b + 1) % n;
+            }
+            (a, b)
+        }));
+        edges
+    }
+
+    /// Build with vertices inserted in the order given by `order[slot] =
+    /// original vertex` (identity order = the reference pattern).
+    fn build(&self, order: &[usize]) -> Pattern {
+        let mut b = PatternBuilder::new();
+        // new_index[original] = builder index.
+        let mut new_index = vec![usize::MAX; self.vertex_count()];
+        for &orig in order {
+            new_index[orig] = b.vertex(&format!("v{orig}"), LabelId(self.labels[orig]));
+        }
+        for (k, (src, dst)) in self.edges().into_iter().enumerate() {
+            let label = LabelId(self.edge_labels[k % self.edge_labels.len()]);
+            b.edge(new_index[src], new_index[dst], label).unwrap();
+        }
+        b.build().unwrap()
+    }
+}
+
+fn raw_pattern() -> impl Strategy<Value = RawPattern> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u16..3, n..n + 1),
+            proptest::collection::vec(0usize..n.max(1), (n - 1)..n),
+            proptest::collection::vec((0usize..n, 0usize..n), 0..3),
+            proptest::collection::vec(0u16..2, 1..4),
+        )
+            .prop_map(|(labels, tree, extra, edge_labels)| RawPattern {
+                labels,
+                tree,
+                extra,
+                edge_labels,
+            })
+    })
+}
+
+/// A random permutation of `0..n`, derived from a priority vector.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0u64..u64::MAX, n..n + 1).prop_map(|prio| {
+        let mut order: Vec<usize> = (0..prio.len()).collect();
+        order.sort_by_key(|&i| prio[i]);
+        order
+    })
+}
+
+fn raw_and_perm() -> impl Strategy<Value = (RawPattern, Vec<usize>)> {
+    raw_pattern().prop_flat_map(|raw| {
+        let n = raw.vertex_count();
+        (Just(raw), permutation(n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn relabelings_preserve_canonical_codes(input in raw_and_perm()) {
+        let (raw, order) = input;
+        let identity: Vec<usize> = (0..raw.vertex_count()).collect();
+        let reference = raw.build(&identity);
+        let renamed = raw.build(&order);
+        let a = canonical_code(&reference);
+        let b = canonical_code(&renamed);
+        prop_assert_eq!(&a, &b, "relabeling {:?} changed the code", order);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        // The reported permutations are consistent: both forms agree on
+        // the code, and each perm is a valid permutation.
+        let fa = canonical_form(&reference);
+        let fb = canonical_form(&renamed);
+        prop_assert_eq!(fa.code, fb.code);
+        let mut va = fa.vertex_perm.clone();
+        va.sort_unstable();
+        prop_assert_eq!(va, identity);
+    }
+
+    #[test]
+    fn single_edge_addition_changes_the_code(input in raw_and_perm(), pick in (0usize..64, 0usize..64)) {
+        let (raw, _) = input;
+        let identity: Vec<usize> = (0..raw.vertex_count()).collect();
+        let reference = raw.build(&identity);
+        // Add one extra edge: the edge count differs, so the code must.
+        let mut edited = raw.clone();
+        edited.extra.push(pick);
+        let changed = edited.build(&identity);
+        prop_assert_ne!(canonical_code(&reference), canonical_code(&changed));
+    }
+
+    #[test]
+    fn single_edge_label_flip_changes_the_code(input in raw_and_perm()) {
+        let (raw, _) = input;
+        let identity: Vec<usize> = (0..raw.vertex_count()).collect();
+        let reference = raw.build(&identity);
+        // Rebuild with the first edge's label flipped to a label outside
+        // the generator's 0..2 alphabet: the edge-label multiset differs.
+        let mut b = PatternBuilder::new();
+        for (i, &l) in raw.labels.iter().enumerate() {
+            b.vertex(&format!("v{i}"), LabelId(l));
+        }
+        for (k, (src, dst)) in raw.edges().into_iter().enumerate() {
+            let label = if k == 0 {
+                LabelId(9)
+            } else {
+                LabelId(raw.edge_labels[k % raw.edge_labels.len()])
+            };
+            b.edge(src, dst, label).unwrap();
+        }
+        let edited = b.build().unwrap();
+        prop_assert_ne!(canonical_code(&reference), canonical_code(&edited));
+    }
+}

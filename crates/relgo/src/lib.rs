@@ -27,8 +27,10 @@
 //! optimizer, the execution engine, dataset generators and the benchmark
 //! workloads.
 
+pub mod serve;
 pub mod session;
 
+pub use relgo_cache as cache;
 pub use relgo_common as common;
 pub use relgo_core as core;
 pub use relgo_datagen as datagen;
@@ -39,11 +41,14 @@ pub use relgo_pattern as pattern;
 pub use relgo_storage as storage;
 pub use relgo_workloads as workloads;
 
+pub use serve::{replay_concurrent, ReplayReport};
 pub use session::{QueryOutcome, Session, SessionOptions};
 
 /// The convenient all-in-one import.
 pub mod prelude {
+    pub use crate::serve::{replay_concurrent, ReplayReport};
     pub use crate::session::{QueryOutcome, Session, SessionOptions};
+    pub use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};
     pub use relgo_graph::{GraphView, RGMapping};
@@ -52,4 +57,5 @@ pub mod prelude {
     pub use relgo_storage::{BinaryOp, Database, ScalarExpr, Table};
     pub use relgo_workloads::job_queries::ImdbSchema;
     pub use relgo_workloads::snb_queries::SnbSchema;
+    pub use relgo_workloads::templates::QueryTemplate;
 }

@@ -1,8 +1,12 @@
 //! The end-to-end session API: data + mapping → optimized, executed SPJM
 //! queries under any of the paper's compared systems.
 
+use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
 use relgo_common::{RelGoError, Result};
-use relgo_core::{optimize, OptStats, OptimizerMode, PhysicalPlan, PlannerContext, SpjmQuery};
+use relgo_core::{
+    optimize, parameterize, rebind_plan, OptStats, OptimizerMode, PhysicalPlan, PlannerContext,
+    SpjmQuery,
+};
 use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
 use relgo_exec::{execute_plan, ExecConfig};
 use relgo_glogue::GLogue;
@@ -24,6 +28,10 @@ pub struct SessionOptions {
     pub opt_timeout: Duration,
     /// Intermediate-result row budget (models OOM).
     pub row_limit: usize,
+    /// Plan-cache shard count (`run_cached`).
+    pub plan_cache_shards: usize,
+    /// Plan-cache total entry capacity across shards (`run_cached`).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for SessionOptions {
@@ -33,6 +41,8 @@ impl Default for SessionOptions {
             glogue_stride: 1,
             opt_timeout: Duration::from_secs(10),
             row_limit: 50_000_000,
+            plan_cache_shards: 8,
+            plan_cache_capacity: 1024,
         }
     }
 }
@@ -42,10 +52,13 @@ impl Default for SessionOptions {
 pub struct QueryOutcome {
     /// The query result.
     pub table: Table,
-    /// Optimizer statistics (wall time, plans visited, timeout flag).
+    /// Optimizer statistics (wall time, plans visited, timeout flag). On a
+    /// plan-cache hit this is the parameterize+rebind time.
     pub opt: OptStats,
     /// Execution wall time.
     pub exec_time: Duration,
+    /// Whether the plan came from the plan cache (`run_cached` hit).
+    pub cached: bool,
 }
 
 impl QueryOutcome {
@@ -62,6 +75,7 @@ pub struct Session {
     view: Arc<GraphView>,
     glogue: Arc<GLogue>,
     options: SessionOptions,
+    cache: Arc<PlanCache>,
 }
 
 impl Session {
@@ -85,26 +99,42 @@ impl Session {
             options.glogue_k,
             options.glogue_stride,
         )?);
+        let cache = Arc::new(PlanCache::new(CacheConfig {
+            shards: options.plan_cache_shards,
+            capacity: options.plan_cache_capacity,
+        }));
         Ok(Session {
             db: Arc::new(db),
             view,
             glogue,
             options,
+            cache,
         })
     }
 
     /// Generate and open the LDBC-SNB-like dataset at scale factor `sf`.
     pub fn snb(sf: f64, seed: u64) -> Result<(Session, SnbSchema)> {
+        Session::snb_with(sf, seed, SessionOptions::default())
+    }
+
+    /// Generate and open the LDBC-SNB-like dataset with explicit options
+    /// (benches tune `glogue_k`, timeouts and cache sizing this way).
+    pub fn snb_with(sf: f64, seed: u64, options: SessionOptions) -> Result<(Session, SnbSchema)> {
         let (db, mapping) = generate_snb(&SnbParams { sf, seed });
-        let session = Session::open(db, mapping)?;
+        let session = Session::open_with(db, mapping, options)?;
         let schema = SnbSchema::resolve(session.view.schema())?;
         Ok((session, schema))
     }
 
     /// Generate and open the IMDB-like dataset at scale factor `sf`.
     pub fn imdb(sf: f64, seed: u64) -> Result<(Session, ImdbSchema)> {
+        Session::imdb_with(sf, seed, SessionOptions::default())
+    }
+
+    /// Generate and open the IMDB-like dataset with explicit options.
+    pub fn imdb_with(sf: f64, seed: u64, options: SessionOptions) -> Result<(Session, ImdbSchema)> {
         let (db, mapping) = generate_imdb(&ImdbParams { sf, seed });
-        let session = Session::open(db, mapping)?;
+        let session = Session::open_with(db, mapping, options)?;
         let schema = ImdbSchema::resolve(session.view.schema())?;
         Ok((session, schema))
     }
@@ -127,6 +157,31 @@ impl Session {
     /// The session options.
     pub fn options(&self) -> &SessionOptions {
         &self.options
+    }
+
+    /// The plan cache backing [`Session::run_cached`].
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Snapshot the plan-cache metrics.
+    pub fn cache_metrics(&self) -> MetricsSnapshot {
+        self.cache.metrics()
+    }
+
+    /// Rebuild the GLogue statistics with new parameters. Every cached
+    /// plan was costed against the old statistics, so the plan cache's
+    /// statistics version is bumped: existing entries die on next lookup.
+    pub fn rebuild_statistics(&mut self, glogue_k: usize, glogue_stride: usize) -> Result<()> {
+        self.options.glogue_k = glogue_k;
+        self.options.glogue_stride = glogue_stride;
+        self.glogue = Arc::new(GLogue::new(
+            Arc::clone(&self.view),
+            glogue_k,
+            glogue_stride,
+        )?);
+        self.cache.invalidate_all();
+        Ok(())
     }
 
     fn planner_context(&self) -> PlannerContext {
@@ -165,6 +220,59 @@ impl Session {
             table,
             opt,
             exec_time: start.elapsed(),
+            cached: false,
+        })
+    }
+
+    /// The concurrent serving path: like [`Session::run`], but plans are
+    /// reused through the plan cache.
+    ///
+    /// The query is parameterized (comparison literals lifted into slots,
+    /// the rest fingerprinted isomorphism-invariantly); on a hit the cached
+    /// skeleton is rebound with this instance's literals and executed
+    /// without touching the optimizer. On a miss — or if rebinding is
+    /// ambiguous, which is counted as a *rebind failure* — the query is
+    /// optimized normally and the skeleton inserted for the next instance.
+    pub fn run_cached(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
+        let opt_start = Instant::now();
+        let pq = parameterize(query);
+        let key = pq.key(mode);
+        if let Some((skeleton, cached_params)) = self.cache.lookup(&key) {
+            match rebind_plan(&skeleton, &cached_params, &pq.params) {
+                Ok(plan) => {
+                    let opt = OptStats {
+                        elapsed: opt_start.elapsed(),
+                        plans_visited: 0,
+                        timed_out: false,
+                    };
+                    let start = Instant::now();
+                    let table = self.execute(&plan, mode)?;
+                    return Ok(QueryOutcome {
+                        table,
+                        opt,
+                        exec_time: start.elapsed(),
+                        cached: true,
+                    });
+                }
+                Err(_) => self.cache.note_rebind_failure(),
+            }
+        }
+        let (plan, mut opt) = self.optimize(query, mode)?;
+        let plan = Arc::new(plan);
+        // A timed-out search produced a fallback plan; don't pin it for
+        // every future instance of the template.
+        if !opt.timed_out {
+            self.cache.insert(key, Arc::clone(&plan), pq.params);
+        }
+        // Charge the full miss path (parameterize + lookup + optimize).
+        opt.elapsed = opt_start.elapsed();
+        let start = Instant::now();
+        let table = self.execute(&plan, mode)?;
+        Ok(QueryOutcome {
+            table,
+            opt,
+            exec_time: start.elapsed(),
+            cached: false,
         })
     }
 

@@ -10,10 +10,13 @@
 //! * [`job_queries`] — 33 JOB-style join-order queries over the IMDB-like
 //!   schema (all acyclic, star-shaped around `title`, with skewed
 //!   predicates and `MIN` aggregates like the originals);
+//! * [`templates`] — parameterized query templates (fixed structure,
+//!   draw-dependent literals) replayed against the plan cache;
 //! * [`Workload`] — a named query with metadata used by the harness.
 
 pub mod job_queries;
 pub mod snb_queries;
+pub mod templates;
 
 use relgo_core::SpjmQuery;
 

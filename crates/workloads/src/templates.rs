@@ -1,0 +1,181 @@
+//! Parameterized query templates for the plan-cache serving path.
+//!
+//! A [`QueryTemplate`] is a named generator: `instantiate(draw)` yields one
+//! concrete [`SpjmQuery`] whose *structure* is fixed while its comparison
+//! literals (person ids, dates, tags, keywords, country codes, years) vary
+//! with `draw`. Every instance of one template therefore parameterizes to
+//! the same plan-cache key — replaying a workload of template draws is the
+//! cache's intended traffic shape.
+//!
+//! Parameter pools stay within what the `relgo-datagen` generators
+//! guarantee to exist at any scale factor (≥ 20 persons, the 8 special
+//! keywords, the fixed country-code list), so instances return plausible,
+//! usually non-empty results.
+
+use crate::job_queries::{self, ImdbSchema, JobSpec};
+use crate::snb_queries::{self, SnbSchema};
+use relgo_common::Result;
+use relgo_core::SpjmQuery;
+
+/// A named query template: a fixed structure with draw-dependent literals.
+pub struct QueryTemplate {
+    name: String,
+    make: Box<dyn Fn(u64) -> Result<SpjmQuery> + Send + Sync>,
+}
+
+impl std::fmt::Debug for QueryTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTemplate")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl QueryTemplate {
+    /// Wrap a generator closure.
+    pub fn new(
+        name: impl Into<String>,
+        make: impl Fn(u64) -> Result<SpjmQuery> + Send + Sync + 'static,
+    ) -> QueryTemplate {
+        QueryTemplate {
+            name: name.into(),
+            make: Box::new(make),
+        }
+    }
+
+    /// The template's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Produce the instance for `draw`.
+    pub fn instantiate(&self, draw: u64) -> Result<SpjmQuery> {
+        (self.make)(draw)
+    }
+}
+
+/// A person id the SNB generator guarantees to exist (≥ 20 persons at any
+/// scale factor; low ids are hubs under the preferential skew).
+fn person(draw: u64) -> i64 {
+    (draw % 20) as i64
+}
+
+/// Templated SNB interactive queries: the id- and date-parameterized IC
+/// variants the serving benchmarks replay.
+pub fn snb_templates(schema: &SnbSchema) -> Vec<QueryTemplate> {
+    let s = *schema;
+    vec![
+        QueryTemplate::new("IC1-2", move |d| snb_queries::ic1(&s, 2, person(d))),
+        QueryTemplate::new("IC2", move |d| {
+            snb_queries::ic2(&s, person(d), 15_000 + (d % 4_000) as i64)
+        }),
+        QueryTemplate::new("IC6-1", move |d| {
+            snb_queries::ic6(&s, 1, person(d), &format!("tag_{}", d % 8))
+        }),
+        QueryTemplate::new("IC7", move |d| snb_queries::ic7(&s, person(d))),
+        QueryTemplate::new("IC9-1", move |d| {
+            snb_queries::ic9(&s, 1, person(d), 14_000 + (d % 6_000) as i64)
+        }),
+    ]
+}
+
+const KW_POOL: [&str; 4] = ["sequel", "murder", "based-on-novel", "love"];
+const COUNTRY_POOL: [&str; 4] = ["[us]", "[gb]", "[de]", "[fr]"];
+
+/// Templated JOB-style queries: keyword/country/year parameterized star
+/// joins (keyword and company-type literals live in *pattern* predicates,
+/// exercising pattern-constraint rebinding).
+pub fn job_templates(schema: &ImdbSchema) -> Vec<QueryTemplate> {
+    let s = *schema;
+    vec![
+        QueryTemplate::new("JOB-kw-country", move |d| {
+            job_queries::build_job(
+                &s,
+                &JobSpec {
+                    with_company: true,
+                    with_keyword: true,
+                    kw: Some(KW_POOL[(d % 4) as usize]),
+                    country: Some(COUNTRY_POOL[((d / 4) % 4) as usize]),
+                    ..Default::default()
+                },
+            )
+        }),
+        QueryTemplate::new("JOB-kw-year", move |d| {
+            job_queries::build_job(
+                &s,
+                &JobSpec {
+                    with_cast: true,
+                    with_keyword: true,
+                    kw: Some(KW_POOL[(d % 4) as usize]),
+                    year_gt: Some(1950 + (d % 60) as i64),
+                    ..Default::default()
+                },
+            )
+        }),
+        QueryTemplate::new("JOB-ctype", move |d| {
+            job_queries::build_job(
+                &s,
+                &JobSpec {
+                    with_company: true,
+                    with_info: true,
+                    ctype: Some((d % 4) as i64),
+                    info: Some("info_1"),
+                    ..Default::default()
+                },
+            )
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_core::parameterize;
+    use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
+    use relgo_graph::GraphView;
+
+    #[test]
+    fn snb_instances_share_template_keys() {
+        let (mut db, mapping) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let s = SnbSchema::resolve(view.schema()).unwrap();
+        for t in snb_templates(&s) {
+            let a = parameterize(&t.instantiate(0).unwrap());
+            let b = parameterize(&t.instantiate(13).unwrap());
+            assert_eq!(a.shape, b.shape, "{}", t.name());
+            assert_eq!(a.canon_fingerprint, b.canon_fingerprint, "{}", t.name());
+            assert!(!a.params.is_empty(), "{} has parameter slots", t.name());
+        }
+    }
+
+    #[test]
+    fn job_instances_share_template_keys() {
+        let (mut db, mapping) = generate_imdb(&ImdbParams { sf: 0.1, seed: 7 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let s = ImdbSchema::resolve(view.schema()).unwrap();
+        for t in job_templates(&s) {
+            let a = parameterize(&t.instantiate(1).unwrap());
+            let b = parameterize(&t.instantiate(9).unwrap());
+            assert_eq!(a.shape, b.shape, "{}", t.name());
+            assert!(!a.params.is_empty(), "{} has parameter slots", t.name());
+        }
+    }
+
+    #[test]
+    fn distinct_templates_have_distinct_shapes() {
+        let (mut db, mapping) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let s = SnbSchema::resolve(view.schema()).unwrap();
+        let shapes: Vec<String> = snb_templates(&s)
+            .iter()
+            .map(|t| {
+                let pq = parameterize(&t.instantiate(0).unwrap());
+                format!("{}#{}", pq.canon_fingerprint, pq.shape)
+            })
+            .collect();
+        let mut dedup = shapes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), shapes.len(), "no two templates collide");
+    }
+}
