@@ -1,0 +1,41 @@
+//! Criterion bench for morsel-driven intra-query parallelism: GLogue
+//! statistics building (seed-partitioned homomorphism counting) and the
+//! expand-heavy QC1 knows-triangle execution at 1/2/4 worker threads.
+//! Parallel runs are bit-identical to serial; only the wall time changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::glogue::GLogue;
+use relgo::prelude::*;
+use relgo::workloads::snb_queries;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let (mut snb, schema) = Session::snb(0.05, 42).expect("snb");
+    let q = snb_queries::qc_queries(&schema)
+        .expect("qc queries")
+        .remove(0)
+        .query;
+    let (plan, _) = snb.optimize(&q, OptimizerMode::RelGo).expect("optimize");
+
+    let mut group = c.benchmark_group("fig_par");
+    group.sample_size(10);
+    for t in [1usize, 2, 4] {
+        // Statistics build: fresh GLogue, so every iteration re-counts the
+        // triangle's sub-pattern cardinalities with `t` workers.
+        group.bench_with_input(BenchmarkId::new("glogue_stats", t), &t, |b, &t| {
+            b.iter(|| {
+                let gl = GLogue::with_threads(Arc::clone(snb.view()), 3, 1, t).unwrap();
+                gl.cardinality(&q.pattern).unwrap()
+            })
+        });
+        // Execution: the same optimized plan, `t` morsel workers.
+        snb.set_threads(t);
+        group.bench_with_input(BenchmarkId::new("exec_qc1", t), &t, |b, _| {
+            b.iter(|| snb.execute(&plan, OptimizerMode::RelGo).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

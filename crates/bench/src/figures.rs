@@ -478,6 +478,131 @@ fn median_duration_ms(xs: &mut [std::time::Duration]) -> f64 {
     xs[xs.len() / 2].as_secs_f64() * 1e3
 }
 
+/// Whether two result tables are bit-identical: same row count and the same
+/// values in the same row order (not just set-equal).
+fn tables_bit_identical(a: &Table, b: &Table) -> bool {
+    a.num_rows() == b.num_rows() && (0..a.num_rows() as u32).all(|r| a.row(r) == b.row(r))
+}
+
+/// Intra-query parallel scaling (`fig_par`): GLogue statistics build and
+/// expand-heavy query execution at 1/2/4/8 threads over {SNB, JOB}, with
+/// bit-identity checks of every parallel result against the serial run.
+///
+/// Speedups are relative to the 1-thread run on the same machine; on a
+/// single-core container the scheduler degrades to ~1× (morsel dispatch is
+/// cheap) and the figure mainly certifies determinism.
+pub fn fig_par(cfg: &BenchConfig) -> Result<String> {
+    use std::time::Instant;
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fig_par — morsel-driven intra-query scaling (machine has {cores} core(s))"
+    )
+    .ok();
+
+    let options = SessionOptions {
+        opt_timeout: cfg.opt_timeout,
+        ..SessionOptions::default()
+    };
+    let (mut snb, sschema) = Session::snb_with(cfg.snb_sf_small, 42, options)?;
+    let (mut imdb, ischema) = Session::imdb_with(cfg.imdb_sf, 7, options)?;
+    // Expand-heavy, unanchored exec workloads: the knows-square (QC2)
+    // chains three full-table expansions; JOB17 is the expand-based
+    // case-study plan. The stats-build probe counts an *unanchored* pattern
+    // so the seed range covers the whole root table (what GLogue pays on a
+    // cold statistics build): the QC2 square itself for SNB, the
+    // name–title–company wedge for IMDB.
+    let snb_q = relgo::workloads::snb_queries::qc_queries(&sschema)?
+        .remove(1)
+        .query;
+    let snb_stats_pattern = snb_q.pattern.clone();
+    let job_q = job_queries::build_job(&ischema, &job_queries::job_specs()[16])?;
+    let job_stats_pattern = {
+        let mut pb = PatternBuilder::new();
+        let n = pb.vertex("n", ischema.name);
+        let t = pb.vertex("t", ischema.title);
+        let c = pb.vertex("c", ischema.company_name);
+        pb.edge(n, t, ischema.cast_info)?;
+        pb.edge(c, t, ischema.movie_companies)?;
+        pb.build()?
+    };
+    let suites: [(&str, &mut Session, SpjmQuery, Pattern); 2] = [
+        ("SNB QC2", &mut snb, snb_q, snb_stats_pattern),
+        ("JOB17", &mut imdb, job_q, job_stats_pattern),
+    ];
+
+    for (tag, session, query, stats_pattern) in suites {
+        writeln!(out, "({tag})").ok();
+        writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            cell("threads", 8),
+            cell("stats ms", 12),
+            cell("speedup", 9),
+            cell("exec ms", 12),
+            cell("speedup", 9),
+            cell("identical", 10)
+        )
+        .ok();
+        session.set_threads(1);
+        let (plan, _) = session.optimize(&query, OptimizerMode::RelGo)?;
+        let baseline = session.execute(&plan, OptimizerMode::RelGo)?;
+        let mut stats_base = f64::NAN;
+        let mut exec_base = f64::NAN;
+        let mut base_card = f64::NAN;
+        for &t in &thread_counts {
+            // Statistics build: the exact-counting kernel GLogue pays when
+            // (re)building statistics, seed-partitioned across `t` workers.
+            let mut stats = Vec::new();
+            let mut card = 0f64;
+            for _ in 0..cfg.reps.max(1) {
+                let start = Instant::now();
+                card =
+                    relgo::glogue::count_homomorphisms_par(session.view(), &stats_pattern, 1, t)?;
+                stats.push(start.elapsed());
+            }
+            // Execution: the same optimized plan, `t` morsel workers.
+            session.set_threads(t);
+            let mut execs = Vec::new();
+            let mut table = session.execute(&plan, OptimizerMode::RelGo)?;
+            for _ in 0..cfg.reps.max(1) {
+                let start = Instant::now();
+                table = session.execute(&plan, OptimizerMode::RelGo)?;
+                execs.push(start.elapsed());
+            }
+            let stats_ms = median_duration_ms(&mut stats);
+            let exec_ms = median_duration_ms(&mut execs);
+            if t == 1 {
+                stats_base = stats_ms;
+                exec_base = exec_ms;
+                base_card = card;
+            }
+            let identical = tables_bit_identical(&baseline, &table) && card == base_card;
+            writeln!(
+                out,
+                "{} {} {} {} {} {}",
+                cell(&t.to_string(), 8),
+                cell(&format!("{stats_ms:.3}"), 12),
+                cell(&format!("{:.2}x", stats_base / stats_ms.max(1e-9)), 9),
+                cell(&format!("{exec_ms:.3}"), 12),
+                cell(&format!("{:.2}x", exec_base / exec_ms.max(1e-9)), 9),
+                cell(if identical { "yes" } else { "NO" }, 10)
+            )
+            .ok();
+            if !identical {
+                return Err(RelGoError::execution(format!(
+                    "{tag}: parallel result at {t} threads diverges from serial"
+                )));
+            }
+        }
+        session.set_threads(1);
+    }
+    Ok(out)
+}
+
 /// Dataset statistics (the "full version"'s dataset table).
 pub fn dataset_stats(cfg: &BenchConfig) -> Result<String> {
     let mut out = String::new();
@@ -560,6 +685,16 @@ mod tests {
         assert!(s.contains("FilterIntoMatch"));
         let s = fig9(&tiny()).unwrap();
         assert!(s.contains("QC3"));
+    }
+
+    #[test]
+    fn fig_par_renders_and_certifies_identity() {
+        // fig_par errors out if any parallel result diverges from serial,
+        // so rendering doubles as a determinism check.
+        let s = fig_par(&tiny()).unwrap();
+        assert!(s.contains("SNB QC2"), "{s}");
+        assert!(s.contains("JOB17"), "{s}");
+        assert!(!s.contains(" NO "), "{s}");
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //! * [`fxhash`] — a vendored Fx-style fast hash map/set (the performance
 //!   guide recommends a fast non-cryptographic hasher for integer-keyed
 //!   tables; we vendor it instead of adding a dependency);
-//! * [`ids`] — strongly typed identifiers (`LabelId`, `RowId`, `ElementId`).
+//! * [`ids`] — strongly typed identifiers (`LabelId`, `RowId`, `ElementId`);
+//! * [`morsel`] — the morsel-driven intra-query parallel scheduler shared by
+//!   the execution engine and GLogue counting.
 
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod morsel;
 pub mod schema;
 pub mod value;
 

@@ -12,13 +12,32 @@
 //! Bag semantics are preserved exactly: expansions iterate *adjacency
 //! entries* (one output row per data edge), so trimming the edge column
 //! never changes multiplicities.
+//!
+//! ## Intra-operator parallelism
+//!
+//! `EXPAND`, `EXPAND_INTERSECT` and `FILTER_VERTEX` are morsel-driven when
+//! [`GraphExecContext::threads`] > 1: input rows are partitioned into
+//! morsels ([`relgo_common::morsel`]), each worker produces local output
+//! columns, and per-morsel outputs are concatenated **in morsel order** —
+//! parallel results are bit-identical to serial execution. The row-limit
+//! guard is a shared [`RowBudget`] charged with each row's projected output
+//! size *before* the rows are materialized.
+//!
+//! ## Allocation-free expansion
+//!
+//! The per-row hot path borrows adjacency lists as slices (no `(Vec, Vec)`
+//! clone per input row — the hashed fallback stores its multimap in flat
+//! CSR-like arrays), and per-element predicates are precomputed into
+//! per-table-row boolean masks whenever the expansion touches enough
+//! entries to amortize one evaluation per table row.
 
 use crate::chunk::GraphChunk;
+use relgo_common::morsel::{self, RowBudget};
 use relgo_common::{FxHashMap, RelGoError, Result, RowId};
 use relgo_core::graph_plan::{GraphOp, StarLeg};
 use relgo_graph::{Direction, GraphIndex, GraphView};
 use relgo_pattern::Pattern;
-use relgo_storage::ScalarExpr;
+use relgo_storage::{ScalarExpr, Table};
 
 /// Execution context for the graph component.
 pub struct GraphExecContext<'a> {
@@ -31,6 +50,8 @@ pub struct GraphExecContext<'a> {
     /// Maximum rows any intermediate may reach before aborting with
     /// `ResourceExhausted` (models the paper's OOM runs).
     pub row_limit: usize,
+    /// Intra-operator worker threads (1 = serial).
+    pub threads: usize,
 }
 
 impl<'a> GraphExecContext<'a> {
@@ -41,6 +62,10 @@ impl<'a> GraphExecContext<'a> {
             .ok_or_else(|| RelGoError::execution("graph index required but not built"))
     }
 
+    /// Post-materialization row-limit check for the serial operators
+    /// (scans, joins). The morsel-parallel operators use a shared
+    /// [`RowBudget`] instead, which charges projected sizes *before*
+    /// materializing; both trip at the same cumulative boundary.
     fn guard(&self, rows: usize) -> Result<()> {
         if rows > self.row_limit {
             return Err(RelGoError::ResourceExhausted(format!(
@@ -121,16 +146,7 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
             ..
         } => {
             let inp = execute_graph(input, ctx)?;
-            let label = ctx.pattern.vertex(*v).label;
-            let table = ctx.view.vertex_table(label);
-            let col = inp.vertex_col(*v)?;
-            let mut keep = Vec::new();
-            for (i, &rid) in col.iter().enumerate() {
-                if predicate.matches(table, rid)? {
-                    keep.push(i);
-                }
-            }
-            Ok(inp.take(&keep))
+            filter_vertex(&inp, *v, predicate, ctx)
         }
     }
 }
@@ -174,7 +190,9 @@ fn scan_edge(
 }
 
 /// Adjacency provider for one `(edge label, direction)`: the VE-index, or a
-/// transient hash multimap over the edge relation (the hash-join fallback).
+/// transient hash multimap over the edge relation (the hash-join fallback),
+/// stored as flat CSR-like arrays so probes borrow slices instead of
+/// collecting per-probe `Vec`s.
 enum Adjacency<'a> {
     Indexed {
         index: &'a GraphIndex,
@@ -182,8 +200,10 @@ enum Adjacency<'a> {
         dir: Direction,
     },
     Hashed {
-        /// from-vertex row → (edge row, neighbor row) pairs.
-        map: FxHashMap<RowId, Vec<(RowId, RowId)>>,
+        /// from-vertex row → `(start, end)` range into the flat arrays.
+        buckets: FxHashMap<RowId, (u32, u32)>,
+        edge_rid: Vec<RowId>,
+        nbr_rid: Vec<RowId>,
     },
 }
 
@@ -198,44 +218,112 @@ impl<'a> Adjacency<'a> {
             });
         }
         // Hash fallback: resolve both endpoints of every edge row through
-        // the λ key indexes and group by the from-side vertex row.
+        // the λ key indexes, sort by (from, neighbor) — intersection logic
+        // relies on neighbor-sorted buckets — and record each from-vertex's
+        // contiguous range, with the bucket map pre-reserved to the upper
+        // bound of distinct keys.
         let table = ctx.view.edge_table(pe.label);
-        let mut map: FxHashMap<RowId, Vec<(RowId, RowId)>> = FxHashMap::default();
-        for r in 0..table.num_rows() as RowId {
+        let m = table.num_rows();
+        let mut triples: Vec<(RowId, RowId, RowId)> = Vec::with_capacity(m);
+        for r in 0..m as RowId {
             let s = ctx.view.resolve_src(pe.label, r)?;
             let t = ctx.view.resolve_dst(pe.label, r)?;
             let (from, to) = match dir {
                 Direction::Out => (s, t),
                 Direction::In => (t, s),
             };
-            map.entry(from).or_default().push((r, to));
+            triples.push((from, r, to));
         }
-        // Sort each bucket by neighbor so intersection logic can merge.
-        for v in map.values_mut() {
-            v.sort_unstable_by_key(|&(_, n)| n);
+        triples.sort_unstable_by_key(|&(f, _, n)| (f, n));
+        let mut buckets: FxHashMap<RowId, (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(m, Default::default());
+        let mut edge_rid = Vec::with_capacity(m);
+        let mut nbr_rid = Vec::with_capacity(m);
+        for (i, &(from, e, to)) in triples.iter().enumerate() {
+            edge_rid.push(e);
+            nbr_rid.push(to);
+            buckets
+                .entry(from)
+                .and_modify(|r| r.1 = i as u32 + 1)
+                .or_insert((i as u32, i as u32 + 1));
         }
-        Ok(Adjacency::Hashed { map })
+        Ok(Adjacency::Hashed {
+            buckets,
+            edge_rid,
+            nbr_rid,
+        })
     }
 
-    /// `(edges, neighbors)` adjacent to `v`, sorted by neighbor.
-    fn neighbors(&self, v: RowId) -> (Vec<RowId>, Vec<RowId>) {
+    /// `(edges, neighbors)` adjacent to `v`, sorted by neighbor — borrowed,
+    /// not copied.
+    #[inline]
+    fn neighbors(&self, v: RowId) -> (&[RowId], &[RowId]) {
         match self {
-            Adjacency::Indexed { index, label, dir } => {
-                let (es, ns) = index.neighbors(*label, *dir, v);
-                (es.to_vec(), ns.to_vec())
-            }
-            Adjacency::Hashed { map } => match map.get(&v) {
-                Some(pairs) => (
-                    pairs.iter().map(|&(e, _)| e).collect(),
-                    pairs.iter().map(|&(_, n)| n).collect(),
+            Adjacency::Indexed { index, label, dir } => index.neighbors(*label, *dir, v),
+            Adjacency::Hashed {
+                buckets,
+                edge_rid,
+                nbr_rid,
+            } => match buckets.get(&v) {
+                Some(&(lo, hi)) => (
+                    &edge_rid[lo as usize..hi as usize],
+                    &nbr_rid[lo as usize..hi as usize],
                 ),
-                None => (Vec::new(), Vec::new()),
+                None => (&[], &[]),
             },
+        }
+    }
+
+    /// Number of adjacency entries of `v`.
+    #[inline]
+    fn degree(&self, v: RowId) -> usize {
+        match self {
+            Adjacency::Indexed { index, label, dir } => index.degree(*label, *dir, v),
+            Adjacency::Hashed { buckets, .. } => {
+                buckets.get(&v).map_or(0, |&(lo, hi)| (hi - lo) as usize)
+            }
         }
     }
 }
 
-/// `EXPAND` (fused or edge-materializing).
+/// Precompute a per-table-row pass mask for `pred` when the expansion will
+/// touch enough entries (`entries`, with repeats) to amortize evaluating
+/// the predicate once per table row instead of once per adjacency entry.
+fn predicate_mask(
+    pred: Option<&ScalarExpr>,
+    table: &Table,
+    entries: usize,
+) -> Result<Option<Vec<bool>>> {
+    let Some(p) = pred else { return Ok(None) };
+    let n = table.num_rows();
+    if entries < n / 4 {
+        return Ok(None);
+    }
+    let mut mask = vec![false; n];
+    for r in p.filter(table)? {
+        mask[r as usize] = true;
+    }
+    Ok(Some(mask))
+}
+
+/// Whether `row` passes `pred`, through the precomputed `mask` when present.
+#[inline]
+fn passes(
+    mask: &Option<Vec<bool>>,
+    pred: Option<&ScalarExpr>,
+    table: &Table,
+    row: RowId,
+) -> Result<bool> {
+    if let Some(m) = mask {
+        return Ok(m[row as usize]);
+    }
+    match pred {
+        None => Ok(true),
+        Some(p) => p.matches(table, row),
+    }
+}
+
+/// `EXPAND` (fused or edge-materializing), morsel-parallel over input rows.
 #[allow(clippy::too_many_arguments)]
 fn expand(
     input: &GraphChunk,
@@ -252,31 +340,71 @@ fn expand(
     let adj = Adjacency::build(edge, dir, ctx)?;
     let etable = ctx.view.edge_table(pe.label);
     let vtable = ctx.view.vertex_table(ctx.pattern.vertex(to).label);
-
     let from_col = input.vertex_col(from)?;
-    let mut gather = Vec::new();
-    let mut to_col = Vec::new();
-    let mut edge_col = Vec::new();
-    for (i, &v) in from_col.iter().enumerate() {
-        let (es, ns) = adj.neighbors(v);
-        for (&erow, &nrow) in es.iter().zip(ns.iter()) {
-            if let Some(p) = edge_predicate {
-                if !p.matches(etable, erow)? {
-                    continue;
+
+    // Pre-pass: per-row degrees (memoized — the hash-fallback probe is not
+    // free) size the output columns and decide whether masks pay off.
+    let degs: Vec<usize> = from_col.iter().map(|&v| adj.degree(v)).collect();
+    let total: usize = degs.iter().sum();
+    let emask = predicate_mask(edge_predicate, etable, total)?;
+    let vmask = predicate_mask(vertex_predicate, vtable, total)?;
+    let unfiltered = edge_predicate.is_none() && vertex_predicate.is_none();
+
+    let budget = RowBudget::new(ctx.row_limit);
+    type ExpandPart = (Vec<usize>, Vec<RowId>, Vec<RowId>);
+    let parts: Vec<ExpandPart> = morsel::run_morsels(
+        from_col.len(),
+        ctx.threads,
+        morsel::DEFAULT_MORSEL_ROWS,
+        |_, range| {
+            let cap: usize = degs[range.clone()].iter().sum();
+            let mut gather = Vec::with_capacity(cap);
+            let mut to_col = Vec::with_capacity(cap);
+            let mut edge_col = Vec::with_capacity(if emit_edge { cap } else { 0 });
+            // Reusable per-row buffer of predicate survivors.
+            let mut hits: Vec<(RowId, RowId)> = Vec::new();
+            for i in range {
+                let (es, ns) = adj.neighbors(from_col[i]);
+                if unfiltered {
+                    // Projected output size is exact: charge before
+                    // materializing anything.
+                    budget.charge(es.len())?;
+                    gather.resize(gather.len() + es.len(), i);
+                    to_col.extend_from_slice(ns);
+                    if emit_edge {
+                        edge_col.extend_from_slice(es);
+                    }
+                } else {
+                    hits.clear();
+                    for (&erow, &nrow) in es.iter().zip(ns.iter()) {
+                        if passes(&emask, edge_predicate, etable, erow)?
+                            && passes(&vmask, vertex_predicate, vtable, nrow)?
+                        {
+                            hits.push((erow, nrow));
+                        }
+                    }
+                    budget.charge(hits.len())?;
+                    for &(erow, nrow) in &hits {
+                        gather.push(i);
+                        to_col.push(nrow);
+                        if emit_edge {
+                            edge_col.push(erow);
+                        }
+                    }
                 }
             }
-            if let Some(p) = vertex_predicate {
-                if !p.matches(vtable, nrow)? {
-                    continue;
-                }
-            }
-            gather.push(i);
-            to_col.push(nrow);
-            if emit_edge {
-                edge_col.push(erow);
-            }
-        }
-        ctx.guard(gather.len())?;
+            Ok((gather, to_col, edge_col))
+        },
+    )?;
+
+    let out_rows: usize = parts.iter().map(|p| p.0.len()).sum();
+    let mut gather = Vec::with_capacity(out_rows);
+    let mut to_col = Vec::with_capacity(out_rows);
+    let mut edge_col = Vec::with_capacity(if emit_edge { out_rows } else { 0 });
+    for (g, t, e) in parts {
+        gather.extend_from_slice(&g);
+        to_col.extend_from_slice(&t);
+        edge_col.extend_from_slice(&e);
     }
     let new_edges = if emit_edge {
         vec![(edge, edge_col)]
@@ -288,7 +416,7 @@ fn expand(
 
 /// `EXPAND_INTERSECT`: per input row, intersect the (sorted) adjacency
 /// lists of every leg; parallel data edges multiply matches, preserving
-/// homomorphism bag semantics.
+/// homomorphism bag semantics. Morsel-parallel over input rows.
 fn expand_intersect(
     input: &GraphChunk,
     legs: &[StarLeg],
@@ -315,87 +443,139 @@ fn expand_intersect(
         .map(|l| ctx.pattern.edge(l.edge).predicate.as_ref())
         .collect();
     let vtable = ctx.view.vertex_table(ctx.pattern.vertex(to).label);
+    // Hoisted binding columns: one slice per leg, no per-row Result lookup.
+    let from_cols: Vec<&[RowId]> = legs
+        .iter()
+        .map(|l| input.vertex_col(l.from))
+        .collect::<Result<_>>()?;
+    // Candidate volume estimate for the mask heuristic: the intersection
+    // only touches entries of the shortest list, so sum the per-row
+    // *minimum* leg degree (leg 0's full degree would overestimate and
+    // trigger full-table predicate evaluation for tiny intersections).
+    let entries: usize = (0..input.len())
+        .map(|row| {
+            adjs.iter()
+                .enumerate()
+                .map(|(leg_i, adj)| adj.degree(from_cols[leg_i][row]))
+                .min()
+                .unwrap_or(0)
+        })
+        .sum();
+    let emasks: Vec<Option<Vec<bool>>> = (0..legs.len())
+        .map(|i| predicate_mask(epreds[i], etables[i], entries))
+        .collect::<Result<_>>()?;
+    let vmask = predicate_mask(vertex_predicate, vtable, entries)?;
 
-    let mut gather = Vec::new();
-    let mut to_col: Vec<RowId> = Vec::new();
-    let mut edge_cols: Vec<Vec<RowId>> = vec![Vec::new(); legs.len()];
-
-    // Reusable per-row buffers (performance-guide workhorse pattern).
-    let mut lists: Vec<(Vec<RowId>, Vec<RowId>)> = Vec::with_capacity(legs.len());
-    for (row, _) in (0..input.len()).map(|r| (r, ())) {
-        lists.clear();
-        for (leg, adj) in legs.iter().zip(&adjs) {
-            let v = input.vertex_at(leg.from, row)?;
-            lists.push(adj.neighbors(v));
-        }
-        // Intersect candidate neighbor sets, shortest first.
-        let mut order: Vec<usize> = (0..legs.len()).collect();
-        order.sort_by_key(|&i| lists[i].1.len());
-        let (first, rest) = order.split_first().expect("≥2 legs");
-        'candidate: for (pos, &w) in lists[*first].1.iter().enumerate() {
-            // Skip duplicate runs in the first list; multiplicity is
-            // handled by enumerating edge combinations below.
-            if pos > 0 && lists[*first].1[pos - 1] == w {
-                continue;
-            }
-            for &i in rest {
-                if lists[i].1.binary_search(&w).is_err() {
-                    continue 'candidate;
+    let budget = RowBudget::new(ctx.row_limit);
+    type EiPart = (Vec<usize>, Vec<RowId>, Vec<Vec<RowId>>);
+    let parts: Vec<EiPart> = morsel::run_morsels(
+        input.len(),
+        ctx.threads,
+        morsel::DEFAULT_MORSEL_ROWS,
+        |_, range| {
+            let mut gather = Vec::new();
+            let mut to_col: Vec<RowId> = Vec::new();
+            let mut edge_cols: Vec<Vec<RowId>> = vec![Vec::new(); legs.len()];
+            // Reusable per-row buffers (performance-guide workhorse pattern).
+            let mut lists: Vec<(&[RowId], &[RowId])> = Vec::with_capacity(legs.len());
+            let mut order: Vec<usize> = Vec::with_capacity(legs.len());
+            let mut per_leg: Vec<Vec<RowId>> = vec![Vec::new(); legs.len()];
+            let mut idx: Vec<usize> = Vec::with_capacity(legs.len());
+            for row in range {
+                lists.clear();
+                for (leg_i, adj) in adjs.iter().enumerate() {
+                    lists.push(adj.neighbors(from_cols[leg_i][row]));
                 }
-            }
-            if let Some(p) = vertex_predicate {
-                if !p.matches(vtable, w)? {
-                    continue;
-                }
-            }
-            // Edge candidates per leg pointing at w (predicate-filtered).
-            let mut per_leg: Vec<Vec<RowId>> = Vec::with_capacity(legs.len());
-            for (i, (es, ns)) in lists.iter().enumerate() {
-                let lo = ns.partition_point(|&x| x < w);
-                let hi = ns.partition_point(|&x| x <= w);
-                let mut cands = Vec::with_capacity(hi - lo);
-                for &erow in &es[lo..hi] {
-                    if let Some(p) = epreds[i] {
-                        if !p.matches(etables[i], erow)? {
-                            continue;
+                // Intersect candidate neighbor sets, shortest first.
+                order.clear();
+                order.extend(0..legs.len());
+                order.sort_by_key(|&i| lists[i].1.len());
+                let (first, rest) = order.split_first().expect("≥2 legs");
+                'candidate: for (pos, &w) in lists[*first].1.iter().enumerate() {
+                    // Skip duplicate runs in the first list; multiplicity is
+                    // handled by enumerating edge combinations below.
+                    if pos > 0 && lists[*first].1[pos - 1] == w {
+                        continue;
+                    }
+                    for &i in rest {
+                        if lists[i].1.binary_search(&w).is_err() {
+                            continue 'candidate;
                         }
                     }
-                    cands.push(erow);
+                    if !passes(&vmask, vertex_predicate, vtable, w)? {
+                        continue;
+                    }
+                    // Edge candidates per leg pointing at w (predicate-
+                    // filtered); the projected row count is the product.
+                    let mut combos = 1usize;
+                    for (i, &(es, ns)) in lists.iter().enumerate() {
+                        let lo = ns.partition_point(|&x| x < w);
+                        let hi = ns.partition_point(|&x| x <= w);
+                        let cands = &mut per_leg[i];
+                        cands.clear();
+                        for &erow in &es[lo..hi] {
+                            if passes(&emasks[i], epreds[i], etables[i], erow)? {
+                                cands.push(erow);
+                            }
+                        }
+                        if cands.is_empty() {
+                            continue 'candidate;
+                        }
+                        // Saturate: a wrapped product would undercharge the
+                        // budget — the guard must trip, not overflow.
+                        combos = combos.saturating_mul(cands.len());
+                    }
+                    // Charge the projected combination count before
+                    // materializing it.
+                    budget.charge(combos)?;
+                    // Cartesian product over per-leg edge candidates
+                    // (usually 1×1).
+                    idx.clear();
+                    idx.resize(per_leg.len(), 0);
+                    loop {
+                        gather.push(row);
+                        to_col.push(w);
+                        if emit_edges {
+                            for (i, &j) in idx.iter().enumerate() {
+                                edge_cols[i].push(per_leg[i][j]);
+                            }
+                        }
+                        // Advance the mixed-radix counter.
+                        let mut k = 0;
+                        loop {
+                            if k == idx.len() {
+                                break;
+                            }
+                            idx[k] += 1;
+                            if idx[k] < per_leg[k].len() {
+                                break;
+                            }
+                            idx[k] = 0;
+                            k += 1;
+                        }
+                        if k == idx.len() {
+                            break;
+                        }
+                    }
                 }
-                if cands.is_empty() {
-                    continue 'candidate;
-                }
-                per_leg.push(cands);
             }
-            // Cartesian product over per-leg edge candidates (usually 1×1).
-            let mut idx = vec![0usize; per_leg.len()];
-            loop {
-                gather.push(row);
-                to_col.push(w);
-                if emit_edges {
-                    for (i, &j) in idx.iter().enumerate() {
-                        edge_cols[i].push(per_leg[i][j]);
-                    }
-                }
-                // Advance the mixed-radix counter.
-                let mut k = 0;
-                loop {
-                    if k == idx.len() {
-                        break;
-                    }
-                    idx[k] += 1;
-                    if idx[k] < per_leg[k].len() {
-                        break;
-                    }
-                    idx[k] = 0;
-                    k += 1;
-                }
-                if k == idx.len() {
-                    break;
-                }
-            }
+            Ok((gather, to_col, edge_cols))
+        },
+    )?;
+
+    let out_rows: usize = parts.iter().map(|p| p.0.len()).sum();
+    let mut gather = Vec::with_capacity(out_rows);
+    let mut to_col = Vec::with_capacity(out_rows);
+    // (`vec![..; n]` would clone away the capacity hint.)
+    let mut edge_cols: Vec<Vec<RowId>> = (0..legs.len())
+        .map(|_| Vec::with_capacity(out_rows))
+        .collect();
+    for (g, t, ecols) in parts {
+        gather.extend_from_slice(&g);
+        to_col.extend_from_slice(&t);
+        for (i, col) in ecols.into_iter().enumerate() {
+            edge_cols[i].extend_from_slice(&col);
         }
-        ctx.guard(gather.len())?;
     }
     let new_edges = if emit_edges {
         legs.iter()
@@ -406,6 +586,36 @@ fn expand_intersect(
         Vec::new()
     };
     input.extend(&gather, Some((to, to_col)), new_edges)
+}
+
+/// `FILTER_VERTEX`: prune rows whose binding of `v` fails the predicate,
+/// morsel-parallel with a precomputed pass mask when worthwhile.
+fn filter_vertex(
+    input: &GraphChunk,
+    v: usize,
+    predicate: &ScalarExpr,
+    ctx: &GraphExecContext<'_>,
+) -> Result<GraphChunk> {
+    let label = ctx.pattern.vertex(v).label;
+    let table = ctx.view.vertex_table(label);
+    let col = input.vertex_col(v)?;
+    let mask = predicate_mask(Some(predicate), table, col.len())?;
+    let parts: Vec<Vec<usize>> = morsel::run_morsels(
+        col.len(),
+        ctx.threads,
+        morsel::DEFAULT_MORSEL_ROWS,
+        |_, range| {
+            let mut keep = Vec::new();
+            for i in range {
+                if passes(&mask, Some(predicate), table, col[i])? {
+                    keep.push(i);
+                }
+            }
+            Ok(keep)
+        },
+    )?;
+    let keep: Vec<usize> = parts.concat();
+    Ok(input.take(&keep))
 }
 
 /// Hash join of two chunks on common element bindings.
@@ -540,6 +750,7 @@ mod tests {
             pattern,
             use_index: idx,
             row_limit: 1_000_000,
+            threads: 1,
         }
     }
 
@@ -584,6 +795,80 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hashed_adjacency_slices_are_neighbor_sorted() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let c = ctx(&view, &pat, false);
+        let adj = Adjacency::build(0, Direction::Out, &c).unwrap();
+        for v in 0..3 {
+            let (es, ns) = adj.neighbors(v);
+            assert_eq!(es.len(), ns.len());
+            assert_eq!(adj.degree(v), ns.len());
+            assert!(ns.windows(2).all(|w| w[0] <= w[1]), "sorted bucket");
+        }
+        // Bob (row 1) likes both messages.
+        assert_eq!(adj.neighbors(1).1, &[0, 1]);
+        // The indexed and hashed providers agree entry-for-entry.
+        let idx_ctx = ctx(&view, &pat, true);
+        let idx_adj = Adjacency::build(0, Direction::Out, &idx_ctx).unwrap();
+        for v in 0..3 {
+            assert_eq!(adj.neighbors(v), idx_adj.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn parallel_expand_is_bit_identical_to_serial() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let plan = GraphOp::Expand {
+            input: Box::new(GraphOp::Expand {
+                input: Box::new(GraphOp::ScanVertex {
+                    v: 0,
+                    predicate: None,
+                    ann: ann(),
+                }),
+                from: 0,
+                edge: 0,
+                to: 2,
+                dir: Direction::Out,
+                emit_edge: true,
+                edge_predicate: None,
+                vertex_predicate: None,
+                ann: ann(),
+            }),
+            from: 2,
+            edge: 1,
+            to: 1,
+            dir: Direction::In,
+            emit_edge: true,
+            edge_predicate: None,
+            vertex_predicate: None,
+            ann: ann(),
+        };
+        let serial = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
+        for threads in [2usize, 8] {
+            let mut c = ctx(&view, &pat, true);
+            c.threads = threads;
+            let par = execute_graph(&plan, &c).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for row in 0..serial.len() {
+                for v in 0..3 {
+                    assert_eq!(
+                        par.vertex_at(v, row).unwrap(),
+                        serial.vertex_at(v, row).unwrap()
+                    );
+                }
+                for e in 0..2 {
+                    assert_eq!(
+                        par.edge_at(e, row).unwrap(),
+                        serial.edge_at(e, row).unwrap()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -649,6 +934,19 @@ mod tests {
         let out = execute_graph(&plan, &ctx(&view, &pat, true)).unwrap();
         // Homomorphic wedges: 8 (m1: {T,B}², m2: {B,D}²).
         assert_eq!(out.len(), 8);
+        // Parallel intersection merges morsels in order: bit-identical.
+        let mut c = ctx(&view, &pat, true);
+        c.threads = 4;
+        let par = execute_graph(&plan, &c).unwrap();
+        assert_eq!(par.len(), 8);
+        for row in 0..8 {
+            for v in 0..3 {
+                assert_eq!(
+                    par.vertex_at(v, row).unwrap(),
+                    out.vertex_at(v, row).unwrap()
+                );
+            }
+        }
         // Fused EI preserves multiplicity.
         let fused = match plan {
             GraphOp::ExpandIntersect {
@@ -713,7 +1011,7 @@ mod tests {
     }
 
     #[test]
-    fn row_limit_aborts_expansion() {
+    fn row_limit_aborts_expansion_before_materializing() {
         let view = fig2_view();
         let pat = wedge_pattern();
         let plan = GraphOp::Expand {
@@ -731,11 +1029,14 @@ mod tests {
             vertex_predicate: None,
             ann: ann(),
         };
-        let mut c = ctx(&view, &pat, true);
-        c.row_limit = 2;
-        match execute_graph(&plan, &c) {
-            Err(RelGoError::ResourceExhausted(_)) => {}
-            other => panic!("expected resource exhaustion, got {other:?}"),
+        for threads in [1usize, 4] {
+            let mut c = ctx(&view, &pat, true);
+            c.row_limit = 2;
+            c.threads = threads;
+            match execute_graph(&plan, &c) {
+                Err(RelGoError::ResourceExhausted(_)) => {}
+                other => panic!("expected resource exhaustion, got {other:?}"),
+            }
         }
     }
 

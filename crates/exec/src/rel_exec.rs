@@ -23,6 +23,9 @@ pub struct ExecConfig {
     pub use_index: bool,
     /// Intermediate-size budget (rows) before `ResourceExhausted`.
     pub row_limit: usize,
+    /// Intra-query worker threads for morsel-parallel graph operators
+    /// (1 = serial; parallel output is bit-identical to serial).
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -30,6 +33,7 @@ impl Default for ExecConfig {
         ExecConfig {
             use_index: true,
             row_limit: 50_000_000,
+            threads: 1,
         }
     }
 }
@@ -59,6 +63,7 @@ fn exec_rel(
                 pattern,
                 use_index: cfg.use_index,
                 row_limit: cfg.row_limit,
+                threads: cfg.threads,
             };
             let chunk = execute_graph(graph, &ctx)?;
             let chunk = apply_semantics(&chunk, pattern, view)?;
@@ -420,6 +425,7 @@ mod tests {
             pattern: &pattern,
             use_index: true,
             row_limit: 1_000_000,
+            threads: 1,
         };
         let chunk = execute_graph(&plan, &ctx).unwrap();
         assert_eq!(chunk.len(), 8);

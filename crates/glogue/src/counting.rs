@@ -7,14 +7,32 @@
 //! pattern vertex are sampled `1-in-s` and the count is scaled by `s`.
 //!
 //! Requires the graph index (adjacency is taken from the VE-index).
+//!
+//! [`count_homomorphisms_par`] partitions the *seed range* (the candidate
+//! rows of the first traversal vertex) into morsels and enumerates them
+//! from a scoped worker pool; per-morsel partial sums are reduced in morsel
+//! order, so the parallel count equals the serial count whenever the
+//! additions are exact (multiplicity sums are integer-valued, so they are).
 
-use relgo_common::{RelGoError, Result, RowId};
+use relgo_common::{morsel, RelGoError, Result, RowId};
 use relgo_graph::{Direction, GraphIndex, GraphView};
 use relgo_pattern::Pattern;
 
 /// Count homomorphisms of `pattern` in `view`, exactly (`stride = 1`) or
 /// root-sampled (`stride = s`: every s-th seed, result scaled by `s`).
 pub fn count_homomorphisms(view: &GraphView, pattern: &Pattern, stride: usize) -> Result<f64> {
+    count_homomorphisms_par(view, pattern, stride, 1)
+}
+
+/// [`count_homomorphisms`] with the seed range partitioned across up to
+/// `threads` workers (1 = serial). Each worker owns a private binding
+/// buffer; the data graph is only read.
+pub fn count_homomorphisms_par(
+    view: &GraphView,
+    pattern: &Pattern,
+    stride: usize,
+    threads: usize,
+) -> Result<f64> {
     let index = view
         .index()
         .ok_or_else(|| RelGoError::plan("homomorphism counting requires the graph index"))?;
@@ -23,19 +41,30 @@ pub fn count_homomorphisms(view: &GraphView, pattern: &Pattern, stride: usize) -
     let root = order[0];
     let root_table = view.vertex_table(pattern.vertex(root).label);
     let n_rows = root_table.num_rows();
+    // Seed k enumerates root row k·stride; morsels partition 0..n_seeds.
+    let n_seeds = n_rows.div_ceil(stride);
 
-    let mut total = 0f64;
-    let mut binding = vec![u32::MAX; pattern.vertex_count()];
-    let mut seed = 0usize;
-    while seed < n_rows {
-        let row = seed as RowId;
-        if vertex_passes(view, pattern, root, row)? {
-            binding[root] = row;
-            total += extend(view, index, pattern, &order, 1, &mut binding)?;
-            binding[root] = u32::MAX;
-        }
-        seed += stride;
-    }
+    let order = &order;
+    let partials = morsel::run_morsels(
+        n_seeds,
+        threads,
+        morsel::DEFAULT_MORSEL_SEEDS,
+        |_, range| {
+            let mut sum = 0f64;
+            let mut binding = vec![u32::MAX; pattern.vertex_count()];
+            for k in range {
+                let row = (k * stride) as RowId;
+                if vertex_passes(view, pattern, root, row)? {
+                    binding[root] = row;
+                    sum += extend(view, index, pattern, order, 1, &mut binding)?;
+                    binding[root] = u32::MAX;
+                }
+            }
+            Ok(sum)
+        },
+    )?;
+    // Reduce in morsel order: deterministic regardless of scheduling.
+    let total: f64 = partials.into_iter().sum();
     Ok(total * stride as f64)
 }
 
@@ -358,6 +387,26 @@ mod tests {
         b.vertex_predicate(c, ScalarExpr::col_eq(0, 100));
         let p = b.build().unwrap();
         assert_eq!(traversal_order(&p)[0], 1);
+    }
+
+    #[test]
+    fn parallel_count_equals_serial() {
+        let g = fig2_view();
+        let mut b = PatternBuilder::new();
+        let p1 = b.vertex("p1", person());
+        let p2 = b.vertex("p2", person());
+        let m = b.vertex("m", message());
+        b.edge(p1, p2, knows()).unwrap();
+        b.edge(p1, m, likes()).unwrap();
+        b.edge(p2, m, likes()).unwrap();
+        let p = b.build().unwrap();
+        let serial = count_homomorphisms(&g, &p, 1).unwrap();
+        for threads in [2usize, 8] {
+            assert_eq!(count_homomorphisms_par(&g, &p, 1, threads).unwrap(), serial);
+        }
+        // Sampled counting partitions the same seed set.
+        let sampled = count_homomorphisms(&g, &p, 2).unwrap();
+        assert_eq!(count_homomorphisms_par(&g, &p, 2, 8).unwrap(), sampled);
     }
 
     #[test]

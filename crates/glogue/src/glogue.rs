@@ -9,13 +9,14 @@
 //! time and multiplying by conditional extension rates derived from exact
 //! small-pattern counts (the "high-order statistics" of §4.3).
 
-use crate::counting::count_homomorphisms;
+use crate::counting::count_homomorphisms_par;
 use parking_lot::Mutex;
 use relgo_common::fxhash::FxHashMap;
 use relgo_common::{RelGoError, Result};
 use relgo_graph::{GraphStats, GraphView};
 use relgo_pattern::decompose::{self, is_induced_connected, iter_vertices, sub_pattern, VertexSet};
 use relgo_pattern::{canonical_code, Pattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Cache key: canonical skeleton code + canonicalized predicate summary.
@@ -48,6 +49,10 @@ pub struct GLogue {
     /// Sparsification stride: 1 = exact counting, `s` = 1-in-s root
     /// sampling scaled back by `s`.
     stride: usize,
+    /// Worker threads for seed-partitioned counting (1 = serial).
+    /// Atomic so a shared (`Arc`ed) GLogue can be retuned without
+    /// invalidating its cache — parallel counts equal serial counts.
+    threads: AtomicUsize,
     cache: Mutex<FxHashMap<StatKey, f64>>,
 }
 
@@ -56,6 +61,7 @@ impl std::fmt::Debug for GLogue {
         f.debug_struct("GLogue")
             .field("k", &self.k)
             .field("stride", &self.stride)
+            .field("threads", &self.threads.load(Ordering::Relaxed))
             .field("cached_patterns", &self.cache.lock().len())
             .finish()
     }
@@ -65,6 +71,18 @@ impl GLogue {
     /// Create a GLogue over `view` (must have its graph index built) with
     /// exact-counting threshold `k` and sparsification stride `stride`.
     pub fn new(view: Arc<GraphView>, k: usize, stride: usize) -> Result<GLogue> {
+        GLogue::with_threads(view, k, stride, 1)
+    }
+
+    /// [`GLogue::new`] with `threads` workers for homomorphism counting:
+    /// statistics (re)builds partition each pattern's seed range across the
+    /// pool ([`crate::counting::count_homomorphisms_par`]).
+    pub fn with_threads(
+        view: Arc<GraphView>,
+        k: usize,
+        stride: usize,
+        threads: usize,
+    ) -> Result<GLogue> {
         if view.index().is_none() {
             return Err(RelGoError::plan(
                 "GLogue requires the graph index (build_index first)",
@@ -76,8 +94,20 @@ impl GLogue {
             stats,
             k: k.max(1),
             stride: stride.max(1),
+            threads: AtomicUsize::new(threads.max(1)),
             cache: Mutex::new(FxHashMap::default()),
         })
+    }
+
+    /// Current counting-worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Retune the counting-worker thread count. Cached cardinalities stay
+    /// valid: parallel counting is count-identical to serial.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// The underlying graph view.
@@ -101,7 +131,7 @@ impl GLogue {
         if let Some(&c) = self.cache.lock().get(&key) {
             return Ok(c);
         }
-        let c = count_homomorphisms(&self.view, p, self.stride)?;
+        let c = count_homomorphisms_par(&self.view, p, self.stride, self.threads())?;
         self.cache.lock().insert(key, c);
         Ok(c)
     }

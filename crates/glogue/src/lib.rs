@@ -4,7 +4,9 @@
 //! (paper §4.2.1, §4.3).
 //!
 //! * [`counting`] — an exact homomorphism counter over the graph view
-//!   (optionally root-sampled, reproducing GLogS's sparsification trick);
+//!   (optionally root-sampled, reproducing GLogS's sparsification trick;
+//!   `count_homomorphisms_par` partitions the seed range across a morsel
+//!   worker pool);
 //! * [`glogue::GLogue`] — the statistics store: exact cardinalities for
 //!   sub-patterns of up to `k` vertices (keyed by canonical code, computed
 //!   on demand and cached) plus extension-rate estimation for larger
@@ -18,4 +20,5 @@ pub mod counting;
 pub mod glogue;
 
 pub use cost::CostModel;
+pub use counting::{count_homomorphisms, count_homomorphisms_par};
 pub use glogue::GLogue;

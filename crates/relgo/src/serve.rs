@@ -6,6 +6,13 @@
 //! sharing the session (graph view, GLogue, plan cache) with all the
 //! others. The report carries the cache-metric deltas so callers can
 //! assert the expected hit/miss split.
+//!
+//! Inter- and intra-query parallelism compose: the `threads` argument here
+//! is the number of concurrent *queries*, while
+//! [`crate::SessionOptions::threads`] controls the morsel workers *inside*
+//! each query's graph operators (and GLogue counting). A serving setup
+//! typically uses many replay threads × few intra-query threads for
+//! throughput, or the reverse for latency on heavy analytical queries.
 
 use crate::session::Session;
 use relgo_cache::MetricsSnapshot;
@@ -109,7 +116,27 @@ pub fn replay_concurrent(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionOptions;
     use relgo_workloads::templates::snb_templates;
+
+    #[test]
+    fn replay_composes_with_intra_query_threads() {
+        let opts = SessionOptions {
+            threads: 2,
+            ..SessionOptions::default()
+        };
+        let (session, schema) = Session::snb_with(0.03, 42, opts).unwrap();
+        let templates = snb_templates(&schema);
+        for t in &templates {
+            session
+                .run_cached(&t.instantiate(0).unwrap(), OptimizerMode::RelGo)
+                .unwrap();
+        }
+        // 2 replay workers × 2 morsel workers inside each query.
+        let report = replay_concurrent(&session, &templates, OptimizerMode::RelGo, 2, 2).unwrap();
+        assert_eq!(report.queries, 2 * 2 * templates.len());
+        assert_eq!(report.cached_queries, report.queries);
+    }
 
     #[test]
     fn replay_is_contention_safe_and_mostly_cached() {

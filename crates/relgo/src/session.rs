@@ -32,6 +32,10 @@ pub struct SessionOptions {
     pub plan_cache_shards: usize,
     /// Plan-cache total entry capacity across shards (`run_cached`).
     pub plan_cache_capacity: usize,
+    /// Intra-query worker threads: morsel-parallel graph operators and
+    /// seed-partitioned GLogue counting (1 = serial; parallel results are
+    /// bit-identical to serial). Defaults to `RELGO_THREADS` when set.
+    pub threads: usize,
 }
 
 impl Default for SessionOptions {
@@ -43,6 +47,7 @@ impl Default for SessionOptions {
             row_limit: 50_000_000,
             plan_cache_shards: 8,
             plan_cache_capacity: 1024,
+            threads: relgo_common::morsel::threads_from_env().unwrap_or(1),
         }
     }
 }
@@ -94,10 +99,11 @@ impl Session {
         let mut view = GraphView::build(&mut db, mapping)?;
         view.build_index()?;
         let view = Arc::new(view);
-        let glogue = Arc::new(GLogue::new(
+        let glogue = Arc::new(GLogue::with_threads(
             Arc::clone(&view),
             options.glogue_k,
             options.glogue_stride,
+            options.threads,
         )?);
         let cache = Arc::new(PlanCache::new(CacheConfig {
             shards: options.plan_cache_shards,
@@ -175,13 +181,22 @@ impl Session {
     pub fn rebuild_statistics(&mut self, glogue_k: usize, glogue_stride: usize) -> Result<()> {
         self.options.glogue_k = glogue_k;
         self.options.glogue_stride = glogue_stride;
-        self.glogue = Arc::new(GLogue::new(
+        self.glogue = Arc::new(GLogue::with_threads(
             Arc::clone(&self.view),
             glogue_k,
             glogue_stride,
+            self.options.threads,
         )?);
         self.cache.invalidate_all();
         Ok(())
+    }
+
+    /// Retune the intra-query thread count without invalidating anything:
+    /// parallel execution and counting are bit-identical to serial, so
+    /// cached plans and GLogue cardinalities remain valid.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.options.threads = threads.max(1);
+        self.glogue.set_threads(self.options.threads);
     }
 
     fn planner_context(&self) -> PlannerContext {
@@ -207,6 +222,7 @@ impl Session {
         let cfg = ExecConfig {
             use_index: mode.uses_graph_index(),
             row_limit: self.options.row_limit,
+            threads: self.options.threads,
         };
         execute_plan(plan, &self.view, &self.db, &cfg)
     }

@@ -6,6 +6,10 @@
 //! instance rebinds the cached plan skeleton. The run prints per-phase
 //! optimizer time and the cache's metric counters.
 //!
+//! Inter- and intra-query parallelism compose: `RELGO_THREADS=4` gives
+//! every replayed query 4 morsel workers inside its graph operators while
+//! the replay itself runs from several serving threads.
+//!
 //! Run with: `cargo run --release --example cache_serving [-- --quick]`
 
 use relgo::prelude::*;
@@ -16,7 +20,12 @@ fn main() -> Result<()> {
     let (sf, threads, rounds) = if quick { (0.03, 2, 3) } else { (0.1, 4, 25) };
 
     println!("generating SNB-like data (sf={sf}) and building the session...");
-    let (session, schema) = Session::snb_with(sf, 42, SessionOptions::default())?;
+    let options = SessionOptions::default();
+    println!(
+        "  serving threads: {threads}, intra-query morsel workers: {} (RELGO_THREADS)",
+        options.threads
+    );
+    let (session, schema) = Session::snb_with(sf, 42, options)?;
     let templates = snb_templates(&schema);
 
     // Phase 1: cold — every template's first instance misses and pays the

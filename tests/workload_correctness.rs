@@ -38,6 +38,32 @@ fn all_job_queries_relgo_vs_oracle() {
 }
 
 #[test]
+fn job_subset_parallel_vs_oracle_and_serial() {
+    // Intra-query parallel execution: same oracle agreement, and the
+    // result table is bit-identical (row order included) to the serial
+    // session's — morsel outputs merge deterministically.
+    let opts = |threads| SessionOptions {
+        threads,
+        ..SessionOptions::default()
+    };
+    let (serial, schema) = Session::imdb_with(0.08, 7, opts(1)).expect("imdb serial");
+    let (parallel, _) = Session::imdb_with(0.08, 7, opts(3)).expect("imdb parallel");
+    let all = job_queries::job_queries(&schema).unwrap();
+    for w in &all[..8] {
+        let expected = serial.oracle(&w.query).unwrap().sorted_rows();
+        let base = serial.run(&w.query, OptimizerMode::RelGo).unwrap();
+        let out = parallel
+            .run(&w.query, OptimizerMode::RelGo)
+            .unwrap_or_else(|e| panic!("{} (parallel): {e}", w.name));
+        assert_eq!(out.table.sorted_rows(), expected, "{} vs oracle", w.name);
+        assert_eq!(out.table.num_rows(), base.table.num_rows(), "{}", w.name);
+        for r in 0..base.table.num_rows() as u32 {
+            assert_eq!(out.table.row(r), base.table.row(r), "{} row {r}", w.name);
+        }
+    }
+}
+
+#[test]
 fn job_subset_all_modes_vs_oracle() {
     let (session, schema) = session();
     let all = job_queries::job_queries(&schema).unwrap();
