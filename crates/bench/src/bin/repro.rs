@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|stats|all] [--quick]
+//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|stats|all] [--quick]
 //! ```
 //!
 //! `--quick` (or `RELGO_BENCH_QUICK=1`) shrinks scales and repetitions for
@@ -46,10 +46,11 @@ fn main() {
     emit("fig12", &|| figures::fig12(&cfg));
     emit("figcache", &|| figures::fig_cache(&cfg));
     emit("figpar", &|| figures::fig_par(&cfg));
+    emit("figprepared", &|| figures::fig_prepared(&cfg));
 
     if !ran_any {
         eprintln!(
-            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar all"
+            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared all"
         );
         std::process::exit(2);
     }

@@ -478,6 +478,182 @@ fn median_duration_ms(xs: &mut [std::time::Duration]) -> f64 {
     xs[xs.len() / 2].as_secs_f64() * 1e3
 }
 
+/// Prepared-statement figure (`fig_prepared`): per-query opt/rebind time
+/// under four serving regimes — cold `run` (full optimization), warm
+/// `run_cached` (parameterize + cache probe + rebind), prepared `execute`
+/// (validate + rebind only), and prepared `execute_batch` (shared batch
+/// operator state) — plus a concurrent replay under each [`ServeMode`].
+///
+/// The figure *errors* (rather than printing a wrong table) if prepared
+/// execution does not spend strictly less opt/rebind time than the warm
+/// cached path on a suite (summed per-template **medians**, so one
+/// scheduler stall on a sub-millisecond measurement cannot flip the
+/// comparison), or if any batched result is not bit-identical to its
+/// per-query `execute` twin — so rendering doubles as the acceptance
+/// check, across both the RelGo and GRainDB modes.
+pub fn fig_prepared(cfg: &BenchConfig) -> Result<String> {
+    use relgo::workloads::templates::{job_templates, snb_templates};
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fig_prepared — prepared statements: per-query opt/rebind ms by serving regime"
+    )
+    .ok();
+
+    let options = SessionOptions {
+        opt_timeout: cfg.opt_timeout,
+        plan_cache_shards: 4,
+        plan_cache_capacity: 256,
+        ..SessionOptions::default()
+    };
+    let (snb, sschema) = Session::snb_with(cfg.snb_sf_small, 42, options)?;
+    let (imdb, ischema) = Session::imdb_with(cfg.imdb_sf, 7, options)?;
+    let suites: [(&str, &Session, Vec<QueryTemplate>); 2] = [
+        ("SNB", &snb, snb_templates(&sschema)),
+        ("JOB", &imdb, job_templates(&ischema)),
+    ];
+    let reps = cfg.reps.max(3) as u64;
+
+    for (tag, session, templates) in &suites {
+        for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+            writeln!(out, "({tag}, {})", mode.name()).ok();
+            writeln!(
+                out,
+                "{} {} {} {} {} {}",
+                cell("template", 16),
+                cell("cold", 10),
+                cell("cached", 10),
+                cell("prepared", 10),
+                cell("batched", 10),
+                cell("cached/prep", 12)
+            )
+            .ok();
+            let mut cached_total = 0f64;
+            let mut prepared_total = 0f64;
+            for t in templates {
+                // Cold: every instance pays the full optimizer.
+                let mut cold = Vec::with_capacity(reps as usize);
+                for draw in 1..=reps {
+                    cold.push(session.run(&t.instantiate(draw)?, mode)?.opt.elapsed);
+                }
+                // Warm cached: prime, then parameterize+probe+rebind.
+                session.run_cached(&t.instantiate(0)?, mode)?;
+                let mut cached = Vec::with_capacity(reps as usize);
+                for draw in 1..=reps {
+                    cached.push(session.run_cached(&t.instantiate(draw)?, mode)?.opt.elapsed);
+                }
+                // Prepared: validate+rebind only; keep the per-query tables
+                // for the batch bit-identity check.
+                let stmt = session.prepare(&t.instantiate(0)?, mode)?;
+                let bindings: Vec<Vec<Value>> =
+                    (1..=reps).map(|d| t.bindings(d)).collect::<Result<_>>()?;
+                let mut prepared = Vec::with_capacity(bindings.len());
+                let mut singles = Vec::with_capacity(bindings.len());
+                for b in &bindings {
+                    let o = stmt.execute(b)?;
+                    prepared.push(o.opt.elapsed);
+                    singles.push(o.table);
+                }
+                // Batched: all bindings against one shared operator state.
+                let batch = stmt.execute_batch(&bindings)?;
+                for (i, (single, batched)) in singles.iter().zip(&batch.tables).enumerate() {
+                    if !tables_bit_identical(single, batched) {
+                        return Err(RelGoError::execution(format!(
+                            "{tag} {} ({}): batched result {i} diverges from per-query execute",
+                            t.name(),
+                            mode.name()
+                        )));
+                    }
+                }
+                // Per-query medians: robust to a one-off scheduler stall.
+                let cold_ms = median_duration_ms(&mut cold);
+                let cached_ms = median_duration_ms(&mut cached);
+                let prepared_ms = median_duration_ms(&mut prepared);
+                let batched_ms = batch.opt.elapsed.as_secs_f64() * 1e3 / reps as f64;
+                cached_total += cached_ms;
+                prepared_total += prepared_ms;
+                writeln!(
+                    out,
+                    "{} {} {} {} {} {}",
+                    cell(t.name(), 16),
+                    cell(&format!("{cold_ms:.3}"), 10),
+                    cell(&format!("{cached_ms:.3}"), 10),
+                    cell(&format!("{prepared_ms:.3}"), 10),
+                    cell(&format!("{batched_ms:.3}"), 10),
+                    cell(&format!("{:.1}x", cached_ms / prepared_ms.max(1e-9)), 12)
+                )
+                .ok();
+            }
+            if prepared_total >= cached_total {
+                return Err(RelGoError::execution(format!(
+                    "{tag} ({}): prepared execute must spend strictly less opt/rebind time \
+                     than warm run_cached (median sums: prepared {prepared_total:.4} ms \
+                     vs cached {cached_total:.4} ms)",
+                    mode.name()
+                )));
+            }
+        }
+    }
+
+    // Concurrent replay: the same SNB traffic under each serving regime.
+    let templates = snb_templates(&sschema);
+    let (threads, rounds) = (4, cfg.reps.max(2));
+    for t in &templates {
+        snb.run_cached(&t.instantiate(0)?, OptimizerMode::RelGo)?;
+    }
+    writeln!(
+        out,
+        "(replay) {threads} threads x {rounds} rounds x {} templates",
+        templates.len()
+    )
+    .ok();
+    writeln!(
+        out,
+        "{} {} {} {} {} {}",
+        cell("mode", 10),
+        cell("queries", 9),
+        cell("cached", 8),
+        cell("batches", 9),
+        cell("opt ms", 10),
+        cell("q/s", 10)
+    )
+    .ok();
+    for serve in [
+        ServeMode::Cached,
+        ServeMode::Prepared,
+        ServeMode::PreparedBatched { batch: rounds },
+    ] {
+        let report = replay_concurrent_with(
+            &snb,
+            &templates,
+            OptimizerMode::RelGo,
+            threads,
+            rounds,
+            serve,
+        )?;
+        writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            cell(serve.name(), 10),
+            cell(&report.queries.to_string(), 9),
+            cell(&report.cached_queries.to_string(), 8),
+            cell(&report.batches.to_string(), 9),
+            cell(&format!("{:.3}", report.opt_time.as_secs_f64() * 1e3), 10),
+            cell(&format!("{:.0}", report.throughput()), 10)
+        )
+        .ok();
+    }
+    let m = snb.cache_metrics();
+    writeln!(
+        out,
+        "  cache: hits={} misses={} prepared_hits={} prepared_invalidations={} rebind_failures={}",
+        m.hits, m.misses, m.prepared_hits, m.prepared_invalidations, m.rebind_failures
+    )
+    .ok();
+    Ok(out)
+}
+
 /// Whether two result tables are bit-identical: same row count and the same
 /// values in the same row order (not just set-equal).
 fn tables_bit_identical(a: &Table, b: &Table) -> bool {
@@ -695,6 +871,18 @@ mod tests {
         assert!(s.contains("SNB QC2"), "{s}");
         assert!(s.contains("JOB17"), "{s}");
         assert!(!s.contains(" NO "), "{s}");
+    }
+
+    #[test]
+    fn fig_prepared_renders_and_certifies() {
+        // fig_prepared errors out if prepared execution is not strictly
+        // cheaper than warm run_cached or if any batched result diverges
+        // from per-query execute, so rendering doubles as the acceptance
+        // check.
+        let s = fig_prepared(&tiny()).unwrap();
+        assert!(s.contains("GRainDB"), "{s}");
+        assert!(s.contains("prep-batch"), "{s}");
+        assert!(s.contains("prepared_hits="), "{s}");
     }
 
     #[test]

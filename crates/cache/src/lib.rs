@@ -26,6 +26,11 @@
 //!   this), so stale plans die lazily on their next lookup.
 //! * **Metrics** — hits, misses, evictions, invalidations and rebind
 //!   failures are atomic counters, snapshot via [`PlanCache::metrics`].
+//! * **Pinning** — a prepared-statement handle captures a [`PinnedPlan`]
+//!   snapshot via [`PlanCache::pin`]. The pin owns its skeleton (`Arc`), so
+//!   LRU eviction of the underlying entry never breaks the handle, while
+//!   [`PlanCache::pin_is_current`] still subjects it to statistics-version
+//!   invalidation: after `invalidate_all` the handle must re-optimize.
 
 use parking_lot::Mutex;
 use relgo_common::fxhash::FxHashMap;
@@ -60,6 +65,8 @@ pub struct CacheMetrics {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     rebind_failures: AtomicU64,
+    prepared_hits: AtomicU64,
+    prepared_invalidations: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheMetrics`].
@@ -76,6 +83,12 @@ pub struct MetricsSnapshot {
     /// Hits whose skeleton could not be rebound (caller fell back to the
     /// optimizer).
     pub rebind_failures: u64,
+    /// Prepared-statement executes served from a live pinned skeleton
+    /// (rebind only — no parameterize, no cache probe).
+    pub prepared_hits: u64,
+    /// Prepared-statement executes that found their pin stale (statistics
+    /// version moved) and transparently re-optimized.
+    pub prepared_invalidations: u64,
 }
 
 impl MetricsSnapshot {
@@ -87,6 +100,8 @@ impl MetricsSnapshot {
             evictions: self.evictions - earlier.evictions,
             invalidations: self.invalidations - earlier.invalidations,
             rebind_failures: self.rebind_failures - earlier.rebind_failures,
+            prepared_hits: self.prepared_hits - earlier.prepared_hits,
+            prepared_invalidations: self.prepared_invalidations - earlier.prepared_invalidations,
         }
     }
 
@@ -99,6 +114,21 @@ impl MetricsSnapshot {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// A pinned plan skeleton: the snapshot a prepared-statement handle
+/// executes against. The pin owns the skeleton (`Arc`), so LRU eviction of
+/// the cache entry it was taken from cannot invalidate it; only a
+/// statistics-version bump ([`PlanCache::invalidate_all`]) makes it stale,
+/// checked via [`PlanCache::pin_is_current`].
+#[derive(Debug, Clone)]
+pub struct PinnedPlan {
+    /// The optimized skeleton.
+    pub plan: Arc<PhysicalPlan>,
+    /// The literal bindings the skeleton was optimized with (rebind source).
+    pub params: Vec<Value>,
+    /// Statistics version at pin time.
+    pub version: u64,
 }
 
 /// One cached plan skeleton.
@@ -212,7 +242,22 @@ impl PlanCache {
     /// current statistics version, evicting the shard's LRU entry when the
     /// shard is full.
     pub fn insert(&self, key: PlanKey, plan: Arc<PhysicalPlan>, params: Vec<Value>) {
-        let version = self.stats_version();
+        self.insert_at(key, plan, params, self.stats_version());
+    }
+
+    /// Insert stamped with an explicit statistics version: callers that
+    /// *began* optimizing before a concurrent `invalidate_all` pass the
+    /// version they observed, so a plan costed against superseded
+    /// statistics is born stale and dies on its next lookup instead of
+    /// being served as current.
+    pub fn insert_at(
+        &self,
+        key: PlanKey,
+        plan: Arc<PhysicalPlan>,
+        params: Vec<Value>,
+        version: u64,
+    ) {
+        let current = self.stats_version();
         let last_used = self.tick();
         let mut shard = self.shard(&key).lock();
         let replacing = shard.map.contains_key(&key);
@@ -222,7 +267,7 @@ impl PlanCache {
             let victim = shard
                 .map
                 .iter()
-                .min_by_key(|(_, e)| (e.version == version, e.last_used))
+                .min_by_key(|(_, e)| (e.version == current, e.last_used))
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 shard.map.remove(&victim);
@@ -246,6 +291,45 @@ impl PlanCache {
         self.metrics.rebind_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Pin `plan` under the current statistics version. The returned
+    /// snapshot stays executable across LRU evictions; staleness is checked
+    /// with [`PlanCache::pin_is_current`].
+    pub fn pin(&self, plan: Arc<PhysicalPlan>, params: Vec<Value>) -> PinnedPlan {
+        PinnedPlan {
+            plan,
+            params,
+            version: self.stats_version(),
+        }
+    }
+
+    /// Pin `plan` under an explicit statistics version (the version the
+    /// caller observed before optimizing — see [`PlanCache::insert_at`]).
+    pub fn pin_at(&self, plan: Arc<PhysicalPlan>, params: Vec<Value>, version: u64) -> PinnedPlan {
+        PinnedPlan {
+            plan,
+            params,
+            version,
+        }
+    }
+
+    /// Whether `pin` was taken under the current statistics version.
+    pub fn pin_is_current(&self, pin: &PinnedPlan) -> bool {
+        pin.version == self.stats_version()
+    }
+
+    /// Record a prepared-statement execute served from a live pin.
+    pub fn note_prepared_hit(&self) {
+        self.metrics.prepared_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a prepared-statement execute that found its pin stale and
+    /// re-optimized.
+    pub fn note_prepared_invalidation(&self) {
+        self.metrics
+            .prepared_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the metric counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -254,6 +338,8 @@ impl PlanCache {
             evictions: self.metrics.evictions.load(Ordering::Relaxed),
             invalidations: self.metrics.invalidations.load(Ordering::Relaxed),
             rebind_failures: self.metrics.rebind_failures.load(Ordering::Relaxed),
+            prepared_hits: self.metrics.prepared_hits.load(Ordering::Relaxed),
+            prepared_invalidations: self.metrics.prepared_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -372,6 +458,45 @@ mod tests {
     }
 
     #[test]
+    fn pinned_plans_survive_eviction_but_not_invalidation() {
+        let cache = PlanCache::new(CacheConfig {
+            shards: 1,
+            capacity: 1,
+        });
+        cache.insert(key(1), dummy_plan(), vec![Value::Int(5)]);
+        let (plan, params) = cache.lookup(&key(1)).expect("hit");
+        let pin = cache.pin(plan, params);
+        // Displace the entry: the pin still answers.
+        cache.insert(key(2), dummy_plan(), vec![]);
+        assert!(cache.lookup(&key(1)).is_none(), "entry evicted");
+        assert!(cache.pin_is_current(&pin), "pin outlives eviction");
+        assert_eq!(pin.params, vec![Value::Int(5)]);
+        // A statistics bump makes the pin stale.
+        cache.invalidate_all();
+        assert!(!cache.pin_is_current(&pin));
+        cache.note_prepared_invalidation();
+        cache.note_prepared_hit();
+        let m = cache.metrics();
+        assert_eq!((m.prepared_hits, m.prepared_invalidations), (1, 1));
+    }
+
+    #[test]
+    fn insert_at_superseded_version_is_born_stale() {
+        let cache = PlanCache::default();
+        // A caller snapshots the version, then a rebuild races past it.
+        let observed = cache.stats_version();
+        cache.invalidate_all();
+        cache.insert_at(key(1), dummy_plan(), vec![], observed);
+        assert!(
+            cache.lookup(&key(1)).is_none(),
+            "plan optimized against superseded statistics must not be served"
+        );
+        // A pin taken at the observed version is likewise already stale.
+        let pin = cache.pin_at(dummy_plan(), vec![], observed);
+        assert!(!cache.pin_is_current(&pin));
+    }
+
+    #[test]
     fn metrics_snapshot_delta() {
         let a = MetricsSnapshot {
             hits: 10,
@@ -379,6 +504,7 @@ mod tests {
             evictions: 1,
             invalidations: 0,
             rebind_failures: 0,
+            ..Default::default()
         };
         let b = MetricsSnapshot {
             hits: 25,
@@ -386,10 +512,14 @@ mod tests {
             evictions: 1,
             invalidations: 1,
             rebind_failures: 2,
+            prepared_hits: 3,
+            prepared_invalidations: 1,
         };
         let d = b.since(&a);
         assert_eq!(d.hits, 15);
         assert_eq!(d.misses, 1);
+        assert_eq!(d.prepared_hits, 3);
+        assert_eq!(d.prepared_invalidations, 1);
         assert!((d.hit_ratio() - 15.0 / 16.0).abs() < 1e-12);
     }
 }

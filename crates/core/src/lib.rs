@@ -38,6 +38,9 @@ pub mod spjm;
 pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
 pub use graph_plan::{GraphOp, PatternElem};
 pub use optimizer::{optimize, OptStats, OptimizerMode, PlannerContext};
-pub use param::{parameterize, rebind_plan, ParamQuery, PlanKey};
+pub use param::{
+    bind_query, binding_signature, parameterize, rebind_plan, validate_bindings, ParamQuery,
+    PlanKey,
+};
 pub use rel_plan::{PhysicalPlan, RelOp};
 pub use spjm::{AggSpec, AttrRef, GraphColumn, SpjmBuilder, SpjmQuery};

@@ -86,7 +86,8 @@ impl PlanKey {
     }
 }
 
-fn slot_tag(v: &Value) -> char {
+/// The one-character signature tag of a slot value (`i`/`f`/`s`/`b`/`d`/`n`).
+pub fn slot_tag(v: &Value) -> char {
     match v {
         Value::Null => 'n',
         Value::Int(_) => 'i',
@@ -95,6 +96,34 @@ fn slot_tag(v: &Value) -> char {
         Value::Bool(_) => 'b',
         Value::Date(_) => 'd',
     }
+}
+
+/// The slot signature of a binding vector (one tag per value, in order).
+pub fn binding_signature(values: &[Value]) -> String {
+    values.iter().map(slot_tag).collect()
+}
+
+/// Validate a fresh binding vector against a template's slot signature:
+/// the arity and every per-slot type tag must match. This is the only
+/// front-end check a prepared statement performs — no parse, no
+/// re-parameterization.
+pub fn validate_bindings(slot_sig: &str, bindings: &[Value]) -> Result<()> {
+    if slot_sig.len() != bindings.len() {
+        return Err(RelGoError::query(format!(
+            "binding arity mismatch: template has {} slot(s), got {} binding(s)",
+            slot_sig.len(),
+            bindings.len()
+        )));
+    }
+    for (i, (expected, v)) in slot_sig.chars().zip(bindings).enumerate() {
+        let got = slot_tag(v);
+        if got != expected {
+            return Err(RelGoError::query(format!(
+                "binding type mismatch at slot {i}: template expects '{expected}', got '{got}' ({v})"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Render a structural string into the shape with Rust-style escaping —
@@ -544,6 +573,121 @@ pub fn rebind_plan(plan: &PhysicalPlan, old: &[Value], new: &[Value]) -> Result<
     Ok(PhysicalPlan { pattern, root })
 }
 
+/// Take the next positional slot value.
+fn take_slot(next: &mut usize, new: &[Value]) -> Result<Value> {
+    let v = new.get(*next).cloned().ok_or_else(|| {
+        RelGoError::query(format!(
+            "bind_query: template has more than {} slot(s), got {} binding(s)",
+            *next,
+            new.len()
+        ))
+    })?;
+    *next += 1;
+    Ok(v)
+}
+
+/// Positional mirror of [`render_template`]: replace each
+/// parameter-position literal with the next binding, traversing in exactly
+/// the order `parameterize` assigns slot indices.
+fn bind_template(expr: &ScalarExpr, next: &mut usize, new: &[Value]) -> Result<ScalarExpr> {
+    Ok(match expr {
+        ScalarExpr::Cmp(op, l, r) => match (is_lit(l), is_lit(r)) {
+            (false, true) => {
+                let l2 = bind_template(l, next, new)?;
+                let v = take_slot(next, new)?;
+                ScalarExpr::Cmp(*op, Box::new(l2), Box::new(ScalarExpr::Lit(v)))
+            }
+            (true, false) => {
+                let v = take_slot(next, new)?;
+                let r2 = bind_template(r, next, new)?;
+                ScalarExpr::Cmp(*op, Box::new(ScalarExpr::Lit(v)), Box::new(r2))
+            }
+            _ => ScalarExpr::Cmp(
+                *op,
+                Box::new(bind_template(l, next, new)?),
+                Box::new(bind_template(r, next, new)?),
+            ),
+        },
+        ScalarExpr::And(l, r) => ScalarExpr::And(
+            Box::new(bind_template(l, next, new)?),
+            Box::new(bind_template(r, next, new)?),
+        ),
+        ScalarExpr::Or(l, r) => ScalarExpr::Or(
+            Box::new(bind_template(l, next, new)?),
+            Box::new(bind_template(r, next, new)?),
+        ),
+        ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(bind_template(e, next, new)?)),
+        ScalarExpr::StartsWith(e, p) => {
+            ScalarExpr::StartsWith(Box::new(bind_template(e, next, new)?), p.clone())
+        }
+        ScalarExpr::Contains(e, p) => {
+            ScalarExpr::Contains(Box::new(bind_template(e, next, new)?), p.clone())
+        }
+        ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(bind_template(e, next, new)?)),
+        ScalarExpr::InList(e, list) => {
+            ScalarExpr::InList(Box::new(bind_template(e, next, new)?), list.clone())
+        }
+        leaf @ (ScalarExpr::Col(_) | ScalarExpr::Lit(_)) => leaf.clone(),
+    })
+}
+
+/// Substitute fresh literal bindings into a *query* (not a plan): the
+/// rebind-only entry point prepared statements use when their pinned
+/// skeleton is stale (or its by-value rebind ambiguous) and the instance
+/// must be re-optimized with the new literals.
+///
+/// Binding is **positional**, mirroring [`parameterize`]'s slot order —
+/// selection slots in expression-tree order, then pattern vertex/edge
+/// predicates in canonical element order — so unlike [`rebind_plan`]'s
+/// by-value substitution it can never be ambiguous: `new[i]` lands exactly
+/// in slot `i`. Errors on arity mismatch.
+pub fn bind_query(query: &SpjmQuery, new: &[Value]) -> Result<SpjmQuery> {
+    let form = relgo_pattern::canonical_form(&query.pattern);
+    let mut next = 0usize;
+    let mut q = query.clone();
+    q.selection = match &query.selection {
+        Some(e) => Some(bind_template(e, &mut next, new)?),
+        None => None,
+    };
+
+    // Pattern predicates bound in canonical element order (the slot
+    // order), then queued in *element index* order — the order
+    // `map_predicates` visits sites (vertices first, then edges).
+    let mut vpreds: Vec<Option<ScalarExpr>> = vec![None; query.pattern.vertex_count()];
+    let mut by_canon: Vec<(usize, usize)> = (0..query.pattern.vertex_count())
+        .map(|v| (form.vertex_perm[v], v))
+        .collect();
+    by_canon.sort_unstable();
+    for &(_, old) in &by_canon {
+        if let Some(p) = &query.pattern.vertex(old).predicate {
+            vpreds[old] = Some(bind_template(p, &mut next, new)?);
+        }
+    }
+    let mut epreds: Vec<Option<ScalarExpr>> = vec![None; query.pattern.edge_count()];
+    let mut edges_by_canon: Vec<(usize, usize)> = (0..query.pattern.edge_count())
+        .map(|e| (form.edge_perm[e], e))
+        .collect();
+    edges_by_canon.sort_unstable();
+    for &(_, old) in &edges_by_canon {
+        if let Some(p) = &query.pattern.edge(old).predicate {
+            epreds[old] = Some(bind_template(p, &mut next, new)?);
+        }
+    }
+    let mut queue: std::collections::VecDeque<ScalarExpr> =
+        vpreds.into_iter().chain(epreds).flatten().collect();
+    q.pattern = query
+        .pattern
+        .map_predicates(&mut |_| queue.pop_front().expect("one bound predicate per site"));
+
+    if next != new.len() {
+        return Err(RelGoError::query(format!(
+            "bind_query arity mismatch: template has {next} slot(s), got {} binding(s)",
+            new.len()
+        )));
+    }
+    Ok(q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,6 +817,73 @@ mod tests {
         // Agreeing duplicates are fine.
         let new_ok = vec![Value::Int(7), Value::Int(7)];
         assert!(Bindings::build(&old, &new_ok).is_ok());
+    }
+
+    #[test]
+    fn validate_bindings_checks_arity_and_tags() {
+        assert!(validate_bindings("id", &[Value::Int(1), Value::Date(2)]).is_ok());
+        assert!(validate_bindings("id", &[Value::Int(1)]).is_err(), "arity");
+        assert!(
+            validate_bindings("id", &[Value::Date(2), Value::Int(1)]).is_err(),
+            "tag order"
+        );
+        assert!(validate_bindings("", &[]).is_ok());
+        assert_eq!(
+            binding_signature(&[Value::str("x"), Value::Bool(true)]),
+            "sb"
+        );
+    }
+
+    #[test]
+    fn bind_query_substitutes_and_reparameterizes_identically() {
+        let q1 = query(5, 100, false);
+        let pq1 = parameterize(&q1);
+        let q2 = bind_query(&q1, &[Value::Int(9), Value::Date(777)]).unwrap();
+        let pq2 = parameterize(&q2);
+        assert_eq!(pq1.shape, pq2.shape, "binding never changes the template");
+        assert_eq!(pq2.params, vec![Value::Int(9), Value::Date(777)]);
+        // Mirrors building the instance directly.
+        let direct = parameterize(&query(9, 777, false));
+        assert_eq!(pq2.shape, direct.shape);
+        assert_eq!(pq2.params, direct.params);
+        // Arity mismatches error.
+        assert!(bind_query(&q1, &[Value::Int(9)]).is_err());
+        assert!(bind_query(&q1, &[Value::Int(9), Value::Date(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn bind_query_is_positional_never_ambiguous() {
+        // Both slots share the value 5 in the source instance; positional
+        // binding still lands each new value in its own slot (by-value
+        // `rebind_plan` would refuse this).
+        let mut pb = PatternBuilder::new();
+        let p = pb.vertex("p", LabelId(0));
+        let m = pb.vertex("m", LabelId(1));
+        pb.edge(p, m, LabelId(0)).unwrap();
+        let mut b = SpjmBuilder::new(pb.build().unwrap());
+        let pid = b.vertex_column(p, 0, "p_id");
+        let mdate = b.vertex_column(m, 2, "m_date");
+        b.select(ScalarExpr::col_eq(pid, 5i64).and(ScalarExpr::col_cmp(
+            mdate,
+            BinaryOp::Gt,
+            Value::Int(5),
+        )));
+        b.project(&[mdate]);
+        let q = b.build();
+        assert_eq!(
+            parameterize(&q).params,
+            vec![Value::Int(5), Value::Int(5)],
+            "colliding source slots"
+        );
+        let bound = bind_query(&q, &[Value::Int(7), Value::Int(9)]).unwrap();
+        assert_eq!(
+            parameterize(&bound).params,
+            vec![Value::Int(7), Value::Int(9)]
+        );
+        // Pattern-predicate slots bind positionally too.
+        let pq = parameterize(&q);
+        let rebound = bind_query(&bound, &pq.params).unwrap();
+        assert_eq!(parameterize(&rebound).params, pq.params, "round trip");
     }
 
     #[test]

@@ -33,11 +33,37 @@
 
 use crate::chunk::GraphChunk;
 use relgo_common::morsel::{self, RowBudget};
-use relgo_common::{FxHashMap, RelGoError, Result, RowId};
+use relgo_common::{FxHashMap, LabelId, RelGoError, Result, RowId};
 use relgo_core::graph_plan::{GraphOp, StarLeg};
 use relgo_graph::{Direction, GraphIndex, GraphView};
 use relgo_pattern::Pattern;
 use relgo_storage::{ScalarExpr, Table};
+use std::sync::{Arc, Mutex};
+
+/// Per-batch shared operator state (the batched-serving seam): when N
+/// rebound instances of one plan skeleton execute as a batch, the per-query
+/// setup that does not depend on the instance's literals is built once here
+/// and reused — the hash-fallback adjacency multimaps (an `O(E log E)`
+/// build per `EXPAND` in unindexed regimes) and the per-table-row predicate
+/// pass masks of *structural* (literal-identical) predicates. Adjacencies
+/// are keyed by `(edge label, direction)`; masks by `(table name,
+/// predicate)` compared *structurally* (a rendered-string key could be
+/// forged by string literals containing operator text), so
+/// instance-specific predicates simply miss.
+type MaskCache = Vec<(String, ScalarExpr, Arc<Vec<bool>>)>;
+
+#[derive(Default)]
+pub struct BatchState {
+    hashed: Mutex<FxHashMap<(LabelId, Direction), Arc<HashedAdj>>>,
+    masks: Mutex<MaskCache>,
+}
+
+impl BatchState {
+    /// Fresh shared state for one batch.
+    pub fn new() -> BatchState {
+        BatchState::default()
+    }
+}
 
 /// Execution context for the graph component.
 pub struct GraphExecContext<'a> {
@@ -52,6 +78,8 @@ pub struct GraphExecContext<'a> {
     pub row_limit: usize,
     /// Intra-operator worker threads (1 = serial).
     pub threads: usize,
+    /// Shared per-batch state (`None` outside batched execution).
+    pub batch: Option<&'a BatchState>,
 }
 
 impl<'a> GraphExecContext<'a> {
@@ -189,6 +217,15 @@ fn scan_edge(
     base.extend(&gather, Some((pe.dst, dsts)), vec![(e, rows)])
 }
 
+/// The hash-join adjacency fallback in flat CSR-like form (see
+/// [`Adjacency::Hashed`]); `Arc`-shared so a batch builds it once.
+struct HashedAdj {
+    /// from-vertex row → `(start, end)` range into the flat arrays.
+    buckets: FxHashMap<RowId, (u32, u32)>,
+    edge_rid: Vec<RowId>,
+    nbr_rid: Vec<RowId>,
+}
+
 /// Adjacency provider for one `(edge label, direction)`: the VE-index, or a
 /// transient hash multimap over the edge relation (the hash-join fallback),
 /// stored as flat CSR-like arrays so probes borrow slices instead of
@@ -196,15 +233,10 @@ fn scan_edge(
 enum Adjacency<'a> {
     Indexed {
         index: &'a GraphIndex,
-        label: relgo_common::LabelId,
+        label: LabelId,
         dir: Direction,
     },
-    Hashed {
-        /// from-vertex row → `(start, end)` range into the flat arrays.
-        buckets: FxHashMap<RowId, (u32, u32)>,
-        edge_rid: Vec<RowId>,
-        nbr_rid: Vec<RowId>,
-    },
+    Hashed(Arc<HashedAdj>),
 }
 
 impl<'a> Adjacency<'a> {
@@ -216,6 +248,14 @@ impl<'a> Adjacency<'a> {
                 label: pe.label,
                 dir,
             });
+        }
+        // Batched execution: every instance of the skeleton expands the
+        // same (label, dir), and the multimap is literal-independent — the
+        // first query in the batch builds it, the rest reuse it.
+        if let Some(batch) = ctx.batch {
+            if let Some(adj) = batch.hashed.lock().unwrap().get(&(pe.label, dir)) {
+                return Ok(Adjacency::Hashed(Arc::clone(adj)));
+            }
         }
         // Hash fallback: resolve both endpoints of every edge row through
         // the λ key indexes, sort by (from, neighbor) — intersection logic
@@ -247,11 +287,19 @@ impl<'a> Adjacency<'a> {
                 .and_modify(|r| r.1 = i as u32 + 1)
                 .or_insert((i as u32, i as u32 + 1));
         }
-        Ok(Adjacency::Hashed {
+        let adj = Arc::new(HashedAdj {
             buckets,
             edge_rid,
             nbr_rid,
-        })
+        });
+        if let Some(batch) = ctx.batch {
+            batch
+                .hashed
+                .lock()
+                .unwrap()
+                .insert((pe.label, dir), Arc::clone(&adj));
+        }
+        Ok(Adjacency::Hashed(adj))
     }
 
     /// `(edges, neighbors)` adjacent to `v`, sorted by neighbor — borrowed,
@@ -260,14 +308,10 @@ impl<'a> Adjacency<'a> {
     fn neighbors(&self, v: RowId) -> (&[RowId], &[RowId]) {
         match self {
             Adjacency::Indexed { index, label, dir } => index.neighbors(*label, *dir, v),
-            Adjacency::Hashed {
-                buckets,
-                edge_rid,
-                nbr_rid,
-            } => match buckets.get(&v) {
+            Adjacency::Hashed(adj) => match adj.buckets.get(&v) {
                 Some(&(lo, hi)) => (
-                    &edge_rid[lo as usize..hi as usize],
-                    &nbr_rid[lo as usize..hi as usize],
+                    &adj.edge_rid[lo as usize..hi as usize],
+                    &adj.nbr_rid[lo as usize..hi as usize],
                 ),
                 None => (&[], &[]),
             },
@@ -279,9 +323,10 @@ impl<'a> Adjacency<'a> {
     fn degree(&self, v: RowId) -> usize {
         match self {
             Adjacency::Indexed { index, label, dir } => index.degree(*label, *dir, v),
-            Adjacency::Hashed { buckets, .. } => {
-                buckets.get(&v).map_or(0, |&(lo, hi)| (hi - lo) as usize)
-            }
+            Adjacency::Hashed(adj) => adj
+                .buckets
+                .get(&v)
+                .map_or(0, |&(lo, hi)| (hi - lo) as usize),
         }
     }
 }
@@ -289,12 +334,28 @@ impl<'a> Adjacency<'a> {
 /// Precompute a per-table-row pass mask for `pred` when the expansion will
 /// touch enough entries (`entries`, with repeats) to amortize evaluating
 /// the predicate once per table row instead of once per adjacency entry.
+/// Under batched execution, masks are shared through [`BatchState`] keyed
+/// by `(table, rendered predicate)`: structural predicates (identical
+/// across the batch's rebound instances) are computed once, and a cached
+/// mask is used even below the volume threshold — it is already paid for.
 fn predicate_mask(
     pred: Option<&ScalarExpr>,
     table: &Table,
     entries: usize,
-) -> Result<Option<Vec<bool>>> {
+    batch: Option<&BatchState>,
+) -> Result<Option<Arc<Vec<bool>>>> {
     let Some(p) = pred else { return Ok(None) };
+    if let Some(batch) = batch {
+        // A batch caches a handful of masks; linear scan with structural
+        // predicate equality (never aliasable, unlike a rendered string).
+        let masks = batch.masks.lock().unwrap();
+        if let Some((_, _, mask)) = masks
+            .iter()
+            .find(|(t, cached, _)| t == table.name() && cached == p)
+        {
+            return Ok(Some(Arc::clone(mask)));
+        }
+    }
     let n = table.num_rows();
     if entries < n / 4 {
         return Ok(None);
@@ -303,13 +364,21 @@ fn predicate_mask(
     for r in p.filter(table)? {
         mask[r as usize] = true;
     }
+    let mask = Arc::new(mask);
+    if let Some(batch) = batch {
+        batch
+            .masks
+            .lock()
+            .unwrap()
+            .push((table.name().to_string(), p.clone(), Arc::clone(&mask)));
+    }
     Ok(Some(mask))
 }
 
 /// Whether `row` passes `pred`, through the precomputed `mask` when present.
 #[inline]
 fn passes(
-    mask: &Option<Vec<bool>>,
+    mask: &Option<Arc<Vec<bool>>>,
     pred: Option<&ScalarExpr>,
     table: &Table,
     row: RowId,
@@ -346,8 +415,8 @@ fn expand(
     // free) size the output columns and decide whether masks pay off.
     let degs: Vec<usize> = from_col.iter().map(|&v| adj.degree(v)).collect();
     let total: usize = degs.iter().sum();
-    let emask = predicate_mask(edge_predicate, etable, total)?;
-    let vmask = predicate_mask(vertex_predicate, vtable, total)?;
+    let emask = predicate_mask(edge_predicate, etable, total, ctx.batch)?;
+    let vmask = predicate_mask(vertex_predicate, vtable, total, ctx.batch)?;
     let unfiltered = edge_predicate.is_none() && vertex_predicate.is_none();
 
     let budget = RowBudget::new(ctx.row_limit);
@@ -461,10 +530,10 @@ fn expand_intersect(
                 .unwrap_or(0)
         })
         .sum();
-    let emasks: Vec<Option<Vec<bool>>> = (0..legs.len())
-        .map(|i| predicate_mask(epreds[i], etables[i], entries))
+    let emasks: Vec<Option<Arc<Vec<bool>>>> = (0..legs.len())
+        .map(|i| predicate_mask(epreds[i], etables[i], entries, ctx.batch))
         .collect::<Result<_>>()?;
-    let vmask = predicate_mask(vertex_predicate, vtable, entries)?;
+    let vmask = predicate_mask(vertex_predicate, vtable, entries, ctx.batch)?;
 
     let budget = RowBudget::new(ctx.row_limit);
     type EiPart = (Vec<usize>, Vec<RowId>, Vec<Vec<RowId>>);
@@ -599,7 +668,7 @@ fn filter_vertex(
     let label = ctx.pattern.vertex(v).label;
     let table = ctx.view.vertex_table(label);
     let col = input.vertex_col(v)?;
-    let mask = predicate_mask(Some(predicate), table, col.len())?;
+    let mask = predicate_mask(Some(predicate), table, col.len(), ctx.batch)?;
     let parts: Vec<Vec<usize>> = morsel::run_morsels(
         col.len(),
         ctx.threads,
@@ -751,6 +820,7 @@ mod tests {
             use_index: idx,
             row_limit: 1_000_000,
             threads: 1,
+            batch: None,
         }
     }
 
@@ -817,6 +887,51 @@ mod tests {
         for v in 0..3 {
             assert_eq!(adj.neighbors(v), idx_adj.neighbors(v));
         }
+    }
+
+    #[test]
+    fn batch_state_shares_hashed_adjacency_and_masks() {
+        let view = fig2_view();
+        let pat = wedge_pattern();
+        let batch = BatchState::new();
+        let mut c = ctx(&view, &pat, false);
+        c.batch = Some(&batch);
+        let a = Adjacency::build(0, Direction::Out, &c).unwrap();
+        let b = Adjacency::build(0, Direction::Out, &c).unwrap();
+        match (&a, &b) {
+            (Adjacency::Hashed(x), Adjacency::Hashed(y)) => {
+                assert!(
+                    Arc::ptr_eq(x, y),
+                    "second build reuses the batch's multimap"
+                );
+            }
+            _ => panic!("hash fallback expected"),
+        }
+        // Distinct (label, dir) keys stay distinct.
+        let rev = Adjacency::build(0, Direction::In, &c).unwrap();
+        match (&a, &rev) {
+            (Adjacency::Hashed(x), Adjacency::Hashed(y)) => assert!(!Arc::ptr_eq(x, y)),
+            _ => panic!("hash fallback expected"),
+        }
+        // Identical predicates share one mask; even below the volume
+        // threshold the cached mask is reused.
+        let table = view.vertex_table(LabelId(0));
+        let pred = ScalarExpr::col_eq(1, "Bob");
+        let m1 = predicate_mask(Some(&pred), table, usize::MAX, Some(&batch))
+            .unwrap()
+            .expect("mask built");
+        let m2 = predicate_mask(Some(&pred), table, 0, Some(&batch))
+            .unwrap()
+            .expect("cached mask served below threshold");
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(m1.as_slice(), &[false, true, false]);
+        // Without a batch, the volume threshold still gates mask
+        // construction (the 4-row Likes table has a nonzero threshold).
+        let likes = view.edge_table(LabelId(0));
+        let epred = ScalarExpr::col_cmp(3, relgo_storage::BinaryOp::Ge, Value::Date(28));
+        assert!(predicate_mask(Some(&epred), likes, 0, None)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -24,4 +24,5 @@ pub mod oracle;
 pub mod rel_exec;
 
 pub use chunk::GraphChunk;
-pub use rel_exec::{execute_plan, ExecConfig};
+pub use graph_exec::BatchState;
+pub use rel_exec::{execute_plan, execute_plan_batch, ExecConfig};

@@ -6,7 +6,7 @@
 //! through the `COLUMNS` clause into a columnar [`Table`] — the π̂ operator.
 
 use crate::chunk::GraphChunk;
-use crate::graph_exec::{execute_graph, GraphExecContext};
+use crate::graph_exec::{execute_graph, BatchState, GraphExecContext};
 use relgo_common::{DataType, ElementId, Field, FxHashMap, Result, Schema};
 use relgo_core::rel_plan::{PhysicalPlan, RelOp};
 use relgo_core::spjm::{AttrRef, GraphColumn, PatternElemRef};
@@ -45,8 +45,31 @@ pub fn execute_plan(
     db: &Database,
     cfg: &ExecConfig,
 ) -> Result<Table> {
-    let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg)?;
+    let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg, None)?;
     Ok(Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone()))
+}
+
+/// Execute N rebound instances of one plan skeleton as a batch. Results are
+/// bit-identical to executing each plan through [`execute_plan`]; the
+/// instances run in order but share one [`BatchState`], amortizing
+/// literal-independent per-query setup (hash-fallback adjacency builds,
+/// structural predicate masks) across the batch. The first error aborts the
+/// batch.
+pub fn execute_plan_batch<P: std::borrow::Borrow<PhysicalPlan>>(
+    plans: &[P],
+    view: &GraphView,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<Vec<Table>> {
+    let batch = BatchState::new();
+    plans
+        .iter()
+        .map(|plan| {
+            let plan = plan.borrow();
+            let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg, Some(&batch))?;
+            Ok(Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone()))
+        })
+        .collect()
 }
 
 fn exec_rel(
@@ -55,6 +78,7 @@ fn exec_rel(
     view: &GraphView,
     db: &Database,
     cfg: &ExecConfig,
+    batch: Option<&BatchState>,
 ) -> Result<Arc<Table>> {
     match op {
         RelOp::ScanGraphTable { graph, columns } => {
@@ -64,6 +88,7 @@ fn exec_rel(
                 use_index: cfg.use_index,
                 row_limit: cfg.row_limit,
                 threads: cfg.threads,
+                batch,
             };
             let chunk = execute_graph(graph, &ctx)?;
             let chunk = apply_semantics(&chunk, pattern, view)?;
@@ -79,34 +104,34 @@ fn exec_rel(
             }
         }
         RelOp::HashJoin { left, right, keys } => {
-            let l = exec_rel(left, pattern, view, db, cfg)?;
-            let r = exec_rel(right, pattern, view, db, cfg)?;
+            let l = exec_rel(left, pattern, view, db, cfg, batch)?;
+            let r = exec_rel(right, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::hash_join(&l, &r, keys)?))
         }
         RelOp::Filter { input, predicate } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::filter(&t, predicate)?))
         }
         RelOp::Project { input, cols } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::project(&t, cols)?))
         }
         RelOp::Aggregate { input, aggs } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             let spec: Vec<(ops::AggFunc, usize)> =
                 aggs.iter().map(|a| (a.func, a.column)).collect();
             Ok(Arc::new(ops::aggregate(&t, &spec)?))
         }
         RelOp::Distinct { input } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::distinct(&t)))
         }
         RelOp::Sort { input, keys } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::sort(&t, keys)?))
         }
         RelOp::Limit { input, n } => {
-            let t = exec_rel(input, pattern, view, db, cfg)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
             Ok(Arc::new(ops::limit(&t, *n)))
         }
     }
@@ -426,6 +451,7 @@ mod tests {
             use_index: true,
             row_limit: 1_000_000,
             threads: 1,
+            batch: None,
         };
         let chunk = execute_graph(&plan, &ctx).unwrap();
         assert_eq!(chunk.len(), 8);

@@ -27,6 +27,7 @@
 //! optimizer, the execution engine, dataset generators and the benchmark
 //! workloads.
 
+pub mod prepared;
 pub mod serve;
 pub mod session;
 
@@ -41,14 +42,16 @@ pub use relgo_pattern as pattern;
 pub use relgo_storage as storage;
 pub use relgo_workloads as workloads;
 
-pub use serve::{replay_concurrent, ReplayReport};
+pub use prepared::{BatchOutcome, PreparedStatement};
+pub use serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
 pub use session::{QueryOutcome, Session, SessionOptions};
 
 /// The convenient all-in-one import.
 pub mod prelude {
-    pub use crate::serve::{replay_concurrent, ReplayReport};
+    pub use crate::prepared::{BatchOutcome, PreparedStatement};
+    pub use crate::serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
     pub use crate::session::{QueryOutcome, Session, SessionOptions};
-    pub use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
+    pub use relgo_cache::{CacheConfig, MetricsSnapshot, PinnedPlan, PlanCache};
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};
     pub use relgo_graph::{GraphView, RGMapping};

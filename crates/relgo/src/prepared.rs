@@ -1,0 +1,333 @@
+//! Prepared-statement handles: the serving fast path above the plan cache.
+//!
+//! [`Session::run_cached`] still pays per query for parameterization (the
+//! template descriptor is a rendered string) and a cache probe before it
+//! can rebind. [`Session::prepare`] hoists all of that to preparation time:
+//! the handle captures the parameterized template, its [`PlanKey`], and a
+//! **pinned** cache entry ([`relgo_cache::PinnedPlan`]), so
+//! [`PreparedStatement::execute`] only validates the binding vector against
+//! the slot signature and substitutes literals into the pinned skeleton —
+//! no parse, no `parameterize`, no cache probe.
+//!
+//! The pin owns its skeleton: LRU eviction of the underlying cache entry
+//! never breaks a handle. Statistics-version invalidation still applies —
+//! every execute checks the pin against the cache's version and, when
+//! stale, transparently re-optimizes (with the fresh bindings, via
+//! [`relgo_core::bind_query`]), re-inserts, and re-pins. The
+//! `prepared_hits` / `prepared_invalidations` cache metrics count the two
+//! outcomes.
+//!
+//! [`PreparedStatement::execute_batch`] rebinds N binding vectors against
+//! the one skeleton and drives them through
+//! [`relgo_exec::execute_plan_batch`]: the instances share one
+//! `BatchState`, amortizing literal-independent per-query setup
+//! (hash-fallback adjacency multimaps, structural predicate masks) across
+//! the batch. Batch results are bit-identical to per-query
+//! [`PreparedStatement::execute`] calls.
+
+use crate::session::{QueryOutcome, Session};
+use parking_lot::Mutex;
+use relgo_cache::PinnedPlan;
+use relgo_common::{Result, Value};
+use relgo_core::{
+    bind_query, parameterize, rebind_plan, validate_bindings, OptStats, OptimizerMode,
+    PhysicalPlan, PlanKey, SpjmQuery,
+};
+use relgo_storage::Table;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A prepared query handle bound to a [`Session`]. Cheap to share across
+/// serving threads (`&PreparedStatement` is `Send + Sync`); all interior
+/// state is the pinned skeleton behind a mutex.
+pub struct PreparedStatement<'a> {
+    session: &'a Session,
+    mode: OptimizerMode,
+    /// The instance `prepare` captured (stale re-optimization rebinding
+    /// source).
+    query: SpjmQuery,
+    /// The instance's own literals, in slot order.
+    params: Vec<Value>,
+    key: PlanKey,
+    slot_sig: String,
+    pinned: Mutex<PinnedPlan>,
+}
+
+/// The result of one [`PreparedStatement::execute_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One result table per binding vector, in input order — bit-identical
+    /// to executing each binding through [`PreparedStatement::execute`].
+    pub tables: Vec<Table>,
+    /// Summed validate + rebind (or re-optimize) statistics for the batch.
+    pub opt: OptStats,
+    /// Wall time of the shared batched execution.
+    pub exec_time: Duration,
+    /// How many of the batch's plans came straight from the pinned
+    /// skeleton (the rest re-optimized: stale pin or ambiguous rebind).
+    pub pinned_queries: usize,
+}
+
+impl Session {
+    /// Prepare a query template for repeated execution: parameterize once,
+    /// resolve the plan through the cache (probing it — a miss optimizes
+    /// and inserts like [`Session::run_cached`]), and pin the skeleton.
+    /// Subsequent [`PreparedStatement::execute`] calls only rebind.
+    pub fn prepare(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<PreparedStatement<'_>> {
+        let pq = parameterize(query);
+        let key = pq.key(mode);
+        let cache = self.plan_cache();
+        let pinned = if let Some((plan, cached_params)) = cache.lookup(&key) {
+            cache.pin(plan, cached_params)
+        } else {
+            // Version snapshot taken before optimizing: a racing
+            // `rebuild_statistics` leaves the entry and pin born stale
+            // (next execute re-optimizes) rather than falsely current.
+            let version = cache.stats_version();
+            let (plan, opt) = self.optimize(query, mode)?;
+            let plan = Arc::new(plan);
+            // Like `run_cached`: a timed-out fallback plan is not worth
+            // pinning for every future instance — but the handle still
+            // uses it until the next statistics bump.
+            if !opt.timed_out {
+                cache.insert_at(key.clone(), Arc::clone(&plan), pq.params.clone(), version);
+            }
+            cache.pin_at(plan, pq.params.clone(), version)
+        };
+        Ok(PreparedStatement {
+            session: self,
+            mode,
+            query: query.clone(),
+            params: pq.params,
+            key,
+            slot_sig: pq.slot_sig,
+            pinned: Mutex::new(pinned),
+        })
+    }
+}
+
+impl PreparedStatement<'_> {
+    /// The optimizer mode the statement was prepared under.
+    pub fn mode(&self) -> OptimizerMode {
+        self.mode
+    }
+
+    /// The plan-cache key of the captured template.
+    pub fn key(&self) -> &PlanKey {
+        &self.key
+    }
+
+    /// The template's parameter-slot signature (one type tag per slot).
+    pub fn slot_sig(&self) -> &str {
+        &self.slot_sig
+    }
+
+    /// The literals the statement was prepared with, in slot order.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// Whether the pinned skeleton is still planned under the session's
+    /// current statistics version (`false` means the next execute will
+    /// transparently re-optimize).
+    pub fn is_current(&self) -> bool {
+        self.session
+            .plan_cache()
+            .pin_is_current(&self.pinned.lock())
+    }
+
+    /// Resolve one binding vector to an executable plan: the pinned
+    /// skeleton rebound (the hot path), or a transparent re-optimize when
+    /// the pin is stale / the rebind is ambiguous. Returns the plan, the
+    /// optimizer's visited count (0 on the pinned path), and whether the
+    /// pinned path served it.
+    ///
+    /// The pin mutex is held only to snapshot (or replace) the pin — the
+    /// rebind and any re-optimization run outside it, so concurrent
+    /// executes on one shared handle do not serialize on the hot path.
+    fn rebound_plan(&self, bindings: &[Value]) -> Result<(Arc<PhysicalPlan>, u64, bool)> {
+        let cache = self.session.plan_cache();
+        let snapshot = {
+            let pinned = self.pinned.lock();
+            cache.pin_is_current(&pinned).then(|| pinned.clone())
+        };
+        if let Some(pin) = snapshot {
+            match rebind_plan(&pin.plan, &pin.params, bindings) {
+                Ok(plan) => {
+                    cache.note_prepared_hit();
+                    return Ok((Arc::new(plan), 0, true));
+                }
+                // Ambiguous rebind (slots that shared a value in the pin
+                // diverged): fall through to a fresh optimization, like
+                // `run_cached` does.
+                Err(_) => cache.note_rebind_failure(),
+            }
+        } else {
+            cache.note_prepared_invalidation();
+        }
+        // Version snapshot before optimizing (see `Session::run_cached`):
+        // a racing rebuild leaves the new entry and pin born stale.
+        let version = cache.stats_version();
+        let query = bind_query(&self.query, bindings)?;
+        let (plan, opt) = self.session.optimize(&query, self.mode)?;
+        let plan = Arc::new(plan);
+        if !opt.timed_out {
+            cache.insert_at(
+                self.key.clone(),
+                Arc::clone(&plan),
+                bindings.to_vec(),
+                version,
+            );
+        }
+        *self.pinned.lock() = cache.pin_at(Arc::clone(&plan), bindings.to_vec(), version);
+        Ok((plan, opt.plans_visited, false))
+    }
+
+    /// Execute the statement with fresh literal bindings (slot order, as
+    /// produced by `parameterize` — workload templates expose matching
+    /// generators via `QueryTemplate::bindings`). The hot path is binding
+    /// validation + literal rebinding only; `outcome.cached` reports
+    /// whether the pinned skeleton served it.
+    pub fn execute(&self, bindings: &[Value]) -> Result<QueryOutcome> {
+        let opt_start = Instant::now();
+        validate_bindings(&self.slot_sig, bindings)?;
+        let (plan, plans_visited, from_pin) = self.rebound_plan(bindings)?;
+        let opt = OptStats {
+            elapsed: opt_start.elapsed(),
+            plans_visited,
+            timed_out: false,
+        };
+        let start = Instant::now();
+        let table = self.session.execute(&plan, self.mode)?;
+        Ok(QueryOutcome {
+            table,
+            opt,
+            exec_time: start.elapsed(),
+            cached: from_pin,
+        })
+    }
+
+    /// Execute N binding vectors as one batch: every vector is validated
+    /// and rebound against the same skeleton, then all instances run
+    /// through a shared [`relgo_exec::BatchState`] so per-query setup is
+    /// amortized. `tables[i]` is bit-identical to
+    /// `self.execute(&batch[i])?.table`.
+    pub fn execute_batch(&self, batch: &[Vec<Value>]) -> Result<BatchOutcome> {
+        let opt_start = Instant::now();
+        // Validate every vector before rebinding any: a malformed binding
+        // rejects the whole batch without touching the prepared metrics.
+        for bindings in batch {
+            validate_bindings(&self.slot_sig, bindings)?;
+        }
+        let mut plans = Vec::with_capacity(batch.len());
+        let mut plans_visited = 0u64;
+        let mut pinned_queries = 0usize;
+        for bindings in batch {
+            let (plan, visited, from_pin) = self.rebound_plan(bindings)?;
+            plans_visited += visited;
+            pinned_queries += usize::from(from_pin);
+            plans.push(plan);
+        }
+        let opt = OptStats {
+            elapsed: opt_start.elapsed(),
+            plans_visited,
+            timed_out: false,
+        };
+        let start = Instant::now();
+        let tables = relgo_exec::execute_plan_batch(
+            &plans,
+            self.session.view(),
+            self.session.db(),
+            &self.session.exec_config(self.mode),
+        )?;
+        Ok(BatchOutcome {
+            tables,
+            opt,
+            exec_time: start.elapsed(),
+            pinned_queries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionOptions;
+    use relgo_workloads::templates::snb_templates;
+
+    #[test]
+    fn prepared_execute_matches_run_cached_and_skips_parameterize() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let templates = snb_templates(&schema);
+        for t in &templates {
+            let stmt = session
+                .prepare(&t.instantiate(0).unwrap(), OptimizerMode::RelGo)
+                .unwrap();
+            for draw in [1u64, 9] {
+                let bindings = t.bindings(draw).unwrap();
+                let out = stmt.execute(&bindings).unwrap();
+                assert!(out.cached, "{} draw {draw} served from the pin", t.name());
+                assert_eq!(out.opt.plans_visited, 0);
+                let reference = session
+                    .run_cached(&t.instantiate(draw).unwrap(), OptimizerMode::RelGo)
+                    .unwrap();
+                assert_eq!(
+                    out.table.sorted_rows(),
+                    reference.table.sorted_rows(),
+                    "{} draw {draw}",
+                    t.name()
+                );
+            }
+        }
+        let m = session.cache_metrics();
+        assert_eq!(m.prepared_hits, 2 * templates.len() as u64, "{m:?}");
+        assert_eq!(m.prepared_invalidations, 0, "{m:?}");
+    }
+
+    #[test]
+    fn execute_rejects_malformed_bindings() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let t = &snb_templates(&schema)[1]; // IC2: slots (Int, Date)
+        let stmt = session
+            .prepare(&t.instantiate(0).unwrap(), OptimizerMode::RelGo)
+            .unwrap();
+        assert_eq!(stmt.slot_sig(), "id");
+        assert!(stmt.execute(&[Value::Int(1)]).is_err(), "arity");
+        assert!(
+            stmt.execute(&[Value::Date(1), Value::Int(2)]).is_err(),
+            "types"
+        );
+        let before = session.cache_metrics();
+        assert!(
+            stmt.execute(&[Value::Int(1), Value::Date(16_000)])
+                .unwrap()
+                .cached
+        );
+        assert_eq!(session.cache_metrics().since(&before).prepared_hits, 1);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_per_query_execute() {
+        let options = SessionOptions {
+            threads: 2,
+            ..SessionOptions::default()
+        };
+        let (session, schema) = Session::snb_with(0.03, 42, options).unwrap();
+        for t in &snb_templates(&schema) {
+            let stmt = session
+                .prepare(&t.instantiate(0).unwrap(), OptimizerMode::RelGo)
+                .unwrap();
+            let batch: Vec<Vec<Value>> = (1..=6).map(|d| t.bindings(d).unwrap()).collect();
+            let out = stmt.execute_batch(&batch).unwrap();
+            assert_eq!(out.tables.len(), batch.len());
+            assert_eq!(out.pinned_queries, batch.len());
+            for (bindings, table) in batch.iter().zip(&out.tables) {
+                let single = stmt.execute(bindings).unwrap().table;
+                assert_eq!(single.num_rows(), table.num_rows(), "{}", t.name());
+                for r in 0..single.num_rows() as u32 {
+                    assert_eq!(single.row(r), table.row(r), "{} row {r}", t.name());
+                }
+            }
+        }
+    }
+}

@@ -1,11 +1,23 @@
 //! A small serving driver: replay a templated workload against one shared
-//! [`Session`] from many threads, through the plan cache.
+//! [`Session`] from many threads, through the plan cache or through
+//! prepared-statement handles.
 //!
-//! This is the contention-safety proof for `relgo-cache`: every worker
-//! calls [`Session::run_cached`] on its own template instances while
-//! sharing the session (graph view, GLogue, plan cache) with all the
-//! others. The report carries the cache-metric deltas so callers can
-//! assert the expected hit/miss split.
+//! This is the contention-safety proof for `relgo-cache` and
+//! `relgo::prepared`: every worker serves its own template instances while
+//! sharing the session (graph view, GLogue, plan cache, pinned handles)
+//! with all the others. The report carries the cache-metric deltas so
+//! callers can assert the expected hit/miss split.
+//!
+//! Three serving regimes ([`ServeMode`]):
+//!
+//! * [`ServeMode::Cached`] — every query goes through
+//!   [`Session::run_cached`] (parameterize + cache probe + rebind);
+//! * [`ServeMode::Prepared`] — each template is prepared **once** (shared
+//!   by all workers); per draw only the binding vector is generated and
+//!   [`PreparedStatement::execute`] rebinds the pinned skeleton;
+//! * [`ServeMode::PreparedBatched`] — like `Prepared`, but each worker
+//!   groups its draws into batches of `batch` bindings driven through
+//!   [`PreparedStatement::execute_batch`]'s shared operator state.
 //!
 //! Inter- and intra-query parallelism compose: the `threads` argument here
 //! is the number of concurrent *queries*, while
@@ -13,18 +25,57 @@
 //! each query's graph operators (and GLogue counting). A serving setup
 //! typically uses many replay threads × few intra-query threads for
 //! throughput, or the reverse for latency on heavy analytical queries.
+//!
+//! ## Worker errors
+//!
+//! The first error aborts the replay: an atomic abort flag stops the other
+//! workers at their next query boundary, and the error is propagated in
+//! worker order. Per-worker tallies only ever count *completed* queries,
+//! so the session's cache-metric deltas stay consistent with the work that
+//! actually ran — an aborted replay never reports planned-but-unexecuted
+//! queries (and therefore never inflates a throughput computed from them).
 
+use crate::prepared::PreparedStatement;
 use crate::session::Session;
 use relgo_cache::MetricsSnapshot;
 use relgo_common::{RelGoError, Result};
 use relgo_core::OptimizerMode;
 use relgo_workloads::templates::QueryTemplate;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-/// What one [`replay_concurrent`] run did.
+/// How [`replay_concurrent_with`] drives each query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Per query: parameterize, probe the plan cache, rebind
+    /// ([`Session::run_cached`]).
+    Cached,
+    /// Prepare each template once, then rebind-only executes per draw.
+    Prepared,
+    /// Prepared, with each worker's draws executed in batches of `batch`
+    /// bindings through the shared batch operator state.
+    PreparedBatched {
+        /// Bindings per `execute_batch` call (≥ 1).
+        batch: usize,
+    },
+}
+
+impl ServeMode {
+    /// Short display name (figure tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeMode::Cached => "cached",
+            ServeMode::Prepared => "prepared",
+            ServeMode::PreparedBatched { .. } => "prep-batch",
+        }
+    }
+}
+
+/// What one replay run did.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayReport {
-    /// Queries executed (threads × rounds × templates).
+    /// Queries that **completed** (threads × rounds × templates when no
+    /// worker failed).
     pub queries: usize,
     /// Wall time of the whole replay.
     pub elapsed: Duration,
@@ -32,25 +83,40 @@ pub struct ReplayReport {
     pub opt_time: Duration,
     /// Sum of per-query execution time.
     pub exec_time: Duration,
-    /// Queries answered from the plan cache.
+    /// Queries answered without the optimizer (plan-cache hit or pinned
+    /// prepared skeleton).
     pub cached_queries: usize,
+    /// Queries served through a prepared handle (0 in [`ServeMode::Cached`]).
+    pub prepared_queries: usize,
+    /// `execute_batch` calls (0 outside [`ServeMode::PreparedBatched`]).
+    pub batches: usize,
     /// Plan-cache metric deltas over the replay.
     pub metrics: MetricsSnapshot,
 }
 
 impl ReplayReport {
-    /// Queries per second of wall time.
+    /// Completed queries per second of wall time.
     pub fn throughput(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 }
 
+/// Per-worker tally of completed work (queries that failed are *not*
+/// counted — see the module docs on worker errors).
+#[derive(Default)]
+struct Tally {
+    completed: usize,
+    cached: usize,
+    prepared: usize,
+    batches: usize,
+    opt: Duration,
+    exec: Duration,
+    error: Option<RelGoError>,
+}
+
 /// Replay `rounds` rounds of every template from `threads` worker threads
-/// against one shared session under `mode`.
-///
-/// Worker `w`'s draw for round `r` is `w * rounds + r`, so literals vary
-/// across workers and rounds while template structure repeats — the plan
-/// cache's intended traffic. Errors from any worker abort the replay.
+/// against one shared session under `mode`, through the plan cache
+/// ([`ServeMode::Cached`]). See [`replay_concurrent_with`].
 pub fn replay_concurrent(
     session: &Session,
     templates: &[QueryTemplate],
@@ -58,65 +124,199 @@ pub fn replay_concurrent(
     threads: usize,
     rounds: usize,
 ) -> Result<ReplayReport> {
+    replay_concurrent_with(session, templates, mode, threads, rounds, ServeMode::Cached)
+}
+
+/// Replay `rounds` rounds of every template from `threads` worker threads
+/// against one shared session under `mode`, serving through `serve`.
+///
+/// Worker `w`'s draw for round `r` is `w * rounds + r`, so literals vary
+/// across workers and rounds while template structure repeats — the plan
+/// cache's (and the prepared handles') intended traffic. The first worker
+/// error aborts the replay.
+pub fn replay_concurrent_with(
+    session: &Session,
+    templates: &[QueryTemplate],
+    mode: OptimizerMode,
+    threads: usize,
+    rounds: usize,
+    serve: ServeMode,
+) -> Result<ReplayReport> {
     let threads = threads.max(1);
     let rounds = rounds.max(1);
     let before = session.cache_metrics();
     let start = Instant::now();
 
-    let worker = |w: usize| -> Result<(Duration, Duration, usize)> {
-        let mut opt = Duration::ZERO;
-        let mut exec = Duration::ZERO;
-        let mut cached = 0usize;
-        for r in 0..rounds {
-            let draw = (w * rounds + r) as u64;
-            for t in templates {
-                let query = t.instantiate(draw)?;
-                let out = session.run_cached(&query, mode)?;
-                opt += out.opt.elapsed;
-                exec += out.exec_time;
-                cached += usize::from(out.cached);
-            }
-        }
-        Ok((opt, exec, cached))
+    // Prepared regimes: one shared handle per template, prepared from the
+    // draw-0 instance before any worker starts (so workers never optimize).
+    let statements: Vec<PreparedStatement<'_>> = match serve {
+        ServeMode::Cached => Vec::new(),
+        ServeMode::Prepared | ServeMode::PreparedBatched { .. } => templates
+            .iter()
+            .map(|t| session.prepare(&t.instantiate(0)?, mode))
+            .collect::<Result<_>>()?,
     };
 
-    let results: Vec<Result<(Duration, Duration, usize)>> = std::thread::scope(|scope| {
+    let abort = AtomicBool::new(false);
+    // One unit of serving work, however the mode shapes it (a query or a
+    // whole batch). Shared so the abort/tally/error bookkeeping below
+    // cannot diverge between the three regimes.
+    struct Step {
+        completed: usize,
+        cached: usize,
+        prepared: usize,
+        batches: usize,
+        opt: Duration,
+        exec: Duration,
+    }
+    // Run one work unit and record it; returns whether the worker should
+    // keep going. The abort check precedes the work, so every unit that
+    // *ran* (and therefore touched session metrics) is always tallied.
+    let step = |tally: &mut Tally, work: &mut dyn FnMut() -> Result<Step>| -> bool {
+        if abort.load(Ordering::Acquire) {
+            return false;
+        }
+        match work() {
+            Ok(s) => {
+                tally.completed += s.completed;
+                tally.cached += s.cached;
+                tally.prepared += s.prepared;
+                tally.batches += s.batches;
+                tally.opt += s.opt;
+                tally.exec += s.exec;
+                true
+            }
+            Err(e) => {
+                abort.store(true, Ordering::Release);
+                tally.error = Some(e);
+                false
+            }
+        }
+    };
+    let worker = |w: usize| -> Tally {
+        let mut tally = Tally::default();
+        match serve {
+            ServeMode::Cached => {
+                'outer: for r in 0..rounds {
+                    for t in templates {
+                        let draw = (w * rounds + r) as u64;
+                        let keep = step(&mut tally, &mut || {
+                            let o = session.run_cached(&t.instantiate(draw)?, mode)?;
+                            Ok(Step {
+                                completed: 1,
+                                cached: usize::from(o.cached),
+                                prepared: 0,
+                                batches: 0,
+                                opt: o.opt.elapsed,
+                                exec: o.exec_time,
+                            })
+                        });
+                        if !keep {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            ServeMode::Prepared => {
+                'outer: for r in 0..rounds {
+                    for (t, stmt) in templates.iter().zip(&statements) {
+                        let draw = (w * rounds + r) as u64;
+                        let keep = step(&mut tally, &mut || {
+                            let o = stmt.execute(&t.bindings(draw)?)?;
+                            Ok(Step {
+                                completed: 1,
+                                cached: usize::from(o.cached),
+                                prepared: 1,
+                                batches: 0,
+                                opt: o.opt.elapsed,
+                                exec: o.exec_time,
+                            })
+                        });
+                        if !keep {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            ServeMode::PreparedBatched { batch } => {
+                let batch = batch.max(1);
+                'outer: for (t, stmt) in templates.iter().zip(&statements) {
+                    let draws: Vec<u64> = (0..rounds).map(|r| (w * rounds + r) as u64).collect();
+                    for chunk in draws.chunks(batch) {
+                        let keep = step(&mut tally, &mut || {
+                            let bindings = chunk
+                                .iter()
+                                .map(|&d| t.bindings(d))
+                                .collect::<Result<Vec<_>>>()?;
+                            let o = stmt.execute_batch(&bindings)?;
+                            Ok(Step {
+                                completed: o.tables.len(),
+                                cached: o.pinned_queries,
+                                prepared: o.tables.len(),
+                                batches: 1,
+                                opt: o.opt.elapsed,
+                                exec: o.exec_time,
+                            })
+                        });
+                        if !keep {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        tally
+    };
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| scope.spawn(move || worker(w)))
             .collect();
         handles
             .into_iter()
             .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(RelGoError::execution("replay worker panicked")))
+                h.join().unwrap_or_else(|_| Tally {
+                    error: Some(RelGoError::execution("replay worker panicked")),
+                    ..Tally::default()
+                })
             })
             .collect()
     });
 
-    let mut opt_time = Duration::ZERO;
-    let mut exec_time = Duration::ZERO;
-    let mut cached_queries = 0usize;
-    for r in results {
-        let (o, e, c) = r?;
-        opt_time += o;
-        exec_time += e;
-        cached_queries += c;
-    }
-
-    Ok(ReplayReport {
-        queries: threads * rounds * templates.len(),
-        elapsed: start.elapsed(),
-        opt_time,
-        exec_time,
-        cached_queries,
+    let elapsed = start.elapsed();
+    let mut report = ReplayReport {
+        queries: 0,
+        elapsed,
+        opt_time: Duration::ZERO,
+        exec_time: Duration::ZERO,
+        cached_queries: 0,
+        prepared_queries: 0,
+        batches: 0,
         metrics: session.cache_metrics().since(&before),
-    })
+    };
+    let mut first_error = None;
+    for tally in tallies {
+        report.queries += tally.completed;
+        report.cached_queries += tally.cached;
+        report.prepared_queries += tally.prepared;
+        report.batches += tally.batches;
+        report.opt_time += tally.opt;
+        report.exec_time += tally.exec;
+        if first_error.is_none() {
+            first_error = tally.error;
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::session::SessionOptions;
+    use relgo_workloads::snb_queries;
     use relgo_workloads::templates::snb_templates;
 
     #[test]
@@ -136,6 +336,8 @@ mod tests {
         let report = replay_concurrent(&session, &templates, OptimizerMode::RelGo, 2, 2).unwrap();
         assert_eq!(report.queries, 2 * 2 * templates.len());
         assert_eq!(report.cached_queries, report.queries);
+        assert_eq!(report.prepared_queries, 0);
+        assert_eq!(report.batches, 0);
     }
 
     #[test]
@@ -154,5 +356,124 @@ mod tests {
         assert_eq!(report.metrics.misses, 0);
         assert_eq!(report.cached_queries, report.queries);
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn prepared_replay_is_rebind_only_and_row_identical() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let templates = snb_templates(&schema);
+        let (threads, rounds) = (3, 2);
+        let report = replay_concurrent_with(
+            &session,
+            &templates,
+            OptimizerMode::RelGo,
+            threads,
+            rounds,
+            ServeMode::Prepared,
+        )
+        .unwrap();
+        let expected = threads * rounds * templates.len();
+        assert_eq!(report.queries, expected);
+        assert_eq!(report.prepared_queries, expected);
+        assert_eq!(report.cached_queries, expected, "{:?}", report.metrics);
+        assert_eq!(report.metrics.prepared_hits as usize, expected);
+        // Preparation probed the cache once per template; no query paid a
+        // probe after that.
+        assert_eq!(
+            report.metrics.hits + report.metrics.misses,
+            templates.len() as u64
+        );
+    }
+
+    #[test]
+    fn batched_replay_matches_prepared_counts() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let templates = snb_templates(&schema);
+        let (threads, rounds) = (2, 5);
+        let report = replay_concurrent_with(
+            &session,
+            &templates,
+            OptimizerMode::RelGo,
+            threads,
+            rounds,
+            ServeMode::PreparedBatched { batch: 2 },
+        )
+        .unwrap();
+        let expected = threads * rounds * templates.len();
+        assert_eq!(report.queries, expected);
+        assert_eq!(report.prepared_queries, expected);
+        assert_eq!(report.cached_queries, expected);
+        // 5 rounds in batches of 2 → 3 batches per (worker, template).
+        assert_eq!(report.batches, threads * templates.len() * 3);
+    }
+
+    /// Satellite regression: a template failing mid-replay aborts with the
+    /// original error, and the metric deltas only reflect queries that
+    /// actually ran — nothing is counted "before error propagation".
+    #[test]
+    fn worker_error_aborts_with_consistent_metrics() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let good = QueryTemplate::new("good", move |d| {
+            snb_queries::ic1(&schema, 2, (d % 20) as i64)
+        });
+        let failing = QueryTemplate::new("failing", move |d| {
+            if d >= 2 {
+                Err(RelGoError::execution("synthetic template failure"))
+            } else {
+                snb_queries::ic7(&schema, (d % 20) as i64)
+            }
+        });
+        let templates = vec![good, failing];
+        let before = session.cache_metrics();
+        // threads=1 makes the abort point deterministic: rounds 0 and 1
+        // complete both templates (4 queries), round 2 completes `good` and
+        // then `failing` errors at draw 2.
+        let err = replay_concurrent(&session, &templates, OptimizerMode::RelGo, 1, 4).unwrap_err();
+        assert!(
+            err.to_string().contains("synthetic template failure"),
+            "{err}"
+        );
+        let delta = session.cache_metrics().since(&before);
+        assert_eq!(
+            delta.hits + delta.misses,
+            5,
+            "exactly the completed queries touched the cache: {delta:?}"
+        );
+        // The replay still serves correctly afterwards (no poisoned state).
+        let report =
+            replay_concurrent(&session, &templates[..1], OptimizerMode::RelGo, 2, 2).unwrap();
+        assert_eq!(report.queries, 4);
+    }
+
+    /// A failing query (not a failing instantiate) mid-batch also aborts
+    /// cleanly in the batched regime.
+    #[test]
+    fn batched_replay_propagates_binding_errors() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let t = QueryTemplate::new("bad-bindings", move |d| {
+            snb_queries::ic1(&schema, 2, (d % 20) as i64)
+        })
+        // Wrong arity from draw 3 on: execute_batch must reject it.
+        .with_bindings(|d| {
+            if d >= 3 {
+                vec![]
+            } else {
+                vec![relgo_common::Value::Int((d % 20) as i64)]
+            }
+        });
+        let before = session.cache_metrics();
+        let err = replay_concurrent_with(
+            &session,
+            &[t],
+            OptimizerMode::RelGo,
+            1,
+            4,
+            ServeMode::PreparedBatched { batch: 4 },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        // Up-front validation rejected the whole batch before any member
+        // was rebound: no prepared hit is counted for work that never ran.
+        assert_eq!(session.cache_metrics().since(&before).prepared_hits, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! The end-to-end session API: data + mapping → optimized, executed SPJM
 //! queries under any of the paper's compared systems.
 
+use parking_lot::RwLock;
 use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
 use relgo_common::{RelGoError, Result};
 use relgo_core::{
@@ -75,10 +76,16 @@ impl QueryOutcome {
 }
 
 /// An open database + property-graph session.
+///
+/// The GLogue statistics live behind a lock so
+/// [`Session::rebuild_statistics`] works through `&self`: a serving setup
+/// can rebuild statistics while plan-cache traffic and prepared-statement
+/// handles stay live (the handles notice the version bump on their next
+/// execute and transparently re-optimize).
 pub struct Session {
     db: Arc<Database>,
     view: Arc<GraphView>,
-    glogue: Arc<GLogue>,
+    glogue: RwLock<Arc<GLogue>>,
     options: SessionOptions,
     cache: Arc<PlanCache>,
 }
@@ -112,7 +119,7 @@ impl Session {
         Ok(Session {
             db: Arc::new(db),
             view,
-            glogue,
+            glogue: RwLock::new(glogue),
             options,
             cache,
         })
@@ -155,9 +162,10 @@ impl Session {
         &self.view
     }
 
-    /// The GLogue statistics.
-    pub fn glogue(&self) -> &Arc<GLogue> {
-        &self.glogue
+    /// The current GLogue statistics (a snapshot: `rebuild_statistics`
+    /// swaps in a fresh instance).
+    pub fn glogue(&self) -> Arc<GLogue> {
+        Arc::clone(&self.glogue.read())
     }
 
     /// The session options.
@@ -177,16 +185,19 @@ impl Session {
 
     /// Rebuild the GLogue statistics with new parameters. Every cached
     /// plan was costed against the old statistics, so the plan cache's
-    /// statistics version is bumped: existing entries die on next lookup.
-    pub fn rebuild_statistics(&mut self, glogue_k: usize, glogue_stride: usize) -> Result<()> {
-        self.options.glogue_k = glogue_k;
-        self.options.glogue_stride = glogue_stride;
-        self.glogue = Arc::new(GLogue::with_threads(
+    /// statistics version is bumped: existing entries die on next lookup,
+    /// and pinned prepared-statement handles re-optimize on next execute.
+    /// Works through `&self` — serving traffic may continue concurrently.
+    /// (`options()` keeps reporting the construction-time `glogue_k` /
+    /// `glogue_stride`; the live values are the ones passed here.)
+    pub fn rebuild_statistics(&self, glogue_k: usize, glogue_stride: usize) -> Result<()> {
+        let glogue = Arc::new(GLogue::with_threads(
             Arc::clone(&self.view),
             glogue_k,
             glogue_stride,
             self.options.threads,
         )?);
+        *self.glogue.write() = glogue;
         self.cache.invalidate_all();
         Ok(())
     }
@@ -196,14 +207,14 @@ impl Session {
     /// cached plans and GLogue cardinalities remain valid.
     pub fn set_threads(&mut self, threads: usize) {
         self.options.threads = threads.max(1);
-        self.glogue.set_threads(self.options.threads);
+        self.glogue.read().set_threads(self.options.threads);
     }
 
     fn planner_context(&self) -> PlannerContext {
         PlannerContext {
             view: Arc::clone(&self.view),
             db: Arc::clone(&self.db),
-            glogue: Some(Arc::clone(&self.glogue)),
+            glogue: Some(self.glogue()),
             timeout: self.options.opt_timeout,
         }
     }
@@ -217,14 +228,19 @@ impl Session {
         optimize(query, mode, &self.planner_context())
     }
 
-    /// Execute a previously optimized plan under `mode`'s execution regime.
-    pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
-        let cfg = ExecConfig {
+    /// The execution configuration `mode` runs under (shared by the
+    /// per-query and batched execution paths).
+    pub(crate) fn exec_config(&self, mode: OptimizerMode) -> ExecConfig {
+        ExecConfig {
             use_index: mode.uses_graph_index(),
             row_limit: self.options.row_limit,
             threads: self.options.threads,
-        };
-        execute_plan(plan, &self.view, &self.db, &cfg)
+        }
+    }
+
+    /// Execute a previously optimized plan under `mode`'s execution regime.
+    pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
+        execute_plan(plan, &self.view, &self.db, &self.exec_config(mode))
     }
 
     /// Optimize + execute, reporting timings.
@@ -273,12 +289,18 @@ impl Session {
                 Err(_) => self.cache.note_rebind_failure(),
             }
         }
+        // Snapshot the statistics version *before* optimizing: if a
+        // `rebuild_statistics` races past while the optimizer runs, the
+        // entry is inserted stamped with the superseded version and dies on
+        // its next lookup instead of being served as current.
+        let version = self.cache.stats_version();
         let (plan, mut opt) = self.optimize(query, mode)?;
         let plan = Arc::new(plan);
         // A timed-out search produced a fallback plan; don't pin it for
         // every future instance of the template.
         if !opt.timed_out {
-            self.cache.insert(key, Arc::clone(&plan), pq.params);
+            self.cache
+                .insert_at(key, Arc::clone(&plan), pq.params, version);
         }
         // Charge the full miss path (parameterize + lookup + optimize).
         opt.elapsed = opt_start.elapsed();

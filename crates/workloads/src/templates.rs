@@ -11,16 +11,25 @@
 //! guarantee to exist at any scale factor (≥ 20 persons, the 8 special
 //! keywords, the fixed country-code list), so instances return plausible,
 //! usually non-empty results.
+//!
+//! For the prepared-statement serving path, a template can also expose a
+//! **binding generator**: `bindings(draw)` yields just the parameter-slot
+//! values of `instantiate(draw)`, in slot order, without building (or
+//! re-parameterizing) the query — what `PreparedStatement::execute` wants
+//! on its hot path. Generators attached via [`QueryTemplate::with_bindings`]
+//! must agree with `parameterize(instantiate(draw)).params`; the fallback
+//! derives the bindings that way directly.
 
 use crate::job_queries::{self, ImdbSchema, JobSpec};
 use crate::snb_queries::{self, SnbSchema};
-use relgo_common::Result;
+use relgo_common::{Result, Value};
 use relgo_core::SpjmQuery;
 
 /// A named query template: a fixed structure with draw-dependent literals.
 pub struct QueryTemplate {
     name: String,
     make: Box<dyn Fn(u64) -> Result<SpjmQuery> + Send + Sync>,
+    bind: Option<Box<dyn Fn(u64) -> Vec<Value> + Send + Sync>>,
 }
 
 impl std::fmt::Debug for QueryTemplate {
@@ -40,7 +49,19 @@ impl QueryTemplate {
         QueryTemplate {
             name: name.into(),
             make: Box::new(make),
+            bind: None,
         }
+    }
+
+    /// Attach an explicit binding generator: `bind(draw)` must equal
+    /// `parameterize(instantiate(draw)).params` for every draw (the
+    /// `binding_generators_match_parameterization` test enforces this).
+    pub fn with_bindings(
+        mut self,
+        bind: impl Fn(u64) -> Vec<Value> + Send + Sync + 'static,
+    ) -> QueryTemplate {
+        self.bind = Some(Box::new(bind));
+        self
     }
 
     /// The template's display name.
@@ -51,6 +72,16 @@ impl QueryTemplate {
     /// Produce the instance for `draw`.
     pub fn instantiate(&self, draw: u64) -> Result<SpjmQuery> {
         (self.make)(draw)
+    }
+
+    /// The parameter-slot bindings of `instantiate(draw)`, in slot order.
+    /// With an attached generator this never builds the query; otherwise it
+    /// falls back to parameterizing the instance.
+    pub fn bindings(&self, draw: u64) -> Result<Vec<Value>> {
+        match &self.bind {
+            Some(f) => Ok(f(draw)),
+            None => Ok(relgo_core::parameterize(&self.instantiate(draw)?).params),
+        }
     }
 }
 
@@ -65,16 +96,38 @@ fn person(draw: u64) -> i64 {
 pub fn snb_templates(schema: &SnbSchema) -> Vec<QueryTemplate> {
     let s = *schema;
     vec![
-        QueryTemplate::new("IC1-2", move |d| snb_queries::ic1(&s, 2, person(d))),
+        QueryTemplate::new("IC1-2", move |d| snb_queries::ic1(&s, 2, person(d)))
+            .with_bindings(|d| vec![Value::Int(person(d))]),
         QueryTemplate::new("IC2", move |d| {
             snb_queries::ic2(&s, person(d), 15_000 + (d % 4_000) as i64)
+        })
+        .with_bindings(|d| {
+            vec![
+                Value::Int(person(d)),
+                Value::Date(15_000 + (d % 4_000) as i64),
+            ]
         }),
         QueryTemplate::new("IC6-1", move |d| {
             snb_queries::ic6(&s, 1, person(d), &format!("tag_{}", d % 8))
+        })
+        .with_bindings(|d| {
+            // The third slot is IC6's structural `is_post = true` literal.
+            vec![
+                Value::Int(person(d)),
+                Value::str(format!("tag_{}", d % 8)),
+                Value::Bool(true),
+            ]
         }),
-        QueryTemplate::new("IC7", move |d| snb_queries::ic7(&s, person(d))),
+        QueryTemplate::new("IC7", move |d| snb_queries::ic7(&s, person(d)))
+            .with_bindings(|d| vec![Value::Int(person(d))]),
         QueryTemplate::new("IC9-1", move |d| {
             snb_queries::ic9(&s, 1, person(d), 14_000 + (d % 6_000) as i64)
+        })
+        .with_bindings(|d| {
+            vec![
+                Value::Int(person(d)),
+                Value::Date(14_000 + (d % 6_000) as i64),
+            ]
         }),
     ]
 }
@@ -99,6 +152,14 @@ pub fn job_templates(schema: &ImdbSchema) -> Vec<QueryTemplate> {
                     ..Default::default()
                 },
             )
+        })
+        .with_bindings(|d| {
+            // Selection slot (country) first, then the keyword-vertex
+            // pattern predicate in canonical element order.
+            vec![
+                Value::str(COUNTRY_POOL[((d / 4) % 4) as usize]),
+                Value::str(KW_POOL[(d % 4) as usize]),
+            ]
         }),
         QueryTemplate::new("JOB-kw-year", move |d| {
             job_queries::build_job(
@@ -111,6 +172,12 @@ pub fn job_templates(schema: &ImdbSchema) -> Vec<QueryTemplate> {
                     ..Default::default()
                 },
             )
+        })
+        .with_bindings(|d| {
+            vec![
+                Value::Int(1950 + (d % 60) as i64),
+                Value::str(KW_POOL[(d % 4) as usize]),
+            ]
         }),
         QueryTemplate::new("JOB-ctype", move |d| {
             job_queries::build_job(
@@ -123,6 +190,12 @@ pub fn job_templates(schema: &ImdbSchema) -> Vec<QueryTemplate> {
                     ..Default::default()
                 },
             )
+        })
+        .with_bindings(|d| {
+            // Both slots live in edge predicates (canonical edge order:
+            // movie_companies before movie_info); the info literal is
+            // structural — constant across draws.
+            vec![Value::Int((d % 4) as i64), Value::str("info_1")]
         }),
     ]
 }
@@ -158,6 +231,31 @@ mod tests {
             let b = parameterize(&t.instantiate(9).unwrap());
             assert_eq!(a.shape, b.shape, "{}", t.name());
             assert!(!a.params.is_empty(), "{} has parameter slots", t.name());
+        }
+    }
+
+    #[test]
+    fn binding_generators_match_parameterization() {
+        let (mut db, mapping) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let snb = SnbSchema::resolve(view.schema()).unwrap();
+        let (mut db, mapping) = generate_imdb(&ImdbParams { sf: 0.1, seed: 7 });
+        let view = GraphView::build(&mut db, mapping).unwrap();
+        let imdb = ImdbSchema::resolve(view.schema()).unwrap();
+        let all: Vec<QueryTemplate> = snb_templates(&snb)
+            .into_iter()
+            .chain(job_templates(&imdb))
+            .collect();
+        for t in &all {
+            for draw in [0u64, 1, 3, 7, 13, 19, 37] {
+                let derived = parameterize(&t.instantiate(draw).unwrap()).params;
+                assert_eq!(
+                    t.bindings(draw).unwrap(),
+                    derived,
+                    "{} draw {draw}: generator diverges from parameterize()",
+                    t.name()
+                );
+            }
         }
     }
 

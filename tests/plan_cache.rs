@@ -141,7 +141,7 @@ fn invalidation_and_eviction() {
         plan_cache_capacity: 2,
         ..SessionOptions::default()
     };
-    let (mut session, schema) = Session::snb_with(0.03, 42, options).unwrap();
+    let (session, schema) = Session::snb_with(0.03, 42, options).unwrap();
     let templates = snb_templates(&schema);
     assert!(templates.len() > 2);
     for t in &templates {
