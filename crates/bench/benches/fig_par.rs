@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relgo::glogue::GLogue;
 use relgo::prelude::*;
 use relgo::workloads::snb_queries;
-use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let (mut snb, schema) = Session::snb(0.05, 42).expect("snb");
@@ -24,7 +23,7 @@ fn bench(c: &mut Criterion) {
         // triangle's sub-pattern cardinalities with `t` workers.
         group.bench_with_input(BenchmarkId::new("glogue_stats", t), &t, |b, &t| {
             b.iter(|| {
-                let gl = GLogue::with_threads(Arc::clone(snb.view()), 3, 1, t).unwrap();
+                let gl = GLogue::with_threads(snb.view(), 3, 1, t).unwrap();
                 gl.cardinality(&q.pattern).unwrap()
             })
         });

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|stats|all] [--quick]
+//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|stats|all] [--quick]
 //! ```
 //!
 //! `--quick` (or `RELGO_BENCH_QUICK=1`) shrinks scales and repetitions for
@@ -47,10 +47,11 @@ fn main() {
     emit("figcache", &|| figures::fig_cache(&cfg));
     emit("figpar", &|| figures::fig_par(&cfg));
     emit("figprepared", &|| figures::fig_prepared(&cfg));
+    emit("figingest", &|| figures::fig_ingest(&cfg));
 
     if !ran_any {
         eprintln!(
-            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared all"
+            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest all"
         );
         std::process::exit(2);
     }

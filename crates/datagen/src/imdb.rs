@@ -189,10 +189,9 @@ pub fn generate_imdb(params: &ImdbParams) -> (Database, RGMapping) {
         n_keyword,
     );
     for i in 0..n_keyword {
-        let kw = if i < KEYWORDS_SPECIAL.len() {
-            KEYWORDS_SPECIAL[i].to_string()
-        } else {
-            format!("keyword_{i}")
+        let kw = match KEYWORDS_SPECIAL.get(i) {
+            Some(special) => special.to_string(),
+            None => format!("keyword_{i}"),
         };
         t.push_row(vec![Value::Int(i as i64), Value::str(kw)])
             .unwrap();

@@ -17,4 +17,4 @@ pub mod imdb;
 pub mod snb;
 
 pub use imdb::{generate_imdb, ImdbParams};
-pub use snb::{generate_snb, SnbParams};
+pub use snb::{generate_snb, snb_update_stream, SnbParams, UpdateOp};

@@ -492,6 +492,85 @@ pub fn generate_snb(params: &SnbParams) -> (Database, RGMapping) {
     (db, mapping)
 }
 
+/// One dynamic-workload update operation: a row to append to `table`.
+/// Generic on purpose — the ingest layer replays ops without knowing the
+/// dataset's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateOp {
+    /// Target table.
+    pub table: String,
+    /// The row to insert (matches the table's schema).
+    pub row: Vec<Value>,
+}
+
+/// A deterministic dynamic-SNB update stream: person inserts interleaved
+/// with knows-edge inserts (the LDBC update-stream shape scaled down to the
+/// relationships the IC templates traverse).
+///
+/// Ops are safe to apply **in stream order** split across any number of
+/// commits: new surrogate keys continue past `db`'s current maxima, and a
+/// knows edge only ever references base persons or persons inserted
+/// *earlier in the stream* — so every prefix of the stream commits cleanly.
+pub fn snb_update_stream(
+    db: &Database,
+    seed: u64,
+    ops: usize,
+) -> relgo_common::Result<Vec<UpdateOp>> {
+    let person = db.table("Person")?;
+    let knows = db.table("Knows")?;
+    let max_int = |t: &relgo_storage::Table, col: usize| -> i64 {
+        (0..t.num_rows() as u32)
+            .filter_map(|r| t.value(r, col).as_int())
+            .max()
+            .unwrap_or(-1)
+    };
+    let mut next_person = max_int(person, 0) + 1;
+    let mut next_knows = max_int(knows, 0) + 1;
+    let base_persons: Vec<i64> = (0..person.num_rows() as u32)
+        .filter_map(|r| person.value(r, 0).as_int())
+        .collect();
+    let mut known_persons = base_persons;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_dde1);
+    let mut out = Vec::with_capacity(ops);
+    while out.len() < ops {
+        if out.len() % 5 == 0 || known_persons.len() < 2 {
+            // A new person joins the network.
+            let id = next_person;
+            next_person += 1;
+            out.push(UpdateOp {
+                table: "Person".to_string(),
+                row: vec![
+                    Value::Int(id),
+                    Value::str(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]),
+                    Value::Date(days(&mut rng, 18_000, 19_000)),
+                ],
+            });
+            known_persons.push(id);
+        } else {
+            // A knows edge between two already-known persons (skewed toward
+            // hubs, like the base generator).
+            let pi = skewed(&mut rng, known_persons.len());
+            let mut qi = skewed(&mut rng, known_persons.len());
+            if qi == pi {
+                qi = (qi + 1) % known_persons.len();
+            }
+            let (p, q) = (known_persons[pi], known_persons[qi]);
+            let id = next_knows;
+            next_knows += 1;
+            out.push(UpdateOp {
+                table: "Knows".to_string(),
+                row: vec![
+                    Value::Int(id),
+                    Value::Int(p),
+                    Value::Int(q),
+                    Value::Date(days(&mut rng, 18_000, 19_000)),
+                ],
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// The SNB RGMapping (CREATE PROPERTY GRAPH equivalent).
 pub fn snb_mapping() -> RGMapping {
     RGMapping::new()
@@ -570,6 +649,40 @@ mod tests {
             large.table("Message").unwrap().num_rows()
                 > 2 * small.table("Message").unwrap().num_rows()
         );
+    }
+
+    #[test]
+    fn update_stream_is_deterministic_and_prefix_safe() {
+        let (db, _) = generate_snb(&SnbParams { sf: 0.05, seed: 42 });
+        let a = snb_update_stream(&db, 7, 40).unwrap();
+        let b = snb_update_stream(&db, 7, 40).unwrap();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, snb_update_stream(&db, 8, 40).unwrap());
+        assert_eq!(a.len(), 40);
+        // Knows edges only reference base persons or persons inserted
+        // earlier in the stream (prefix safety).
+        let n_base = db.table("Person").unwrap().num_rows() as i64;
+        let mut seen_persons: Vec<i64> = (0..n_base).collect();
+        let mut person_ops = 0;
+        for op in &a {
+            match op.table.as_str() {
+                "Person" => {
+                    let id = op.row[0].as_int().unwrap();
+                    assert!(!seen_persons.contains(&id), "fresh person key");
+                    seen_persons.push(id);
+                    person_ops += 1;
+                }
+                "Knows" => {
+                    let p = op.row[1].as_int().unwrap();
+                    let q = op.row[2].as_int().unwrap();
+                    assert_ne!(p, q);
+                    assert!(seen_persons.contains(&p), "p known at this prefix");
+                    assert!(seen_persons.contains(&q), "q known at this prefix");
+                }
+                other => panic!("unexpected table {other}"),
+            }
+        }
+        assert!(person_ops >= 8, "person/knows mix: {person_ops} persons");
     }
 
     #[test]

@@ -274,7 +274,9 @@ impl<'a> Adjacency<'a> {
             };
             triples.push((from, r, to));
         }
-        triples.sort_unstable_by_key(|&(f, _, n)| (f, n));
+        // Same total order as the VE-index CSR — (from, neighbor, edge) —
+        // so parallel data edges enumerate identically in both regimes.
+        triples.sort_unstable_by_key(|&(f, e, n)| (f, n, e));
         let mut buckets: FxHashMap<RowId, (u32, u32)> =
             FxHashMap::with_capacity_and_hasher(m, Default::default());
         let mut edge_rid = Vec::with_capacity(m);

@@ -39,6 +39,58 @@ fn stat_key(p: &Pattern) -> StatKey {
     (code, preds.join("&"))
 }
 
+/// The set of vertex and edge labels a cached count depends on. A pattern's
+/// homomorphism count only reads the tables backing its own labels, so a
+/// committed delta invalidates exactly the entries whose mask intersects
+/// the changed labels. Labels ≥ 64 share the top bit (conservative:
+/// over-invalidation only, never a stale count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelMask {
+    /// Vertex-label bits.
+    pub vertices: u64,
+    /// Edge-label bits.
+    pub edges: u64,
+}
+
+impl LabelMask {
+    fn bit(label: u16) -> u64 {
+        1u64 << (label as u32).min(63)
+    }
+
+    /// The labels `pattern` touches.
+    pub fn of_pattern(p: &Pattern) -> LabelMask {
+        let mut m = LabelMask::default();
+        for v in p.vertices() {
+            m.vertices |= LabelMask::bit(v.label.0);
+        }
+        for e in p.edges() {
+            m.edges |= LabelMask::bit(e.label.0);
+        }
+        m
+    }
+
+    /// The mask of every label whose flag is set.
+    pub fn of_flags(changed_vertex: &[bool], changed_edge: &[bool]) -> LabelMask {
+        let mut m = LabelMask::default();
+        for (l, &c) in changed_vertex.iter().enumerate() {
+            if c {
+                m.vertices |= LabelMask::bit(l as u16);
+            }
+        }
+        for (l, &c) in changed_edge.iter().enumerate() {
+            if c {
+                m.edges |= LabelMask::bit(l as u16);
+            }
+        }
+        m
+    }
+
+    /// Whether the two masks share any label.
+    pub fn intersects(&self, other: &LabelMask) -> bool {
+        (self.vertices & other.vertices) | (self.edges & other.edges) != 0
+    }
+}
+
 /// High-order statistics provider for the graph-aware optimizer.
 pub struct GLogue {
     view: Arc<GraphView>,
@@ -53,7 +105,10 @@ pub struct GLogue {
     /// Atomic so a shared (`Arc`ed) GLogue can be retuned without
     /// invalidating its cache — parallel counts equal serial counts.
     threads: AtomicUsize,
-    cache: Mutex<FxHashMap<StatKey, f64>>,
+    /// Cached exact counts, each stamped with the labels it depends on so
+    /// [`GLogue::refreshed`] can carry unaffected entries across an ingest
+    /// commit.
+    cache: Mutex<FxHashMap<StatKey, (f64, LabelMask)>>,
 }
 
 impl std::fmt::Debug for GLogue {
@@ -99,6 +154,53 @@ impl GLogue {
         })
     }
 
+    /// Delta-aware refresh across an ingest commit: a new GLogue over the
+    /// **merged** view that keeps `prev`'s tuning (`k`, `stride`, threads)
+    /// and carries over every cached pattern count whose label mask misses
+    /// the changed labels (flags as produced by
+    /// `GraphView::changed_label_flags`). Exact on both sides: retained
+    /// entries were counted on tables the delta did not touch (a fresh
+    /// count would reproduce them bit-for-bit), and evicted entries are
+    /// lazily recounted against the merged view — so a refreshed GLogue is
+    /// observationally identical to a from-scratch rebuild, at a fraction
+    /// of the recounting cost. Label-level statistics are refreshed through
+    /// [`GraphStats::refresh_delta`].
+    pub fn refreshed(
+        prev: &GLogue,
+        view: Arc<GraphView>,
+        changed_vertex: &[bool],
+        changed_edge: &[bool],
+    ) -> Result<GLogue> {
+        if view.index().is_none() {
+            return Err(RelGoError::plan(
+                "GLogue requires the graph index (build_index first)",
+            ));
+        }
+        let stats =
+            GraphStats::refresh_delta(prev.graph_stats(), &view, changed_vertex, changed_edge);
+        let changed = LabelMask::of_flags(changed_vertex, changed_edge);
+        let mut cache = prev.cache.lock().clone();
+        cache.retain(|_, (_, mask)| !mask.intersects(&changed));
+        Ok(GLogue {
+            view,
+            stats,
+            k: prev.k,
+            stride: prev.stride,
+            threads: AtomicUsize::new(prev.threads()),
+            cache: Mutex::new(cache),
+        })
+    }
+
+    /// Exact-counting threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sparsification stride (1 = exact).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// Current counting-worker thread count.
     pub fn threads(&self) -> usize {
         self.threads.load(Ordering::Relaxed)
@@ -128,11 +230,11 @@ impl GLogue {
     /// Exact (possibly sampled) cardinality of a small pattern, cached.
     fn exact(&self, p: &Pattern) -> Result<f64> {
         let key = stat_key(p);
-        if let Some(&c) = self.cache.lock().get(&key) {
+        if let Some(&(c, _)) = self.cache.lock().get(&key) {
             return Ok(c);
         }
         let c = count_homomorphisms_par(&self.view, p, self.stride, self.threads())?;
-        self.cache.lock().insert(key, c);
+        self.cache.lock().insert(key, (c, LabelMask::of_pattern(p)));
         Ok(c)
     }
 
@@ -394,6 +496,50 @@ mod tests {
         // Subset {p1, p2} = single knows edge → 4 matches.
         let c = gl.subset_cardinality(&t, 0b011).unwrap();
         assert_eq!(c, 4.0);
+    }
+
+    #[test]
+    fn refreshed_retains_unaffected_counts_and_evicts_touched() {
+        let view = fig2_view();
+        let gl = GLogue::new(Arc::clone(&view), 3, 1).unwrap();
+        let t = triangle(); // touches Person, Message, Likes, Knows
+        let mut b = PatternBuilder::new();
+        b.vertex("m", LabelId(1));
+        let msg_only = b.build().unwrap();
+        assert_eq!(gl.cardinality(&t).unwrap(), 4.0);
+        assert_eq!(gl.cardinality(&msg_only).unwrap(), 2.0);
+        let cached = gl.cached_patterns();
+        assert!(cached >= 2);
+
+        // "Commit" a delta touching Person (and therefore Likes/Knows):
+        // message-only counts survive, everything else is evicted.
+        let changed_v = vec![true, false];
+        let changed_e = vec![true, true];
+        let refreshed = GLogue::refreshed(&gl, Arc::clone(&view), &changed_v, &changed_e).unwrap();
+        assert_eq!(refreshed.k(), 3);
+        assert_eq!(refreshed.stride(), 1);
+        assert!(refreshed.cached_patterns() < cached);
+        assert!(refreshed.cached_patterns() >= 1, "message count retained");
+        // Counts stay exact after the refresh (same view here).
+        assert_eq!(refreshed.cardinality(&msg_only).unwrap(), 2.0);
+        assert_eq!(refreshed.cardinality(&t).unwrap(), 4.0);
+
+        // A delta touching nothing the triangle uses retains it.
+        let refreshed =
+            GLogue::refreshed(&gl, Arc::clone(&view), &[false, false], &[false, false]).unwrap();
+        assert_eq!(refreshed.cached_patterns(), cached);
+    }
+
+    #[test]
+    fn label_mask_intersection() {
+        let t = triangle();
+        let m = LabelMask::of_pattern(&t);
+        assert_eq!(m.vertices, 0b11);
+        assert_eq!(m.edges, 0b11);
+        let person_only = LabelMask::of_flags(&[true, false], &[false, false]);
+        assert!(m.intersects(&person_only));
+        let unrelated = LabelMask::of_flags(&[false, false], &[false, false]);
+        assert!(!m.intersects(&unrelated));
     }
 
     #[test]

@@ -21,4 +21,4 @@ pub mod glogue;
 
 pub use cost::CostModel;
 pub use counting::{count_homomorphisms, count_homomorphisms_par};
-pub use glogue::GLogue;
+pub use glogue::{GLogue, LabelMask};

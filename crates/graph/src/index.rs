@@ -9,7 +9,9 @@
 //!   `EXPAND_INTERSECT` can intersect them with linear merges.
 
 use crate::view::GraphView;
-use relgo_common::{LabelId, Result, RowId};
+use relgo_common::{FxHashMap, LabelId, RelGoError, Result, RowId};
+use relgo_storage::TableChange;
+use std::sync::Arc;
 
 /// Traversal direction through an edge label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,11 +54,20 @@ pub struct Csr {
 
 impl Csr {
     fn build(num_vertices: usize, mut triples: Vec<(RowId, RowId, RowId)>) -> Csr {
-        // triples = (vertex, edge, neighbor); counting sort by vertex then
-        // sort each bucket by neighbor for intersection-friendly lists.
-        triples.sort_unstable_by_key(|&(v, _, n)| (v, n));
+        // triples = (vertex, edge, neighbor); sort by vertex then neighbor
+        // for intersection-friendly lists, with the edge row as the final
+        // tie-breaker so the entry order is a *total* order — parallel data
+        // edges land in edge-row order, and the delta merge path
+        // (`Csr::merged_with_delta`) reproduces it exactly.
+        triples.sort_unstable_by_key(|&(v, e, n)| (v, n, e));
+        Csr::from_sorted(num_vertices, &triples)
+    }
+
+    /// Assemble a CSR from triples already sorted by `(vertex, neighbor,
+    /// edge)` — the merge path's constructor (no re-sort).
+    fn from_sorted(num_vertices: usize, triples: &[(RowId, RowId, RowId)]) -> Csr {
         let mut offsets = vec![0u32; num_vertices + 1];
-        for &(v, _, _) in &triples {
+        for &(v, _, _) in triples {
             offsets[v as usize + 1] += 1;
         }
         for i in 0..num_vertices {
@@ -69,6 +80,77 @@ impl Csr {
             edge_rid,
             nbr_rid,
         }
+    }
+
+    /// Clone with the offsets array extended to `num_vertices` (the
+    /// append-only fast path: new vertex rows exist but no adjacency entry
+    /// moved, so only the offset table must cover the new row range).
+    fn extended(&self, num_vertices: usize) -> Csr {
+        let mut offsets = self.offsets.clone();
+        let last = *offsets.last().unwrap_or(&0);
+        offsets.resize(num_vertices + 1, last);
+        Csr {
+            offsets,
+            edge_rid: self.edge_rid.clone(),
+            nbr_rid: self.nbr_rid.clone(),
+        }
+    }
+
+    /// Iterate the entries as `(vertex, edge, neighbor)` triples in entry
+    /// order (sorted by `(vertex, neighbor, edge)`).
+    fn triples(&self) -> impl Iterator<Item = (RowId, RowId, RowId)> + '_ {
+        (0..self.offsets.len().saturating_sub(1)).flat_map(move |v| {
+            let lo = self.offsets[v] as usize;
+            let hi = self.offsets[v + 1] as usize;
+            (lo..hi).map(move |i| (v as RowId, self.edge_rid[i], self.nbr_rid[i]))
+        })
+    }
+
+    /// The merged base+delta iteration path: stream the surviving base
+    /// entries (tombstoned edges dropped, row ids remapped through the
+    /// monotonic [`TableChange`] maps — which preserves the `(v, n, e)`
+    /// sort order) merged with the already-sorted `delta` entries of newly
+    /// ingested edges. Both inputs are consumed as sorted runs, so the
+    /// merge is a single linear pass with no per-entry allocation, and the
+    /// result is bit-identical to a from-scratch [`Csr`] build over the
+    /// merged edge table.
+    fn merged_with_delta(
+        &self,
+        num_vertices: usize,
+        echange: &TableChange,
+        vmap: &dyn Fn(RowId) -> Option<RowId>,
+        nmap: &dyn Fn(RowId) -> Option<RowId>,
+        delta: &[(RowId, RowId, RowId)],
+    ) -> Result<Csr> {
+        // Every base edge row has exactly one entry per direction CSR, so
+        // the survivor count needs no pass over the entries.
+        let survivors = self.len() - echange.deleted().len();
+        let mut merged: Vec<(RowId, RowId, RowId)> = Vec::with_capacity(survivors + delta.len());
+        let mut delta_it = delta.iter().copied().peekable();
+        for (v, e, n) in self.triples() {
+            let Some(e_new) = echange.new_id(e) else {
+                continue;
+            };
+            let (v_new, n_new) = match (vmap(v), nmap(n)) {
+                (Some(v_new), Some(n_new)) => (v_new, n_new),
+                _ => {
+                    return Err(RelGoError::schema(format!(
+                        "surviving edge row {e} still references a deleted vertex row"
+                    )))
+                }
+            };
+            while let Some(&(dv, de, dn)) = delta_it.peek() {
+                if (dv, dn, de) < (v_new, n_new, e_new) {
+                    merged.push((dv, de, dn));
+                    delta_it.next();
+                } else {
+                    break;
+                }
+            }
+            merged.push((v_new, e_new, n_new));
+        }
+        merged.extend(delta_it);
+        Ok(Csr::from_sorted(num_vertices, &merged))
     }
 
     /// Adjacent `(edges, neighbors)` slices of vertex row `v`.
@@ -97,12 +179,14 @@ impl Csr {
 }
 
 /// The complete graph index: EV per edge label, VE (CSR) per edge label and
-/// direction.
+/// direction. Per-label components sit behind `Arc`s so an incremental
+/// rebuild ([`GraphIndex::rebuild_delta`]) shares the untouched labels'
+/// memory with the previous epoch's index.
 #[derive(Debug, Clone, Default)]
 pub struct GraphIndex {
-    ev: Vec<EvIndex>,
-    ve_out: Vec<Csr>,
-    ve_in: Vec<Csr>,
+    ev: Vec<Arc<EvIndex>>,
+    ve_out: Vec<Arc<Csr>>,
+    ve_in: Vec<Arc<Csr>>,
 }
 
 impl GraphIndex {
@@ -131,11 +215,90 @@ impl GraphIndex {
                 out_triples.push((s, e, t));
                 in_triples.push((t, e, s));
             }
-            ve_out.push(Csr::build(view.vertex_count(src_label), out_triples));
-            ve_in.push(Csr::build(view.vertex_count(dst_label), in_triples));
-            ev.push(idx);
+            ve_out.push(Arc::new(Csr::build(
+                view.vertex_count(src_label),
+                out_triples,
+            )));
+            ve_in.push(Arc::new(Csr::build(
+                view.vertex_count(dst_label),
+                in_triples,
+            )));
+            ev.push(Arc::new(idx));
         }
         Ok(GraphIndex { ev, ve_out, ve_in })
+    }
+
+    /// Incrementally rebuild after a committed delta: `view` is the *new*
+    /// (merged) view, `changes` maps changed table names to the
+    /// [`TableChange`] that produced them.
+    ///
+    /// Per edge label:
+    ///
+    /// * **untouched** (edge table and both endpoint tables unchanged) —
+    ///   all three per-label structures are shared (`Arc` clone, O(1));
+    /// * **endpoints grew append-only, edge table unchanged** — every
+    ///   existing entry is still valid; only the CSR offset tables are
+    ///   extended over the new vertex rows;
+    /// * **anything else** — the label is re-derived from the old index by
+    ///   the merged base+delta path: surviving entries are remapped through
+    ///   the monotonic old→new row maps (which keeps them sorted), newly
+    ///   ingested edges are λ-resolved against the merged view, and the two
+    ///   sorted runs merge linearly (`Csr::merged_with_delta`). Deleting
+    ///   a vertex row still referenced by a surviving edge is an error (λ
+    ///   must stay total), as is an inserted edge with a dangling key.
+    ///
+    /// The result is bit-identical to [`GraphIndex::build`] over the merged
+    /// view, at the cost of the touched labels only.
+    pub fn rebuild_delta(
+        prev: &GraphIndex,
+        view: &GraphView,
+        changes: &FxHashMap<String, TableChange>,
+    ) -> Result<GraphIndex> {
+        let n_edges = view.schema().edge_label_count();
+        let mut ev = Vec::with_capacity(n_edges);
+        let mut ve_out = Vec::with_capacity(n_edges);
+        let mut ve_in = Vec::with_capacity(n_edges);
+        for li in 0..n_edges as u16 {
+            let el = LabelId(li);
+            let (src_label, dst_label) = view.schema().edge_endpoints(el);
+            let echange = changes.get(view.edge_table(el).name());
+            let schange = changes.get(view.vertex_table(src_label).name());
+            let dchange = changes.get(view.vertex_table(dst_label).name());
+            let stable = |c: Option<&TableChange>| c.is_none_or(TableChange::is_append_only);
+            if echange.is_none() && stable(schange) && stable(dchange) {
+                // Existing entries are all valid; at most the offset tables
+                // must cover newly appended vertex rows.
+                ev.push(Arc::clone(&prev.ev[li as usize]));
+                ve_out.push(match schange {
+                    None => Arc::clone(&prev.ve_out[li as usize]),
+                    Some(_) => {
+                        Arc::new(prev.ve_out[li as usize].extended(view.vertex_count(src_label)))
+                    }
+                });
+                ve_in.push(match dchange {
+                    None => Arc::clone(&prev.ve_in[li as usize]),
+                    Some(_) => {
+                        Arc::new(prev.ve_in[li as usize].extended(view.vertex_count(dst_label)))
+                    }
+                });
+                continue;
+            }
+            let (new_ev, new_out, new_in) =
+                rebuild_label(prev, view, el, echange, schange, dchange)?;
+            ev.push(Arc::new(new_ev));
+            ve_out.push(Arc::new(new_out));
+            ve_in.push(Arc::new(new_in));
+        }
+        Ok(GraphIndex { ev, ve_out, ve_in })
+    }
+
+    /// Whether label `el`'s structures are shared with `other` (incremental
+    /// rebuilds share untouched labels; diagnostics and tests).
+    pub fn shares_label_with(&self, other: &GraphIndex, el: LabelId) -> bool {
+        let i = el.0 as usize;
+        Arc::ptr_eq(&self.ev[i], &other.ev[i])
+            && Arc::ptr_eq(&self.ve_out[i], &other.ve_out[i])
+            && Arc::ptr_eq(&self.ve_in[i], &other.ve_in[i])
     }
 
     /// EV-index lookup: source vertex row of edge row `e` (label `el`).
@@ -185,6 +348,81 @@ impl GraphIndex {
             Direction::In => self.ve_in[el.0 as usize].len(),
         }
     }
+}
+
+/// Re-derive one touched label from the previous index + the delta (the
+/// general arm of [`GraphIndex::rebuild_delta`]).
+fn rebuild_label(
+    prev: &GraphIndex,
+    view: &GraphView,
+    el: LabelId,
+    echange: Option<&TableChange>,
+    schange: Option<&TableChange>,
+    dchange: Option<&TableChange>,
+) -> Result<(EvIndex, Csr, Csr)> {
+    let li = el.0 as usize;
+    let prev_ev = &prev.ev[li];
+    let m_old = prev_ev.src_rid.len();
+    // An absent edge-table change is the identity over the old edge rows.
+    let identity = TableChange::new(m_old, Vec::new(), 0);
+    let echange = echange.unwrap_or(&identity);
+    let smap = |old: RowId| schange.map_or(Some(old), |c| c.new_id(old));
+    let dmap = |old: RowId| dchange.map_or(Some(old), |c| c.new_id(old));
+
+    // EV: surviving base edges remapped (validating that no survivor points
+    // at a deleted vertex), then newly ingested edges λ-resolved against
+    // the merged view.
+    let m_new = view.edge_count(el);
+    let mut ev = EvIndex {
+        src_rid: Vec::with_capacity(m_new),
+        dst_rid: Vec::with_capacity(m_new),
+    };
+    for e in 0..m_old as RowId {
+        if echange.is_deleted(e) {
+            continue;
+        }
+        let (Some(s), Some(t)) = (
+            smap(prev_ev.src_rid[e as usize]),
+            dmap(prev_ev.dst_rid[e as usize]),
+        ) else {
+            return Err(RelGoError::schema(format!(
+                "cannot delete a vertex row still referenced by {}@{e} (λ must stay total)",
+                view.schema().edge_label_name(el)
+            )));
+        };
+        ev.src_rid.push(s);
+        ev.dst_rid.push(t);
+    }
+    let mut delta_out = Vec::with_capacity(echange.inserted());
+    let mut delta_in = Vec::with_capacity(echange.inserted());
+    for i in 0..echange.inserted() {
+        let e_new = echange.insert_id(i);
+        let s = view.resolve_src(el, e_new)?;
+        let t = view.resolve_dst(el, e_new)?;
+        ev.src_rid.push(s);
+        ev.dst_rid.push(t);
+        delta_out.push((s, e_new, t));
+        delta_in.push((t, e_new, s));
+    }
+    delta_out.sort_unstable_by_key(|&(v, e, n)| (v, n, e));
+    delta_in.sort_unstable_by_key(|&(v, e, n)| (v, n, e));
+
+    let (src_label, dst_label) = view.schema().edge_endpoints(el);
+    let out = prev.ve_out[li].merged_with_delta(
+        view.vertex_count(src_label),
+        echange,
+        &smap,
+        &dmap,
+        &delta_out,
+    )?;
+    let ve_in = prev.ve_in[li].merged_with_delta(
+        view.vertex_count(dst_label),
+        echange,
+        &dmap,
+        &smap,
+        &delta_in,
+    )?;
+    Ok((ev, out, ve_in))
 }
 
 #[cfg(test)]
@@ -308,6 +546,172 @@ mod tests {
     fn direction_reverse() {
         assert_eq!(Direction::Out.reverse(), Direction::In);
         assert_eq!(Direction::In.reverse(), Direction::Out);
+    }
+
+    /// Rebuild the fig-5 database with a committed delta applied by hand,
+    /// and check every incremental-path invariant against a from-scratch
+    /// build.
+    #[test]
+    fn rebuild_delta_matches_full_build() {
+        use relgo_common::FxHashMap;
+        use relgo_storage::TableChange;
+
+        // Base: the fig-5 setup plus a Knows edge label so one label stays
+        // untouched by the delta.
+        let build_db = |with_delta: bool| {
+            let mut db = Database::new();
+            let mut person_rows = vec![
+                vec![1.into(), "Tom".into()],
+                vec![2.into(), "Bob".into()],
+                vec![3.into(), "David".into()],
+            ];
+            let mut likes_rows = vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ];
+            if with_delta {
+                // Delete likes row 1 (l2), insert a person and two likes —
+                // one of them a parallel edge duplicating (Tom, m1).
+                likes_rows.remove(1);
+                person_rows.push(vec![4.into(), "Ada".into()]);
+                likes_rows.push(vec![5.into(), 4.into(), 200.into()]);
+                likes_rows.push(vec![6.into(), 1.into(), 100.into()]);
+            }
+            db.add_table(table_of(
+                "Person",
+                &[("person_id", DataType::Int), ("name", DataType::Str)],
+                person_rows,
+            ));
+            db.add_table(table_of(
+                "Message",
+                &[("message_id", DataType::Int)],
+                vec![vec![100.into()], vec![200.into()]],
+            ));
+            db.add_table(table_of(
+                "Likes",
+                &[
+                    ("likes_id", DataType::Int),
+                    ("pid", DataType::Int),
+                    ("mid", DataType::Int),
+                ],
+                likes_rows,
+            ));
+            db.add_table(table_of(
+                "Knows",
+                &[
+                    ("knows_id", DataType::Int),
+                    ("pid1", DataType::Int),
+                    ("pid2", DataType::Int),
+                ],
+                vec![vec![1.into(), 1.into(), 2.into()]],
+            ));
+            db.set_primary_key("Person", "person_id").unwrap();
+            db.set_primary_key("Message", "message_id").unwrap();
+            db.set_primary_key("Likes", "likes_id").unwrap();
+            db.set_primary_key("Knows", "knows_id").unwrap();
+            db
+        };
+        let mapping = RGMapping::new()
+            .vertex("Person")
+            .vertex("Message")
+            .edge("Likes", "pid", "Person", "mid", "Message")
+            .edge("Knows", "pid1", "Person", "pid2", "Person");
+
+        let mut base_db = build_db(false);
+        let mut base = GraphView::build(&mut base_db, mapping.clone()).unwrap();
+        base.build_index().unwrap();
+
+        let mut merged_db = build_db(true);
+        let mut fresh = GraphView::build(&mut merged_db, mapping.clone()).unwrap();
+        fresh.build_index().unwrap();
+
+        let mut changes: FxHashMap<String, TableChange> = FxHashMap::default();
+        changes.insert("Person".to_string(), TableChange::new(3, vec![], 1));
+        changes.insert("Likes".to_string(), TableChange::new(4, vec![1], 2));
+        let mut inc_db = build_db(true);
+        let inc = GraphView::rebuild_delta(&base, &mut inc_db, &changes).unwrap();
+
+        let likes = inc.schema().edge_label_id("Likes").unwrap();
+        let knows = inc.schema().edge_label_id("Knows").unwrap();
+        let inc_idx = inc.index().unwrap();
+        let fresh_idx = fresh.index().unwrap();
+        for el in [likes, knows] {
+            let m = inc.edge_count(el);
+            assert_eq!(m, fresh.edge_count(el));
+            for e in 0..m as RowId {
+                assert_eq!(inc_idx.edge_src(el, e), fresh_idx.edge_src(el, e));
+                assert_eq!(inc_idx.edge_dst(el, e), fresh_idx.edge_dst(el, e));
+            }
+            let (sl, dl) = inc.schema().edge_endpoints(el);
+            for v in 0..inc.vertex_count(sl) as RowId {
+                assert_eq!(
+                    inc_idx.neighbors(el, Direction::Out, v),
+                    fresh_idx.neighbors(el, Direction::Out, v),
+                    "{el:?} out {v}"
+                );
+            }
+            for v in 0..inc.vertex_count(dl) as RowId {
+                assert_eq!(
+                    inc_idx.neighbors(el, Direction::In, v),
+                    fresh_idx.neighbors(el, Direction::In, v),
+                    "{el:?} in {v}"
+                );
+            }
+        }
+        // Knows's edge table is untouched, but Person grew append-only: the
+        // EV index is shared and only the out-CSR offsets were extended.
+        assert!(Arc::ptr_eq(
+            &inc_idx.ev[knows.0 as usize],
+            &base.index().unwrap().ev[knows.0 as usize]
+        ));
+        assert!(!inc_idx.shares_label_with(base.index().unwrap(), likes));
+        // Changed-label flags follow table + endpoint reachability.
+        let (cv, ce) = base.changed_label_flags(&changes);
+        assert_eq!(cv, vec![true, false]);
+        assert_eq!(ce, vec![true, true], "Knows inherits Person's change");
+    }
+
+    #[test]
+    fn rebuild_delta_rejects_dangling_survivors() {
+        use relgo_common::FxHashMap;
+        use relgo_storage::TableChange;
+        let g = setup();
+        // Delete person row 1 (Bob) without deleting Bob's likes: the
+        // surviving edges dangle, so the rebuild must fail.
+        let mut merged_db = Database::new();
+        merged_db.add_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![vec![1.into(), "Tom".into()], vec![3.into(), "David".into()]],
+        ));
+        merged_db.add_table(table_of(
+            "Message",
+            &[("message_id", DataType::Int)],
+            vec![vec![100.into()], vec![200.into()]],
+        ));
+        merged_db.add_table(table_of(
+            "Likes",
+            &[
+                ("likes_id", DataType::Int),
+                ("pid", DataType::Int),
+                ("mid", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 1.into(), 100.into()],
+                vec![2.into(), 2.into(), 100.into()],
+                vec![3.into(), 2.into(), 200.into()],
+                vec![4.into(), 3.into(), 200.into()],
+            ],
+        ));
+        merged_db.set_primary_key("Person", "person_id").unwrap();
+        merged_db.set_primary_key("Message", "message_id").unwrap();
+        merged_db.set_primary_key("Likes", "likes_id").unwrap();
+        let mut changes: FxHashMap<String, TableChange> = FxHashMap::default();
+        changes.insert("Person".to_string(), TableChange::new(3, vec![1], 0));
+        let err = GraphView::rebuild_delta(&g, &mut merged_db, &changes).unwrap_err();
+        assert!(err.to_string().contains("λ must stay total"), "{err}");
     }
 
     #[test]

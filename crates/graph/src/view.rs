@@ -8,8 +8,8 @@ use crate::index::GraphIndex;
 use crate::mapping::RGMapping;
 use crate::schema::GraphSchema;
 use crate::stats::GraphStats;
-use relgo_common::{LabelId, RelGoError, Result, RowId};
-use relgo_storage::{Database, KeyIndex, Table};
+use relgo_common::{FxHashMap, LabelId, RelGoError, Result, RowId};
+use relgo_storage::{Database, KeyIndex, Table, TableChange};
 use std::sync::Arc;
 
 /// A resolved, queryable property-graph view over relations.
@@ -81,6 +81,54 @@ impl GraphView {
         let index = GraphIndex::build(self)?;
         self.index = Some(Arc::new(index));
         Ok(())
+    }
+
+    /// Incrementally rebuild a view over the merged catalog produced by a
+    /// committed delta (`relgo-delta`): tables are re-bound from `db`,
+    /// primary-key indexes of changed vertex tables are rebuilt (unchanged
+    /// ones keep their cached `Arc`s), and the graph index — when `prev`
+    /// has one — is refreshed label-by-label through
+    /// [`GraphIndex::rebuild_delta`], sharing every untouched label with
+    /// the previous epoch's index.
+    pub fn rebuild_delta(
+        prev: &GraphView,
+        db: &mut Database,
+        changes: &FxHashMap<String, TableChange>,
+    ) -> Result<GraphView> {
+        let mapping = prev.mapping.clone();
+        let mut view = GraphView::build(db, mapping)?;
+        if let Some(prev_index) = prev.index() {
+            let index = GraphIndex::rebuild_delta(prev_index, &view, changes)?;
+            view.index = Some(Arc::new(index));
+        }
+        Ok(view)
+    }
+
+    /// Per-label changed flags for a committed delta: a vertex label is
+    /// changed when its backing table is; an edge label when its table *or
+    /// either endpoint table* is (endpoint row counts feed its degree
+    /// statistics, and endpoint deletions shift its row ids). The flags
+    /// drive statistics refresh ([`GraphStats::refresh_delta`]) and GLogue
+    /// cache retention.
+    pub fn changed_label_flags(
+        &self,
+        changes: &FxHashMap<String, TableChange>,
+    ) -> (Vec<bool>, Vec<bool>) {
+        let nv = self.schema.vertex_label_count();
+        let ne = self.schema.edge_label_count();
+        let changed_v: Vec<bool> = (0..nv as u16)
+            .map(|l| changes.contains_key(self.vertex_tables[l as usize].name()))
+            .collect();
+        let changed_e: Vec<bool> = (0..ne as u16)
+            .map(|l| {
+                let el = LabelId(l);
+                let (src, dst) = self.schema.edge_endpoints(el);
+                changes.contains_key(self.edge_tables[l as usize].name())
+                    || changed_v[src.0 as usize]
+                    || changed_v[dst.0 as usize]
+            })
+            .collect();
+        (changed_v, changed_e)
     }
 
     /// The graph index, if built.

@@ -155,8 +155,8 @@ pub fn count_join_trees(jg: &JoinGraph) -> Result<u128> {
 fn count_chain_trees(k: usize) -> u128 {
     // plans[i][j] = ordered join trees for the interval [i, j].
     let mut plans = vec![vec![0u128; k]; k];
-    for i in 0..k {
-        plans[i][i] = 1;
+    for (i, row) in plans.iter_mut().enumerate() {
+        row[i] = 1;
     }
     for span in 2..=k {
         for i in 0..=(k - span) {

@@ -1,0 +1,410 @@
+//! Ingest batches: the write path of the snapshot-versioned session.
+//!
+//! [`Session::begin_ingest`] opens an [`IngestBatch`] — a single-writer
+//! handle accumulating row inserts and primary-key deletes in a
+//! [`relgo_delta::DeltaSet`], invisible to every reader. [`IngestBatch::commit`]
+//! then:
+//!
+//! 1. merges the delta into fresh immutable tables
+//!    ([`relgo_delta::DeltaSet::apply`]; unchanged tables share their
+//!    `Arc`s),
+//! 2. incrementally refreshes the graph view and GRainDB-style index
+//!    (untouched edge labels share the previous epoch's memory),
+//! 3. refreshes statistics: below the
+//!    [`crate::SessionOptions::stats_staleness`] fraction the GLogue keeps
+//!    every cached pattern count whose labels the delta did not touch
+//!    ([`relgo_glogue::GLogue::refreshed`]); past it, a full pattern-count
+//!    rebuild runs — both exact,
+//! 4. publishes the next epoch with one pointer swap and bumps the plan
+//!    cache's statistics version, so cached plans and pinned prepared
+//!    statements transparently re-optimize against the new data.
+//!
+//! In-flight queries (and [`crate::Snapshot`]s) keep reading the old epoch;
+//! a failed commit publishes nothing and discards the batch.
+
+use crate::session::{Session, SessionState};
+use parking_lot::MutexGuard;
+use relgo_common::{RelGoError, Result, Value};
+use relgo_delta::DeltaSet;
+use relgo_glogue::GLogue;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a commit refreshed the GLogue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsRefresh {
+    /// Delta-aware refresh: cached pattern counts for untouched labels were
+    /// carried into the new epoch.
+    Incremental {
+        /// Cached counts carried over.
+        retained: usize,
+        /// Cached counts evicted (their labels were touched).
+        evicted: usize,
+    },
+    /// The changed-row fraction exceeded the staleness threshold: full
+    /// pattern-count rebuild (empty cache, lazily recounted).
+    Full,
+}
+
+/// What one committed ingest batch did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The epoch the commit published.
+    pub epoch: u64,
+    /// Rows inserted across all tables.
+    pub inserted: usize,
+    /// Rows deleted across all tables.
+    pub deleted: usize,
+    /// Fraction of the base database's rows the batch changed.
+    pub changed_fraction: f64,
+    /// Names of the tables the batch touched (sorted).
+    pub tables: Vec<String>,
+    /// How statistics were refreshed.
+    pub stats: StatsRefresh,
+    /// Wall time of the statistics refresh alone.
+    pub stats_time: Duration,
+    /// Wall time of the whole commit (merge + view/index + statistics +
+    /// publish).
+    pub commit_time: Duration,
+}
+
+/// A single-writer ingest batch against one [`Session`]. Holding the batch
+/// holds the session's writer lock: concurrent `begin_ingest` (or
+/// statistics rebuild) blocks until this batch commits or is dropped.
+/// Readers are never blocked.
+pub struct IngestBatch<'s> {
+    session: &'s Session,
+    _writer: MutexGuard<'s, ()>,
+    delta: DeltaSet,
+}
+
+impl<'s> IngestBatch<'s> {
+    pub(crate) fn begin(session: &'s Session) -> IngestBatch<'s> {
+        IngestBatch {
+            _writer: session.write_lock.lock(),
+            session,
+            delta: DeltaSet::new(),
+        }
+    }
+
+    /// Queue one row for appending to `table`. The table must exist; full
+    /// schema/key validation happens at commit.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let state = self.session.state();
+        state.db.table(table)?;
+        self.delta.insert(table, row);
+        Ok(())
+    }
+
+    /// Queue one row for appending to the edge table `table` — like
+    /// [`IngestBatch::insert_row`], but additionally checks the table backs
+    /// an edge label of the session's RGMapping, so a typo cannot silently
+    /// ingest graph data into a non-graph relation.
+    pub fn insert_edge(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let state = self.session.state();
+        if !state
+            .view
+            .mapping()
+            .edges()
+            .iter()
+            .any(|e| e.table == table)
+        {
+            return Err(RelGoError::schema(format!(
+                "{table} does not back an edge label of the RGMapping"
+            )));
+        }
+        self.insert_row(table, row)
+    }
+
+    /// Queue the deletion of the base row of `table` whose primary key
+    /// equals `key`. Resolution (and the λ-totality check that no surviving
+    /// edge still references a deleted vertex) happens at commit.
+    pub fn delete_row(&mut self, table: &str, key: i64) -> Result<()> {
+        let state = self.session.state();
+        state.db.table(table)?;
+        if state.db.primary_key(table).is_none() {
+            return Err(RelGoError::schema(format!(
+                "cannot delete from {table}: no primary key declared"
+            )));
+        }
+        self.delta.delete(table, key);
+        Ok(())
+    }
+
+    /// Rows queued for insertion.
+    pub fn pending_inserts(&self) -> usize {
+        self.delta.inserted_rows()
+    }
+
+    /// Rows queued for deletion.
+    pub fn pending_deletes(&self) -> usize {
+        self.delta.deleted_rows()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Validate, merge and publish the batch as the next epoch (see the
+    /// module docs for the pipeline). On error nothing is published and the
+    /// batch is discarded. An empty batch is a no-op that publishes
+    /// nothing.
+    pub fn commit(self) -> Result<IngestReport> {
+        let start = Instant::now();
+        let state = self.session.state();
+        if self.delta.is_empty() {
+            return Ok(IngestReport {
+                epoch: state.epoch,
+                inserted: 0,
+                deleted: 0,
+                changed_fraction: 0.0,
+                tables: Vec::new(),
+                stats: StatsRefresh::Incremental {
+                    retained: state.glogue.cached_patterns(),
+                    evicted: 0,
+                },
+                stats_time: Duration::ZERO,
+                commit_time: start.elapsed(),
+            });
+        }
+        let (mut db, summary) = self.delta.apply(&state.db)?;
+        let view = Arc::new(relgo_delta::refresh_view(&state.view, &mut db, &summary)?);
+        let changed_fraction = summary.changed_fraction(&state.db);
+        let (changed_v, changed_e) = view.changed_label_flags(summary.map());
+
+        let stats_start = Instant::now();
+        let (glogue, stats) = if changed_fraction <= self.session.options().stats_staleness {
+            let before = state.glogue.cached_patterns();
+            let refreshed =
+                GLogue::refreshed(&state.glogue, Arc::clone(&view), &changed_v, &changed_e)?;
+            let retained = refreshed.cached_patterns();
+            (
+                Arc::new(refreshed),
+                StatsRefresh::Incremental {
+                    retained,
+                    evicted: before - retained,
+                },
+            )
+        } else {
+            let (k, stride) = self.session.statistics_tuning();
+            (
+                Arc::new(GLogue::with_threads(
+                    Arc::clone(&view),
+                    k,
+                    stride,
+                    self.session.options().threads,
+                )?),
+                StatsRefresh::Full,
+            )
+        };
+        let stats_time = stats_start.elapsed();
+
+        let epoch = state.epoch + 1;
+        self.session.publish(SessionState {
+            epoch,
+            db: Arc::new(db),
+            view,
+            glogue,
+        });
+        // Every cached plan and pinned prepared statement was costed
+        // against the previous epoch's statistics: stale from now on.
+        self.session.plan_cache().invalidate_all();
+        Ok(IngestReport {
+            epoch,
+            inserted: summary.inserted_rows(),
+            deleted: summary.deleted_rows(),
+            changed_fraction,
+            tables: summary.tables().iter().map(|s| s.to_string()).collect(),
+            stats,
+            stats_time,
+            commit_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionOptions;
+    use relgo_core::OptimizerMode;
+    use relgo_workloads::snb_queries;
+
+    #[test]
+    fn commit_publishes_next_epoch_and_invalidates() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let person = session.db().table("Person").unwrap().num_rows();
+        let q = snb_queries::ic1(&schema, 1, 0).unwrap();
+        let before_rows = session.run(&q, OptimizerMode::RelGo).unwrap().table;
+        session.run_cached(&q, OptimizerMode::RelGo).unwrap();
+
+        let mut batch = session.begin_ingest();
+        let next_id = person as i64 * 10; // ids are 0..n, so this is fresh
+        batch
+            .insert_row(
+                "Person",
+                vec![next_id.into(), "Zed".into(), Value::Date(17_000)],
+            )
+            .unwrap();
+        batch
+            .insert_edge(
+                "Knows",
+                vec![
+                    900_000.into(),
+                    0.into(),
+                    next_id.into(),
+                    Value::Date(17_001),
+                ],
+            )
+            .unwrap();
+        assert_eq!(batch.pending_inserts(), 2);
+        let report = batch.commit().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.tables, vec!["Knows", "Person"]);
+        assert!(matches!(report.stats, StatsRefresh::Incremental { .. }));
+
+        // Data is visible, cached plans were invalidated (miss → reopt).
+        assert_eq!(session.db().table("Person").unwrap().num_rows(), person + 1);
+        let out = session.run_cached(&q, OptimizerMode::RelGo).unwrap();
+        assert!(!out.cached, "commit staled the cached plan");
+        // IC1 person 0, 1 hop: the new friend shows up.
+        assert_eq!(
+            out.table.num_rows(),
+            before_rows.num_rows() + 1,
+            "ingested knows edge is served"
+        );
+    }
+
+    #[test]
+    fn snapshot_pins_the_old_epoch() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        let snap = session.snapshot();
+        let person = snap.db().table("Person").unwrap().num_rows();
+
+        let mut batch = session.begin_ingest();
+        batch
+            .insert_row(
+                "Person",
+                vec![777_000.into(), "Ghost".into(), Value::Date(17_000)],
+            )
+            .unwrap();
+        // Uncommitted rows are invisible to everyone.
+        assert_eq!(session.db().table("Person").unwrap().num_rows(), person);
+        batch.commit().unwrap();
+
+        // Committed rows are invisible to the pinned snapshot…
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.db().table("Person").unwrap().num_rows(), person);
+        // …and visible to the live session.
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(session.db().table("Person").unwrap().num_rows(), person + 1);
+    }
+
+    #[test]
+    fn staleness_threshold_forces_full_rebuild() {
+        let options = SessionOptions {
+            stats_staleness: 0.0,
+            ..SessionOptions::default()
+        };
+        let (session, schema) = Session::snb_with(0.03, 42, options).unwrap();
+        // Warm a count, then commit with staleness 0: everything rebuilt.
+        session
+            .run(
+                &snb_queries::ic1(&schema, 1, 0).unwrap(),
+                OptimizerMode::RelGo,
+            )
+            .unwrap();
+        let mut batch = session.begin_ingest();
+        batch
+            .insert_row(
+                "Person",
+                vec![777_000.into(), "Zed".into(), Value::Date(17_000)],
+            )
+            .unwrap();
+        let report = batch.commit().unwrap();
+        assert_eq!(report.stats, StatsRefresh::Full);
+        assert_eq!(session.glogue().cached_patterns(), 0);
+    }
+
+    #[test]
+    fn commit_validation_failures_publish_nothing() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        // Duplicate primary key.
+        let mut batch = session.begin_ingest();
+        batch
+            .insert_row("Person", vec![0.into(), "Dup".into(), Value::Date(17_000)])
+            .unwrap();
+        assert!(batch.commit().is_err());
+        assert_eq!(session.epoch(), 0);
+        // Dangling edge insert.
+        let mut batch = session.begin_ingest();
+        batch
+            .insert_edge(
+                "Knows",
+                vec![
+                    900_000.into(),
+                    0.into(),
+                    999_999.into(),
+                    Value::Date(17_001),
+                ],
+            )
+            .unwrap();
+        assert!(batch.commit().is_err());
+        assert_eq!(session.epoch(), 0);
+        // Deleting a vertex still referenced by edges.
+        let mut batch = session.begin_ingest();
+        batch.delete_row("Person", 0).unwrap();
+        assert!(batch.commit().is_err());
+        assert_eq!(session.epoch(), 0);
+        // insert_edge polices the mapping.
+        let mut batch = session.begin_ingest();
+        assert!(batch.insert_edge("Person", vec![1.into()]).is_err());
+        // An empty batch is a no-op.
+        let report = batch.commit().unwrap();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(session.epoch(), 0);
+    }
+
+    #[test]
+    fn deleting_an_unreferenced_edge_row_works() {
+        use relgo_core::SpjmBuilder;
+        use relgo_pattern::PatternBuilder;
+        use relgo_storage::ScalarExpr;
+
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let likes = session.db().table("Likes").unwrap().num_rows();
+        // One row per like of person 0: p -[Likes]-> m, p_id = 0.
+        let q = {
+            let mut pb = PatternBuilder::new();
+            let p = pb.vertex("p", schema.person);
+            let m = pb.vertex("m", schema.message);
+            pb.edge(p, m, schema.likes).unwrap();
+            let mut b = SpjmBuilder::new(pb.build().unwrap());
+            let p_id = b.vertex_column(p, 0, "p_id");
+            let m_id = b.vertex_column(m, 0, "m_id");
+            b.select(ScalarExpr::col_eq(p_id, 0i64));
+            b.project(&[m_id]);
+            b.build()
+        };
+        let before = session.run(&q, OptimizerMode::RelGo).unwrap().table;
+        assert!(before.num_rows() > 0, "person 0 likes something");
+        // Delete one of person 0's likes (edge rows are freely deletable).
+        let key = {
+            let db = session.db();
+            let t = db.table("Likes").unwrap();
+            (0..t.num_rows() as u32)
+                .find(|&r| t.value(r, 1) == Value::Int(0))
+                .map(|r| t.value(r, 0).as_int().unwrap())
+                .expect("person 0 likes something")
+        };
+        let mut batch = session.begin_ingest();
+        batch.delete_row("Likes", key).unwrap();
+        let report = batch.commit().unwrap();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(session.db().table("Likes").unwrap().num_rows(), likes - 1);
+        let after = session.run(&q, OptimizerMode::RelGo).unwrap().table;
+        assert_eq!(after.num_rows(), before.num_rows() - 1);
+    }
+}

@@ -27,6 +27,7 @@
 //! optimizer, the execution engine, dataset generators and the benchmark
 //! workloads.
 
+pub mod ingest;
 pub mod prepared;
 pub mod serve;
 pub mod session;
@@ -35,6 +36,7 @@ pub use relgo_cache as cache;
 pub use relgo_common as common;
 pub use relgo_core as core;
 pub use relgo_datagen as datagen;
+pub use relgo_delta as delta;
 pub use relgo_exec as exec;
 pub use relgo_glogue as glogue;
 pub use relgo_graph as graph;
@@ -42,15 +44,17 @@ pub use relgo_pattern as pattern;
 pub use relgo_storage as storage;
 pub use relgo_workloads as workloads;
 
+pub use ingest::{IngestBatch, IngestReport, StatsRefresh};
 pub use prepared::{BatchOutcome, PreparedStatement};
 pub use serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
-pub use session::{QueryOutcome, Session, SessionOptions};
+pub use session::{QueryOutcome, Session, SessionOptions, Snapshot};
 
 /// The convenient all-in-one import.
 pub mod prelude {
+    pub use crate::ingest::{IngestBatch, IngestReport, StatsRefresh};
     pub use crate::prepared::{BatchOutcome, PreparedStatement};
     pub use crate::serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
-    pub use crate::session::{QueryOutcome, Session, SessionOptions};
+    pub use crate::session::{QueryOutcome, Session, SessionOptions, Snapshot};
     pub use relgo_cache::{CacheConfig, MetricsSnapshot, PinnedPlan, PlanCache};
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};

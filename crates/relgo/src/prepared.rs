@@ -234,10 +234,13 @@ impl PreparedStatement<'_> {
             timed_out: false,
         };
         let start = Instant::now();
+        // Pin one epoch for the whole batch: a racing ingest commit must
+        // not split the batch across two data versions.
+        let state = self.session.state();
         let tables = relgo_exec::execute_plan_batch(
             &plans,
-            self.session.view(),
-            self.session.db(),
+            &state.view,
+            &state.db,
             &self.session.exec_config(self.mode),
         )?;
         Ok(BatchOutcome {

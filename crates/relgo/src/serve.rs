@@ -8,7 +8,7 @@
 //! with all the others. The report carries the cache-metric deltas so
 //! callers can assert the expected hit/miss split.
 //!
-//! Three serving regimes ([`ServeMode`]):
+//! Four serving regimes ([`ServeMode`]):
 //!
 //! * [`ServeMode::Cached`] — every query goes through
 //!   [`Session::run_cached`] (parameterize + cache probe + rebind);
@@ -17,7 +17,12 @@
 //!   [`PreparedStatement::execute`] rebinds the pinned skeleton;
 //! * [`ServeMode::PreparedBatched`] — like `Prepared`, but each worker
 //!   groups its draws into batches of `batch` bindings driven through
-//!   [`PreparedStatement::execute_batch`]'s shared operator state.
+//!   [`PreparedStatement::execute_batch`]'s shared operator state;
+//! * [`ServeMode::Mixed`] — a writer thread ingests dynamic-SNB update
+//!   batches (each commit publishing a new epoch and invalidating cached
+//!   plans/pins) while reader threads serve snapshot-pinned, **verified**
+//!   cached queries plus prepared executes; a settle pass re-verifies both
+//!   paths against the final epoch after the writer finishes.
 //!
 //! Inter- and intra-query parallelism compose: the `threads` argument here
 //! is the number of concurrent *queries*, while
@@ -58,6 +63,22 @@ pub enum ServeMode {
         /// Bindings per `execute_batch` call (≥ 1).
         batch: usize,
     },
+    /// Interleave writers and readers: one writer thread ingests a
+    /// dynamic-SNB update stream ([`relgo_datagen::snb_update_stream`]) in
+    /// `commits` epoch-publishing batches of `ops_per_commit` rows, while
+    /// `threads` reader threads serve the templates — every cached read is
+    /// pinned to an epoch snapshot and **verified** against a fresh
+    /// optimization on the same snapshot (a divergence aborts the replay),
+    /// and every round also fires a prepared execute so commits exercise
+    /// pin invalidation. After the threads join, a final verified
+    /// cached+prepared pass per template runs against the settled epoch.
+    /// Requires an SNB-shaped session.
+    Mixed {
+        /// Ingest commits the writer publishes.
+        commits: usize,
+        /// Update-stream rows per commit (≥ 1).
+        ops_per_commit: usize,
+    },
 }
 
 impl ServeMode {
@@ -67,6 +88,7 @@ impl ServeMode {
             ServeMode::Cached => "cached",
             ServeMode::Prepared => "prepared",
             ServeMode::PreparedBatched { .. } => "prep-batch",
+            ServeMode::Mixed { .. } => "mixed",
         }
     }
 }
@@ -90,7 +112,13 @@ pub struct ReplayReport {
     pub prepared_queries: usize,
     /// `execute_batch` calls (0 outside [`ServeMode::PreparedBatched`]).
     pub batches: usize,
-    /// Plan-cache metric deltas over the replay.
+    /// Ingest commits published (0 outside [`ServeMode::Mixed`]).
+    pub commits: usize,
+    /// Rows ingested by the writer (0 outside [`ServeMode::Mixed`]).
+    pub ingested_rows: usize,
+    /// Plan-cache metric deltas over the replay (hits/misses/invalidations/
+    /// prepared invalidations as a snapshot diff — mixed-mode figures read
+    /// cache behavior off this).
     pub metrics: MetricsSnapshot,
 }
 
@@ -101,16 +129,38 @@ impl ReplayReport {
     }
 }
 
-/// Per-worker tally of completed work (queries that failed are *not*
-/// counted — see the module docs on worker errors).
+/// Counters for one unit of completed serving work — also the shape of a
+/// whole worker's tally, so one `merge` covers both accumulations.
 #[derive(Default)]
-struct Tally {
+struct Counts {
     completed: usize,
     cached: usize,
     prepared: usize,
     batches: usize,
+    commits: usize,
+    ingested: usize,
     opt: Duration,
     exec: Duration,
+}
+
+impl Counts {
+    fn merge(&mut self, o: &Counts) {
+        self.completed += o.completed;
+        self.cached += o.cached;
+        self.prepared += o.prepared;
+        self.batches += o.batches;
+        self.commits += o.commits;
+        self.ingested += o.ingested;
+        self.opt += o.opt;
+        self.exec += o.exec;
+    }
+}
+
+/// Per-worker tally of completed work (queries that failed are *not*
+/// counted — see the module docs on worker errors).
+#[derive(Default)]
+struct Tally {
+    counts: Counts,
     error: Option<RelGoError>,
 }
 
@@ -151,39 +201,41 @@ pub fn replay_concurrent_with(
     // draw-0 instance before any worker starts (so workers never optimize).
     let statements: Vec<PreparedStatement<'_>> = match serve {
         ServeMode::Cached => Vec::new(),
-        ServeMode::Prepared | ServeMode::PreparedBatched { .. } => templates
-            .iter()
-            .map(|t| session.prepare(&t.instantiate(0)?, mode))
-            .collect::<Result<_>>()?,
+        ServeMode::Prepared | ServeMode::PreparedBatched { .. } | ServeMode::Mixed { .. } => {
+            templates
+                .iter()
+                .map(|t| session.prepare(&t.instantiate(0)?, mode))
+                .collect::<Result<_>>()?
+        }
+    };
+    // Mixed mode: the writer's update stream, generated up front so the
+    // replay is deterministic in content (only interleaving varies).
+    let updates: Vec<relgo_datagen::UpdateOp> = match serve {
+        ServeMode::Mixed {
+            commits,
+            ops_per_commit,
+        } => relgo_datagen::snb_update_stream(
+            &session.db(),
+            0xd15c0 ^ (threads * rounds) as u64,
+            commits * ops_per_commit.max(1),
+        )?,
+        _ => Vec::new(),
     };
 
     let abort = AtomicBool::new(false);
-    // One unit of serving work, however the mode shapes it (a query or a
-    // whole batch). Shared so the abort/tally/error bookkeeping below
-    // cannot diverge between the three regimes.
-    struct Step {
-        completed: usize,
-        cached: usize,
-        prepared: usize,
-        batches: usize,
-        opt: Duration,
-        exec: Duration,
-    }
-    // Run one work unit and record it; returns whether the worker should
-    // keep going. The abort check precedes the work, so every unit that
-    // *ran* (and therefore touched session metrics) is always tallied.
-    let step = |tally: &mut Tally, work: &mut dyn FnMut() -> Result<Step>| -> bool {
+    // Run one unit of serving work (a query or a whole batch, however the
+    // mode shapes it) and record it; returns whether the worker should
+    // keep going. Shared so the abort/tally/error bookkeeping cannot
+    // diverge between the regimes: the abort check precedes the work, so
+    // every unit that *ran* (and therefore touched session metrics) is
+    // always tallied.
+    let step = |tally: &mut Tally, work: &mut dyn FnMut() -> Result<Counts>| -> bool {
         if abort.load(Ordering::Acquire) {
             return false;
         }
         match work() {
             Ok(s) => {
-                tally.completed += s.completed;
-                tally.cached += s.cached;
-                tally.prepared += s.prepared;
-                tally.batches += s.batches;
-                tally.opt += s.opt;
-                tally.exec += s.exec;
+                tally.counts.merge(&s);
                 true
             }
             Err(e) => {
@@ -202,13 +254,12 @@ pub fn replay_concurrent_with(
                         let draw = (w * rounds + r) as u64;
                         let keep = step(&mut tally, &mut || {
                             let o = session.run_cached(&t.instantiate(draw)?, mode)?;
-                            Ok(Step {
+                            Ok(Counts {
                                 completed: 1,
                                 cached: usize::from(o.cached),
-                                prepared: 0,
-                                batches: 0,
                                 opt: o.opt.elapsed,
                                 exec: o.exec_time,
+                                ..Counts::default()
                             })
                         });
                         if !keep {
@@ -223,13 +274,13 @@ pub fn replay_concurrent_with(
                         let draw = (w * rounds + r) as u64;
                         let keep = step(&mut tally, &mut || {
                             let o = stmt.execute(&t.bindings(draw)?)?;
-                            Ok(Step {
+                            Ok(Counts {
                                 completed: 1,
                                 cached: usize::from(o.cached),
                                 prepared: 1,
-                                batches: 0,
                                 opt: o.opt.elapsed,
                                 exec: o.exec_time,
+                                ..Counts::default()
                             })
                         });
                         if !keep {
@@ -249,13 +300,45 @@ pub fn replay_concurrent_with(
                                 .map(|&d| t.bindings(d))
                                 .collect::<Result<Vec<_>>>()?;
                             let o = stmt.execute_batch(&bindings)?;
-                            Ok(Step {
+                            Ok(Counts {
                                 completed: o.tables.len(),
                                 cached: o.pinned_queries,
                                 prepared: o.tables.len(),
                                 batches: 1,
                                 opt: o.opt.elapsed,
                                 exec: o.exec_time,
+                                ..Counts::default()
+                            })
+                        });
+                        if !keep {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            ServeMode::Mixed { .. } => {
+                // Readers: every cached query pins an epoch snapshot and is
+                // verified against a fresh optimization on that snapshot —
+                // the writer may publish mid-replay, but never mid-query.
+                'outer: for r in 0..rounds {
+                    for (t, stmt) in templates.iter().zip(&statements) {
+                        let draw = (w * rounds + r) as u64;
+                        let keep = step(&mut tally, &mut || {
+                            let snap = session.snapshot();
+                            let q = t.instantiate(draw)?;
+                            let o = snap.run_cached(&q, mode)?;
+                            let expected = snap.run(&q, mode)?.table;
+                            verified(&o.table, &expected, t.name(), draw, "cached")?;
+                            // Unverified prepared execute: keeps pin
+                            // invalidation traffic flowing under commits.
+                            let p = stmt.execute(&t.bindings(draw)?)?;
+                            Ok(Counts {
+                                completed: 2,
+                                cached: usize::from(o.cached) + usize::from(p.cached),
+                                prepared: 1,
+                                opt: o.opt.elapsed + p.opt.elapsed,
+                                exec: o.exec_time + p.exec_time,
+                                ..Counts::default()
                             })
                         });
                         if !keep {
@@ -267,13 +350,41 @@ pub fn replay_concurrent_with(
         }
         tally
     };
+    // Mixed mode's writer: ingest the update stream in epoch-publishing
+    // commits while the readers serve.
+    let writer = || -> Tally {
+        let mut tally = Tally::default();
+        let ServeMode::Mixed { ops_per_commit, .. } = serve else {
+            return tally;
+        };
+        for chunk in updates.chunks(ops_per_commit.max(1)) {
+            let keep = step(&mut tally, &mut || {
+                let mut batch = session.begin_ingest();
+                for op in chunk {
+                    batch.insert_row(&op.table, op.row.clone())?;
+                }
+                let report = batch.commit()?;
+                Ok(Counts {
+                    commits: 1,
+                    ingested: report.inserted + report.deleted,
+                    ..Counts::default()
+                })
+            });
+            if !keep {
+                break;
+            }
+        }
+        tally
+    };
 
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+    let mut tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..threads)
             .map(|w| scope.spawn(move || worker(w)))
             .collect();
-        handles
+        let writer = matches!(serve, ServeMode::Mixed { .. }).then(|| scope.spawn(writer));
+        readers
             .into_iter()
+            .chain(writer)
             .map(|h| {
                 h.join().unwrap_or_else(|_| Tally {
                     error: Some(RelGoError::execution("replay worker panicked")),
@@ -282,6 +393,38 @@ pub fn replay_concurrent_with(
             })
             .collect()
     });
+
+    // Mixed mode's settle pass: with the writer done, verify that the
+    // cached and prepared paths serve the final epoch correctly (the last
+    // commit left every pin stale, so this also exercises transparent
+    // re-optimization).
+    if matches!(serve, ServeMode::Mixed { .. }) && tallies.iter().all(|t| t.error.is_none()) {
+        let mut tally = Tally::default();
+        for (t, stmt) in templates.iter().zip(&statements) {
+            let keep = step(&mut tally, &mut || {
+                let draw = (threads * rounds) as u64;
+                let snap = session.snapshot();
+                let q = t.instantiate(draw)?;
+                let expected = snap.run(&q, mode)?.table;
+                let c = snap.run_cached(&q, mode)?;
+                verified(&c.table, &expected, t.name(), draw, "settled cached")?;
+                let p = stmt.execute(&t.bindings(draw)?)?;
+                verified(&p.table, &expected, t.name(), draw, "settled prepared")?;
+                Ok(Counts {
+                    completed: 2,
+                    cached: usize::from(c.cached) + usize::from(p.cached),
+                    prepared: 1,
+                    opt: c.opt.elapsed + p.opt.elapsed,
+                    exec: c.exec_time + p.exec_time,
+                    ..Counts::default()
+                })
+            });
+            if !keep {
+                break;
+            }
+        }
+        tallies.push(tally);
+    }
 
     let elapsed = start.elapsed();
     let mut report = ReplayReport {
@@ -292,16 +435,20 @@ pub fn replay_concurrent_with(
         cached_queries: 0,
         prepared_queries: 0,
         batches: 0,
+        commits: 0,
+        ingested_rows: 0,
         metrics: session.cache_metrics().since(&before),
     };
     let mut first_error = None;
     for tally in tallies {
-        report.queries += tally.completed;
-        report.cached_queries += tally.cached;
-        report.prepared_queries += tally.prepared;
-        report.batches += tally.batches;
-        report.opt_time += tally.opt;
-        report.exec_time += tally.exec;
+        report.queries += tally.counts.completed;
+        report.cached_queries += tally.counts.cached;
+        report.prepared_queries += tally.counts.prepared;
+        report.batches += tally.counts.batches;
+        report.commits += tally.counts.commits;
+        report.ingested_rows += tally.counts.ingested;
+        report.opt_time += tally.counts.opt;
+        report.exec_time += tally.counts.exec;
         if first_error.is_none() {
             first_error = tally.error;
         }
@@ -309,6 +456,31 @@ pub fn replay_concurrent_with(
     match first_error {
         Some(e) => Err(e),
         None => Ok(report),
+    }
+}
+
+/// Row check for the mixed mode's verified reads: the result *multiset*
+/// must match. Order is compared sorted on purpose — a cached skeleton may
+/// have been optimized under a racing epoch's statistics, which can legally
+/// pick a different join order (hence row order) than a fresh optimization
+/// on the pinned snapshot, while the rows themselves must be identical.
+/// (Bit-exact order identity between the regimes on a *quiescent* session
+/// is separately enforced by `tests/ingest_differential.rs`.)
+fn verified(
+    got: &relgo_storage::Table,
+    expected: &relgo_storage::Table,
+    template: &str,
+    draw: u64,
+    what: &str,
+) -> Result<()> {
+    if got.sorted_rows() == expected.sorted_rows() {
+        Ok(())
+    } else {
+        Err(RelGoError::execution(format!(
+            "mixed replay divergence: {template} draw {draw} ({what}) returned {} rows vs {}",
+            got.num_rows(),
+            expected.num_rows()
+        )))
     }
 }
 
@@ -405,6 +577,50 @@ mod tests {
         assert_eq!(report.cached_queries, expected);
         // 5 rounds in batches of 2 → 3 batches per (worker, template).
         assert_eq!(report.batches, threads * templates.len() * 3);
+    }
+
+    /// Mixed mode: the writer's commits interleave with verified reads and
+    /// prepared executes; zero divergences, every commit observed as a
+    /// cache invalidation, and the post-commit pin staleness shows up as
+    /// prepared invalidations.
+    #[test]
+    fn mixed_replay_ingests_while_serving_verified_reads() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let templates = snb_templates(&schema);
+        let (threads, rounds, commits, ops) = (2, 2, 3, 5);
+        let before = session.cache_metrics();
+        let report = replay_concurrent_with(
+            &session,
+            &templates,
+            OptimizerMode::RelGo,
+            threads,
+            rounds,
+            ServeMode::Mixed {
+                commits,
+                ops_per_commit: ops,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.commits, commits);
+        assert_eq!(report.ingested_rows, commits * ops);
+        assert_eq!(session.epoch(), commits as u64);
+        // Readers: 2 queries per (worker, round, template); settle pass
+        // adds 2 more per template.
+        let expected = 2 * threads * rounds * templates.len() + 2 * templates.len();
+        assert_eq!(report.queries, expected);
+        assert!(report.prepared_queries >= templates.len());
+        let delta = session.cache_metrics().since(&before);
+        assert!(
+            delta.invalidations >= commits as u64,
+            "every commit bumps the statistics version: {delta:?}"
+        );
+        assert!(
+            delta.prepared_invalidations >= 1,
+            "a stale pin re-optimized after a commit: {delta:?}"
+        );
+        // The ingested rows are visible afterwards.
+        let persons = session.db().table("Person").unwrap().num_rows();
+        assert!(persons > 1000 * 3 / 100, "base persons plus inserts");
     }
 
     /// Satellite regression: a template failing mid-replay aborts with the

@@ -1,7 +1,18 @@
 //! The end-to-end session API: data + mapping → optimized, executed SPJM
 //! queries under any of the paper's compared systems.
+//!
+//! ## Epoch-stamped snapshots
+//!
+//! All data-dependent state — catalog, graph view (with its index), and
+//! GLogue statistics — lives in one immutable `SessionState` behind an
+//! epoch counter. Queries pin the current state once and run entirely
+//! against it, so a concurrent ingest commit ([`Session::begin_ingest`])
+//! never tears a query: writers build the *next* state aside and publish it
+//! with a single pointer swap. [`Session::snapshot`] exposes the same
+//! mechanism to callers that want repeatable reads across several queries.
 
-use parking_lot::RwLock;
+use crate::ingest::IngestBatch;
+use parking_lot::{Mutex, RwLock};
 use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
 use relgo_common::{RelGoError, Result};
 use relgo_core::{
@@ -37,6 +48,13 @@ pub struct SessionOptions {
     /// seed-partitioned GLogue counting (1 = serial; parallel results are
     /// bit-identical to serial). Defaults to `RELGO_THREADS` when set.
     pub threads: usize,
+    /// Ingest-commit staleness threshold: when a committed delta changes at
+    /// most this fraction of the database's rows, statistics are refreshed
+    /// incrementally (GLogue keeps cached counts for untouched labels);
+    /// past it, the commit performs a full pattern-count rebuild. Both
+    /// paths are exact — the knob trades commit latency against retained
+    /// optimizer warmth.
+    pub stats_staleness: f64,
 }
 
 impl Default for SessionOptions {
@@ -49,6 +67,7 @@ impl Default for SessionOptions {
             plan_cache_shards: 8,
             plan_cache_capacity: 1024,
             threads: relgo_common::morsel::threads_from_env().unwrap_or(1),
+            stats_staleness: 0.2,
         }
     }
 }
@@ -75,19 +94,34 @@ impl QueryOutcome {
     }
 }
 
+/// One immutable epoch of session state: everything a query needs, pinned
+/// together so readers see a consistent version while writers publish the
+/// next one.
+pub(crate) struct SessionState {
+    pub(crate) epoch: u64,
+    pub(crate) db: Arc<Database>,
+    pub(crate) view: Arc<GraphView>,
+    pub(crate) glogue: Arc<GLogue>,
+}
+
 /// An open database + property-graph session.
 ///
-/// The GLogue statistics live behind a lock so
-/// [`Session::rebuild_statistics`] works through `&self`: a serving setup
-/// can rebuild statistics while plan-cache traffic and prepared-statement
-/// handles stay live (the handles notice the version bump on their next
-/// execute and transparently re-optimize).
+/// All data-dependent state sits in an epoch-stamped `SessionState`
+/// behind a lock, so [`Session::rebuild_statistics`] and ingest commits
+/// work through `&self`: a serving setup keeps plan-cache traffic and
+/// prepared-statement handles live across both (the handles notice the
+/// statistics-version bump on their next execute and transparently
+/// re-optimize).
 pub struct Session {
-    db: Arc<Database>,
-    view: Arc<GraphView>,
-    glogue: RwLock<Arc<GLogue>>,
+    state: RwLock<Arc<SessionState>>,
     options: SessionOptions,
     cache: Arc<PlanCache>,
+    /// Last statistics tuning pair, reused by
+    /// [`Session::refresh_statistics`] and full ingest-commit rebuilds.
+    tuning: Mutex<(usize, usize)>,
+    /// Serializes writers: one [`IngestBatch`] (or statistics rebuild) at a
+    /// time.
+    pub(crate) write_lock: Mutex<()>,
 }
 
 impl Session {
@@ -117,11 +151,16 @@ impl Session {
             capacity: options.plan_cache_capacity,
         }));
         Ok(Session {
-            db: Arc::new(db),
-            view,
-            glogue: RwLock::new(glogue),
+            state: RwLock::new(Arc::new(SessionState {
+                epoch: 0,
+                db: Arc::new(db),
+                view,
+                glogue,
+            })),
             options,
             cache,
+            tuning: Mutex::new((options.glogue_k, options.glogue_stride)),
+            write_lock: Mutex::new(()),
         })
     }
 
@@ -135,7 +174,7 @@ impl Session {
     pub fn snb_with(sf: f64, seed: u64, options: SessionOptions) -> Result<(Session, SnbSchema)> {
         let (db, mapping) = generate_snb(&SnbParams { sf, seed });
         let session = Session::open_with(db, mapping, options)?;
-        let schema = SnbSchema::resolve(session.view.schema())?;
+        let schema = SnbSchema::resolve(session.state().view.schema())?;
         Ok((session, schema))
     }
 
@@ -148,24 +187,49 @@ impl Session {
     pub fn imdb_with(sf: f64, seed: u64, options: SessionOptions) -> Result<(Session, ImdbSchema)> {
         let (db, mapping) = generate_imdb(&ImdbParams { sf, seed });
         let session = Session::open_with(db, mapping, options)?;
-        let schema = ImdbSchema::resolve(session.view.schema())?;
+        let schema = ImdbSchema::resolve(session.state().view.schema())?;
         Ok((session, schema))
     }
 
-    /// The catalog.
-    pub fn db(&self) -> &Arc<Database> {
-        &self.db
+    /// Pin the current epoch's state.
+    pub(crate) fn state(&self) -> Arc<SessionState> {
+        Arc::clone(&self.state.read())
     }
 
-    /// The graph view.
-    pub fn view(&self) -> &Arc<GraphView> {
-        &self.view
+    /// Publish a new state (writer paths only; callers hold `write_lock`).
+    pub(crate) fn publish(&self, state: SessionState) {
+        *self.state.write() = Arc::new(state);
     }
 
-    /// The current GLogue statistics (a snapshot: `rebuild_statistics`
-    /// swaps in a fresh instance).
+    /// The current data epoch: 0 at open, +1 per committed ingest batch.
+    pub fn epoch(&self) -> u64 {
+        self.state().epoch
+    }
+
+    /// Pin the current epoch for repeatable reads: every query run through
+    /// the returned [`Snapshot`] sees this exact data version, regardless
+    /// of ingest commits that land in the meantime.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot {
+            session: self,
+            state: self.state(),
+        }
+    }
+
+    /// The catalog (of the current epoch).
+    pub fn db(&self) -> Arc<Database> {
+        Arc::clone(&self.state().db)
+    }
+
+    /// The graph view (of the current epoch).
+    pub fn view(&self) -> Arc<GraphView> {
+        Arc::clone(&self.state().view)
+    }
+
+    /// The current GLogue statistics (a snapshot: `rebuild_statistics` and
+    /// ingest commits swap in fresh instances).
     pub fn glogue(&self) -> Arc<GLogue> {
-        Arc::clone(&self.glogue.read())
+        Arc::clone(&self.state().glogue)
     }
 
     /// The session options.
@@ -183,23 +247,53 @@ impl Session {
         self.cache.metrics()
     }
 
+    /// Open an ingest batch: queue inserts and deletes, then
+    /// [`IngestBatch::commit`] to merge, refresh statistics and publish the
+    /// next epoch. One writer at a time; readers are never blocked.
+    pub fn begin_ingest(&self) -> IngestBatch<'_> {
+        IngestBatch::begin(self)
+    }
+
     /// Rebuild the GLogue statistics with new parameters. Every cached
     /// plan was costed against the old statistics, so the plan cache's
     /// statistics version is bumped: existing entries die on next lookup,
     /// and pinned prepared-statement handles re-optimize on next execute.
     /// Works through `&self` — serving traffic may continue concurrently.
     /// (`options()` keeps reporting the construction-time `glogue_k` /
-    /// `glogue_stride`; the live values are the ones passed here.)
+    /// `glogue_stride`; the live values are the ones passed here, and
+    /// [`Session::refresh_statistics`] reuses them.)
     pub fn rebuild_statistics(&self, glogue_k: usize, glogue_stride: usize) -> Result<()> {
+        let _writer = self.write_lock.lock();
+        let state = self.state();
         let glogue = Arc::new(GLogue::with_threads(
-            Arc::clone(&self.view),
+            Arc::clone(&state.view),
             glogue_k,
             glogue_stride,
             self.options.threads,
         )?);
-        *self.glogue.write() = glogue;
+        *self.tuning.lock() = (glogue_k, glogue_stride);
+        self.publish(SessionState {
+            epoch: state.epoch,
+            db: Arc::clone(&state.db),
+            view: Arc::clone(&state.view),
+            glogue,
+        });
         self.cache.invalidate_all();
         Ok(())
+    }
+
+    /// [`Session::rebuild_statistics`] with the last-used tuning pair —
+    /// callers that just want fresh statistics no longer re-pass
+    /// `(glogue_k, glogue_stride)` they did not choose.
+    pub fn refresh_statistics(&self) -> Result<()> {
+        let (k, stride) = *self.tuning.lock();
+        self.rebuild_statistics(k, stride)
+    }
+
+    /// The last statistics tuning pair (construction options, or the last
+    /// [`Session::rebuild_statistics`] arguments).
+    pub fn statistics_tuning(&self) -> (usize, usize) {
+        *self.tuning.lock()
     }
 
     /// Retune the intra-query thread count without invalidating anything:
@@ -207,16 +301,25 @@ impl Session {
     /// cached plans and GLogue cardinalities remain valid.
     pub fn set_threads(&mut self, threads: usize) {
         self.options.threads = threads.max(1);
-        self.glogue.read().set_threads(self.options.threads);
+        self.state().glogue.set_threads(self.options.threads);
     }
 
-    fn planner_context(&self) -> PlannerContext {
+    fn planner_context(&self, state: &SessionState) -> PlannerContext {
         PlannerContext {
-            view: Arc::clone(&self.view),
-            db: Arc::clone(&self.db),
-            glogue: Some(self.glogue()),
+            view: Arc::clone(&state.view),
+            db: Arc::clone(&state.db),
+            glogue: Some(Arc::clone(&state.glogue)),
             timeout: self.options.opt_timeout,
         }
+    }
+
+    pub(crate) fn optimize_at(
+        &self,
+        state: &SessionState,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        optimize(query, mode, &self.planner_context(state))
     }
 
     /// Optimize a query under `mode`.
@@ -225,7 +328,7 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
     ) -> Result<(PhysicalPlan, OptStats)> {
-        optimize(query, mode, &self.planner_context())
+        self.optimize_at(&self.state(), query, mode)
     }
 
     /// The execution configuration `mode` runs under (shared by the
@@ -238,16 +341,90 @@ impl Session {
         }
     }
 
-    /// Execute a previously optimized plan under `mode`'s execution regime.
-    pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
-        execute_plan(plan, &self.view, &self.db, &self.exec_config(mode))
+    pub(crate) fn execute_at(
+        &self,
+        state: &SessionState,
+        plan: &PhysicalPlan,
+        mode: OptimizerMode,
+    ) -> Result<Table> {
+        execute_plan(plan, &state.view, &state.db, &self.exec_config(mode))
     }
 
-    /// Optimize + execute, reporting timings.
-    pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
-        let (plan, opt) = self.optimize(query, mode)?;
+    /// Execute a previously optimized plan under `mode`'s execution regime.
+    pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
+        self.execute_at(&self.state(), plan, mode)
+    }
+
+    fn run_at(
+        &self,
+        state: &SessionState,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<QueryOutcome> {
+        let (plan, opt) = self.optimize_at(state, query, mode)?;
         let start = Instant::now();
-        let table = self.execute(&plan, mode)?;
+        let table = self.execute_at(state, &plan, mode)?;
+        Ok(QueryOutcome {
+            table,
+            opt,
+            exec_time: start.elapsed(),
+            cached: false,
+        })
+    }
+
+    /// Optimize + execute, reporting timings. The whole query runs against
+    /// one pinned epoch.
+    pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
+        self.run_at(&self.state(), query, mode)
+    }
+
+    fn run_cached_at(
+        &self,
+        state: &SessionState,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<QueryOutcome> {
+        let opt_start = Instant::now();
+        let pq = parameterize(query);
+        let key = pq.key(mode);
+        if let Some((skeleton, cached_params)) = self.cache.lookup(&key) {
+            match rebind_plan(&skeleton, &cached_params, &pq.params) {
+                Ok(plan) => {
+                    let opt = OptStats {
+                        elapsed: opt_start.elapsed(),
+                        plans_visited: 0,
+                        timed_out: false,
+                    };
+                    let start = Instant::now();
+                    let table = self.execute_at(state, &plan, mode)?;
+                    return Ok(QueryOutcome {
+                        table,
+                        opt,
+                        exec_time: start.elapsed(),
+                        cached: true,
+                    });
+                }
+                Err(_) => self.cache.note_rebind_failure(),
+            }
+        }
+        // Snapshot the statistics version *before* optimizing: if a
+        // `rebuild_statistics` or ingest commit races past while the
+        // optimizer runs, the entry is inserted stamped with the superseded
+        // version and dies on its next lookup instead of being served as
+        // current.
+        let version = self.cache.stats_version();
+        let (plan, mut opt) = self.optimize_at(state, query, mode)?;
+        let plan = Arc::new(plan);
+        // A timed-out search produced a fallback plan; don't pin it for
+        // every future instance of the template.
+        if !opt.timed_out {
+            self.cache
+                .insert_at(key, Arc::clone(&plan), pq.params, version);
+        }
+        // Charge the full miss path (parameterize + lookup + optimize).
+        opt.elapsed = opt_start.elapsed();
+        let start = Instant::now();
+        let table = self.execute_at(state, &plan, mode)?;
         Ok(QueryOutcome {
             table,
             opt,
@@ -266,57 +443,16 @@ impl Session {
     /// ambiguous, which is counted as a *rebind failure* — the query is
     /// optimized normally and the skeleton inserted for the next instance.
     pub fn run_cached(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
-        let opt_start = Instant::now();
-        let pq = parameterize(query);
-        let key = pq.key(mode);
-        if let Some((skeleton, cached_params)) = self.cache.lookup(&key) {
-            match rebind_plan(&skeleton, &cached_params, &pq.params) {
-                Ok(plan) => {
-                    let opt = OptStats {
-                        elapsed: opt_start.elapsed(),
-                        plans_visited: 0,
-                        timed_out: false,
-                    };
-                    let start = Instant::now();
-                    let table = self.execute(&plan, mode)?;
-                    return Ok(QueryOutcome {
-                        table,
-                        opt,
-                        exec_time: start.elapsed(),
-                        cached: true,
-                    });
-                }
-                Err(_) => self.cache.note_rebind_failure(),
-            }
-        }
-        // Snapshot the statistics version *before* optimizing: if a
-        // `rebuild_statistics` races past while the optimizer runs, the
-        // entry is inserted stamped with the superseded version and dies on
-        // its next lookup instead of being served as current.
-        let version = self.cache.stats_version();
-        let (plan, mut opt) = self.optimize(query, mode)?;
-        let plan = Arc::new(plan);
-        // A timed-out search produced a fallback plan; don't pin it for
-        // every future instance of the template.
-        if !opt.timed_out {
-            self.cache
-                .insert_at(key, Arc::clone(&plan), pq.params, version);
-        }
-        // Charge the full miss path (parameterize + lookup + optimize).
-        opt.elapsed = opt_start.elapsed();
-        let start = Instant::now();
-        let table = self.execute(&plan, mode)?;
-        Ok(QueryOutcome {
-            table,
-            opt,
-            exec_time: start.elapsed(),
-            cached: false,
-        })
+        self.run_cached_at(&self.state(), query, mode)
+    }
+
+    fn oracle_at(&self, state: &SessionState, query: &SpjmQuery) -> Result<Table> {
+        relgo_exec::oracle::execute_query(query, &state.view, &state.db)
     }
 
     /// Execute the query through the naive oracle (no optimizer at all).
     pub fn oracle(&self, query: &SpjmQuery) -> Result<Table> {
-        relgo_exec::oracle::execute_query(query, &self.view, &self.db)
+        self.oracle_at(&self.state(), query)
     }
 
     /// EXPLAIN: the optimized plan as text.
@@ -326,15 +462,17 @@ impl Session {
     }
 
     /// Check that every optimizer mode agrees with the oracle on `query`;
-    /// returns the per-mode outcomes (testing and demo helper).
+    /// returns the per-mode outcomes (testing and demo helper). Runs
+    /// entirely against one pinned epoch.
     pub fn verify_all_modes(
         &self,
         query: &SpjmQuery,
     ) -> Result<Vec<(OptimizerMode, QueryOutcome)>> {
-        let expected = self.oracle(query)?.sorted_rows();
+        let state = self.state();
+        let expected = self.oracle_at(&state, query)?.sorted_rows();
         let mut outcomes = Vec::new();
         for mode in OptimizerMode::ALL {
-            let outcome = self.run(query, mode)?;
+            let outcome = self.run_at(&state, query, mode)?;
             if outcome.table.sorted_rows() != expected {
                 return Err(RelGoError::execution(format!(
                     "{} disagrees with the oracle ({} vs {} rows)",
@@ -346,6 +484,49 @@ impl Session {
             outcomes.push((mode, outcome));
         }
         Ok(outcomes)
+    }
+}
+
+/// A pinned data epoch of a [`Session`]: queries run through a snapshot see
+/// the same data version no matter how many ingest batches commit after it
+/// was taken — uncommitted (and later-committed) rows are invisible.
+/// Cached-plan probes still share the session's plan cache; a plan rebound
+/// from it executes against this snapshot's data.
+pub struct Snapshot<'s> {
+    session: &'s Session,
+    state: Arc<SessionState>,
+}
+
+impl Snapshot<'_> {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The pinned catalog.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.state.db
+    }
+
+    /// The pinned graph view.
+    pub fn view(&self) -> &Arc<GraphView> {
+        &self.state.view
+    }
+
+    /// Optimize + execute against the pinned epoch.
+    pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
+        self.session.run_at(&self.state, query, mode)
+    }
+
+    /// [`Session::run_cached`] against the pinned epoch (shares the
+    /// session's plan cache).
+    pub fn run_cached(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
+        self.session.run_cached_at(&self.state, query, mode)
+    }
+
+    /// The oracle against the pinned epoch.
+    pub fn oracle(&self, query: &SpjmQuery) -> Result<Table> {
+        self.session.oracle_at(&self.state, query)
     }
 }
 
@@ -380,5 +561,25 @@ mod tests {
         .unwrap();
         let out = session.run(&q, OptimizerMode::RelGo).unwrap();
         assert_eq!(out.table.num_rows(), 1, "MIN aggregate returns one row");
+    }
+
+    #[test]
+    fn refresh_statistics_reuses_last_tuning() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        assert_eq!(session.statistics_tuning(), (3, 1));
+        session.rebuild_statistics(2, 2).unwrap();
+        assert_eq!(session.statistics_tuning(), (2, 2));
+        let invalidations_before = session.cache_metrics().invalidations;
+        session.refresh_statistics().unwrap();
+        assert_eq!(session.statistics_tuning(), (2, 2));
+        assert_eq!(
+            session.cache_metrics().invalidations,
+            invalidations_before + 1
+        );
+        let gl = session.glogue();
+        assert_eq!((gl.k(), gl.stride()), (2, 2));
+        // Queries still answer correctly under the retuned statistics.
+        let q = snb_queries::ic1(&schema, 1, 5).unwrap();
+        session.run(&q, OptimizerMode::RelGo).unwrap();
     }
 }

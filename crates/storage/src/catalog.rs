@@ -143,6 +143,23 @@ impl Database {
         Ok(())
     }
 
+    /// Replace an existing table with new contents (same name, same
+    /// position), dropping any cached key indexes over it — the commit path
+    /// of the delta store, where unchanged tables keep sharing their `Arc`s
+    /// (and their cached indexes) while changed ones are re-registered.
+    pub fn replace_table(&mut self, table: Table) -> Result<Arc<Table>> {
+        let name = table.name().to_string();
+        let Some(&i) = self.by_name.get(&name) else {
+            return Err(RelGoError::not_found(format!(
+                "table '{name}' (replace_table requires an existing table)"
+            )));
+        };
+        let arc = Arc::new(table);
+        self.tables[i] = Arc::clone(&arc);
+        self.key_indexes.retain(|(t, _), _| *t != name);
+        Ok(arc)
+    }
+
     /// Fetch a table by name.
     pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
         self.by_name
@@ -273,6 +290,32 @@ mod tests {
         // Cached: same Arc returned.
         let idx2 = db.key_index("Person", "person_id").unwrap();
         assert!(Arc::ptr_eq(&idx, &idx2));
+    }
+
+    #[test]
+    fn replace_table_drops_stale_key_indexes() {
+        let mut db = db();
+        let old_idx = db.key_index("Person", "person_id").unwrap();
+        assert_eq!(old_idx.lookup(30), None);
+        db.replace_table(table_of(
+            "Person",
+            &[("person_id", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![10.into(), "Tom".into()],
+                vec![20.into(), "Bob".into()],
+                vec![30.into(), "Eve".into()],
+            ],
+        ))
+        .unwrap();
+        // Position and name survive; the cached index was invalidated.
+        assert_eq!(db.table_names(), vec!["Person", "Likes"]);
+        let idx = db.key_index("Person", "person_id").unwrap();
+        assert_eq!(idx.lookup(30), Some(2));
+        assert!(!Arc::ptr_eq(&old_idx, &idx));
+        // Unknown tables are rejected.
+        assert!(db
+            .replace_table(table_of("Nope", &[("k", DataType::Int)], vec![]))
+            .is_err());
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub use catalog::{Database, ForeignKey, KeyIndex};
 pub use column::Column;
 pub use expr::{BinaryOp, ScalarExpr};
 pub use stats::{ColumnStats, TableStats};
-pub use table::{Table, TableBuilder};
+pub use table::{Table, TableBuilder, TableChange};

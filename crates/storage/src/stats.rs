@@ -7,7 +7,7 @@
 //! the high-order statistics of `relgo-glogue`.
 
 use crate::expr::{BinaryOp, ScalarExpr};
-use crate::table::Table;
+use crate::table::{Table, TableChange};
 use relgo_common::{DataType, FxHashSet, RowId, Value};
 
 /// An equi-width histogram over an integer/date column — the "attribute
@@ -219,6 +219,74 @@ impl TableStats {
         }
     }
 
+    /// Delta-aware refresh: statistics of `merged` given the statistics of
+    /// its base and the [`TableChange`] that produced it.
+    ///
+    /// Deletions can retract extremes and distinct values, so they force a
+    /// full recompute. Append-only changes are incremental: rows, NULLs and
+    /// min/max are updated by scanning **only the appended rows**, and the
+    /// distinct count is maintained without touching the base whenever every
+    /// appended value lies outside the base min/max (the dominant ingest
+    /// shape — ascending surrogate keys and timestamps); an appended value
+    /// inside the base range may collide with an existing one, so only that
+    /// column falls back to a full distinct pass.
+    pub fn merge_delta(&self, merged: &Table, change: &TableChange) -> TableStats {
+        if !change.is_append_only() {
+            return TableStats::compute(merged);
+        }
+        let base_rows = change.base_rows() as RowId;
+        let mut columns = Vec::with_capacity(merged.num_columns());
+        for (c, base) in self.columns.iter().enumerate() {
+            let col = merged.column(c);
+            let mut nulls = base.nulls;
+            let mut min = base.min.clone();
+            let mut max = base.max.clone();
+            let mut fresh: FxHashSet<Value> = FxHashSet::default();
+            let mut all_outside = true;
+            for r in base_rows..merged.num_rows() as RowId {
+                let v = col.get(r);
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                let below = min.as_ref().is_none_or(|m| v < *m);
+                let above = max.as_ref().is_none_or(|m| v > *m);
+                all_outside &= below || above;
+                if below {
+                    min = Some(v.clone());
+                }
+                if above {
+                    max = Some(v.clone());
+                }
+                fresh.insert(v);
+            }
+            let distinct = if all_outside {
+                base.distinct + fresh.len()
+            } else {
+                // Some appended value falls inside the base range: resolve
+                // collisions exactly with one pass over this column.
+                let mut seen: FxHashSet<Value> = FxHashSet::default();
+                for r in 0..merged.num_rows() as RowId {
+                    let v = col.get(r);
+                    if !v.is_null() {
+                        seen.insert(v);
+                    }
+                }
+                seen.len()
+            };
+            columns.push(ColumnStats {
+                distinct,
+                nulls,
+                min,
+                max,
+            });
+        }
+        TableStats {
+            rows: merged.num_rows(),
+            columns,
+        }
+    }
+
     /// Estimated selectivity of `col = const` under uniformity: `1/distinct`.
     pub fn eq_selectivity(&self, col: usize) -> f64 {
         let d = self.columns[col].distinct.max(1);
@@ -392,6 +460,62 @@ mod tests {
         let b = ScalarExpr::col_cmp(0, BinaryOp::Ge, 8i64);
         let sel_and = predicate_selectivity(&t, &a.clone().and(b.clone()));
         assert!(sel_and <= predicate_selectivity(&t, &a));
+    }
+
+    #[test]
+    fn merge_delta_append_outside_range_is_incremental() {
+        let base = t();
+        let stats = TableStats::compute(&base);
+        // Appended keys above the base max: distinct adds without a rescan.
+        let merged = table_of(
+            "t",
+            &[("k", DataType::Int), ("s", DataType::Str)],
+            vec![
+                vec![1.into(), "a".into()],
+                vec![5.into(), "b".into()],
+                vec![5.into(), Value::Null],
+                vec![9.into(), "a".into()],
+                vec![12.into(), "z9".into()],
+                vec![12.into(), Value::Null],
+            ],
+        );
+        let change = TableChange::new(4, vec![], 2);
+        let inc = stats.merge_delta(&merged, &change);
+        assert_eq!(inc, TableStats::compute(&merged));
+        assert_eq!(inc.rows, 6);
+        assert_eq!(inc.columns[0].distinct, 4);
+        assert_eq!(inc.columns[0].max, Some(Value::Int(12)));
+        assert_eq!(inc.columns[1].nulls, 2);
+    }
+
+    #[test]
+    fn merge_delta_collision_and_deletion_stay_exact() {
+        let base = t();
+        let stats = TableStats::compute(&base);
+        // Appended key 5 collides with an existing value: the column falls
+        // back to a full distinct pass and must stay exact.
+        let merged = table_of(
+            "t",
+            &[("k", DataType::Int), ("s", DataType::Str)],
+            vec![
+                vec![1.into(), "a".into()],
+                vec![5.into(), "b".into()],
+                vec![5.into(), Value::Null],
+                vec![9.into(), "a".into()],
+                vec![5.into(), "b".into()],
+            ],
+        );
+        let inc = stats.merge_delta(&merged, &TableChange::new(4, vec![], 1));
+        assert_eq!(inc, TableStats::compute(&merged));
+        assert_eq!(inc.columns[0].distinct, 3);
+        // A deletion forces the full path (and matches it).
+        let shrunk = table_of(
+            "t",
+            &[("k", DataType::Int), ("s", DataType::Str)],
+            vec![vec![1.into(), "a".into()], vec![9.into(), "a".into()]],
+        );
+        let inc = stats.merge_delta(&shrunk, &TableChange::new(4, vec![1, 2], 0));
+        assert_eq!(inc, TableStats::compute(&shrunk));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   draw-dependent literals) replayed against the plan cache;
 //! * [`Workload`] — a named query with metadata used by the harness.
 
+pub mod dynamic;
 pub mod job_queries;
 pub mod snb_queries;
 pub mod templates;

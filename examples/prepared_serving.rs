@@ -79,8 +79,16 @@ fn main() -> Result<()> {
             report.cached_queries,
             report.batches
         );
+        // Per-replay cache-metric deltas (not the session-lifetime totals):
+        // what this regime alone did to the cache.
+        let m = report.metrics;
+        println!(
+            "             deltas: hits={} misses={} invalidations={} prepared_hits={} prepared_invalidations={}",
+            m.hits, m.misses, m.invalidations, m.prepared_hits, m.prepared_invalidations
+        );
         assert_eq!(report.queries, threads * rounds * templates.len());
         assert_eq!(report.cached_queries, report.queries, "replay is warm");
+        assert_eq!(m.invalidations, 0, "no statistics rebuilds mid-replay");
     }
 
     let m = session.cache_metrics();

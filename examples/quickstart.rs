@@ -89,7 +89,8 @@ fn main() -> Result<()> {
         .edge("Knows", "pid1", "Person", "pid2", "Person");
 
     let session = Session::open(db, mapping)?;
-    let schema = session.view().schema();
+    let view = session.view();
+    let schema = view.schema();
     let person = schema.vertex_label_id("Person")?;
     let message = schema.vertex_label_id("Message")?;
     let likes = schema.edge_label_id("Likes")?;

@@ -21,7 +21,7 @@ fn main() -> Result<()> {
     let seed = (0..40i64)
         .find(|&id| {
             let probe = spj_query(id);
-            evaluate_spj(&probe, session.db())
+            evaluate_spj(&probe, &session.db())
                 .map(|t| t.num_rows() > 0)
                 .unwrap_or(false)
         })
@@ -112,10 +112,10 @@ fn run(session: Session, spj: SpjQuery) -> Result<()> {
         spj.joins.len()
     );
     let t0 = Instant::now();
-    let plain = evaluate_spj(&spj, session.db())?;
+    let plain = evaluate_spj(&spj, &session.db())?;
     let plain_time = t0.elapsed();
 
-    let conv = spj_to_spjm(&spj, session.view(), session.db())?;
+    let conv = spj_to_spjm(&spj, &session.view(), &session.db())?;
     println!("\nconversion summary:");
     for line in &conv.summary {
         println!("  {line}");

@@ -297,8 +297,8 @@ fn spj_to_spjm_conversion_runs_end_to_end() {
         ],
         projection: vec![(4, 1), (4, 0)],
     };
-    let plain = evaluate_spj(&spj, session.db()).unwrap();
-    let conv = spj_to_spjm(&spj, session.view(), session.db()).unwrap();
+    let plain = evaluate_spj(&spj, &session.db()).unwrap();
+    let conv = spj_to_spjm(&spj, &session.view(), &session.db()).unwrap();
     assert_eq!(conv.query.pattern.vertex_count(), 3);
     assert_eq!(conv.query.pattern.edge_count(), 2);
     for mode in [OptimizerMode::RelGo, OptimizerMode::DuckDbLike] {

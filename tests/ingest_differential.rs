@@ -1,0 +1,434 @@
+//! Randomized differential testing of the ingest subsystem.
+//!
+//! The core property: a session that ingests a randomized delta stream
+//! (person/knows/likes inserts and edge-row deletes, split across several
+//! commits) returns **bit-identical** rows to a fresh session built from
+//! the final merged dataset — across all four execution regimes
+//! (`run`, `run_cached`, prepared `execute`, prepared `execute_batch`),
+//! both optimizer modes, and 1/4 intra-query threads. Any divergence is an
+//! incremental-maintenance bug: the merged tables, the label-shared graph
+//! index, or the carried-over GLogue statistics disagree with a
+//! from-scratch build.
+//!
+//! A second property pins the statistics themselves: after an arbitrary
+//! committed delta stream, `GraphStats` and warm GLogue pattern counts must
+//! equal a from-scratch recompute on the merged data — under both the
+//! incremental refresh (staleness 1.0) and the full rebuild (staleness
+//! 0.0) commit paths.
+//!
+//! Plain tests cover snapshot isolation: a reader pinned to an old epoch
+//! sees neither uncommitted nor later-committed rows.
+
+use proptest::prelude::*;
+use relgo::prelude::*;
+use relgo::workloads::templates::{snb_templates, QueryTemplate};
+use relgo_storage::Database;
+use std::sync::OnceLock;
+
+/// One delta-stream operation (prefix-safe: generated so that any split of
+/// the stream into ordered commits is valid).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(&'static str, Vec<Value>),
+    Delete(&'static str, i64),
+}
+
+/// The shared base dataset (building data dominates test time; sessions are
+/// rebuilt per case from clones of this).
+fn base() -> &'static (Database, relgo::graph::RGMapping) {
+    static CELL: OnceLock<(Database, relgo::graph::RGMapping)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (db, mapping) =
+            relgo::datagen::generate_snb(&relgo::datagen::SnbParams { sf: 0.03, seed: 42 });
+        (db, mapping)
+    })
+}
+
+fn max_key(db: &Database, table: &str) -> i64 {
+    let t = db.table(table).unwrap();
+    (0..t.num_rows() as u32)
+        .filter_map(|r| t.value(r, 0).as_int())
+        .max()
+        .unwrap_or(-1)
+}
+
+/// Deterministic randomized delta stream over the base dataset: person,
+/// knows and likes inserts plus knows/likes edge-row deletes.
+fn gen_ops(db: &Database, seed: u64, n: usize) -> Vec<Op> {
+    // SplitMix64 (self-contained so the stream is stable regardless of the
+    // vendored rand shim's evolution).
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let n_person = db.table("Person").unwrap().num_rows() as i64;
+    let n_message = db.table("Message").unwrap().num_rows() as i64;
+    let mut next_person = max_key(db, "Person") + 1;
+    let mut next_knows = max_key(db, "Knows") + 1;
+    let mut next_likes = max_key(db, "Likes") + 1;
+    let mut persons: Vec<i64> = (0..n_person).collect();
+    let mut deletable_knows: Vec<i64> = (0..=max_key(db, "Knows")).collect();
+    let mut deletable_likes: Vec<i64> = (0..=max_key(db, "Likes")).collect();
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        match next() % 6 {
+            0 => {
+                let id = next_person;
+                next_person += 1;
+                ops.push(Op::Insert(
+                    "Person",
+                    vec![
+                        Value::Int(id),
+                        Value::str(format!("delta_{id}")),
+                        Value::Date(18_000 + (next() % 500) as i64),
+                    ],
+                ));
+                persons.push(id);
+            }
+            1 | 2 => {
+                let p = persons[(next() % persons.len() as u64) as usize];
+                let mut q = persons[(next() % persons.len() as u64) as usize];
+                if q == p {
+                    q = persons
+                        [(persons.iter().position(|&x| x == p).unwrap() + 1) % persons.len()];
+                }
+                if q == p {
+                    continue;
+                }
+                let id = next_knows;
+                next_knows += 1;
+                ops.push(Op::Insert(
+                    "Knows",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(p),
+                        Value::Int(q),
+                        Value::Date(18_000 + (next() % 500) as i64),
+                    ],
+                ));
+            }
+            3 => {
+                let p = persons[(next() % persons.len() as u64) as usize];
+                let m = (next() % n_message as u64) as i64;
+                let id = next_likes;
+                next_likes += 1;
+                ops.push(Op::Insert(
+                    "Likes",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(p),
+                        Value::Int(m),
+                        Value::Date(18_000 + (next() % 500) as i64),
+                    ],
+                ));
+            }
+            4 if !deletable_knows.is_empty() => {
+                let i = (next() % deletable_knows.len() as u64) as usize;
+                ops.push(Op::Delete("Knows", deletable_knows.swap_remove(i)));
+            }
+            _ if !deletable_likes.is_empty() => {
+                let i = (next() % deletable_likes.len() as u64) as usize;
+                ops.push(Op::Delete("Likes", deletable_likes.swap_remove(i)));
+            }
+            _ => {}
+        }
+    }
+    ops
+}
+
+/// Apply `ops` split into `commits` ordered batches.
+fn apply_ops(session: &Session, ops: &[Op], commits: usize) -> Vec<IngestReport> {
+    let commits = commits.clamp(1, ops.len().max(1));
+    let per = ops.len().div_ceil(commits);
+    let mut reports = Vec::new();
+    for chunk in ops.chunks(per.max(1)) {
+        let mut batch = session.begin_ingest();
+        for op in chunk {
+            match op {
+                Op::Insert(table, row) => batch.insert_row(table, row.clone()).unwrap(),
+                Op::Delete(table, key) => batch.delete_row(table, *key).unwrap(),
+            }
+        }
+        reports.push(batch.commit().unwrap());
+    }
+    reports
+}
+
+fn options(threads: usize, staleness: f64) -> SessionOptions {
+    SessionOptions {
+        threads,
+        stats_staleness: staleness,
+        ..SessionOptions::default()
+    }
+}
+
+/// Row-for-row table equality (stricter than set equality).
+fn bit_identical(a: &Table, b: &Table) -> bool {
+    a.num_rows() == b.num_rows() && (0..a.num_rows() as u32).all(|r| a.row(r) == b.row(r))
+}
+
+/// Run one template draw through the ingested session's four regimes and
+/// the fresh session's `run`; assert bit-identity everywhere.
+fn differential_case(
+    ingested: &Session,
+    fresh: &Session,
+    t: &QueryTemplate,
+    draw: u64,
+    mode: OptimizerMode,
+) -> Table {
+    let name = t.name();
+    let q = t.instantiate(draw).unwrap();
+    let expected = fresh.run(&q, mode).unwrap().table;
+    let direct = ingested.run(&q, mode).unwrap().table;
+    assert!(
+        bit_identical(&expected, &direct),
+        "{name} draw {draw} {}: ingested run diverges from fresh session",
+        mode.name()
+    );
+    let cached = ingested.run_cached(&q, mode).unwrap().table;
+    assert!(
+        bit_identical(&expected, &cached),
+        "{name} draw {draw} {}: ingested run_cached diverges",
+        mode.name()
+    );
+    let stmt = ingested.prepare(&t.instantiate(0).unwrap(), mode).unwrap();
+    let prepared = stmt.execute(&t.bindings(draw).unwrap()).unwrap().table;
+    assert!(
+        bit_identical(&expected, &prepared),
+        "{name} draw {draw} {}: ingested prepared execute diverges",
+        mode.name()
+    );
+    let batch: Vec<Vec<Value>> = (draw..draw + 2).map(|d| t.bindings(d).unwrap()).collect();
+    let out = stmt.execute_batch(&batch).unwrap();
+    assert!(
+        bit_identical(&expected, &out.tables[0]),
+        "{name} draw {draw} {}: ingested batched execute diverges",
+        mode.name()
+    );
+    let twin = fresh.run(&t.instantiate(draw + 1).unwrap(), mode).unwrap();
+    assert!(
+        bit_identical(&twin.table, &out.tables[1]),
+        "{name} draw {} {}: batch member 1 diverges",
+        draw + 1,
+        mode.name()
+    );
+    expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The headline differential: ingest ≡ fresh across regimes, modes and
+    /// thread counts.
+    #[test]
+    fn ingested_session_matches_fresh_session(
+        seed in 0u64..1_000,
+        n_ops in 1usize..14,
+        commits in 1usize..4,
+        template_idx in 0usize..5,
+        draw in 0u64..40,
+    ) {
+        let (db, mapping) = base();
+        let ops = gen_ops(db, seed, n_ops);
+        let mut per_threads: Vec<Table> = Vec::new();
+        for threads in [1usize, 4] {
+            // Alternate commit staleness by seed so both refresh paths are
+            // continuously differentially tested.
+            let staleness = if seed % 2 == 0 { 1.0 } else { 0.0 };
+            let (ingested, schema) = {
+                let session = Session::open_with(
+                    db.clone(),
+                    mapping.clone(),
+                    options(threads, staleness),
+                ).unwrap();
+                let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+                (session, schema)
+            };
+            // Warm caches/statistics *before* the delta so the commit path
+            // has real state to maintain.
+            let t = &snb_templates(&schema)[template_idx];
+            ingested.run_cached(&t.instantiate(draw).unwrap(), OptimizerMode::RelGo).unwrap();
+            let reports = apply_ops(&ingested, &ops, commits);
+            prop_assert!(reports.last().unwrap().epoch >= 1);
+            let fresh = Session::open_with(
+                (*ingested.db()).clone(),
+                mapping.clone(),
+                options(threads, 0.2),
+            ).unwrap();
+            for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+                let expected = differential_case(&ingested, &fresh, t, draw, mode);
+                if mode == OptimizerMode::RelGo {
+                    per_threads.push(expected);
+                }
+            }
+        }
+        prop_assert!(
+            bit_identical(&per_threads[0], &per_threads[1]),
+            "1-thread and 4-thread results diverge"
+        );
+    }
+
+    /// Statistics equality: after an arbitrary committed delta stream, the
+    /// label statistics and warm GLogue pattern counts equal a from-scratch
+    /// recompute over the merged data — for both the incremental and the
+    /// full-rebuild commit paths.
+    #[test]
+    fn delta_statistics_equal_recompute(
+        seed in 0u64..1_000,
+        n_ops in 1usize..16,
+        commits in 1usize..3,
+        incremental in any::<bool>(),
+    ) {
+        use relgo::pattern::PatternBuilder;
+
+        let (db, mapping) = base();
+        let ops = gen_ops(db, seed, n_ops);
+        let staleness = if incremental { 1.0 } else { 0.0 };
+        let session = Session::open_with(db.clone(), mapping.clone(), options(1, staleness)).unwrap();
+        let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+
+        // Small probe patterns over the labels the delta touches (and one
+        // it never touches).
+        let patterns = {
+            let mut out = Vec::new();
+            let mut b = PatternBuilder::new();
+            b.vertex("p", schema.person);
+            out.push(b.build().unwrap());
+            let mut b = PatternBuilder::new();
+            let p1 = b.vertex("p1", schema.person);
+            let p2 = b.vertex("p2", schema.person);
+            b.edge(p1, p2, schema.knows).unwrap();
+            out.push(b.build().unwrap());
+            let mut b = PatternBuilder::new();
+            let p = b.vertex("p", schema.person);
+            let m = b.vertex("m", schema.message);
+            b.edge(p, m, schema.likes).unwrap();
+            out.push(b.build().unwrap());
+            let mut b = PatternBuilder::new();
+            let t = b.vertex("t", schema.tag);
+            let c = b.vertex("c", schema.tagclass);
+            b.edge(t, c, schema.tag_has_type).unwrap();
+            out.push(b.build().unwrap());
+            out
+        };
+        // Warm the GLogue before the delta: retained counts must survive
+        // the commit *and* still be correct.
+        for p in &patterns {
+            session.glogue().cardinality(p).unwrap();
+        }
+        apply_ops(&session, &ops, commits);
+
+        let fresh = Session::open_with((*session.db()).clone(), mapping.clone(), options(1, 0.2)).unwrap();
+        // Label statistics match exactly.
+        let got = session.glogue();
+        let want = fresh.glogue();
+        let stats = got.graph_stats();
+        let fresh_stats = want.graph_stats();
+        let nv = fresh.view().schema().vertex_label_count();
+        let ne = fresh.view().schema().edge_label_count();
+        for l in 0..nv as u16 {
+            let l = relgo::common::LabelId(l);
+            prop_assert_eq!(stats.vertex_count(l), fresh_stats.vertex_count(l));
+        }
+        for l in 0..ne as u16 {
+            let l = relgo::common::LabelId(l);
+            prop_assert_eq!(stats.edge_count(l), fresh_stats.edge_count(l));
+            for dir in [relgo::graph::Direction::Out, relgo::graph::Direction::In] {
+                let a = stats.avg_degree(l, dir);
+                let b = fresh_stats.avg_degree(l, dir);
+                prop_assert!((a - b).abs() < 1e-12, "avg degree {l:?} {dir:?}: {a} vs {b}");
+            }
+        }
+        // Pattern counts match a from-scratch recompute.
+        for p in &patterns {
+            let a = got.cardinality(p).unwrap();
+            let b = want.cardinality(p).unwrap();
+            prop_assert!((a - b).abs() < 1e-9, "pattern count {a} vs {b}");
+        }
+    }
+}
+
+/// A reader pinned to an old epoch sees neither uncommitted nor
+/// later-committed rows — and its query results stay frozen too.
+#[test]
+fn snapshot_isolation_pins_query_results() {
+    let (db, mapping) = base();
+    let (session, schema) = {
+        let s = Session::open_with(db.clone(), mapping.clone(), options(1, 1.0)).unwrap();
+        let schema = SnbSchema::resolve(s.view().schema()).unwrap();
+        (s, schema)
+    };
+    let t = &snb_templates(&schema)[0]; // IC1-2 over Knows
+    let q = t.instantiate(3).unwrap();
+    let snap = session.snapshot();
+    let frozen = snap.run(&q, OptimizerMode::RelGo).unwrap().table;
+
+    // Uncommitted rows are invisible to everyone.
+    let ops = gen_ops(db, 9, 10);
+    let mut batch = session.begin_ingest();
+    for op in &ops {
+        match op {
+            Op::Insert(table, row) => batch.insert_row(table, row.clone()).unwrap(),
+            Op::Delete(table, key) => batch.delete_row(table, *key).unwrap(),
+        }
+    }
+    assert!(bit_identical(
+        &frozen,
+        &session.run(&q, OptimizerMode::RelGo).unwrap().table
+    ));
+    batch.commit().unwrap();
+
+    // The pinned snapshot still serves the old epoch, bit-for-bit — through
+    // the direct, cached and oracle paths.
+    assert_eq!(snap.epoch(), 0);
+    assert_eq!(session.epoch(), 1);
+    assert!(bit_identical(
+        &frozen,
+        &snap.run(&q, OptimizerMode::RelGo).unwrap().table
+    ));
+    assert!(bit_identical(
+        &frozen,
+        &snap.run_cached(&q, OptimizerMode::RelGo).unwrap().table
+    ));
+    assert_eq!(frozen.sorted_rows(), snap.oracle(&q).unwrap().sorted_rows());
+    // A fresh snapshot sees the new epoch.
+    assert_eq!(session.snapshot().epoch(), 1);
+}
+
+/// The two commit paths report what they did: incremental refresh retains
+/// warm counts, the full path drops them; both serve correct plans after.
+#[test]
+fn commit_reports_describe_the_refresh() {
+    let (db, mapping) = base();
+    for (staleness, expect_full) in [(1.0, false), (0.0, true)] {
+        let session =
+            Session::open_with(db.clone(), mapping.clone(), options(1, staleness)).unwrap();
+        let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+        // Warm a Likes-only count plus a TagHasType count (the delta below
+        // never touches tags).
+        let t = &snb_templates(&schema)[1]; // IC2 (knows + has_creator)
+        session
+            .run(&t.instantiate(0).unwrap(), OptimizerMode::RelGo)
+            .unwrap();
+        let warm = session.glogue().cached_patterns();
+        assert!(warm > 0);
+
+        let ops = gen_ops(db, 5, 6);
+        let report = apply_ops(&session, &ops, 1).pop().unwrap();
+        match (expect_full, report.stats) {
+            (true, StatsRefresh::Full) => {
+                assert_eq!(session.glogue().cached_patterns(), 0);
+            }
+            (false, StatsRefresh::Incremental { retained, evicted }) => {
+                assert_eq!(session.glogue().cached_patterns(), retained);
+                assert_eq!(retained + evicted, warm);
+            }
+            (want, got) => panic!("staleness {staleness}: wanted full={want}, got {got:?}"),
+        }
+        assert!(report.commit_time >= report.stats_time);
+    }
+}

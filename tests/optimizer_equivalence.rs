@@ -29,7 +29,8 @@ fn fig1_example_agrees_across_modes() {
     let (session, schema) = session();
     // Sweep every distinct person name in the dataset until one produces
     // matches, checking mode agreement for the first few names either way.
-    let person = session.db().table("Person").unwrap();
+    let db = session.db();
+    let person = db.table("Person").unwrap();
     let mut names: Vec<String> = (0..person.num_rows() as u32)
         .filter_map(|r| person.value(r, 1).as_str().map(str::to_string))
         .collect();

@@ -237,9 +237,9 @@ proptest! {
         let session = build_session(&g, 1);
         let pattern = pattern_of(&shape);
         let view = session.view();
-        let serial = count_homomorphisms_par(view, &pattern, stride, 1).unwrap();
+        let serial = count_homomorphisms_par(&view, &pattern, stride, 1).unwrap();
         for threads in [2usize, 8] {
-            let par = count_homomorphisms_par(view, &pattern, stride, threads).unwrap();
+            let par = count_homomorphisms_par(&view, &pattern, stride, threads).unwrap();
             prop_assert_eq!(par, serial, "{} threads, stride {}", threads, stride);
         }
     }

@@ -239,7 +239,7 @@ proptest! {
     fn glogue_exact_counts_match_oracle(g in random_graph(), shape in shapes()) {
         let session = build_session(&g);
         let pattern = pattern_of(&shape);
-        let oracle_count = relgo::exec::oracle::match_pattern(session.view(), &pattern)
+        let oracle_count = relgo::exec::oracle::match_pattern(&session.view(), &pattern)
             .unwrap()
             .len() as f64;
         let glogue_count = session.glogue().cardinality(&pattern).unwrap();

@@ -4,7 +4,9 @@
 //! guard — recovers the inner value, matching parking_lot's behavior of
 //! not propagating poison.
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+// Guard types are std's own, re-exported so callers can name them (the
+// real parking_lot exposes same-named guard types).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Debug, Default)]
