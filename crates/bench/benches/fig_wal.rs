@@ -1,0 +1,103 @@
+//! Criterion bench for the write-ahead log: per-commit latency with fsync
+//! on vs off, the raw append+sync path, and recovery replay of a populated
+//! log into a fresh session.
+//!
+//! Each commit iteration inserts 8 fresh person rows with monotonically
+//! increasing primary keys, so every commit is a real (non-conflicting)
+//! MVCC publish plus one WAL record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relgo::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+fn snb_base() -> (relgo::storage::Database, relgo::graph::RGMapping) {
+    relgo::datagen::generate_snb(&relgo::datagen::SnbParams { sf: 0.05, seed: 42 })
+}
+
+fn wal_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("relgo_bench_wal_{}_{tag}.wal", std::process::id()))
+}
+
+/// Commit one 8-insert person batch with globally fresh keys.
+fn commit_batch(session: &Session, next: &AtomicI64) {
+    let lo = next.fetch_add(8, Ordering::Relaxed);
+    let mut batch = session.begin_ingest();
+    for i in 0..8 {
+        let id = lo + i;
+        batch
+            .insert_row(
+                "Person",
+                vec![
+                    Value::Int(id),
+                    Value::str(format!("wal_{id}")),
+                    Value::Date(18_500),
+                ],
+            )
+            .unwrap();
+    }
+    batch.commit().unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_wal");
+    group.sample_size(10);
+
+    // Durable commit latency: fsync on vs off vs no WAL at all.
+    for (tag, fsync) in [("fsync", true), ("no_fsync", false)] {
+        let path = wal_path(tag);
+        let _ = std::fs::remove_file(&path);
+        let (db, mapping) = snb_base();
+        let (session, _) = Session::open_durable(
+            db,
+            mapping,
+            SessionOptions::default(),
+            &path,
+            WalOptions {
+                fsync,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        let next = AtomicI64::new(40_000_000);
+        group.bench_function(format!("commit_person8_{tag}"), |b| {
+            b.iter(|| commit_batch(&session, &next))
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    {
+        let (db, mapping) = snb_base();
+        let session = Session::open_with(db, mapping, SessionOptions::default()).unwrap();
+        let next = AtomicI64::new(40_000_000);
+        group.bench_function("commit_person8_no_wal", |b| {
+            b.iter(|| commit_batch(&session, &next))
+        });
+    }
+
+    // Recovery replay: open a log holding 16 committed batches into a fresh
+    // session over the same base data.
+    {
+        let path = wal_path("recover");
+        let _ = std::fs::remove_file(&path);
+        let (db, mapping) = snb_base();
+        let (writer, _) = Session::recover(db.clone(), mapping.clone(), &path).unwrap();
+        let next = AtomicI64::new(40_000_000);
+        for _ in 0..16 {
+            commit_batch(&writer, &next);
+        }
+        drop(writer);
+        group.bench_function("recover_16_commits", |b| {
+            b.iter(|| {
+                let (session, report) =
+                    Session::recover(db.clone(), mapping.clone(), &path).unwrap();
+                assert_eq!(report.records, 16);
+                assert_eq!(session.epoch(), 16);
+                session
+            })
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|stats|all] [--quick]
+//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|figwal|stats|all] [--quick]
 //! ```
 //!
 //! `--quick` (or `RELGO_BENCH_QUICK=1`) shrinks scales and repetitions for
@@ -48,10 +48,11 @@ fn main() {
     emit("figpar", &|| figures::fig_par(&cfg));
     emit("figprepared", &|| figures::fig_prepared(&cfg));
     emit("figingest", &|| figures::fig_ingest(&cfg));
+    emit("figwal", &|| figures::fig_wal(&cfg));
 
     if !ran_any {
         eprintln!(
-            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest all"
+            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest figwal all"
         );
         std::process::exit(2);
     }

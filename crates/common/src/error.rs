@@ -29,6 +29,10 @@ pub enum RelGoError {
     /// The configured resource budget (memory/intermediate-size guard) was
     /// exceeded; models the paper's OOM outcomes (e.g. RelGoNoEI on QC3).
     ResourceExhausted(String),
+    /// A first-committer-wins write conflict: another ingest commit touched
+    /// an overlapping primary-key write-set since this batch's base epoch.
+    /// Retryable — re-stage the batch against the current epoch.
+    Conflict(String),
 }
 
 impl RelGoError {
@@ -56,6 +60,11 @@ impl RelGoError {
     pub fn execution(msg: impl Into<String>) -> Self {
         RelGoError::Execution(msg.into())
     }
+
+    /// Shorthand constructor for [`RelGoError::Conflict`].
+    pub fn conflict(msg: impl Into<String>) -> Self {
+        RelGoError::Conflict(msg.into())
+    }
 }
 
 impl fmt::Display for RelGoError {
@@ -67,6 +76,7 @@ impl fmt::Display for RelGoError {
             RelGoError::Plan(s) => write!(f, "plan error: {s}"),
             RelGoError::Execution(s) => write!(f, "execution error: {s}"),
             RelGoError::ResourceExhausted(s) => write!(f, "resource exhausted: {s}"),
+            RelGoError::Conflict(s) => write!(f, "write conflict: {s}"),
         }
     }
 }
@@ -91,6 +101,8 @@ mod tests {
         assert!(e.to_string().starts_with("execution error"));
         let e = RelGoError::ResourceExhausted("intermediate > 1e9".into());
         assert!(e.to_string().starts_with("resource exhausted"));
+        let e = RelGoError::conflict("Person.person_id = 7 vs epoch 3");
+        assert!(e.to_string().starts_with("write conflict"));
     }
 
     #[test]

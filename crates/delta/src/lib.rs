@@ -21,7 +21,9 @@
 
 use relgo_common::{FxHashMap, RelGoError, Result, RowId, Value};
 use relgo_graph::GraphView;
-use relgo_storage::{Database, Table, TableChange};
+use relgo_storage::{Database, Table, TableChange, WriteSet};
+
+pub mod wal;
 
 /// The pending delta against one table: appended rows plus primary-key
 /// tombstones. Accumulated row-at-a-time, merged column-wise at commit.
@@ -132,6 +134,50 @@ impl DeltaSet {
     /// The pending delta of `table`, if any.
     pub fn table_delta(&self, table: &str) -> Option<&TableDelta> {
         self.tables.get(table)
+    }
+
+    /// The non-empty per-table deltas, sorted by table name — the
+    /// deterministic iteration order shared by [`DeltaSet::apply`] and the
+    /// WAL record codec ([`wal`]).
+    pub fn tables_sorted(&self) -> Vec<(&str, &TableDelta)> {
+        let mut out: Vec<(&str, &TableDelta)> = self
+            .tables
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(n, d)| (n.as_str(), d))
+            .collect();
+        out.sort_unstable_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// The primary-key write-set of this delta against `base`: every key an
+    /// insert introduces or a tombstone removes, per table. This is the
+    /// commit's conflict footprint — first-committer-wins MVCC validation
+    /// intersects it against the write-sets of commits that published after
+    /// the batch's base epoch. Tables without a declared primary key
+    /// contribute nothing (their inserts cannot conflict on a key); an
+    /// insert whose PK column is non-integer/NULL is rejected here with the
+    /// same schema error [`DeltaSet::apply`] would raise.
+    pub fn write_set(&self, base: &Database) -> Result<WriteSet> {
+        let mut ws = WriteSet::new();
+        for (name, delta) in self.tables_sorted() {
+            let Some(pk) = base.primary_key(name) else {
+                continue;
+            };
+            let pk_col = base.table(name)?.schema().index_of(pk)?;
+            for row in &delta.inserts {
+                let Some(k) = row.get(pk_col).and_then(Value::as_int) else {
+                    return Err(RelGoError::schema(format!(
+                        "insert into {name} has a non-integer/NULL primary key"
+                    )));
+                };
+                ws.add(name, k);
+            }
+            for &k in &delta.delete_keys {
+                ws.add(name, k);
+            }
+        }
+        Ok(ws)
     }
 
     /// Total queued inserts.

@@ -1,34 +1,145 @@
-//! Ingest batches: the write path of the snapshot-versioned session.
+//! Ingest batches: the MVCC write path of the snapshot-versioned session.
 //!
-//! [`Session::begin_ingest`] opens an [`IngestBatch`] — a single-writer
-//! handle accumulating row inserts and primary-key deletes in a
-//! [`relgo_delta::DeltaSet`], invisible to every reader. [`IngestBatch::commit`]
-//! then:
+//! [`Session::begin_ingest`] opens an [`IngestBatch`] — a writer handle
+//! accumulating row inserts and primary-key deletes in a
+//! [`relgo_delta::DeltaSet`], invisible to every reader. Batches are
+//! *optimistic*: any number may be open concurrently, each remembering the
+//! epoch it started from (its **base epoch**). [`IngestBatch::commit`] then:
 //!
-//! 1. merges the delta into fresh immutable tables
+//! 1. **validates** first-committer-wins: the batch's primary-key write-set
+//!    ([`relgo_delta::DeltaSet::write_set`]) is intersected against every
+//!    commit that published after the base epoch — an overlap aborts with
+//!    the retryable [`CommitError::Conflict`] and publishes nothing,
+//! 2. merges the delta into fresh immutable tables
 //!    ([`relgo_delta::DeltaSet::apply`]; unchanged tables share their
 //!    `Arc`s),
-//! 2. incrementally refreshes the graph view and GRainDB-style index
+//! 3. incrementally refreshes the graph view and GRainDB-style index
 //!    (untouched edge labels share the previous epoch's memory),
-//! 3. refreshes statistics: below the
+//! 4. refreshes statistics: below the
 //!    [`crate::SessionOptions::stats_staleness`] fraction the GLogue keeps
 //!    every cached pattern count whose labels the delta did not touch
 //!    ([`relgo_glogue::GLogue::refreshed`]); past it, a full pattern-count
 //!    rebuild runs — both exact,
-//! 4. publishes the next epoch with one pointer swap and bumps the plan
+//! 5. on a durable session, stages the delta as a write-ahead-log record
+//!    ([`relgo_delta::wal::Wal::append`]),
+//! 6. publishes the next epoch with one pointer swap and bumps the plan
 //!    cache's statistics version, so cached plans and pinned prepared
-//!    statements transparently re-optimize against the new data.
+//!    statements transparently re-optimize against the new data,
+//! 7. on a durable session, waits for the WAL group commit
+//!    ([`relgo_delta::wal::Wal::sync_through`]) — concurrent committers'
+//!    records are fsynced together, amortizing the sync.
+//!
+//! Only steps 1–6 hold the session's writer lock (the short
+//! validate-and-publish critical section); the fsync in step 7 happens
+//! outside it so the next committer can validate meanwhile. Visibility
+//! therefore precedes durability within one group-commit window: a crash in
+//! that window loses a *suffix* of just-published commits, never a prefix —
+//! exactly the contract [`Session::recover`] restores.
 //!
 //! In-flight queries (and [`crate::Snapshot`]s) keep reading the old epoch;
 //! a failed commit publishes nothing and discards the batch.
 
 use crate::session::{Session, SessionState};
-use parking_lot::MutexGuard;
 use relgo_common::{RelGoError, Result, Value};
 use relgo_delta::DeltaSet;
 use relgo_glogue::GLogue;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Why an [`IngestBatch::commit`] did not publish.
+///
+/// The conflict variants are *retryable*: nothing was published, and
+/// re-staging the same logical change against the current epoch (a fresh
+/// [`Session::begin_ingest`]) may succeed. [`CommitError::Failed`] wraps a
+/// non-conflict validation or execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitError {
+    /// First-committer-wins validation failed: a commit that published
+    /// after this batch's base epoch wrote an overlapping primary key.
+    Conflict {
+        /// Table of the first overlapping key (sorted table order).
+        table: String,
+        /// The smallest overlapping primary-key value in that table.
+        key: i64,
+        /// The epoch of the already-published conflicting commit.
+        committed_epoch: u64,
+    },
+    /// The batch's base epoch predates the session's retained commit log,
+    /// so disjointness cannot be proven; the batch is conservatively
+    /// rejected. Retry against the current epoch.
+    StaleBase {
+        /// The batch's base epoch.
+        base_epoch: u64,
+        /// The oldest base epoch the commit log can still validate against.
+        retained_from: u64,
+    },
+    /// A non-conflict failure (schema validation, λ-totality, WAL I/O…).
+    Failed(RelGoError),
+}
+
+impl CommitError {
+    /// Whether the commit lost a race (retryable) rather than being invalid.
+    pub fn is_conflict(&self) -> bool {
+        !matches!(self, CommitError::Failed(_))
+    }
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Conflict {
+                table,
+                key,
+                committed_epoch,
+            } => write!(
+                f,
+                "write conflict: {table} key {key} was also written by the \
+                 commit that published epoch {committed_epoch}"
+            ),
+            CommitError::StaleBase {
+                base_epoch,
+                retained_from,
+            } => write!(
+                f,
+                "write conflict: base epoch {base_epoch} predates the \
+                 retained commit log (validatable from epoch {retained_from})"
+            ),
+            CommitError::Failed(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+impl From<RelGoError> for CommitError {
+    fn from(e: RelGoError) -> CommitError {
+        CommitError::Failed(e)
+    }
+}
+
+impl From<CommitError> for RelGoError {
+    fn from(e: CommitError) -> RelGoError {
+        match e {
+            CommitError::Conflict {
+                table,
+                key,
+                committed_epoch,
+            } => RelGoError::conflict(format!(
+                "{table} key {key} was also written by the commit that \
+                 published epoch {committed_epoch}"
+            )),
+            CommitError::StaleBase {
+                base_epoch,
+                retained_from,
+            } => RelGoError::conflict(format!(
+                "base epoch {base_epoch} predates the retained commit log \
+                 (validatable from epoch {retained_from})"
+            )),
+            CommitError::Failed(e) => e,
+        }
+    }
+}
 
 /// How a commit refreshed the GLogue statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,27 +175,32 @@ pub struct IngestReport {
     /// Wall time of the statistics refresh alone.
     pub stats_time: Duration,
     /// Wall time of the whole commit (merge + view/index + statistics +
-    /// publish).
+    /// publish + WAL durability).
     pub commit_time: Duration,
 }
 
-/// A single-writer ingest batch against one [`Session`]. Holding the batch
-/// holds the session's writer lock: concurrent `begin_ingest` (or
-/// statistics rebuild) blocks until this batch commits or is dropped.
+/// An optimistic ingest batch against one [`Session`]. Any number of
+/// batches may be open concurrently — each validates at commit against
+/// everything that published after its base epoch (first committer wins).
 /// Readers are never blocked.
 pub struct IngestBatch<'s> {
     session: &'s Session,
-    _writer: MutexGuard<'s, ()>,
+    base_epoch: u64,
     delta: DeltaSet,
 }
 
 impl<'s> IngestBatch<'s> {
     pub(crate) fn begin(session: &'s Session) -> IngestBatch<'s> {
         IngestBatch {
-            _writer: session.write_lock.lock(),
+            base_epoch: session.epoch(),
             session,
             delta: DeltaSet::new(),
         }
+    }
+
+    /// The epoch this batch reads from and validates against at commit.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
     }
 
     /// Queue one row for appending to `table`. The table must exist; full
@@ -147,13 +263,30 @@ impl<'s> IngestBatch<'s> {
     }
 
     /// Validate, merge and publish the batch as the next epoch (see the
-    /// module docs for the pipeline). On error nothing is published and the
-    /// batch is discarded. An empty batch is a no-op that publishes
-    /// nothing.
-    pub fn commit(self) -> Result<IngestReport> {
+    /// module docs for the pipeline). A lost first-committer-wins race
+    /// returns the retryable [`CommitError::Conflict`]; on any error nothing
+    /// is published and the batch is discarded. An empty batch is a no-op
+    /// that publishes nothing.
+    pub fn commit(self) -> std::result::Result<IngestReport, CommitError> {
+        self.session.commit_delta(self.delta, Some(self.base_epoch))
+    }
+}
+
+impl Session {
+    /// The commit pipeline shared by live batches and WAL recovery replay.
+    ///
+    /// `base_epoch: Some(e)` is a live commit: first-committer-wins
+    /// validation against everything published after `e`, and (on a durable
+    /// session) a WAL record. `None` is recovery replay: the record is
+    /// already in the log and, by construction, conflict-free in log order.
+    pub(crate) fn commit_delta(
+        &self,
+        delta: DeltaSet,
+        base_epoch: Option<u64>,
+    ) -> std::result::Result<IngestReport, CommitError> {
         let start = Instant::now();
-        let state = self.session.state();
-        if self.delta.is_empty() {
+        if delta.is_empty() {
+            let state = self.state();
             return Ok(IngestReport {
                 epoch: state.epoch,
                 inserted: 0,
@@ -168,13 +301,29 @@ impl<'s> IngestBatch<'s> {
                 commit_time: start.elapsed(),
             });
         }
-        let (mut db, summary) = self.delta.apply(&state.db)?;
+
+        // ---- validate-and-publish critical section -----------------------
+        let writer = self.write_lock.lock();
+        let state = self.state();
+
+        // First committer wins: abort before doing any merge work if a
+        // commit since our base epoch touched an overlapping primary key.
+        let write_set = match base_epoch {
+            Some(base) => {
+                let ws = delta.write_set(&state.db)?;
+                self.validate_write_set(base, &ws, state.epoch)?;
+                Some(ws)
+            }
+            None => None,
+        };
+
+        let (mut db, summary) = delta.apply(&state.db)?;
         let view = Arc::new(relgo_delta::refresh_view(&state.view, &mut db, &summary)?);
         let changed_fraction = summary.changed_fraction(&state.db);
         let (changed_v, changed_e) = view.changed_label_flags(summary.map());
 
         let stats_start = Instant::now();
-        let (glogue, stats) = if changed_fraction <= self.session.options().stats_staleness {
+        let (glogue, stats) = if changed_fraction <= self.options().stats_staleness {
             let before = state.glogue.cached_patterns();
             let refreshed =
                 GLogue::refreshed(&state.glogue, Arc::clone(&view), &changed_v, &changed_e)?;
@@ -187,13 +336,13 @@ impl<'s> IngestBatch<'s> {
                 },
             )
         } else {
-            let (k, stride) = self.session.statistics_tuning();
+            let (k, stride) = self.statistics_tuning();
             (
                 Arc::new(GLogue::with_threads(
                     Arc::clone(&view),
                     k,
                     stride,
-                    self.session.options().threads,
+                    self.options().threads,
                 )?),
                 StatsRefresh::Full,
             )
@@ -201,15 +350,41 @@ impl<'s> IngestBatch<'s> {
         let stats_time = stats_start.elapsed();
 
         let epoch = state.epoch + 1;
-        self.session.publish(SessionState {
+        // Stage the WAL record last among the fallible steps and just
+        // before publish: staging is pure memory (it cannot fail), so a
+        // failed commit never leaves a phantom record, and a staged record
+        // is always followed by its publish. Recovery replay (`None`)
+        // must not re-append what it is replaying — and on a freshly
+        // recovered session the log is installed only after replay anyway.
+        let wal_seq = match base_epoch {
+            Some(_) => self.wal().map(|w| w.append(epoch, &delta)),
+            None => None,
+        };
+        self.publish(SessionState {
             epoch,
             db: Arc::new(db),
             view,
             glogue,
         });
+        if let Some(ws) = write_set {
+            self.record_commit(epoch, ws);
+        }
+        drop(writer);
+        // ---- end critical section ----------------------------------------
+
         // Every cached plan and pinned prepared statement was costed
         // against the previous epoch's statistics: stale from now on.
-        self.session.plan_cache().invalidate_all();
+        self.plan_cache().invalidate_all();
+        // Group commit: concurrent committers that staged records while we
+        // held the writer lock ride along on one fsync (or we ride theirs).
+        if let Some(seq) = wal_seq {
+            // The epoch is already visible; a durability failure here means
+            // the log may lack a suffix of published commits (the same
+            // window a crash exposes), so surface it loudly.
+            self.wal()
+                .expect("wal_seq implies a wal")
+                .sync_through(seq)?;
+        }
         Ok(IngestReport {
             epoch,
             inserted: summary.inserted_rows(),
@@ -239,6 +414,7 @@ mod tests {
         session.run_cached(&q, OptimizerMode::RelGo).unwrap();
 
         let mut batch = session.begin_ingest();
+        assert_eq!(batch.base_epoch(), 0);
         let next_id = person as i64 * 10; // ids are 0..n, so this is fresh
         batch
             .insert_row(
@@ -336,7 +512,9 @@ mod tests {
         batch
             .insert_row("Person", vec![0.into(), "Dup".into(), Value::Date(17_000)])
             .unwrap();
-        assert!(batch.commit().is_err());
+        let err = batch.commit().unwrap_err();
+        assert!(matches!(err, CommitError::Failed(_)), "{err}");
+        assert!(!err.is_conflict());
         assert_eq!(session.epoch(), 0);
         // Dangling edge insert.
         let mut batch = session.begin_ingest();
@@ -365,6 +543,102 @@ mod tests {
         let report = batch.commit().unwrap();
         assert_eq!(report.epoch, 0);
         assert_eq!(session.epoch(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_batches_both_commit() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        // Two batches open concurrently against epoch 0.
+        let mut a = session.begin_ingest();
+        let mut b = session.begin_ingest();
+        a.insert_row(
+            "Person",
+            vec![800_000.into(), "A".into(), Value::Date(17_000)],
+        )
+        .unwrap();
+        b.insert_row(
+            "Person",
+            vec![800_001.into(), "B".into(), Value::Date(17_000)],
+        )
+        .unwrap();
+        let ra = a.commit().unwrap();
+        assert_eq!(ra.epoch, 1);
+        // b's base epoch (0) is behind, but its write-set is disjoint from
+        // a's: first-committer-wins validation passes.
+        let rb = b.commit().unwrap();
+        assert_eq!(rb.epoch, 2);
+        assert_eq!(session.epoch(), 2);
+    }
+
+    #[test]
+    fn overlapping_batch_loses_with_typed_conflict_and_retry_succeeds() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        let key = 800_000i64;
+        let mut winner = session.begin_ingest();
+        let mut loser = session.begin_ingest();
+        winner
+            .insert_row(
+                "Person",
+                vec![key.into(), "Winner".into(), Value::Date(17_000)],
+            )
+            .unwrap();
+        // The loser deletes the same key it cannot yet see — without MVCC
+        // validation this would silently erase the winner's row.
+        loser.delete_row("Person", key).unwrap();
+        winner.commit().unwrap();
+        let err = loser.commit().unwrap_err();
+        assert!(err.is_conflict());
+        assert_eq!(
+            err,
+            CommitError::Conflict {
+                table: "Person".to_string(),
+                key,
+                committed_epoch: 1,
+            }
+        );
+        assert!(err.to_string().contains("Person key 800000"));
+        assert_eq!(session.epoch(), 1, "losing batch published nothing");
+
+        // Retrying against the current epoch sees the winner's row and
+        // commits cleanly.
+        let mut retry = session.begin_ingest();
+        assert_eq!(retry.base_epoch(), 1);
+        retry.delete_row("Person", key).unwrap();
+        let report = retry.commit().unwrap();
+        assert_eq!((report.epoch, report.deleted), (2, 1));
+    }
+
+    #[test]
+    fn stale_base_is_conservatively_rejected() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        // Open a batch at epoch 0, then let two disjoint commits land.
+        let mut old = session.begin_ingest();
+        old.insert_row(
+            "Person",
+            vec![800_000.into(), "Old".into(), Value::Date(17_000)],
+        )
+        .unwrap();
+        for (i, name) in [(1i64, "X"), (2, "Y")] {
+            let mut b = session.begin_ingest();
+            b.insert_row(
+                "Person",
+                vec![(900_000 + i).into(), name.into(), Value::Date(17_000)],
+            )
+            .unwrap();
+            b.commit().unwrap();
+        }
+        // Simulate commit-log eviction past the old batch's base epoch.
+        session.forget_oldest_commits(2);
+        let err = old.commit().unwrap_err();
+        assert!(err.is_conflict(), "stale base must be retryable: {err}");
+        assert_eq!(
+            err,
+            CommitError::StaleBase {
+                base_epoch: 0,
+                retained_from: 2,
+            }
+        );
+        assert_eq!(session.epoch(), 2);
     }
 
     #[test]
@@ -404,7 +678,7 @@ mod tests {
         let report = batch.commit().unwrap();
         assert_eq!(report.deleted, 1);
         assert_eq!(session.db().table("Likes").unwrap().num_rows(), likes - 1);
-        let after = session.run(&q, OptimizerMode::RelGo).unwrap().table;
-        assert_eq!(after.num_rows(), before.num_rows() - 1);
+        let after = session.run(&q, OptimizerMode::RelGo).unwrap();
+        assert_eq!(after.table.num_rows(), before.num_rows() - 1);
     }
 }

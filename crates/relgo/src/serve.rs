@@ -18,11 +18,20 @@
 //! * [`ServeMode::PreparedBatched`] — like `Prepared`, but each worker
 //!   groups its draws into batches of `batch` bindings driven through
 //!   [`PreparedStatement::execute_batch`]'s shared operator state;
-//! * [`ServeMode::Mixed`] — a writer thread ingests dynamic-SNB update
-//!   batches (each commit publishing a new epoch and invalidating cached
-//!   plans/pins) while reader threads serve snapshot-pinned, **verified**
-//!   cached queries plus prepared executes; a settle pass re-verifies both
-//!   paths against the final epoch after the writer finishes.
+//! * [`ServeMode::Mixed`] — `writers` concurrent writer threads ingest
+//!   update batches (each commit publishing a new epoch and invalidating
+//!   cached plans/pins) while reader threads serve snapshot-pinned,
+//!   **verified** cached queries plus prepared executes; a settle pass
+//!   re-verifies both paths against the final epoch after the writers
+//!   finish. Each writer round deliberately stages one *shared* marker row
+//!   across all writers, so first-committer-wins MVCC validation fires on
+//!   every multi-writer round: exactly one writer wins the marker, the
+//!   losers observe [`crate::CommitError::Conflict`] and retry their
+//!   private rows — the report's `conflicts` counter proves the collisions
+//!   happened and `ingested_rows` counts only what actually committed. On a
+//!   durable session ([`crate::Session::open_durable`]) the report also
+//!   carries the WAL counter deltas, where `syncs < records` under
+//!   concurrent writers shows group commit amortizing the fsyncs.
 //!
 //! Inter- and intra-query parallelism compose: the `threads` argument here
 //! is the number of concurrent *queries*, while
@@ -40,10 +49,11 @@
 //! actually ran — an aborted replay never reports planned-but-unexecuted
 //! queries (and therefore never inflates a throughput computed from them).
 
+use crate::ingest::IngestBatch;
 use crate::prepared::PreparedStatement;
 use crate::session::Session;
 use relgo_cache::MetricsSnapshot;
-use relgo_common::{RelGoError, Result};
+use relgo_common::{RelGoError, Result, Value};
 use relgo_core::OptimizerMode;
 use relgo_workloads::templates::QueryTemplate;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,21 +73,32 @@ pub enum ServeMode {
         /// Bindings per `execute_batch` call (≥ 1).
         batch: usize,
     },
-    /// Interleave writers and readers: one writer thread ingests a
-    /// dynamic-SNB update stream ([`relgo_datagen::snb_update_stream`]) in
-    /// `commits` epoch-publishing batches of `ops_per_commit` rows, while
+    /// Interleave writers and readers: `writers` concurrent writer threads
+    /// publish `commits` epoch-publishing batches of `ops_per_commit`
+    /// private rows each (disjoint primary-key ranges per batch), while
     /// `threads` reader threads serve the templates — every cached read is
     /// pinned to an epoch snapshot and **verified** against a fresh
     /// optimization on the same snapshot (a divergence aborts the replay),
     /// and every round also fires a prepared execute so commits exercise
-    /// pin invalidation. After the threads join, a final verified
-    /// cached+prepared pass per template runs against the settled epoch.
-    /// Requires an SNB-shaped session.
+    /// pin invalidation.
+    ///
+    /// Writers proceed in rounds (one commit per writer per round) and
+    /// every round's batches additionally stage one *shared* marker row, so
+    /// on a multi-writer round the commits provably race: exactly one
+    /// writer wins the marker, the losers observe the retryable
+    /// [`crate::CommitError::Conflict`] (counted in
+    /// [`ReplayReport::conflicts`]) and re-commit their private rows
+    /// without it. After the threads join, a final verified cached+prepared
+    /// pass per template runs against the settled epoch. Requires an
+    /// SNB-shaped session.
     Mixed {
-        /// Ingest commits the writer publishes.
+        /// Ingest commits published across all writers.
         commits: usize,
-        /// Update-stream rows per commit (≥ 1).
+        /// Private rows per commit (≥ 1; a winning round commit carries one
+        /// extra marker row).
         ops_per_commit: usize,
+        /// Concurrent writer threads (≥ 1).
+        writers: usize,
     },
 }
 
@@ -114,8 +135,17 @@ pub struct ReplayReport {
     pub batches: usize,
     /// Ingest commits published (0 outside [`ServeMode::Mixed`]).
     pub commits: usize,
-    /// Rows ingested by the writer (0 outside [`ServeMode::Mixed`]).
+    /// Rows actually committed by the writers — staged rows of batches that
+    /// lost a write conflict are *not* counted until their retry commits (0
+    /// outside [`ServeMode::Mixed`]).
     pub ingested_rows: usize,
+    /// First-committer-wins losses observed (and retried) by the writers
+    /// (0 outside multi-writer [`ServeMode::Mixed`]).
+    pub conflicts: usize,
+    /// WAL counter deltas over the replay on a durable session (`None`
+    /// otherwise). `syncs < records` under concurrent writers is group
+    /// commit amortizing the fsyncs.
+    pub wal: Option<relgo_delta::wal::WalStats>,
     /// Plan-cache metric deltas over the replay (hits/misses/invalidations/
     /// prepared invalidations as a snapshot diff — mixed-mode figures read
     /// cache behavior off this).
@@ -139,6 +169,7 @@ struct Counts {
     batches: usize,
     commits: usize,
     ingested: usize,
+    conflicts: usize,
     opt: Duration,
     exec: Duration,
 }
@@ -151,6 +182,7 @@ impl Counts {
         self.batches += o.batches;
         self.commits += o.commits;
         self.ingested += o.ingested;
+        self.conflicts += o.conflicts;
         self.opt += o.opt;
         self.exec += o.exec;
     }
@@ -195,6 +227,7 @@ pub fn replay_concurrent_with(
     let threads = threads.max(1);
     let rounds = rounds.max(1);
     let before = session.cache_metrics();
+    let wal_before = session.wal_stats();
     let start = Instant::now();
 
     // Prepared regimes: one shared handle per template, prepared from the
@@ -208,19 +241,29 @@ pub fn replay_concurrent_with(
                 .collect::<Result<_>>()?
         }
     };
-    // Mixed mode: the writer's update stream, generated up front so the
-    // replay is deterministic in content (only interleaving varies).
-    let updates: Vec<relgo_datagen::UpdateOp> = match serve {
+    // Mixed mode: writers commit in rounds, synchronized per round by a
+    // barrier *between staging and committing*, so every batch of a round
+    // shares a base epoch that predates the round's first publish — the
+    // shared marker row then makes first-committer-wins validation fire
+    // deterministically (one winner, `participants - 1` conflicts).
+    let (mixed_commits, mixed_ops, mixed_writers) = match serve {
         ServeMode::Mixed {
             commits,
             ops_per_commit,
-        } => relgo_datagen::snb_update_stream(
-            &session.db(),
-            0xd15c0 ^ (threads * rounds) as u64,
-            commits * ops_per_commit.max(1),
-        )?,
-        _ => Vec::new(),
+            writers,
+        } => (commits, ops_per_commit.max(1), writers.max(1)),
+        _ => (0, 1, 1),
     };
+    let writer_rounds = mixed_commits.div_ceil(mixed_writers);
+    let barriers: Vec<std::sync::Barrier> = (0..writer_rounds)
+        .map(|r| {
+            std::sync::Barrier::new(
+                mixed_commits
+                    .saturating_sub(r * mixed_writers)
+                    .min(mixed_writers),
+            )
+        })
+        .collect();
 
     let abort = AtomicBool::new(false);
     // Run one unit of serving work (a query or a whole batch, however the
@@ -350,28 +393,61 @@ pub fn replay_concurrent_with(
         }
         tally
     };
-    // Mixed mode's writer: ingest the update stream in epoch-publishing
-    // commits while the readers serve.
-    let writer = || -> Tally {
+    // Mixed mode's writers: writer `w` commits chunk `r * writers + w` in
+    // round `r`. All of a round's participants stage (marker included),
+    // meet at the round barrier, then race to commit: the marker guarantees
+    // exactly one winner, and each loser records its typed conflict and
+    // retries with the private rows alone. A writer that saw the abort flag
+    // (or failed) still waits on every barrier of rounds it participates
+    // in, so peers never deadlock on a dead participant.
+    let ingest_writer = |w: usize| -> Tally {
         let mut tally = Tally::default();
-        let ServeMode::Mixed { ops_per_commit, .. } = serve else {
-            return tally;
+        let fail = |tally: &mut Tally, e: RelGoError| {
+            abort.store(true, Ordering::Release);
+            tally.error = Some(e);
         };
-        for chunk in updates.chunks(ops_per_commit.max(1)) {
-            let keep = step(&mut tally, &mut || {
-                let mut batch = session.begin_ingest();
-                for op in chunk {
-                    batch.insert_row(&op.table, op.row.clone())?;
+        for (r, barrier) in barriers.iter().enumerate() {
+            let chunk = r * mixed_writers + w;
+            if chunk >= mixed_commits {
+                break; // not a participant of this round — nor of later ones
+            }
+            let staged = if abort.load(Ordering::Acquire) {
+                None
+            } else {
+                match stage_chunk(session, mixed_ops, chunk, r, true) {
+                    Ok(batch) => Some(batch),
+                    Err(e) => {
+                        fail(&mut tally, e);
+                        None
+                    }
                 }
-                let report = batch.commit()?;
-                Ok(Counts {
-                    commits: 1,
-                    ingested: report.inserted + report.deleted,
-                    ..Counts::default()
-                })
-            });
-            if !keep {
-                break;
+            };
+            barrier.wait();
+            let Some(batch) = staged else {
+                continue; // keep meeting later barriers after an abort
+            };
+            match batch.commit() {
+                Ok(report) => {
+                    tally.counts.commits += 1;
+                    tally.counts.ingested += report.inserted + report.deleted;
+                }
+                Err(e) if e.is_conflict() => {
+                    tally.counts.conflicts += 1;
+                    // Lost the marker race: re-stage against the current
+                    // epoch without the marker. The private rows are
+                    // disjoint from every other batch, so the retry's
+                    // validation must pass.
+                    match stage_chunk(session, mixed_ops, chunk, r, false)
+                        .and_then(|b| b.commit().map_err(RelGoError::from))
+                    {
+                        Ok(report) => {
+                            tally.counts.commits += 1;
+                            tally.counts.ingested += report.inserted + report.deleted;
+                        }
+                        Err(e) => fail(&mut tally, e),
+                    }
+                }
+                Err(e) => fail(&mut tally, RelGoError::from(e)),
             }
         }
         tally
@@ -381,10 +457,17 @@ pub fn replay_concurrent_with(
         let readers: Vec<_> = (0..threads)
             .map(|w| scope.spawn(move || worker(w)))
             .collect();
-        let writer = matches!(serve, ServeMode::Mixed { .. }).then(|| scope.spawn(writer));
+        let writer_ref = &ingest_writer;
+        let writers: Vec<_> = matches!(serve, ServeMode::Mixed { .. })
+            .then(|| {
+                (0..mixed_writers)
+                    .map(|w| scope.spawn(move || writer_ref(w)))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
         readers
             .into_iter()
-            .chain(writer)
+            .chain(writers)
             .map(|h| {
                 h.join().unwrap_or_else(|_| Tally {
                     error: Some(RelGoError::execution("replay worker panicked")),
@@ -437,6 +520,11 @@ pub fn replay_concurrent_with(
         batches: 0,
         commits: 0,
         ingested_rows: 0,
+        conflicts: 0,
+        wal: match (wal_before, session.wal_stats()) {
+            (Some(b), Some(a)) => Some(a.since(&b)),
+            _ => None,
+        },
         metrics: session.cache_metrics().since(&before),
     };
     let mut first_error = None;
@@ -447,6 +535,7 @@ pub fn replay_concurrent_with(
         report.batches += tally.counts.batches;
         report.commits += tally.counts.commits;
         report.ingested_rows += tally.counts.ingested;
+        report.conflicts += tally.counts.conflicts;
         report.opt_time += tally.counts.opt;
         report.exec_time += tally.counts.exec;
         if first_error.is_none() {
@@ -457,6 +546,59 @@ pub fn replay_concurrent_with(
         Some(e) => Err(e),
         None => Ok(report),
     }
+}
+
+/// Stage one mixed-mode writer batch for global chunk index `chunk`: `ops`
+/// private rows, optionally plus round `round`'s *shared* marker row.
+/// Private Person ids and Knows edge ids live in high per-chunk-disjoint
+/// ranges, and the Knows edges connect small base-person ids only, so a
+/// chunk's validity never depends on which other chunks committed before
+/// it — chunks may commit in any interleaving.
+fn stage_chunk<'s>(
+    session: &'s Session,
+    ops: usize,
+    chunk: usize,
+    round: usize,
+    with_marker: bool,
+) -> Result<IngestBatch<'s>> {
+    const PERSON_BASE: i64 = 10_000_000;
+    const EDGE_BASE: i64 = 20_000_000;
+    const MARKER_BASE: i64 = 90_000_000;
+    let mut batch = session.begin_ingest();
+    for i in 0..ops {
+        let key = (chunk * ops + i) as i64;
+        if i % 3 == 2 {
+            batch.insert_edge(
+                "Knows",
+                vec![
+                    (EDGE_BASE + key).into(),
+                    ((i % 5) as i64).into(),
+                    ((i % 7) as i64 + 5).into(),
+                    Value::Date(18_000 + key),
+                ],
+            )?;
+        } else {
+            batch.insert_row(
+                "Person",
+                vec![
+                    (PERSON_BASE + key).into(),
+                    Value::str(format!("c{chunk}i{i}")),
+                    Value::Date(18_000 + key),
+                ],
+            )?;
+        }
+    }
+    if with_marker {
+        batch.insert_row(
+            "Person",
+            vec![
+                (MARKER_BASE + round as i64).into(),
+                Value::str(format!("marker{round}")),
+                Value::Date(18_000),
+            ],
+        )?;
+    }
+    Ok(batch)
 }
 
 /// Row check for the mixed mode's verified reads: the result *multiset*
@@ -579,15 +721,16 @@ mod tests {
         assert_eq!(report.batches, threads * templates.len() * 3);
     }
 
-    /// Mixed mode: the writer's commits interleave with verified reads and
-    /// prepared executes; zero divergences, every commit observed as a
-    /// cache invalidation, and the post-commit pin staleness shows up as
-    /// prepared invalidations.
+    /// Mixed mode: concurrent writers' commits interleave with verified
+    /// reads and prepared executes; zero divergences, exact conflict and
+    /// committed-row accounting, every commit observed as a cache
+    /// invalidation, and the post-commit pin staleness shows up as prepared
+    /// invalidations.
     #[test]
     fn mixed_replay_ingests_while_serving_verified_reads() {
         let (session, schema) = Session::snb(0.03, 42).unwrap();
         let templates = snb_templates(&schema);
-        let (threads, rounds, commits, ops) = (2, 2, 3, 5);
+        let (threads, rounds, commits, ops, writers) = (2, 2, 3, 5, 2);
         let before = session.cache_metrics();
         let report = replay_concurrent_with(
             &session,
@@ -598,12 +741,23 @@ mod tests {
             ServeMode::Mixed {
                 commits,
                 ops_per_commit: ops,
+                writers,
             },
         )
         .unwrap();
+        // Every chunk publishes exactly once (winners directly, losers via
+        // retry), so the epoch count is exact even though batches raced.
         assert_eq!(report.commits, commits);
-        assert_eq!(report.ingested_rows, commits * ops);
         assert_eq!(session.epoch(), commits as u64);
+        // 3 commits over 2 writers → 2 rounds: round 0 races 2 writers
+        // (1 conflict), round 1 has a single participant (0 conflicts).
+        let writer_rounds = commits.div_ceil(writers);
+        assert_eq!(report.conflicts, commits - writer_rounds);
+        // `ingested_rows` counts committed rows only: every chunk's private
+        // rows plus exactly one marker per round — the losers' staged
+        // markers never commit and are not counted.
+        assert_eq!(report.ingested_rows, commits * ops + writer_rounds);
+        assert!(report.wal.is_none(), "session is not durable");
         // Readers: 2 queries per (worker, round, template); settle pass
         // adds 2 more per template.
         let expected = 2 * threads * rounds * templates.len() + 2 * templates.len();
@@ -621,6 +775,71 @@ mod tests {
         // The ingested rows are visible afterwards.
         let persons = session.db().table("Person").unwrap().num_rows();
         assert!(persons > 1000 * 3 / 100, "base persons plus inserts");
+    }
+
+    /// Durable mixed mode: ≥2 writer threads against a WAL-backed session.
+    /// The report carries WAL durability accounting, and recovering the log
+    /// over the same base reproduces the live session's epoch and tables
+    /// exactly.
+    #[test]
+    fn durable_mixed_replay_recovers_bit_identically() {
+        use relgo_datagen::{generate_snb, SnbParams};
+        use relgo_workloads::snb_queries::SnbSchema;
+
+        let wal_path =
+            std::env::temp_dir().join(format!("relgo_serve_durable_{}.wal", std::process::id()));
+        std::fs::remove_file(&wal_path).ok();
+        let params = SnbParams { sf: 0.03, seed: 42 };
+        let (db, mapping) = generate_snb(&params);
+        let (session, recovered) = Session::open_durable(
+            db,
+            mapping,
+            SessionOptions::default(),
+            &wal_path,
+            relgo_delta::wal::WalOptions::default(),
+        )
+        .unwrap();
+        assert!(session.is_durable());
+        assert_eq!(recovered.records, 0, "fresh log");
+        let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+        let templates = snb_templates(&schema);
+
+        let (commits, ops, writers) = (4, 3, 2);
+        let report = replay_concurrent_with(
+            &session,
+            &templates,
+            OptimizerMode::RelGo,
+            2,
+            2,
+            ServeMode::Mixed {
+                commits,
+                ops_per_commit: ops,
+                writers,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.commits, commits);
+        let wal = report.wal.expect("durable session reports WAL stats");
+        assert_eq!(
+            wal.records, commits as u64,
+            "one WAL record per published commit (losing batches append nothing)"
+        );
+        assert!(wal.syncs >= 1 && wal.syncs <= wal.records);
+        assert_eq!(session.wal_stats().unwrap().records, commits as u64);
+
+        // Crash-free recovery: replaying the log over the same base
+        // reproduces the live state.
+        let (db, mapping) = generate_snb(&params);
+        let (recovered_session, rec) = Session::recover(db, mapping, &wal_path).unwrap();
+        assert_eq!(rec.records, commits);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(recovered_session.epoch(), session.epoch());
+        for name in ["Person", "Knows", "Likes"] {
+            let live = session.db().table(name).unwrap().sorted_rows();
+            let back = recovered_session.db().table(name).unwrap().sorted_rows();
+            assert_eq!(live, back, "{name} survives recovery bit-identically");
+        }
+        std::fs::remove_file(&wal_path).ok();
     }
 
     /// Satellite regression: a template failing mid-replay aborts with the

@@ -11,7 +11,7 @@
 //! with a single pointer swap. [`Session::snapshot`] exposes the same
 //! mechanism to callers that want repeatable reads across several queries.
 
-use crate::ingest::IngestBatch;
+use crate::ingest::{CommitError, IngestBatch};
 use parking_lot::{Mutex, RwLock};
 use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
 use relgo_common::{RelGoError, Result};
@@ -20,14 +20,22 @@ use relgo_core::{
     SpjmQuery,
 };
 use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
+use relgo_delta::wal::{Wal, WalOptions, WalStats};
 use relgo_exec::{execute_plan, ExecConfig};
 use relgo_glogue::GLogue;
 use relgo_graph::{GraphView, RGMapping};
-use relgo_storage::{Database, Table};
+use relgo_storage::{Database, Table, WriteSet};
 use relgo_workloads::job_queries::ImdbSchema;
 use relgo_workloads::snb_queries::SnbSchema;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How many committed write-sets the session retains for first-committer-
+/// wins validation. A batch whose base epoch predates the retained window
+/// is conservatively rejected ([`CommitError::StaleBase`]).
+const COMMIT_LOG_CAP: usize = 1024;
 
 /// Session construction options.
 #[derive(Debug, Clone, Copy)]
@@ -119,9 +127,34 @@ pub struct Session {
     /// Last statistics tuning pair, reused by
     /// [`Session::refresh_statistics`] and full ingest-commit rebuilds.
     tuning: Mutex<(usize, usize)>,
-    /// Serializes writers: one [`IngestBatch`] (or statistics rebuild) at a
-    /// time.
+    /// Serializes the validate-and-publish critical section of commits (and
+    /// statistics rebuilds). [`IngestBatch`]es stage *outside* this lock —
+    /// only their commit takes it.
     pub(crate) write_lock: Mutex<()>,
+    /// The write-sets of recent commits, newest at the back, for
+    /// first-committer-wins validation (bounded by [`COMMIT_LOG_CAP`]).
+    committed: Mutex<VecDeque<(u64, WriteSet)>>,
+    /// The write-ahead log of a durable session ([`Session::open_durable`]).
+    /// Installed *after* recovery replay so replay does not re-append the
+    /// records it is replaying.
+    wal: OnceLock<Wal>,
+}
+
+/// What [`Session::open_durable`] replayed from the write-ahead log.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Intact WAL records replayed (one per recovered epoch).
+    pub records: usize,
+    /// The session's epoch after replay (= `records` on a fresh base).
+    pub epoch: u64,
+    /// Bytes of valid log retained.
+    pub bytes: u64,
+    /// Bytes of torn tail truncated away (0 for a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Rows (inserts + deletes) re-applied during replay.
+    pub rows_replayed: usize,
+    /// Wall time of the replay (merge + view/index + statistics per epoch).
+    pub replay_time: Duration,
 }
 
 impl Session {
@@ -161,7 +194,152 @@ impl Session {
             cache,
             tuning: Mutex::new((options.glogue_k, options.glogue_stride)),
             write_lock: Mutex::new(()),
+            committed: Mutex::new(VecDeque::new()),
+            wal: OnceLock::new(),
         })
+    }
+
+    /// Open a *durable* session: like [`Session::open_with`], but every
+    /// ingest commit is additionally appended to the write-ahead log at
+    /// `wal_path` (group-committed and fsynced per `wal_options`) before
+    /// [`IngestBatch::commit`] returns.
+    ///
+    /// If the log already holds records — the session crashed or exited
+    /// after commits — they are replayed first, epoch by epoch, through the
+    /// same merge/view/statistics pipeline a live commit runs, and the
+    /// returned [`RecoveryReport`] says what was restored. A torn tail from
+    /// a crash mid-flush is truncated away: recovery restores the longest
+    /// durable prefix of the commit history, never a partial commit.
+    ///
+    /// `db`/`mapping` must be the same base the log was written against
+    /// (the log stores deltas, not the base); a WAL whose first record does
+    /// not continue the base's epoch is rejected.
+    pub fn open_durable(
+        db: Database,
+        mapping: RGMapping,
+        options: SessionOptions,
+        wal_path: impl AsRef<Path>,
+        wal_options: WalOptions,
+    ) -> Result<(Session, RecoveryReport)> {
+        let session = Session::open_with(db, mapping, options)?;
+        let (wal, recovered) = Wal::open(wal_path, wal_options)?;
+        let replay_start = Instant::now();
+        let records = recovered.records.len();
+        let mut rows_replayed = 0;
+        for record in recovered.records {
+            if record.epoch != session.epoch() + 1 {
+                return Err(RelGoError::execution(format!(
+                    "wal replay discontinuity: record for epoch {} cannot \
+                     follow epoch {} (wrong base database?)",
+                    record.epoch,
+                    session.epoch()
+                )));
+            }
+            rows_replayed += record.delta.inserted_rows() + record.delta.deleted_rows();
+            session
+                .commit_delta(record.delta, None)
+                .map_err(RelGoError::from)?;
+        }
+        let report = RecoveryReport {
+            records,
+            epoch: session.epoch(),
+            bytes: recovered.bytes,
+            truncated_bytes: recovered.truncated_bytes,
+            rows_replayed,
+            replay_time: replay_start.elapsed(),
+        };
+        // Install the log only now: replay above must not re-append the
+        // records it replays, while commits from here on append normally.
+        let _ = session.wal.set(wal);
+        Ok((session, report))
+    }
+
+    /// [`Session::open_durable`] with default options: the one-call crash
+    /// recovery path. Replays the log at `wal_path` over the base
+    /// `db`/`mapping` and resumes durable serving.
+    pub fn recover(
+        db: Database,
+        mapping: RGMapping,
+        wal_path: impl AsRef<Path>,
+    ) -> Result<(Session, RecoveryReport)> {
+        Session::open_durable(
+            db,
+            mapping,
+            SessionOptions::default(),
+            wal_path,
+            WalOptions::default(),
+        )
+    }
+
+    /// Whether commits are written ahead to a log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.get().is_some()
+    }
+
+    /// WAL counters of a durable session (`None` otherwise). `syncs <
+    /// records` under concurrent writers is group commit working.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.get().map(Wal::stats)
+    }
+
+    /// The write-ahead log, when durable.
+    pub(crate) fn wal(&self) -> Option<&Wal> {
+        self.wal.get()
+    }
+
+    /// First-committer-wins validation: reject iff some commit that
+    /// published after `base` wrote a primary key in `ws`. Called with the
+    /// write lock held (`current` is the locked-in current epoch).
+    pub(crate) fn validate_write_set(
+        &self,
+        base: u64,
+        ws: &WriteSet,
+        current: u64,
+    ) -> std::result::Result<(), CommitError> {
+        if base >= current {
+            return Ok(()); // nothing published since the batch began
+        }
+        let log = self.committed.lock();
+        // The log covers bases from (front.epoch - 1) up: a batch based
+        // before that window may conflict with an evicted write-set, so it
+        // is conservatively rejected rather than silently admitted.
+        let retained_from = log.front().map_or(current, |(e, _)| e - 1);
+        if base < retained_from {
+            return Err(CommitError::StaleBase {
+                base_epoch: base,
+                retained_from,
+            });
+        }
+        for (epoch, committed) in log.iter().filter(|(e, _)| *e > base) {
+            if let Some((table, key)) = ws.overlap(committed) {
+                return Err(CommitError::Conflict {
+                    table,
+                    key,
+                    committed_epoch: *epoch,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a published commit's write-set for future validation (called
+    /// with the write lock held, so epochs arrive in order).
+    pub(crate) fn record_commit(&self, epoch: u64, ws: WriteSet) {
+        let mut log = self.committed.lock();
+        log.push_back((epoch, ws));
+        while log.len() > COMMIT_LOG_CAP {
+            log.pop_front();
+        }
+    }
+
+    /// Test hook: evict the `n` oldest retained write-sets, simulating
+    /// commit-log turnover without issuing [`COMMIT_LOG_CAP`] commits.
+    #[cfg(test)]
+    pub(crate) fn forget_oldest_commits(&self, n: usize) {
+        let mut log = self.committed.lock();
+        for _ in 0..n {
+            log.pop_front();
+        }
     }
 
     /// Generate and open the LDBC-SNB-like dataset at scale factor `sf`.
@@ -247,9 +425,12 @@ impl Session {
         self.cache.metrics()
     }
 
-    /// Open an ingest batch: queue inserts and deletes, then
-    /// [`IngestBatch::commit`] to merge, refresh statistics and publish the
-    /// next epoch. One writer at a time; readers are never blocked.
+    /// Open an optimistic ingest batch: queue inserts and deletes, then
+    /// [`IngestBatch::commit`] to validate first-committer-wins, merge,
+    /// refresh statistics and publish the next epoch. Any number of batches
+    /// may be open concurrently — a batch whose primary-key write-set
+    /// overlaps a commit published after its base epoch loses with the
+    /// retryable [`CommitError::Conflict`]. Readers are never blocked.
     pub fn begin_ingest(&self) -> IngestBatch<'_> {
         IngestBatch::begin(self)
     }

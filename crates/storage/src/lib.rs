@@ -15,7 +15,10 @@
 //!   keys into row ids when graph indexes are built;
 //! * baseline relational operators ([`ops`]) — filter, project, hash join,
 //!   aggregate — shared by the executor and by the test oracles;
-//! * table statistics ([`stats`]) consumed by the relational optimizers.
+//! * table statistics ([`stats`]) consumed by the relational optimizers;
+//! * primary-key write-sets ([`writeset::WriteSet`]) — the stable conflict
+//!   footprint of an ingest commit, intersected by the session layer's
+//!   first-committer-wins MVCC validation.
 
 pub mod catalog;
 pub mod column;
@@ -23,9 +26,11 @@ pub mod expr;
 pub mod ops;
 pub mod stats;
 pub mod table;
+pub mod writeset;
 
 pub use catalog::{Database, ForeignKey, KeyIndex};
 pub use column::Column;
 pub use expr::{BinaryOp, ScalarExpr};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Table, TableBuilder, TableChange};
+pub use writeset::WriteSet;

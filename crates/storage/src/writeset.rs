@@ -1,0 +1,122 @@
+//! Primary-key write-sets: the stable conflict footprint of one ingest
+//! commit.
+//!
+//! First-committer-wins MVCC validation (the `relgo` session layer) needs a
+//! representation of "which rows did this commit touch" that is stable
+//! across epochs. Row ids are *not* stable — the column-wise merge remaps
+//! survivors — but primary-key values are, so a [`WriteSet`] records, per
+//! table, the set of PK values a delta inserts or deletes. Two commits
+//! conflict iff their write-sets share a `(table, key)` pair.
+
+use relgo_common::{FxHashMap, FxHashSet};
+
+/// The per-table primary-key footprint of one commit: every key the commit
+/// inserted or tombstoned. Built by `relgo_delta::DeltaSet::write_set`
+/// against the batch's base catalog; intersected by the session's
+/// validate-and-publish critical section.
+#[derive(Debug, Clone, Default)]
+pub struct WriteSet {
+    tables: FxHashMap<String, FxHashSet<i64>>,
+}
+
+impl WriteSet {
+    /// Start an empty write-set.
+    pub fn new() -> WriteSet {
+        WriteSet::default()
+    }
+
+    /// Record that `table`'s row with primary key `key` is written.
+    pub fn add(&mut self, table: &str, key: i64) {
+        self.tables
+            .entry(table.to_string())
+            .or_default()
+            .insert(key);
+    }
+
+    /// The keys written in `table`, if any.
+    pub fn keys(&self, table: &str) -> Option<&FxHashSet<i64>> {
+        self.tables.get(table)
+    }
+
+    /// Total written keys across all tables.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(FxHashSet::len).sum()
+    }
+
+    /// Whether nothing is written.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(FxHashSet::is_empty)
+    }
+
+    /// The first `(table, key)` pair written by both sets, or `None` when
+    /// they are disjoint. Deterministic: tables are probed in sorted name
+    /// order and the smallest overlapping key is reported, so a conflict
+    /// error message does not depend on hash-map iteration order.
+    pub fn overlap(&self, other: &WriteSet) -> Option<(String, i64)> {
+        let mut names: Vec<&String> = self
+            .tables
+            .keys()
+            .filter(|t| other.tables.contains_key(*t))
+            .collect();
+        names.sort_unstable();
+        for name in names {
+            let (small, large) = {
+                let a = &self.tables[name];
+                let b = &other.tables[name];
+                if a.len() <= b.len() {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            };
+            if let Some(k) = small.iter().filter(|k| large.contains(k)).min() {
+                return Some((name.clone(), *k));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_deterministic_and_symmetric() {
+        let mut a = WriteSet::new();
+        a.add("Person", 7);
+        a.add("Person", 3);
+        a.add("Knows", 100);
+        let mut b = WriteSet::new();
+        b.add("Person", 3);
+        b.add("Person", 7);
+        b.add("Likes", 100);
+        // Sorted table order, smallest shared key.
+        assert_eq!(a.overlap(&b), Some(("Person".to_string(), 3)));
+        assert_eq!(b.overlap(&a), Some(("Person".to_string(), 3)));
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_overlap() {
+        let mut a = WriteSet::new();
+        a.add("Person", 1);
+        let mut b = WriteSet::new();
+        b.add("Person", 2);
+        b.add("Knows", 1); // same key, different table
+        assert_eq!(a.overlap(&b), None);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        assert!(WriteSet::new().is_empty());
+        assert_eq!(WriteSet::new().overlap(&a), None);
+    }
+
+    #[test]
+    fn keys_are_deduplicated() {
+        let mut a = WriteSet::new();
+        a.add("Person", 5);
+        a.add("Person", 5);
+        assert_eq!(a.len(), 1);
+        assert!(a.keys("Person").unwrap().contains(&5));
+        assert!(a.keys("Nope").is_none());
+    }
+}

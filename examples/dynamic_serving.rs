@@ -8,10 +8,12 @@
 //!    plan cache invalidate;
 //! 2. snapshot isolation — a reader pinned to the pre-commit epoch keeps
 //!    seeing the old data;
-//! 3. a mixed replay (`ServeMode::Mixed`): one writer thread committing
-//!    update batches while reader threads serve snapshot-pinned verified
-//!    cached queries plus prepared executes — with the per-replay
-//!    cache-metric deltas printed at the end.
+//! 3. a mixed replay (`ServeMode::Mixed`): concurrent writer threads
+//!    committing update batches — racing on a shared marker row, so the
+//!    losers observe first-committer-wins conflicts and retry — while
+//!    reader threads serve snapshot-pinned verified cached queries plus
+//!    prepared executes, with the per-replay cache-metric deltas printed
+//!    at the end.
 //!
 //! Run with: `cargo run --release --example dynamic_serving [-- --quick]`
 //! (`RELGO_THREADS=2` additionally gives every query 2 morsel workers.)
@@ -21,10 +23,10 @@ use relgo::workloads::dynamic::dynamic_snb;
 
 fn main() -> Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (sf, readers, rounds, commits, ops) = if quick {
-        (0.03, 2, 3, 3, 6)
+    let (sf, readers, rounds, commits, ops, writers) = if quick {
+        (0.03, 2, 3, 3, 6, 2)
     } else {
-        (0.1, 4, 8, 6, 25)
+        (0.1, 4, 8, 6, 25, 2)
     };
 
     println!("generating SNB-like data (sf={sf}) and building the session...");
@@ -97,7 +99,7 @@ fn main() -> Result<()> {
 
     // --- 3. mixed replay ----------------------------------------------
     println!(
-        "mixed replay: {readers} readers x {rounds} rounds (verified) + 1 writer x {commits} commits x {ops} rows..."
+        "mixed replay: {readers} readers x {rounds} rounds (verified) + {writers} writers x {commits} commits x {ops} rows..."
     );
     let before = session.cache_metrics();
     let report = replay_concurrent_with(
@@ -109,6 +111,7 @@ fn main() -> Result<()> {
         ServeMode::Mixed {
             commits,
             ops_per_commit: ops,
+            writers,
         },
     )?;
     println!(
@@ -120,9 +123,10 @@ fn main() -> Result<()> {
         report.throughput()
     );
     println!(
-        "  writer: {} commits, {} rows ingested, final epoch {}",
+        "  writers: {} commits, {} rows committed, {} write conflicts retried, final epoch {}",
         report.commits,
         report.ingested_rows,
+        report.conflicts,
         session.epoch()
     );
     // The per-replay cache-metric deltas: how serving behaved *during*
@@ -133,6 +137,12 @@ fn main() -> Result<()> {
         m.hits, m.misses, m.invalidations, m.prepared_hits, m.prepared_invalidations, m.rebind_failures
     );
     assert_eq!(report.commits, commits);
+    let writer_rounds = commits.div_ceil(writers);
+    assert_eq!(
+        report.conflicts,
+        commits - writer_rounds,
+        "every multi-writer round produces exactly one marker conflict"
+    );
     assert!(
         m.invalidations >= commits as u64,
         "every commit invalidates"

@@ -16,6 +16,12 @@
 //! incremental refresh (staleness 1.0) and the full rebuild (staleness
 //! 0.0) commit paths.
 //!
+//! A third property exercises the MVCC write path: N threads commit
+//! overlapping randomized batches concurrently; per contested primary key
+//! exactly one commit wins, every loser observes the retryable typed
+//! `CommitError::Conflict`, and the surviving state is bit-identical to a
+//! serial replay of the winning commits in epoch order.
+//!
 //! Plain tests cover snapshot isolation: a reader pinned to an old epoch
 //! sees neither uncommitted nor later-committed rows.
 
@@ -348,6 +354,135 @@ proptest! {
             let a = got.cardinality(p).unwrap();
             let b = want.cardinality(p).unwrap();
             prop_assert!((a - b).abs() < 1e-9, "pattern count {a} vs {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// MVCC first-committer-wins: N writer threads stage batches against the
+    /// same base epoch — disjoint private rows plus one contested row per
+    /// conflict group — and commit simultaneously. Exactly one writer per
+    /// group wins; every loser gets the typed retryable conflict naming the
+    /// contested key; and the surviving state is bit-identical to a serial
+    /// replay of the winning batches in commit (epoch) order.
+    #[test]
+    fn concurrent_writers_one_winner_per_contested_key(
+        writers in 2usize..5,
+        groups in 1usize..3,
+        private_rows in 1usize..5,
+        template_idx in 0usize..5,
+        draw in 0u64..40,
+    ) {
+        const SHARED: i64 = 5_000_000;
+        const PRIVATE: i64 = 6_000_000;
+
+        let (db, mapping) = base();
+        let groups = groups.min(writers);
+        let session = Session::open_with(db.clone(), mapping.clone(), options(1, 1.0)).unwrap();
+        let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+        let barrier = std::sync::Barrier::new(writers);
+
+        // Each writer stages against epoch 0; the barrier sits between
+        // staging and commit so nobody validates against an already-published
+        // competitor by accident of scheduling.
+        let results: Vec<(usize, Vec<Op>, std::result::Result<IngestReport, CommitError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..writers)
+                    .map(|w| {
+                        let (session, barrier) = (&session, &barrier);
+                        scope.spawn(move || {
+                            let group = w % groups;
+                            let mut staged: Vec<Op> = Vec::new();
+                            let mut batch = session.begin_ingest();
+                            for i in 0..private_rows {
+                                let row = vec![
+                                    Value::Int(PRIVATE + (w * 100 + i) as i64),
+                                    Value::str(format!("w{w}_r{i}")),
+                                    Value::Date(18_000 + i as i64),
+                                ];
+                                batch.insert_row("Person", row.clone()).unwrap();
+                                staged.push(Op::Insert("Person", row));
+                            }
+                            // The contested row: identical for every writer in
+                            // the group, so the survivor is the same no matter
+                            // which thread wins the race.
+                            let contested = vec![
+                                Value::Int(SHARED + group as i64),
+                                Value::str(format!("group_{group}")),
+                                Value::Date(18_500),
+                            ];
+                            batch.insert_row("Person", contested.clone()).unwrap();
+                            staged.push(Op::Insert("Person", contested));
+                            barrier.wait();
+                            (group, staged, batch.commit())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+        let mut winners: Vec<(u64, &Vec<Op>)> = Vec::new();
+        let mut winners_per_group = vec![0usize; groups];
+        for (group, staged, result) in &results {
+            match result {
+                Ok(report) => {
+                    winners.push((report.epoch, staged));
+                    winners_per_group[*group] += 1;
+                }
+                Err(err) => {
+                    prop_assert!(err.is_conflict(), "losers must see a retryable error: {err}");
+                    match err {
+                        CommitError::Conflict { table, key, committed_epoch } => {
+                            prop_assert_eq!(table.as_str(), "Person");
+                            prop_assert_eq!(*key, SHARED + *group as i64);
+                            prop_assert!(*committed_epoch >= 1);
+                        }
+                        other => prop_assert!(false, "expected Conflict, got {other:?}"),
+                    }
+                }
+            }
+        }
+        // Exactly one winner per conflict group, losers everywhere else.
+        prop_assert_eq!(&winners_per_group, &vec![1usize; groups]);
+        prop_assert_eq!(winners.len(), groups);
+        prop_assert_eq!(session.epoch(), groups as u64);
+
+        // Serial replay of the winning batches in commit order reproduces the
+        // surviving state bit-for-bit — tables and query results alike.
+        let oracle = Session::open_with(db.clone(), mapping.clone(), options(1, 1.0)).unwrap();
+        winners.sort_by_key(|(epoch, _)| *epoch);
+        for (_, staged) in &winners {
+            let mut batch = oracle.begin_ingest();
+            for op in staged.iter() {
+                match op {
+                    Op::Insert(table, row) => batch.insert_row(table, row.clone()).unwrap(),
+                    Op::Delete(table, key) => batch.delete_row(table, *key).unwrap(),
+                }
+            }
+            batch.commit().unwrap();
+        }
+        prop_assert_eq!(oracle.epoch(), session.epoch());
+        {
+            let live = session.db();
+            let replayed = oracle.db();
+            for name in ["Person", "Knows", "Likes"] {
+                prop_assert!(
+                    bit_identical(live.table(name).unwrap(), replayed.table(name).unwrap()),
+                    "table {} diverges from serial replay of the winners",
+                    name
+                );
+            }
+        }
+        let t = &snb_templates(&schema)[template_idx];
+        let q = t.instantiate(draw).unwrap();
+        for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+            let want = oracle.run(&q, mode).unwrap().table;
+            let got = session.run(&q, mode).unwrap().table;
+            prop_assert!(bit_identical(&want, &got), "{} run diverges", mode.name());
+            let cached = session.run_cached(&q, mode).unwrap().table;
+            prop_assert!(bit_identical(&want, &cached), "{} run_cached diverges", mode.name());
         }
     }
 }
