@@ -1,0 +1,113 @@
+//! Criterion bench for the networked serving edge: HTTP `/query`
+//! round-trips per template, prepared `/execute`, `/healthz`, and a full
+//! `/metrics` scrape against one in-process `relgo-server` instance.
+//!
+//! The server runs once for the whole bench on an ephemeral port, so the
+//! numbers include request parsing, admission, execution, and wire
+//! serialization — the full per-request path a client pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgo::prelude::*;
+use relgo::workloads::templates::snb_templates;
+use relgo_server::{Server, ServerConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One blocking request/response exchange; panics on any malformed reply
+/// so a broken server fails the bench instead of skewing it.
+fn http(addr: &str, method: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req =
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").expect("split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    (status, body.to_string())
+}
+
+fn bench(c: &mut Criterion) {
+    let (session, schema) = Session::snb(0.05, 42).expect("snb");
+    let templates = snb_templates(&schema);
+    let bound = Server::new(&session, &templates, ServerConfig::default())
+        .bind()
+        .expect("bind");
+    let addr = bound.local_addr().to_string();
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || bound.run());
+
+        let mut group = c.benchmark_group("fig_serve");
+        group.sample_size(10);
+
+        group.bench_function("healthz", |b| {
+            b.iter(|| {
+                let (status, _) = http(&addr, "GET", "/healthz");
+                assert_eq!(status, 200);
+            })
+        });
+
+        for t in &templates {
+            let draw = AtomicU64::new(0);
+            group.bench_with_input(BenchmarkId::new("query", t.name()), t, |b, t| {
+                b.iter(|| {
+                    let d = draw.fetch_add(1, Ordering::Relaxed);
+                    let (status, body) = http(
+                        &addr,
+                        "POST",
+                        &format!("/query?template={}&draw={d}", t.name()),
+                    );
+                    assert_eq!(status, 200, "{body}");
+                })
+            });
+        }
+
+        // Prepared wire path: one /prepare, then rebind-only /execute.
+        let (status, body) = http(
+            &addr,
+            "POST",
+            &format!("/prepare?template={}", templates[0].name()),
+        );
+        assert_eq!(status, 200, "{body}");
+        let stmt = body
+            .trim()
+            .strip_prefix("ok stmt=")
+            .expect("stmt id")
+            .to_string();
+        let draw = AtomicU64::new(0);
+        group.bench_function("execute", |b| {
+            b.iter(|| {
+                let d = draw.fetch_add(1, Ordering::Relaxed);
+                let (status, body) = http(&addr, "POST", &format!("/execute?stmt={stmt}&draw={d}"));
+                assert_eq!(status, 200, "{body}");
+            })
+        });
+
+        group.bench_function("metrics_scrape", |b| {
+            b.iter(|| {
+                let (status, body) = http(&addr, "GET", "/metrics");
+                assert_eq!(status, 200);
+                assert!(body.contains("relgo_http_requests_total"));
+            })
+        });
+
+        group.finish();
+
+        let (status, _) = http(&addr, "POST", "/shutdown");
+        assert_eq!(status, 200);
+        let stats = server.join().expect("server thread").expect("serve");
+        println!(
+            "fig_serve drain: connections={} ok={} rejected={} failed={}",
+            stats.connections, stats.ok_responses, stats.rejected, stats.failed
+        );
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|figwal|stats|all] [--quick]
+//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|figwal|figserve|stats|all] [--quick]
 //! ```
 //!
 //! `--quick` (or `RELGO_BENCH_QUICK=1`) shrinks scales and repetitions for
@@ -24,13 +24,17 @@ fn main() {
 
     let run = |name: &str| -> bool { what == "all" || what == name };
     let mut ran_any = false;
+    let mut failed: Vec<String> = Vec::new();
 
     let mut emit = |name: &str, f: &dyn Fn() -> relgo::common::Result<String>| {
         if run(name) {
             ran_any = true;
             match f() {
                 Ok(s) => println!("{s}"),
-                Err(e) => eprintln!("{name}: {e}"),
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    failed.push(name.to_string());
+                }
             }
         }
     };
@@ -49,11 +53,18 @@ fn main() {
     emit("figprepared", &|| figures::fig_prepared(&cfg));
     emit("figingest", &|| figures::fig_ingest(&cfg));
     emit("figwal", &|| figures::fig_wal(&cfg));
+    emit("figserve", &|| figures::fig_serve(&cfg));
 
     if !ran_any {
         eprintln!(
-            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest figwal all"
+            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest figwal figserve all"
         );
         std::process::exit(2);
+    }
+    // Figures are self-checking: a figure that fails its own invariants
+    // must fail the run, not just print to stderr.
+    if !failed.is_empty() {
+        eprintln!("failed figures: {}", failed.join(" "));
+        std::process::exit(1);
     }
 }

@@ -105,6 +105,21 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The counters as stable `(name, value)` pairs — what an
+    /// observability layer folds into a metrics export (the names become
+    /// series suffixes, so they are part of the public scrape surface).
+    pub fn counters(&self) -> [(&'static str, u64); 7] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("evictions", self.evictions),
+            ("invalidations", self.invalidations),
+            ("rebind_failures", self.rebind_failures),
+            ("prepared_hits", self.prepared_hits),
+            ("prepared_invalidations", self.prepared_invalidations),
+        ]
+    }
+
     /// Hit ratio in `[0, 1]` (0 when no lookups happened).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;

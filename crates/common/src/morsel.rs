@@ -15,8 +15,47 @@
 
 use crate::{RelGoError, Result};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+// Process-global scheduler counters. `relgo-common` sits below the metrics
+// crate in the dependency order, so the scheduler keeps plain atomics and
+// the observability layer folds [`morsel_counters`] into its snapshot at
+// scrape time.
+static SERIAL_RUNS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_RUNS: AtomicU64 = AtomicU64::new(0);
+static MORSELS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time copy of the process-global morsel-scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselCounters {
+    /// [`run_morsels`] invocations that ran inline (serial path).
+    pub serial_runs: u64,
+    /// [`run_morsels`] invocations that spawned a worker pool.
+    pub parallel_runs: u64,
+    /// Morsels dispatched across all invocations (serial and parallel).
+    pub morsels: u64,
+}
+
+impl MorselCounters {
+    /// Counter-wise difference since `earlier`.
+    pub fn since(&self, earlier: &MorselCounters) -> MorselCounters {
+        MorselCounters {
+            serial_runs: self.serial_runs - earlier.serial_runs,
+            parallel_runs: self.parallel_runs - earlier.parallel_runs,
+            morsels: self.morsels - earlier.morsels,
+        }
+    }
+}
+
+/// Snapshot the process-global scheduler counters.
+pub fn morsel_counters() -> MorselCounters {
+    MorselCounters {
+        serial_runs: SERIAL_RUNS.load(Ordering::Relaxed),
+        parallel_runs: PARALLEL_RUNS.load(Ordering::Relaxed),
+        morsels: MORSELS_DISPATCHED.load(Ordering::Relaxed),
+    }
+}
 
 /// Default rows per morsel for columnar operators (`EXPAND` and friends).
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
@@ -63,7 +102,9 @@ where
     F: Fn(usize, Range<usize>) -> Result<R> + Sync,
 {
     let n_morsels = morsel_count(n, morsel_rows);
+    MORSELS_DISPATCHED.fetch_add(n_morsels as u64, Ordering::Relaxed);
     if threads <= 1 || n_morsels <= 1 {
+        SERIAL_RUNS.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::with_capacity(n_morsels);
         for m in 0..n_morsels {
             out.push(f(m, morsel_range(m, n, morsel_rows))?);
@@ -71,6 +112,7 @@ where
         return Ok(out);
     }
 
+    PARALLEL_RUNS.fetch_add(1, Ordering::Relaxed);
     let workers = threads.min(n_morsels);
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
@@ -236,6 +278,19 @@ mod tests {
         let b = RowBudget::new(10);
         assert!(b.charge(10).is_ok());
         assert!(matches!(b.charge(1), Err(RelGoError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn scheduler_counters_advance() {
+        let before = morsel_counters();
+        run_morsels(100, 1, 10, |_, _| Ok(())).unwrap();
+        run_morsels(100, 4, 10, |_, _| Ok(())).unwrap();
+        let d = morsel_counters().since(&before);
+        // Other tests run concurrently against the same globals, so the
+        // deltas are lower bounds.
+        assert!(d.serial_runs >= 1, "{d:?}");
+        assert!(d.parallel_runs >= 1, "{d:?}");
+        assert!(d.morsels >= 20, "{d:?}");
     }
 
     #[test]

@@ -108,6 +108,17 @@ impl WalStats {
             bytes: self.bytes - before.bytes,
         }
     }
+
+    /// The counters as stable `(name, value)` pairs for metrics export
+    /// (the names become series suffixes in the scrape surface).
+    pub fn counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("records", self.records),
+            ("flushes", self.flushes),
+            ("syncs", self.syncs),
+            ("bytes", self.bytes),
+        ]
+    }
 }
 
 /// One decoded log record: the delta a commit applied and the epoch it

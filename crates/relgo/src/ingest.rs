@@ -311,7 +311,10 @@ impl Session {
         let write_set = match base_epoch {
             Some(base) => {
                 let ws = delta.write_set(&state.db)?;
-                self.validate_write_set(base, &ws, state.epoch)?;
+                if let Err(e) = self.validate_write_set(base, &ws, state.epoch) {
+                    self.metrics().record_ingest_conflict();
+                    return Err(e);
+                }
                 Some(ws)
             }
             None => None,
@@ -385,6 +388,14 @@ impl Session {
                 .expect("wal_seq implies a wal")
                 .sync_through(seq)?;
         }
+        let commit_time = start.elapsed();
+        let rows = summary.inserted_rows() + summary.deleted_rows();
+        // Recovery replay (no base epoch) re-runs the commit pipeline but is
+        // not a live commit: count the rows and latency, not the commit.
+        match base_epoch {
+            Some(_) => self.metrics().record_ingest_commit(rows, commit_time),
+            None => self.metrics().record_recovery_replay(rows, commit_time),
+        }
         Ok(IngestReport {
             epoch,
             inserted: summary.inserted_rows(),
@@ -393,7 +404,7 @@ impl Session {
             tables: summary.tables().iter().map(|s| s.to_string()).collect(),
             stats,
             stats_time,
-            commit_time: start.elapsed(),
+            commit_time,
         })
     }
 }

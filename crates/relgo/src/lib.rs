@@ -28,6 +28,7 @@
 //! workloads.
 
 pub mod ingest;
+pub mod observe;
 pub mod prepared;
 pub mod serve;
 pub mod session;
@@ -40,11 +41,13 @@ pub use relgo_delta as delta;
 pub use relgo_exec as exec;
 pub use relgo_glogue as glogue;
 pub use relgo_graph as graph;
+pub use relgo_metrics as metrics;
 pub use relgo_pattern as pattern;
 pub use relgo_storage as storage;
 pub use relgo_workloads as workloads;
 
 pub use ingest::{CommitError, IngestBatch, IngestReport, StatsRefresh};
+pub use observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
 pub use prepared::{BatchOutcome, PreparedStatement};
 pub use relgo_delta::wal::{Wal, WalOptions, WalStats};
 pub use serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
@@ -53,6 +56,7 @@ pub use session::{QueryOutcome, RecoveryReport, Session, SessionOptions, Snapsho
 /// The convenient all-in-one import.
 pub mod prelude {
     pub use crate::ingest::{CommitError, IngestBatch, IngestReport, StatsRefresh};
+    pub use crate::observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
     pub use crate::prepared::{BatchOutcome, PreparedStatement};
     pub use crate::serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
     pub use crate::session::{QueryOutcome, RecoveryReport, Session, SessionOptions, Snapshot};

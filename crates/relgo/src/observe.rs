@@ -1,0 +1,386 @@
+//! The session's observability layer: one [`SessionMetrics`] registry that
+//! every serving path records into, and [`ObservabilitySnapshot`] — the
+//! unified point-in-time view merging the registry with the subsystem
+//! counters that predate it (plan-cache metrics, WAL stats, the
+//! morsel-scheduler globals) plus the current epoch.
+//!
+//! Recording is hot-path cheap (relaxed atomics via `relgo-metrics`
+//! handles); all folding and string rendering happens at snapshot/scrape
+//! time. [`ObservabilitySnapshot::render_prometheus`] is what the
+//! `relgo-server` `/metrics` endpoint returns.
+
+use relgo_cache::MetricsSnapshot;
+use relgo_common::morsel::MorselCounters;
+use relgo_delta::wal::WalStats;
+use relgo_metrics::trace::{Stage, StageTimings};
+use relgo_metrics::{Counter, Histogram, Registry, Snapshot};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which serving path answered a query — the `path` label of the
+/// `relgo_queries_total` / `relgo_query_seconds` series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPath {
+    /// [`crate::Session::run`]: full optimize + execute.
+    Run,
+    /// [`crate::Session::run_cached`]: parameterize + cache probe + rebind.
+    Cached,
+    /// [`crate::PreparedStatement::execute`]: pinned-skeleton rebind.
+    Prepared,
+    /// [`crate::PreparedStatement::execute_batch`]: shared batch state.
+    Batched,
+}
+
+impl QueryPath {
+    /// Every path, in declaration order.
+    pub const ALL: [QueryPath; 4] = [
+        QueryPath::Run,
+        QueryPath::Cached,
+        QueryPath::Prepared,
+        QueryPath::Batched,
+    ];
+
+    /// The `path` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPath::Run => "run",
+            QueryPath::Cached => "cached",
+            QueryPath::Prepared => "prepared",
+            QueryPath::Batched => "batched",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            QueryPath::Run => 0,
+            QueryPath::Cached => 1,
+            QueryPath::Prepared => 2,
+            QueryPath::Batched => 3,
+        }
+    }
+}
+
+/// The per-session metrics registry with pre-registered typed handles for
+/// every hot path. One instance lives in each [`crate::Session`]; the
+/// server shares the same registry for its HTTP-edge series so one scrape
+/// covers the whole process.
+#[derive(Debug)]
+pub struct SessionMetrics {
+    registry: Arc<Registry>,
+    queries: [Arc<Counter>; 4],
+    query_seconds: [Arc<Histogram>; 4],
+    stage_seconds: [Arc<Histogram>; 7],
+    ingest_commits: Arc<Counter>,
+    ingest_conflicts: Arc<Counter>,
+    ingest_rows: Arc<Counter>,
+    ingest_commit_seconds: Arc<Histogram>,
+    recovery_replayed: Arc<Counter>,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        SessionMetrics::new()
+    }
+}
+
+impl SessionMetrics {
+    /// A fresh registry with every session-level series registered.
+    pub fn new() -> SessionMetrics {
+        let registry = Arc::new(Registry::new());
+        let queries = QueryPath::ALL.map(|p| {
+            registry.counter_with(
+                "relgo_queries_total",
+                "Queries completed, by serving path",
+                &[("path", p.name())],
+            )
+        });
+        let query_seconds = QueryPath::ALL.map(|p| {
+            registry.histogram_with(
+                "relgo_query_seconds",
+                "End-to-end query latency, by serving path",
+                &[("path", p.name())],
+            )
+        });
+        let stage_seconds = Stage::ALL.map(|s| {
+            registry.histogram_with(
+                "relgo_query_stage_seconds",
+                "Per-stage query-lifecycle latency",
+                &[("stage", s.name())],
+            )
+        });
+        let ingest_commits = registry.counter(
+            "relgo_ingest_commits_total",
+            "Ingest batches committed (epoch publishes)",
+        );
+        let ingest_conflicts = registry.counter(
+            "relgo_ingest_conflicts_total",
+            "Commits rejected by first-committer-wins validation (retryable)",
+        );
+        let ingest_rows = registry.counter(
+            "relgo_ingest_rows_total",
+            "Rows committed by ingest batches (inserts + deletes)",
+        );
+        let ingest_commit_seconds = registry.histogram(
+            "relgo_ingest_commit_seconds",
+            "Ingest commit latency (validate + merge + stats + publish + WAL)",
+        );
+        let recovery_replayed = registry.counter(
+            "relgo_recovery_replayed_total",
+            "WAL records replayed during crash recovery",
+        );
+        SessionMetrics {
+            registry,
+            queries,
+            query_seconds,
+            stage_seconds,
+            ingest_commits,
+            ingest_conflicts,
+            ingest_rows,
+            ingest_commit_seconds,
+            recovery_replayed,
+        }
+    }
+
+    /// The underlying registry (the server registers its HTTP-edge series
+    /// here so one scrape covers session + edge).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Record one completed query: bumps the path counter, records the
+    /// end-to-end latency, and charges every traced stage to its histogram.
+    pub fn record_query(&self, path: QueryPath, timings: &StageTimings) {
+        self.record_queries(path, 1, timings);
+    }
+
+    /// [`SessionMetrics::record_query`] for a batch that completed `n`
+    /// queries under one merged trace: the counter advances by `n`, while
+    /// the latency histogram receives the batch's per-query share so its
+    /// count stays per-query comparable across paths.
+    pub fn record_queries(&self, path: QueryPath, n: usize, timings: &StageTimings) {
+        if n == 0 {
+            return;
+        }
+        self.queries[path.idx()].add(n as u64);
+        let share = Duration::from_nanos(
+            (timings.total.as_nanos() / n as u128).min(u64::MAX as u128) as u64,
+        );
+        for _ in 0..n {
+            self.query_seconds[path.idx()].record(share);
+        }
+        for (stage, d) in timings.nonzero() {
+            let i = Stage::ALL
+                .iter()
+                .position(|s| *s == stage)
+                .expect("known stage");
+            self.stage_seconds[i].record(d);
+        }
+    }
+
+    /// Record one committed ingest batch.
+    pub(crate) fn record_ingest_commit(&self, rows: usize, commit_time: Duration) {
+        self.ingest_commits.inc();
+        self.ingest_rows.add(rows as u64);
+        self.ingest_commit_seconds.record(commit_time);
+    }
+
+    /// Record a first-committer-wins loss (retryable conflict).
+    pub(crate) fn record_ingest_conflict(&self) {
+        self.ingest_conflicts.inc();
+    }
+
+    /// Record one WAL record replayed by crash recovery.
+    pub(crate) fn record_recovery_replay(&self, rows: usize, commit_time: Duration) {
+        self.recovery_replayed.inc();
+        // Replayed rows count as ingested rows (they re-run the commit
+        // pipeline), but not as live commits.
+        self.ingest_rows.add(rows as u64);
+        self.ingest_commit_seconds.record(commit_time);
+    }
+
+    /// Total ingest conflicts recorded so far.
+    pub fn ingest_conflicts(&self) -> u64 {
+        self.ingest_conflicts.get()
+    }
+
+    /// Total ingest commits recorded so far.
+    pub fn ingest_commits(&self) -> u64 {
+        self.ingest_commits.get()
+    }
+}
+
+/// The unified observability view of one [`crate::Session`]: the metrics
+/// registry plus every pre-registry subsystem counter, merged at snapshot
+/// time.
+#[derive(Debug, Clone)]
+pub struct ObservabilitySnapshot {
+    /// The session's current data epoch.
+    pub epoch: u64,
+    /// Plan-cache counters ([`crate::Session::cache_metrics`]).
+    pub cache: MetricsSnapshot,
+    /// WAL counters on a durable session (`None` otherwise).
+    pub wal: Option<WalStats>,
+    /// Process-global morsel-scheduler counters.
+    pub morsels: MorselCounters,
+    /// The registry snapshot with the above folded in as additional series.
+    pub registry: Snapshot,
+}
+
+impl ObservabilitySnapshot {
+    /// Build the merged snapshot (called by
+    /// [`crate::Session::observability_snapshot`]).
+    pub(crate) fn collect(
+        metrics: &SessionMetrics,
+        epoch: u64,
+        cache: MetricsSnapshot,
+        wal: Option<WalStats>,
+    ) -> ObservabilitySnapshot {
+        let morsels = relgo_common::morsel::morsel_counters();
+        let mut registry = metrics.registry.snapshot();
+        registry.push_gauge(
+            "relgo_epoch",
+            "Current data epoch (0 at open, +1 per committed ingest batch)",
+            &[],
+            epoch as i64,
+        );
+        for (name, value) in cache.counters() {
+            registry.push_counter(
+                &format!("relgo_plan_cache_{name}_total"),
+                "Plan-cache counter (see relgo-cache MetricsSnapshot)",
+                &[],
+                value,
+            );
+        }
+        if let Some(wal) = &wal {
+            for (name, value) in wal.counters() {
+                registry.push_counter(
+                    &format!("relgo_wal_{name}_total"),
+                    "Write-ahead-log counter (see relgo-delta WalStats)",
+                    &[],
+                    value,
+                );
+            }
+        }
+        registry.push_counter(
+            "relgo_morsel_runs_total",
+            "Morsel-scheduler invocations, by dispatch path",
+            &[("path", "serial")],
+            morsels.serial_runs,
+        );
+        registry.push_counter(
+            "relgo_morsel_runs_total",
+            "Morsel-scheduler invocations, by dispatch path",
+            &[("path", "parallel")],
+            morsels.parallel_runs,
+        );
+        registry.push_counter(
+            "relgo_morsels_dispatched_total",
+            "Morsels dispatched across all scheduler invocations",
+            &[],
+            morsels.morsels,
+        );
+        ObservabilitySnapshot {
+            epoch,
+            cache,
+            wal,
+            morsels,
+            registry,
+        }
+    }
+
+    /// The full Prometheus text-format exposition (what `GET /metrics`
+    /// serves).
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Distinct series names in the exposition (acceptance floor: ≥ 12).
+    pub fn series_names(&self) -> Vec<&str> {
+        self.registry.names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_metrics::trace::QueryTrace;
+
+    #[test]
+    fn record_query_touches_path_and_stage_series() {
+        let m = SessionMetrics::new();
+        let mut t = QueryTrace::start();
+        t.add(Stage::Optimize, Duration::from_micros(300));
+        t.add(Stage::Execute, Duration::from_micros(700));
+        m.record_query(QueryPath::Cached, &t.finish());
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter_sum("relgo_queries_total"), 1);
+        match snap.get("relgo_query_seconds", &[("path", "cached")]) {
+            Some(relgo_metrics::SampleValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("missing histogram: {other:?}"),
+        }
+        match snap.get("relgo_query_stage_seconds", &[("stage", "execute")]) {
+            Some(relgo_metrics::SampleValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum_us, 700);
+            }
+            other => panic!("missing stage histogram: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_recording_keeps_counts_per_query() {
+        let m = SessionMetrics::new();
+        let mut t = QueryTrace::start();
+        t.add(Stage::Execute, Duration::from_micros(900));
+        m.record_queries(QueryPath::Batched, 3, &t.finish());
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter_sum("relgo_queries_total"), 3);
+        match snap.get("relgo_query_seconds", &[("path", "batched")]) {
+            Some(relgo_metrics::SampleValue::Histogram(h)) => assert_eq!(h.count, 3),
+            other => panic!("missing histogram: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_folds_subsystem_counters_and_renders() {
+        let m = SessionMetrics::new();
+        m.record_ingest_commit(5, Duration::from_micros(100));
+        m.record_ingest_conflict();
+        let cache = MetricsSnapshot {
+            hits: 3,
+            ..MetricsSnapshot::default()
+        };
+        let wal = Some(WalStats {
+            records: 2,
+            flushes: 1,
+            syncs: 1,
+            bytes: 64,
+        });
+        let snap = ObservabilitySnapshot::collect(&m, 7, cache, wal);
+        let names = snap.series_names();
+        assert!(names.len() >= 12, "{} series: {names:?}", names.len());
+        for required in [
+            "relgo_queries_total",
+            "relgo_query_seconds",
+            "relgo_query_stage_seconds",
+            "relgo_ingest_commits_total",
+            "relgo_ingest_conflicts_total",
+            "relgo_ingest_rows_total",
+            "relgo_ingest_commit_seconds",
+            "relgo_epoch",
+            "relgo_plan_cache_hits_total",
+            "relgo_wal_records_total",
+            "relgo_morsel_runs_total",
+            "relgo_morsels_dispatched_total",
+        ] {
+            assert!(names.contains(&required), "missing {required}: {names:?}");
+        }
+        let text = snap.render_prometheus();
+        relgo_metrics::text::validate(&text).expect("valid exposition format");
+        let scrape = relgo_metrics::text::parse(&text).unwrap();
+        assert_eq!(scrape.value("relgo_epoch", &[]), Some(7.0));
+        assert_eq!(scrape.value("relgo_plan_cache_hits_total", &[]), Some(3.0));
+        assert_eq!(scrape.value("relgo_wal_records_total", &[]), Some(2.0));
+        assert_eq!(scrape.value("relgo_ingest_rows_total", &[]), Some(5.0));
+    }
+}

@@ -25,6 +25,7 @@
 //! the batch. Batch results are bit-identical to per-query
 //! [`PreparedStatement::execute`] calls.
 
+use crate::observe::QueryPath;
 use crate::session::{QueryOutcome, Session};
 use parking_lot::Mutex;
 use relgo_cache::PinnedPlan;
@@ -33,6 +34,7 @@ use relgo_core::{
     bind_query, parameterize, rebind_plan, validate_bindings, OptStats, OptimizerMode,
     PhysicalPlan, PlanKey, SpjmQuery,
 };
+use relgo_metrics::trace::{QueryTrace, Stage, StageTimings};
 use relgo_storage::Table;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,6 +68,9 @@ pub struct BatchOutcome {
     /// How many of the batch's plans came straight from the pinned
     /// skeleton (the rest re-optimized: stale pin or ambiguous rebind).
     pub pinned_queries: usize,
+    /// Merged per-stage lifecycle timings of the whole batch (also recorded
+    /// into the session's metrics registry, per-query-share).
+    pub trace: StageTimings,
 }
 
 impl Session {
@@ -145,14 +150,20 @@ impl PreparedStatement<'_> {
     /// The pin mutex is held only to snapshot (or replace) the pin — the
     /// rebind and any re-optimization run outside it, so concurrent
     /// executes on one shared handle do not serialize on the hot path.
-    fn rebound_plan(&self, bindings: &[Value]) -> Result<(Arc<PhysicalPlan>, u64, bool)> {
+    fn rebound_plan(
+        &self,
+        bindings: &[Value],
+        trace: &mut QueryTrace,
+    ) -> Result<(Arc<PhysicalPlan>, u64, bool)> {
         let cache = self.session.plan_cache();
         let snapshot = {
             let pinned = self.pinned.lock();
             cache.pin_is_current(&pinned).then(|| pinned.clone())
         };
         if let Some(pin) = snapshot {
-            match rebind_plan(&pin.plan, &pin.params, bindings) {
+            match trace.time(Stage::Rebind, || {
+                rebind_plan(&pin.plan, &pin.params, bindings)
+            }) {
                 Ok(plan) => {
                     cache.note_prepared_hit();
                     return Ok((Arc::new(plan), 0, true));
@@ -168,8 +179,9 @@ impl PreparedStatement<'_> {
         // Version snapshot before optimizing (see `Session::run_cached`):
         // a racing rebuild leaves the new entry and pin born stale.
         let version = cache.stats_version();
-        let query = bind_query(&self.query, bindings)?;
-        let (plan, opt) = self.session.optimize(&query, self.mode)?;
+        let query = trace.time(Stage::Parameterize, || bind_query(&self.query, bindings))?;
+        let (plan, opt) =
+            trace.time(Stage::Optimize, || self.session.optimize(&query, self.mode))?;
         let plan = Arc::new(plan);
         if !opt.timed_out {
             cache.insert_at(
@@ -189,21 +201,28 @@ impl PreparedStatement<'_> {
     /// validation + literal rebinding only; `outcome.cached` reports
     /// whether the pinned skeleton served it.
     pub fn execute(&self, bindings: &[Value]) -> Result<QueryOutcome> {
+        let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
-        validate_bindings(&self.slot_sig, bindings)?;
-        let (plan, plans_visited, from_pin) = self.rebound_plan(bindings)?;
+        trace.time(Stage::Parse, || validate_bindings(&self.slot_sig, bindings))?;
+        let (plan, plans_visited, from_pin) = self.rebound_plan(bindings, &mut trace)?;
         let opt = OptStats {
             elapsed: opt_start.elapsed(),
             plans_visited,
             timed_out: false,
         };
         let start = Instant::now();
-        let table = self.session.execute(&plan, self.mode)?;
+        let table = trace.time(Stage::Execute, || self.session.execute(&plan, self.mode))?;
+        let exec_time = start.elapsed();
+        let trace = trace.finish();
+        self.session
+            .metrics()
+            .record_query(QueryPath::Prepared, &trace);
         Ok(QueryOutcome {
             table,
             opt,
-            exec_time: start.elapsed(),
+            exec_time,
             cached: from_pin,
+            trace,
         })
     }
 
@@ -213,17 +232,20 @@ impl PreparedStatement<'_> {
     /// amortized. `tables[i]` is bit-identical to
     /// `self.execute(&batch[i])?.table`.
     pub fn execute_batch(&self, batch: &[Vec<Value>]) -> Result<BatchOutcome> {
+        let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
         // Validate every vector before rebinding any: a malformed binding
         // rejects the whole batch without touching the prepared metrics.
-        for bindings in batch {
-            validate_bindings(&self.slot_sig, bindings)?;
-        }
+        trace.time(Stage::Parse, || {
+            batch
+                .iter()
+                .try_for_each(|bindings| validate_bindings(&self.slot_sig, bindings))
+        })?;
         let mut plans = Vec::with_capacity(batch.len());
         let mut plans_visited = 0u64;
         let mut pinned_queries = 0usize;
         for bindings in batch {
-            let (plan, visited, from_pin) = self.rebound_plan(bindings)?;
+            let (plan, visited, from_pin) = self.rebound_plan(bindings, &mut trace)?;
             plans_visited += visited;
             pinned_queries += usize::from(from_pin);
             plans.push(plan);
@@ -237,17 +259,25 @@ impl PreparedStatement<'_> {
         // Pin one epoch for the whole batch: a racing ingest commit must
         // not split the batch across two data versions.
         let state = self.session.state();
-        let tables = relgo_exec::execute_plan_batch(
-            &plans,
-            &state.view,
-            &state.db,
-            &self.session.exec_config(self.mode),
-        )?;
+        let tables = trace.time(Stage::Execute, || {
+            relgo_exec::execute_plan_batch(
+                &plans,
+                &state.view,
+                &state.db,
+                &self.session.exec_config(self.mode),
+            )
+        })?;
+        let exec_time = start.elapsed();
+        let trace = trace.finish();
+        self.session
+            .metrics()
+            .record_queries(QueryPath::Batched, tables.len(), &trace);
         Ok(BatchOutcome {
             tables,
             opt,
-            exec_time: start.elapsed(),
+            exec_time,
             pinned_queries,
+            trace,
         })
     }
 }

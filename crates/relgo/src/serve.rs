@@ -55,6 +55,7 @@ use crate::session::Session;
 use relgo_cache::MetricsSnapshot;
 use relgo_common::{RelGoError, Result, Value};
 use relgo_core::OptimizerMode;
+use relgo_metrics::{Histogram, HistogramSnapshot};
 use relgo_workloads::templates::QueryTemplate;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -115,7 +116,7 @@ impl ServeMode {
 }
 
 /// What one replay run did.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReplayReport {
     /// Queries that **completed** (threads × rounds × templates when no
     /// worker failed).
@@ -150,12 +151,28 @@ pub struct ReplayReport {
     /// prepared invalidations as a snapshot diff — mixed-mode figures read
     /// cache behavior off this).
     pub metrics: MetricsSnapshot,
+    /// Per-query end-to-end latency distribution over the replay
+    /// (optimizer plus execution per query; batched queries contribute
+    /// their per-query share). `latency.p50()` / `latency.p99()` are the
+    /// serving-mode figures' reporting unit.
+    pub latency: HistogramSnapshot,
 }
 
 impl ReplayReport {
     /// Completed queries per second of wall time.
     pub fn throughput(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Median per-query latency (`None` when no query completed).
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency.p50()
+    }
+
+    /// 99th-percentile per-query latency (`None` when no query completed or
+    /// the tail fell into the overflow bucket).
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency.p99()
     }
 }
 
@@ -228,6 +245,10 @@ pub fn replay_concurrent_with(
     let rounds = rounds.max(1);
     let before = session.cache_metrics();
     let wal_before = session.wal_stats();
+    // Per-query latency distribution, recorded by every worker (the
+    // session's registry sees the same durations through its own
+    // `relgo_query_seconds` histograms; this one is scoped to the replay).
+    let latency = Histogram::latency();
     let start = Instant::now();
 
     // Prepared regimes: one shared handle per template, prepared from the
@@ -297,6 +318,7 @@ pub fn replay_concurrent_with(
                         let draw = (w * rounds + r) as u64;
                         let keep = step(&mut tally, &mut || {
                             let o = session.run_cached(&t.instantiate(draw)?, mode)?;
+                            latency.record(o.e2e());
                             Ok(Counts {
                                 completed: 1,
                                 cached: usize::from(o.cached),
@@ -317,6 +339,7 @@ pub fn replay_concurrent_with(
                         let draw = (w * rounds + r) as u64;
                         let keep = step(&mut tally, &mut || {
                             let o = stmt.execute(&t.bindings(draw)?)?;
+                            latency.record(o.e2e());
                             Ok(Counts {
                                 completed: 1,
                                 cached: usize::from(o.cached),
@@ -343,6 +366,13 @@ pub fn replay_concurrent_with(
                                 .map(|&d| t.bindings(d))
                                 .collect::<Result<Vec<_>>>()?;
                             let o = stmt.execute_batch(&bindings)?;
+                            // Batched queries contribute their per-query
+                            // share of the batch's wall time.
+                            let n = o.tables.len().max(1) as u32;
+                            let share = (o.opt.elapsed + o.exec_time) / n;
+                            for _ in 0..o.tables.len() {
+                                latency.record(share);
+                            }
                             Ok(Counts {
                                 completed: o.tables.len(),
                                 cached: o.pinned_queries,
@@ -375,6 +405,8 @@ pub fn replay_concurrent_with(
                             // Unverified prepared execute: keeps pin
                             // invalidation traffic flowing under commits.
                             let p = stmt.execute(&t.bindings(draw)?)?;
+                            latency.record(o.e2e());
+                            latency.record(p.e2e());
                             Ok(Counts {
                                 completed: 2,
                                 cached: usize::from(o.cached) + usize::from(p.cached),
@@ -493,6 +525,8 @@ pub fn replay_concurrent_with(
                 verified(&c.table, &expected, t.name(), draw, "settled cached")?;
                 let p = stmt.execute(&t.bindings(draw)?)?;
                 verified(&p.table, &expected, t.name(), draw, "settled prepared")?;
+                latency.record(c.e2e());
+                latency.record(p.e2e());
                 Ok(Counts {
                     completed: 2,
                     cached: usize::from(c.cached) + usize::from(p.cached),
@@ -526,6 +560,7 @@ pub fn replay_concurrent_with(
             _ => None,
         },
         metrics: session.cache_metrics().since(&before),
+        latency: latency.snapshot(),
     };
     let mut first_error = None;
     for tally in tallies {

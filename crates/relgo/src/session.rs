@@ -12,6 +12,7 @@
 //! mechanism to callers that want repeatable reads across several queries.
 
 use crate::ingest::{CommitError, IngestBatch};
+use crate::observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
 use parking_lot::{Mutex, RwLock};
 use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
 use relgo_common::{RelGoError, Result};
@@ -24,6 +25,7 @@ use relgo_delta::wal::{Wal, WalOptions, WalStats};
 use relgo_exec::{execute_plan, ExecConfig};
 use relgo_glogue::GLogue;
 use relgo_graph::{GraphView, RGMapping};
+use relgo_metrics::trace::{QueryTrace, Stage, StageTimings};
 use relgo_storage::{Database, Table, WriteSet};
 use relgo_workloads::job_queries::ImdbSchema;
 use relgo_workloads::snb_queries::SnbSchema;
@@ -92,6 +94,9 @@ pub struct QueryOutcome {
     pub exec_time: Duration,
     /// Whether the plan came from the plan cache (`run_cached` hit).
     pub cached: bool,
+    /// Per-stage lifecycle timings of this query (also recorded into the
+    /// session's metrics registry).
+    pub trace: StageTimings,
 }
 
 impl QueryOutcome {
@@ -138,6 +143,10 @@ pub struct Session {
     /// Installed *after* recovery replay so replay does not re-append the
     /// records it is replaying.
     wal: OnceLock<Wal>,
+    /// The session's metrics registry: every serving path records into it,
+    /// and [`Session::observability_snapshot`] folds the subsystem counters
+    /// around it.
+    metrics: Arc<SessionMetrics>,
 }
 
 /// What [`Session::open_durable`] replayed from the write-ahead log.
@@ -196,6 +205,7 @@ impl Session {
             write_lock: Mutex::new(()),
             committed: Mutex::new(VecDeque::new()),
             wal: OnceLock::new(),
+            metrics: Arc::new(SessionMetrics::new()),
         })
     }
 
@@ -425,6 +435,27 @@ impl Session {
         self.cache.metrics()
     }
 
+    /// The session's metrics registry: every serving path (run, cached,
+    /// prepared, batched) and the ingest pipeline record into it. The
+    /// server registers its HTTP-edge series on the same registry so one
+    /// scrape covers the whole process.
+    pub fn metrics(&self) -> &Arc<SessionMetrics> {
+        &self.metrics
+    }
+
+    /// The unified observability view: the metrics registry merged with the
+    /// plan-cache counters, WAL stats (when durable), the morsel-scheduler
+    /// globals and the current epoch — one struct instead of four ad-hoc
+    /// accessors, and the source of the Prometheus `/metrics` exposition.
+    pub fn observability_snapshot(&self) -> ObservabilitySnapshot {
+        ObservabilitySnapshot::collect(
+            &self.metrics,
+            self.epoch(),
+            self.cache_metrics(),
+            self.wal_stats(),
+        )
+    }
+
     /// Open an optimistic ingest batch: queue inserts and deletes, then
     /// [`IngestBatch::commit`] to validate first-committer-wins, merge,
     /// refresh statistics and publish the next epoch. Any number of batches
@@ -542,14 +573,19 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
     ) -> Result<QueryOutcome> {
-        let (plan, opt) = self.optimize_at(state, query, mode)?;
+        let mut trace = QueryTrace::start();
+        let (plan, opt) = trace.time(Stage::Optimize, || self.optimize_at(state, query, mode))?;
         let start = Instant::now();
-        let table = self.execute_at(state, &plan, mode)?;
+        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+        let exec_time = start.elapsed();
+        let trace = trace.finish();
+        self.metrics.record_query(QueryPath::Run, &trace);
         Ok(QueryOutcome {
             table,
             opt,
-            exec_time: start.elapsed(),
+            exec_time,
             cached: false,
+            trace,
         })
     }
 
@@ -565,11 +601,16 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
     ) -> Result<QueryOutcome> {
+        let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
-        let pq = parameterize(query);
+        let pq = trace.time(Stage::Parameterize, || parameterize(query));
         let key = pq.key(mode);
-        if let Some((skeleton, cached_params)) = self.cache.lookup(&key) {
-            match rebind_plan(&skeleton, &cached_params, &pq.params) {
+        if let Some((skeleton, cached_params)) =
+            trace.time(Stage::CacheProbe, || self.cache.lookup(&key))
+        {
+            match trace.time(Stage::Rebind, || {
+                rebind_plan(&skeleton, &cached_params, &pq.params)
+            }) {
                 Ok(plan) => {
                     let opt = OptStats {
                         elapsed: opt_start.elapsed(),
@@ -577,12 +618,17 @@ impl Session {
                         timed_out: false,
                     };
                     let start = Instant::now();
-                    let table = self.execute_at(state, &plan, mode)?;
+                    let table =
+                        trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+                    let exec_time = start.elapsed();
+                    let trace = trace.finish();
+                    self.metrics.record_query(QueryPath::Cached, &trace);
                     return Ok(QueryOutcome {
                         table,
                         opt,
-                        exec_time: start.elapsed(),
+                        exec_time,
                         cached: true,
+                        trace,
                     });
                 }
                 Err(_) => self.cache.note_rebind_failure(),
@@ -594,7 +640,8 @@ impl Session {
         // version and dies on its next lookup instead of being served as
         // current.
         let version = self.cache.stats_version();
-        let (plan, mut opt) = self.optimize_at(state, query, mode)?;
+        let (plan, mut opt) =
+            trace.time(Stage::Optimize, || self.optimize_at(state, query, mode))?;
         let plan = Arc::new(plan);
         // A timed-out search produced a fallback plan; don't pin it for
         // every future instance of the template.
@@ -605,12 +652,16 @@ impl Session {
         // Charge the full miss path (parameterize + lookup + optimize).
         opt.elapsed = opt_start.elapsed();
         let start = Instant::now();
-        let table = self.execute_at(state, &plan, mode)?;
+        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+        let exec_time = start.elapsed();
+        let trace = trace.finish();
+        self.metrics.record_query(QueryPath::Cached, &trace);
         Ok(QueryOutcome {
             table,
             opt,
-            exec_time: start.elapsed(),
+            exec_time,
             cached: false,
+            trace,
         })
     }
 

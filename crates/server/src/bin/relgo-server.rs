@@ -1,0 +1,75 @@
+//! The `relgo-server` binary: generate an LDBC-SNB-like dataset, open a
+//! session over it, and serve the SNB interactive templates over HTTP.
+//!
+//! ```text
+//! relgo-server [--sf 0.05] [--seed 42] [--addr 127.0.0.1:0] \
+//!              [--workers 4] [--max-inflight 8] [--row-budget 10000000]
+//! ```
+//!
+//! Prints exactly one line — `listening on http://ADDR` — once the
+//! listener is bound (an ephemeral `:0` port resolves to the real one),
+//! then blocks until a `POST /shutdown` drains it.
+
+use relgo::prelude::*;
+use relgo_server::{Server, ServerConfig};
+
+struct Args {
+    sf: f64,
+    seed: u64,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args> {
+    let mut args = Args {
+        sf: 0.05,
+        seed: 42,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| RelGoError::query(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--sf" => args.sf = parse(&value("--sf")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--addr" => args.config.addr = value("--addr")?,
+            "--workers" => args.config.workers = parse(&value("--workers")?)?,
+            "--max-inflight" => {
+                args.config.max_inflight_per_tenant = parse(&value("--max-inflight")?)?
+            }
+            "--row-budget" => args.config.tenant_row_budget = parse(&value("--row-budget")?)?,
+            other => return Err(RelGoError::query(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T> {
+    s.parse()
+        .map_err(|_| RelGoError::query(format!("malformed argument {s:?}")))
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("relgo-server: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args = parse_args()?;
+    let (session, schema) = Session::snb(args.sf, args.seed)?;
+    let templates = relgo::workloads::templates::snb_templates(&schema);
+    let bound = Server::new(&session, &templates, args.config).bind()?;
+    // The single startup line is the binary's machine-readable contract:
+    // the integration test and CI smoke parse the port out of it.
+    println!("listening on http://{}", bound.local_addr());
+    let stats = bound.run()?;
+    eprintln!(
+        "drained: {} connections, {} ok, {} rejected, {} failed",
+        stats.connections, stats.ok_responses, stats.rejected, stats.failed
+    );
+    Ok(())
+}

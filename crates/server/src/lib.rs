@@ -1,0 +1,780 @@
+//! # relgo-server
+//!
+//! A minimal, std-only HTTP/1.1 edge over one shared [`Session`]: a fixed
+//! pool of blocking worker threads accepts one request per connection and
+//! serves the whole query lifecycle — templated ad-hoc queries through the
+//! plan cache, prepared-statement handles, optimistic ingest batches, and a
+//! Prometheus text-format `/metrics` scrape that folds the session's
+//! observability snapshot together with the server's own HTTP-edge series
+//! (both live on the session's metrics registry, so one scrape covers the
+//! whole process).
+//!
+//! ## Endpoints
+//!
+//! | method + path | semantics |
+//! |---|---|
+//! | `GET /healthz` | liveness: `ok epoch=E` |
+//! | `GET /metrics` | Prometheus text format, the full registry |
+//! | `POST /query?template=NAME&draw=N[&mode=M][&tenant=T]` | instantiate + `run_cached` |
+//! | `POST /prepare?template=NAME[&mode=M]` | pin a prepared statement, returns `ok stmt=ID` |
+//! | `POST /execute?stmt=ID&draw=N[&tenant=T]` | execute a prepared handle with the template's bindings |
+//! | `POST /ingest[?tenant=T]` | line-based batch: `Table\|i:1\|s:x\|d:17000`, `delete\|Table\|1` |
+//! | `POST /shutdown` | respond, then drain: in-flight requests complete, workers exit |
+//!
+//! Result rows travel as tagged values (`n:` null, `i:` int, `f:` float,
+//! `s:` string, `b:` bool, `d:` date) joined with `|`, one row per line,
+//! after an `ok rows=N cached=B epoch=E mode=M` meta line — see [`wire`].
+//!
+//! ## Multi-tenancy
+//!
+//! Every serving request carries an optional `tenant` parameter (default
+//! `"default"`). Each tenant gets an admission gate (at most
+//! `max_inflight_per_tenant` requests executing at once) and a cumulative
+//! [`RowBudget`] over served result rows; both reject with `429` when
+//! exhausted, and every rejection increments
+//! `relgo_http_admission_rejections_total`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use relgo::metrics::{Counter, Gauge, Histogram};
+use relgo::prelude::*;
+use relgo_common::morsel::RowBudget;
+
+pub mod wire;
+
+/// How long a worker sleeps between empty non-blocking accept polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Per-connection socket read timeout: a stalled client cannot pin a
+/// worker (or block drain) forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns a cloned listener handle).
+    pub workers: usize,
+    /// Per-tenant concurrent-request admission limit.
+    pub max_inflight_per_tenant: usize,
+    /// Per-tenant cumulative budget of served result rows.
+    pub tenant_row_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_inflight_per_tenant: 8,
+            tenant_row_budget: 10_000_000,
+        }
+    }
+}
+
+/// What one server run saw, returned by [`BoundServer::run`] after drain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Connections accepted (== requests: one request per connection).
+    pub connections: u64,
+    /// Requests that produced a 2xx response.
+    pub ok_responses: u64,
+    /// Requests rejected by admission control or a row budget (429).
+    pub rejected: u64,
+    /// Requests that produced any other non-2xx response.
+    pub failed: u64,
+}
+
+/// An unbound server description: a session to serve, the templates it
+/// resolves `template=NAME` against, and the tuning config.
+pub struct Server<'s> {
+    session: &'s Session,
+    templates: &'s [QueryTemplate],
+    config: ServerConfig,
+}
+
+impl<'s> Server<'s> {
+    /// Describe a server over `session` resolving `templates`.
+    pub fn new(
+        session: &'s Session,
+        templates: &'s [QueryTemplate],
+        config: ServerConfig,
+    ) -> Server<'s> {
+        Server {
+            session,
+            templates,
+            config,
+        }
+    }
+
+    /// Bind the listener (the local address — and OS-chosen port — is
+    /// known from here on) without starting any worker.
+    pub fn bind(self) -> Result<BoundServer<'s>> {
+        let listener = TcpListener::bind(&self.config.addr)
+            .map_err(|e| RelGoError::execution(format!("bind {}: {e}", self.config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| RelGoError::execution(format!("local_addr: {e}")))?;
+        Ok(BoundServer {
+            server: self,
+            listener,
+            local_addr,
+        })
+    }
+}
+
+/// A bound-but-not-yet-running server; [`run`](BoundServer::run) blocks
+/// the calling thread until a `POST /shutdown` drains it.
+pub struct BoundServer<'s> {
+    server: Server<'s>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl BoundServer<'_> {
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serve until shutdown. Every worker accepts on a cloned listener
+    /// handle in non-blocking mode; after the shutdown flag rises each
+    /// worker keeps accepting until the backlog is empty (every connection
+    /// the OS already queued gets a complete response — drain loses zero
+    /// in-flight requests), then exits.
+    pub fn run(self) -> Result<ServeStats> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| RelGoError::execution(format!("set_nonblocking: {e}")))?;
+        let shared = Shared::new(
+            self.server.session,
+            self.server.templates,
+            &self.server.config,
+        );
+        let workers = self.server.config.workers.max(1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let listener = self
+                    .listener
+                    .try_clone()
+                    .map_err(|e| RelGoError::execution(format!("clone listener: {e}")))?;
+                let shared = &shared;
+                handles.push(scope.spawn(move || worker_loop(listener, shared)));
+            }
+            for h in handles {
+                h.join()
+                    .map_err(|_| RelGoError::execution("server worker panicked".to_string()))?;
+            }
+            Ok::<(), RelGoError>(())
+        })?;
+        Ok(shared.stats())
+    }
+}
+
+/// A registered tenant: its admission gate and cumulative row budget.
+struct Tenant {
+    inflight: AtomicUsize,
+    budget: RowBudget,
+}
+
+/// HTTP-edge metric handles, registered on the *session's* registry so a
+/// single `/metrics` scrape covers both the engine and the edge.
+struct EdgeMetrics {
+    requests: [Arc<Counter>; Endpoint::ALL.len()],
+    latency: [Arc<Histogram>; Endpoint::ALL.len()],
+    active: Arc<Gauge>,
+    rejections: Arc<Counter>,
+    rows_served: Arc<Counter>,
+}
+
+impl EdgeMetrics {
+    fn new(session: &Session) -> EdgeMetrics {
+        let reg = session.metrics().registry();
+        EdgeMetrics {
+            requests: Endpoint::ALL.map(|e| {
+                reg.counter_with(
+                    "relgo_http_requests_total",
+                    "HTTP requests handled, by endpoint.",
+                    &[("endpoint", e.name())],
+                )
+            }),
+            latency: Endpoint::ALL.map(|e| {
+                reg.histogram_with(
+                    "relgo_http_request_seconds",
+                    "HTTP request handling latency, by endpoint.",
+                    &[("endpoint", e.name())],
+                )
+            }),
+            active: reg.gauge(
+                "relgo_http_active_connections",
+                "Connections currently being handled.",
+            ),
+            rejections: reg.counter(
+                "relgo_http_admission_rejections_total",
+                "Requests rejected by per-tenant admission control or row budgets.",
+            ),
+            rows_served: reg.counter(
+                "relgo_http_rows_served_total",
+                "Result rows written back to clients.",
+            ),
+        }
+    }
+}
+
+/// A pinned prepared statement plus the template whose binding generator
+/// feeds its `draw` parameter on `/execute`.
+struct StmtEntry<'s> {
+    stmt: Arc<PreparedStatement<'s>>,
+    template_idx: usize,
+}
+
+/// Everything the worker threads share for one server run.
+struct Shared<'s> {
+    session: &'s Session,
+    templates: &'s [QueryTemplate],
+    config: &'s ServerConfig,
+    shutdown: AtomicBool,
+    statements: Mutex<HashMap<u64, StmtEntry<'s>>>,
+    next_stmt: AtomicU64,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    metrics: EdgeMetrics,
+    connections: AtomicU64,
+    ok_responses: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl<'s> Shared<'s> {
+    fn new(
+        session: &'s Session,
+        templates: &'s [QueryTemplate],
+        config: &'s ServerConfig,
+    ) -> Shared<'s> {
+        Shared {
+            session,
+            templates,
+            config,
+            shutdown: AtomicBool::new(false),
+            statements: Mutex::new(HashMap::new()),
+            next_stmt: AtomicU64::new(1),
+            tenants: Mutex::new(HashMap::new()),
+            metrics: EdgeMetrics::new(session),
+            connections: AtomicU64::new(0),
+            ok_responses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    fn tenant(&self, name: &str) -> Arc<Tenant> {
+        let mut tenants = self.tenants.lock().expect("tenants lock");
+        Arc::clone(tenants.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Tenant {
+                inflight: AtomicUsize::new(0),
+                budget: RowBudget::new(self.config.tenant_row_budget),
+            })
+        }))
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            ok_responses: self.ok_responses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements the owning tenant's in-flight count on drop, so every
+/// admission exit path releases the slot.
+struct AdmissionGuard {
+    tenant: Arc<Tenant>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn admit(shared: &Shared<'_>, tenant_name: &str) -> std::result::Result<AdmissionGuard, ()> {
+    let tenant = shared.tenant(tenant_name);
+    let prior = tenant.inflight.fetch_add(1, Ordering::AcqRel);
+    if prior >= shared.config.max_inflight_per_tenant {
+        tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+        return Err(());
+    }
+    Ok(AdmissionGuard { tenant })
+}
+
+fn worker_loop(listener: TcpListener, shared: &Shared<'_>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // The backlog is empty *and* the flag is up: nothing
+                    // accepted can still be waiting, so drain is complete.
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// The routable endpoints (also the `endpoint` label values of the HTTP
+/// edge metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Query,
+    Prepare,
+    Execute,
+    Ingest,
+    Metrics,
+    Healthz,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 8] = [
+        Endpoint::Query,
+        Endpoint::Prepare,
+        Endpoint::Execute,
+        Endpoint::Ingest,
+        Endpoint::Metrics,
+        Endpoint::Healthz,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Query => "query",
+            Endpoint::Prepare => "prepare",
+            Endpoint::Execute => "execute",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("known endpoint")
+    }
+}
+
+/// One parsed request: method, bare path, decoded query params, body.
+struct Request {
+    method: String,
+    path: String,
+    params: HashMap<String, String>,
+    body: String,
+}
+
+impl Request {
+    fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    fn tenant(&self) -> &str {
+        self.param("tenant").unwrap_or("default")
+    }
+}
+
+/// A response about to be written: status plus plain-text body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    fn err(status: u16, msg: impl std::fmt::Display) -> Response {
+        Response {
+            status,
+            body: format!("error: {msg}\n"),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.active.add(1);
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let (endpoint, response) = match read_request(&stream) {
+        Ok(req) => {
+            let endpoint = route(&req);
+            (endpoint, dispatch(endpoint, &req, shared))
+        }
+        Err(e) => (Endpoint::Other, Response::err(400, e)),
+    };
+    match response.status {
+        200 => shared.ok_responses.fetch_add(1, Ordering::Relaxed),
+        429 => shared.rejected.fetch_add(1, Ordering::Relaxed),
+        _ => shared.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    // Count *before* writing: once a client holds response N, any scrape
+    // it takes next must already include N (a /metrics body itself is
+    // rendered pre-increment, so a scrape never counts itself).
+    shared.metrics.requests[endpoint.idx()].inc();
+    shared.metrics.latency[endpoint.idx()].record(start.elapsed());
+    write_response(&stream, &response);
+    shared.metrics.active.add(-1);
+}
+
+fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    let (path, params) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query_params(q)),
+        None => (target, HashMap::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        params,
+        body,
+    })
+}
+
+fn parse_query_params(q: &str) -> HashMap<String, String> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (wire::percent_decode(k), wire::percent_decode(v)),
+            None => (wire::percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn write_response(mut stream: &TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len()
+    );
+    // A client that hung up early is its own problem; the write result
+    // only matters to it, not to the server loop.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+fn route(req: &Request) -> Endpoint {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => Endpoint::Query,
+        ("POST", "/prepare") => Endpoint::Prepare,
+        ("POST", "/execute") => Endpoint::Execute,
+        ("POST", "/ingest") => Endpoint::Ingest,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", "/healthz") => Endpoint::Healthz,
+        ("POST", "/shutdown") => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+fn dispatch(endpoint: Endpoint, req: &Request, shared: &Shared<'_>) -> Response {
+    match endpoint {
+        Endpoint::Healthz => Response::ok(format!("ok epoch={}\n", shared.session.epoch())),
+        Endpoint::Metrics => {
+            Response::ok(shared.session.observability_snapshot().render_prometheus())
+        }
+        Endpoint::Shutdown => {
+            // The response is written by the caller *after* dispatch
+            // returns, before this worker re-checks the flag — so the
+            // shutdown client itself always gets its acknowledgement.
+            shared.shutdown.store(true, Ordering::Release);
+            Response::ok("ok draining\n".to_string())
+        }
+        Endpoint::Query => with_admission(req, shared, handle_query),
+        Endpoint::Prepare => handle_prepare(req, shared),
+        Endpoint::Execute => with_admission(req, shared, handle_execute),
+        Endpoint::Ingest => with_admission(req, shared, handle_ingest),
+        Endpoint::Other => Response::err(404, format!("no route {} {}", req.method, req.path)),
+    }
+}
+
+/// Run `f` under the request tenant's admission gate; a full gate is a
+/// `429` and a rejection metric, never a queue.
+fn with_admission(
+    req: &Request,
+    shared: &Shared<'_>,
+    f: fn(&Request, &Shared<'_>, &AdmissionGuard) -> Response,
+) -> Response {
+    match admit(shared, req.tenant()) {
+        Ok(guard) => f(req, shared, &guard),
+        Err(()) => {
+            shared.metrics.rejections.inc();
+            Response::err(429, format!("tenant {} at inflight limit", req.tenant()))
+        }
+    }
+}
+
+fn parse_mode(name: &str) -> Option<OptimizerMode> {
+    OptimizerMode::ALL.into_iter().find(|m| m.name() == name)
+}
+
+fn lookup_template<'t>(
+    templates: &'t [QueryTemplate],
+    req: &Request,
+) -> std::result::Result<(usize, &'t QueryTemplate), Response> {
+    let name = req
+        .param("template")
+        .ok_or_else(|| Response::err(400, "missing template parameter"))?;
+    templates
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.name() == name)
+        .ok_or_else(|| Response::err(400, format!("unknown template {name}")))
+}
+
+fn parse_draw(req: &Request) -> std::result::Result<u64, Response> {
+    req.param("draw")
+        .ok_or_else(|| Response::err(400, "missing draw parameter"))?
+        .parse()
+        .map_err(|_| Response::err(400, "draw must be a non-negative integer"))
+}
+
+fn parse_mode_param(req: &Request) -> std::result::Result<OptimizerMode, Response> {
+    match req.param("mode") {
+        None => Ok(OptimizerMode::RelGo),
+        Some(m) => {
+            parse_mode(m).ok_or_else(|| Response::err(400, format!("unknown optimizer mode {m}")))
+        }
+    }
+}
+
+/// Serialize a query outcome: meta line, then one wire-encoded row per
+/// line. Charges the tenant's row budget first — a budget-exhausted
+/// tenant gets a `429` instead of rows.
+fn render_outcome(
+    outcome: &QueryOutcome,
+    mode: OptimizerMode,
+    shared: &Shared<'_>,
+    guard: &AdmissionGuard,
+) -> Response {
+    let rows = outcome.table.num_rows();
+    if guard.tenant.budget.charge(rows).is_err() {
+        shared.metrics.rejections.inc();
+        return Response::err(429, "tenant row budget exhausted");
+    }
+    shared.metrics.rows_served.add(rows as u64);
+    let mut body = format!(
+        "ok rows={rows} cached={} epoch={} mode={}\n",
+        outcome.cached,
+        shared.session.epoch(),
+        mode.name()
+    );
+    for r in 0..rows {
+        body.push_str(&wire::encode_row(&outcome.table.row(r as u32)));
+        body.push('\n');
+    }
+    Response { status: 200, body }
+}
+
+fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> Response {
+    let (_, template) = match lookup_template(shared.templates, req) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let draw = match parse_draw(req) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let mode = match parse_mode_param(req) {
+        Ok(m) => m,
+        Err(r) => return r,
+    };
+    let query = match template.instantiate(draw) {
+        Ok(q) => q,
+        Err(e) => return Response::err(400, e),
+    };
+    match shared.session.run_cached(&query, mode) {
+        Ok(outcome) => render_outcome(&outcome, mode, shared, guard),
+        Err(e) => Response::err(500, e),
+    }
+}
+
+fn handle_prepare(req: &Request, shared: &Shared<'_>) -> Response {
+    let (template_idx, template) = match lookup_template(shared.templates, req) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let mode = match parse_mode_param(req) {
+        Ok(m) => m,
+        Err(r) => return r,
+    };
+    // Any instance parameterizes to the template's plan-cache key; draw 0
+    // is as good a representative as any.
+    let query = match template.instantiate(0) {
+        Ok(q) => q,
+        Err(e) => return Response::err(400, e),
+    };
+    let stmt = match shared.session.prepare(&query, mode) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return Response::err(500, e),
+    };
+    let id = shared.next_stmt.fetch_add(1, Ordering::Relaxed);
+    shared
+        .statements
+        .lock()
+        .expect("statements lock")
+        .insert(id, StmtEntry { stmt, template_idx });
+    Response::ok(format!("ok stmt={id}\n"))
+}
+
+fn handle_execute(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> Response {
+    let id: u64 = match req.param("stmt").map(str::parse) {
+        Some(Ok(id)) => id,
+        _ => return Response::err(400, "missing or malformed stmt parameter"),
+    };
+    let draw = match parse_draw(req) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    // Clone the handle out so execution never holds the statements lock.
+    let (stmt, template_idx) = {
+        let statements = shared.statements.lock().expect("statements lock");
+        match statements.get(&id) {
+            Some(e) => (Arc::clone(&e.stmt), e.template_idx),
+            None => return Response::err(400, format!("unknown statement {id}")),
+        }
+    };
+    let bindings = match shared.templates[template_idx].bindings(draw) {
+        Ok(b) => b,
+        Err(e) => return Response::err(400, e),
+    };
+    match stmt.execute(&bindings) {
+        Ok(outcome) => render_outcome(&outcome, stmt.mode(), shared, guard),
+        Err(e) => Response::err(500, e),
+    }
+}
+
+fn handle_ingest(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) -> Response {
+    let mut batch = shared.session.begin_ingest();
+    for (lineno, line) in req.body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = wire::apply_ingest_line(&mut batch, line) {
+            return Response::err(400, format!("line {}: {e}", lineno + 1));
+        }
+    }
+    match batch.commit() {
+        Ok(report) => Response::ok(format!(
+            "ok epoch={} inserted={} deleted={}\n",
+            report.epoch, report.inserted, report.deleted
+        )),
+        Err(CommitError::Conflict { table, key, .. }) => {
+            Response::err(409, format!("write-write conflict on {table} key {key}"))
+        }
+        Err(CommitError::StaleBase { base_epoch, .. }) => Response::err(
+            409,
+            format!("base epoch {base_epoch} predates the retained commit log"),
+        ),
+        Err(CommitError::Failed(e)) => Response::err(400, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_names_are_distinct_labels() {
+        let mut names: Vec<&str> = Endpoint::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Endpoint::ALL.len());
+    }
+
+    #[test]
+    fn query_param_parsing_decodes() {
+        let params = parse_query_params("template=IC1-2&draw=5&tenant=team%20a&flag");
+        assert_eq!(params.get("template").unwrap(), "IC1-2");
+        assert_eq!(params.get("draw").unwrap(), "5");
+        assert_eq!(params.get("tenant").unwrap(), "team a");
+        assert_eq!(params.get("flag").unwrap(), "");
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in OptimizerMode::ALL {
+            assert_eq!(parse_mode(mode.name()), Some(mode));
+        }
+        assert_eq!(parse_mode("NoSuchOptimizer"), None);
+    }
+}

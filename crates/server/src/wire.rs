@@ -1,0 +1,233 @@
+//! The server's line-oriented wire format.
+//!
+//! Values travel **tagged** so every [`Value`] variant round-trips without
+//! schema knowledge on the client side:
+//!
+//! | tag | variant | example |
+//! |---|---|---|
+//! | `n:` | `Null` | `n:` |
+//! | `i:` | `Int` | `i:42` |
+//! | `f:` | `Float` | `f:1.5` |
+//! | `s:` | `Str` | `s:Alice` |
+//! | `b:` | `Bool` | `b:true` |
+//! | `d:` | `Date` | `d:18000` (days since the Unix epoch) |
+//!
+//! A row is its values joined with `|`; a response body is one row per
+//! line. String payloads percent-encode `%`, `|`, and line breaks so the
+//! separators stay unambiguous (floats use Rust's shortest round-trip
+//! `Display`, so `decode_value(encode_value(v)) == v` bit-for-bit).
+//!
+//! Ingest request bodies reuse the same value syntax, one operation per
+//! line:
+//!
+//! ```text
+//! Person|i:800001|s:Bob|d:17000      # insert a row into Person
+//! edge|Knows|i:800001|i:3|d:17001    # insert an edge row (RGMapping-checked)
+//! delete|Person|800001               # delete by primary key
+//! ```
+
+use relgo::ingest::IngestBatch;
+use relgo_common::{RelGoError, Result, Value};
+
+/// Encode one value with its type tag.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n:".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(x) => format!("f:{x}"),
+        Value::Str(s) => format!("s:{}", percent_encode(s)),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Date(d) => format!("d:{d}"),
+    }
+}
+
+/// Decode one tagged value.
+pub fn decode_value(s: &str) -> Result<Value> {
+    let (tag, payload) = s
+        .split_once(':')
+        .ok_or_else(|| RelGoError::query(format!("untagged wire value {s:?}")))?;
+    match tag {
+        "n" => Ok(Value::Null),
+        "i" => payload
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| RelGoError::query(format!("malformed int {payload:?}"))),
+        "f" => payload
+            .parse()
+            .map(Value::Float)
+            .map_err(|_| RelGoError::query(format!("malformed float {payload:?}"))),
+        "s" => Ok(Value::str(percent_decode(payload))),
+        "b" => payload
+            .parse()
+            .map(Value::Bool)
+            .map_err(|_| RelGoError::query(format!("malformed bool {payload:?}"))),
+        "d" => payload
+            .parse()
+            .map(Value::Date)
+            .map_err(|_| RelGoError::query(format!("malformed date {payload:?}"))),
+        other => Err(RelGoError::query(format!("unknown value tag {other:?}"))),
+    }
+}
+
+/// Encode a row: tagged values joined with `|`.
+pub fn encode_row(row: &[Value]) -> String {
+    row.iter().map(encode_value).collect::<Vec<_>>().join("|")
+}
+
+/// Decode one `|`-separated row line.
+pub fn decode_row(line: &str) -> Result<Vec<Value>> {
+    if line.is_empty() {
+        return Ok(Vec::new());
+    }
+    line.split('|').map(decode_value).collect()
+}
+
+/// Percent-encode the characters that would collide with the wire
+/// format's separators (`|`, newlines) or the escape itself (`%`).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b'|' | b'\n' | b'\r' | b'&' | b'=' | b' ' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Reverse [`percent_encode`]; also tolerates `+` for space (HTML form
+/// convention) and passes malformed escapes through untouched.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                match (
+                    hex_digit(bytes.get(i + 1).copied()),
+                    hex_digit(bytes.get(i + 2).copied()),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_digit(b: Option<u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Apply one ingest body line to a batch: `Table|v...` inserts a row,
+/// `edge|Table|v...` inserts an edge row, `delete|Table|key` deletes by
+/// primary key.
+pub fn apply_ingest_line(batch: &mut IngestBatch<'_>, line: &str) -> Result<()> {
+    let mut parts = line.split('|');
+    let head = parts
+        .next()
+        .ok_or_else(|| RelGoError::query("empty ingest line"))?;
+    match head {
+        "delete" => {
+            let table = parts
+                .next()
+                .ok_or_else(|| RelGoError::query("delete needs a table name"))?;
+            let key = parts
+                .next()
+                .ok_or_else(|| RelGoError::query("delete needs a primary key"))?;
+            let key: i64 = key
+                .parse()
+                .map_err(|_| RelGoError::query(format!("malformed delete key {key:?}")))?;
+            if parts.next().is_some() {
+                return Err(RelGoError::query("delete takes exactly table|key"));
+            }
+            batch.delete_row(table, key)
+        }
+        "edge" => {
+            let table = parts
+                .next()
+                .ok_or_else(|| RelGoError::query("edge insert needs a table name"))?;
+            let row = parts.map(decode_value).collect::<Result<Vec<_>>>()?;
+            batch.insert_edge(table, row)
+        }
+        table => {
+            let row = parts.map(decode_value).collect::<Result<Vec<_>>>()?;
+            batch.insert_row(table, row)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let values = [
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(1.5),
+            Value::Float(f64::MIN_POSITIVE),
+            Value::str("plain"),
+            Value::str("pipes|and%escapes\nand newlines"),
+            Value::Bool(true),
+            Value::Date(18_000),
+        ];
+        for v in &values {
+            let encoded = encode_value(v);
+            assert!(!encoded.contains('|'), "separator leaked: {encoded}");
+            assert_eq!(&decode_value(&encoded).unwrap(), v, "via {encoded}");
+        }
+        let row: Vec<Value> = values.to_vec();
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+        assert_eq!(decode_row("").unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn string_encoding_keeps_separators_unambiguous() {
+        let v = Value::str("a|b%c\r\nd");
+        let encoded = encode_value(&v);
+        assert!(!encoded[2..].contains('|'));
+        assert!(!encoded.contains('\n'));
+        assert_eq!(decode_value(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(decode_value("untagged").is_err());
+        assert!(decode_value("x:1").is_err());
+        assert!(decode_value("i:notanint").is_err());
+        assert!(decode_value("b:maybe").is_err());
+    }
+
+    #[test]
+    fn percent_decode_tolerates_malformed_escapes() {
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%zz"), "a%zz");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+    }
+}

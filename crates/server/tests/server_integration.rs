@@ -1,0 +1,436 @@
+//! End-to-end test of the `relgo-server` binary: spin it on an ephemeral
+//! port, hit every endpoint from concurrent clients, check row identity
+//! against an in-process oracle session built from the same `(sf, seed)`,
+//! and reconcile the `/metrics` scrape against client-side tallies.
+//!
+//! A second, in-process test drives [`relgo_server::Server`] directly with
+//! a deliberately tight config to pin down admission control, row-budget
+//! rejection, and drain accounting deterministically.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use relgo::prelude::*;
+use relgo::workloads::templates::snb_templates;
+use relgo_metrics::text;
+use relgo_server::{wire, Server, ServerConfig};
+
+const SF: f64 = 0.03;
+const SEED: u64 = 7;
+
+/// One blocking HTTP exchange: request out, `(status, body)` back.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has header/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+/// Decode a 200 query response: meta line + wire-encoded rows.
+fn decode_query_body(body: &str) -> (String, Vec<Vec<Value>>) {
+    let mut lines = body.lines();
+    let meta = lines.next().expect("meta line").to_string();
+    assert!(meta.starts_with("ok rows="), "unexpected meta: {meta}");
+    let mut rows: Vec<Vec<Value>> = lines
+        .map(|l| wire::decode_row(l).expect("row decodes"))
+        .collect();
+    rows.sort();
+    (meta, rows)
+}
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn spawn() -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_relgo-server"))
+            .args([
+                "--sf",
+                &SF.to_string(),
+                "--seed",
+                &SEED.to_string(),
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn relgo-server");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("startup line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        // Normal exits go through POST /shutdown; this is the crashed-test
+        // safety net so a failing assert never leaks a child process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn server_round_trips_against_in_process_oracle() {
+    let server = ServerProc::spawn();
+    let addr = server.addr.clone();
+    let (oracle, schema) = Session::snb(SF, SEED).expect("oracle session");
+    let templates = snb_templates(&schema);
+
+    let queries_sent = AtomicU64::new(0);
+    let rows_received = AtomicU64::new(0);
+
+    // --- concurrent templated queries, row-identical to the oracle ------
+    std::thread::scope(|scope| {
+        for worker in 0..3u64 {
+            let (addr, oracle, templates) = (&addr, &oracle, &templates);
+            let (queries_sent, rows_received) = (&queries_sent, &rows_received);
+            scope.spawn(move || {
+                for (t, template) in templates.iter().enumerate() {
+                    for draw in [worker, worker + 10] {
+                        let mode = if (t as u64 + draw).is_multiple_of(2) {
+                            OptimizerMode::RelGo
+                        } else {
+                            OptimizerMode::DuckDbLike
+                        };
+                        let path = format!(
+                            "/query?template={}&draw={draw}&mode={}&tenant=w{worker}",
+                            template.name(),
+                            mode.name()
+                        );
+                        let (status, body) = http(addr, "POST", &path, "");
+                        queries_sent.fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(status, 200, "query failed: {body}");
+                        let (_, rows) = decode_query_body(&body);
+                        rows_received.fetch_add(rows.len() as u64, Ordering::Relaxed);
+                        let query = template.instantiate(draw).unwrap();
+                        let expected = oracle.run(&query, mode).unwrap().table.sorted_rows();
+                        assert_eq!(rows, expected, "{} draw {draw}", template.name());
+                    }
+                }
+            });
+        }
+    });
+
+    // --- prepared statements over the wire ------------------------------
+    let (status, body) = http(
+        &addr,
+        "POST",
+        &format!("/prepare?template={}", templates[0].name()),
+        "",
+    );
+    assert_eq!(status, 200, "prepare failed: {body}");
+    let stmt = body
+        .trim()
+        .strip_prefix("ok stmt=")
+        .expect("prepare returns a statement id")
+        .to_string();
+    let mut executes_sent = 0u64;
+    for draw in [3u64, 4, 5] {
+        let (status, body) = http(
+            &addr,
+            "POST",
+            &format!("/execute?stmt={stmt}&draw={draw}"),
+            "",
+        );
+        executes_sent += 1;
+        assert_eq!(status, 200, "execute failed: {body}");
+        let (_, rows) = decode_query_body(&body);
+        rows_received.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        let query = templates[0].instantiate(draw).unwrap();
+        let expected = oracle
+            .run(&query, OptimizerMode::RelGo)
+            .unwrap()
+            .table
+            .sorted_rows();
+        assert_eq!(rows, expected, "prepared draw {draw}");
+    }
+
+    // --- error paths count toward their endpoint's series ---------------
+    let (status, _) = http(&addr, "POST", "/query?template=NoSuchTemplate&draw=0", "");
+    assert_eq!(status, 400);
+    queries_sent.fetch_add(1, Ordering::Relaxed);
+    let (status, _) = http(
+        &addr,
+        "POST",
+        &format!(
+            "/query?template={}&draw=0&mode=NoSuchMode",
+            templates[0].name()
+        ),
+        "",
+    );
+    assert_eq!(status, 400);
+    queries_sent.fetch_add(1, Ordering::Relaxed);
+    let (status, _) = http(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, body) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("ok epoch="), "healthz body: {body}");
+
+    // --- ingest over the wire, mirrored on the oracle --------------------
+    // Two commits: a delete target must exist in the published base, so
+    // the inserts land first and the delete rides the next epoch.
+    let ingest_body = "Person|i:800001|s:WireBob|d:17000\nPerson|i:800002|s:WireEve|d:17001\n";
+    let (status, body) = http(&addr, "POST", "/ingest", ingest_body);
+    assert_eq!(status, 200, "ingest failed: {body}");
+    assert!(
+        body.contains("inserted=2") && body.contains("deleted=0"),
+        "{body}"
+    );
+    let (status, body) = http(&addr, "POST", "/ingest", "delete|Person|800002\n");
+    assert_eq!(status, 200, "delete ingest failed: {body}");
+    assert!(
+        body.contains("inserted=0") && body.contains("deleted=1"),
+        "{body}"
+    );
+    let mut batch = oracle.begin_ingest();
+    batch
+        .insert_row(
+            "Person",
+            vec![
+                Value::Int(800_001),
+                Value::str("WireBob"),
+                Value::Date(17_000),
+            ],
+        )
+        .unwrap();
+    batch
+        .insert_row(
+            "Person",
+            vec![
+                Value::Int(800_002),
+                Value::str("WireEve"),
+                Value::Date(17_001),
+            ],
+        )
+        .unwrap();
+    batch.commit().unwrap();
+    let mut batch = oracle.begin_ingest();
+    batch.delete_row("Person", 800_002).unwrap();
+    batch.commit().unwrap();
+
+    // Post-ingest row identity: both sides serve the new epoch.
+    let query = templates[0].instantiate(1).unwrap();
+    let (status, body) = http(
+        &addr,
+        "POST",
+        &format!("/query?template={}&draw=1", templates[0].name()),
+        "",
+    );
+    queries_sent.fetch_add(1, Ordering::Relaxed);
+    assert_eq!(status, 200);
+    let (meta, rows) = decode_query_body(&body);
+    rows_received.fetch_add(rows.len() as u64, Ordering::Relaxed);
+    assert!(
+        meta.contains(&format!("epoch={}", oracle.epoch())),
+        "{meta}"
+    );
+    let expected = oracle
+        .run(&query, OptimizerMode::RelGo)
+        .unwrap()
+        .table
+        .sorted_rows();
+    assert_eq!(rows, expected);
+
+    // A malformed ingest line is rejected without committing anything.
+    let epoch_before = oracle.epoch();
+    let (status, _) = http(&addr, "POST", "/ingest", "Person|i:1|missing_tag\n");
+    assert_eq!(status, 400);
+    let (_, body) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(body.trim(), format!("ok epoch={epoch_before}"));
+
+    // --- /metrics reconciles with the client-side tallies ----------------
+    let (status, scrape_body) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    text::validate(&scrape_body).expect("scrape passes format validation");
+    let scrape = text::parse(&scrape_body).expect("scrape parses");
+    assert!(
+        scrape.names().len() >= 12,
+        "expected >= 12 series names, got {:?}",
+        scrape.names()
+    );
+    let queries = queries_sent.load(Ordering::Relaxed);
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "query")]),
+        Some(queries as f64)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "execute")]),
+        Some(executes_sent as f64)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "prepare")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "ingest")]),
+        Some(3.0)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "other")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_rows_served_total", &[]),
+        Some(rows_received.load(Ordering::Relaxed) as f64)
+    );
+    assert_eq!(scrape.value("relgo_ingest_commits_total", &[]), Some(2.0));
+    // Engine-side per-query accounting covers at least the successful
+    // HTTP-served queries (cached path) and prepared executes.
+    let cached = scrape
+        .value("relgo_queries_total", &[("path", "cached")])
+        .unwrap_or(0.0);
+    let prepared = scrape
+        .value("relgo_queries_total", &[("path", "prepared")])
+        .unwrap_or(0.0);
+    assert!(cached >= (queries - 2) as f64, "cached={cached}");
+    assert_eq!(prepared, executes_sent as f64);
+
+    // A second scrape sees the first one on the metrics endpoint's series.
+    let (_, scrape2) = http(&addr, "GET", "/metrics", "");
+    let scrape2 = text::parse(&scrape2).expect("second scrape parses");
+    assert_eq!(
+        scrape2.value("relgo_http_requests_total", &[("endpoint", "metrics")]),
+        Some(1.0)
+    );
+
+    // --- graceful shutdown ------------------------------------------------
+    let (status, body) = http(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.trim(), "ok draining");
+    let mut server = server;
+    let exit = server.child.wait().expect("server exits");
+    assert!(exit.success(), "server exit status: {exit:?}");
+}
+
+#[test]
+fn in_process_admission_budget_and_drain_accounting() {
+    let (session, schema) = Session::snb(0.01, 11).expect("session");
+    let templates = snb_templates(&schema);
+    // Find an instance that returns rows, so the row budget below is
+    // guaranteed to trip (a 0-row query charges nothing). Sizing the
+    // per-tenant budget to 2r+1 makes the outcome deterministic: a tenant
+    // replaying this instance gets exactly two responses (charges r, 2r)
+    // and trips on the third (3r > 2r+1), while a fresh tenant's single
+    // query (r <= 2r+1) always fits.
+    let (budget_template, budget_draw, budget_rows) = 'found: {
+        for (i, t) in templates.iter().enumerate() {
+            for d in 0..20u64 {
+                let q = t.instantiate(d).expect("instantiate");
+                let rows = session
+                    .run(&q, OptimizerMode::RelGo)
+                    .expect("probe run")
+                    .table
+                    .num_rows();
+                if rows > 0 {
+                    break 'found (i, d, rows);
+                }
+            }
+        }
+        panic!("no template instance returns rows at sf 0.01");
+    };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_inflight_per_tenant: 1,
+        tenant_row_budget: 2 * budget_rows + 1,
+    };
+    let bound = Server::new(&session, &templates, config)
+        .bind()
+        .expect("bind");
+    let addr = bound.local_addr().to_string();
+
+    let (stats, client) = std::thread::scope(|scope| {
+        let server = scope.spawn(move || bound.run().expect("server run"));
+
+        // A panicking assert in the client body would deadlock the scope
+        // (it joins the server thread, which only exits on /shutdown), so
+        // run the client under catch_unwind and always send the shutdown.
+        let client = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ok = 0u64;
+            let mut rejected = 0u64;
+            let mut failed = 0u64;
+            // The 3-row budget for tenant "skint" must trip within a
+            // bounded number of row-returning queries; other tenants stay
+            // unaffected.
+            for _attempt in 0..10u64 {
+                let (status, _) = http(
+                    &addr,
+                    "POST",
+                    &format!(
+                        "/query?template={}&draw={budget_draw}&tenant=skint",
+                        templates[budget_template].name()
+                    ),
+                    "",
+                );
+                match status {
+                    200 => ok += 1,
+                    429 => {
+                        rejected += 1;
+                        break;
+                    }
+                    _ => failed += 1,
+                }
+            }
+            assert_eq!(ok, 2, "budget math: two charges fit, the third trips");
+            assert_eq!(rejected, 1, "row budget never tripped (ok={ok})");
+            assert_eq!(failed, 0);
+            let (status, _) = http(
+                &addr,
+                "POST",
+                &format!(
+                    "/query?template={}&draw={budget_draw}&tenant=solvent",
+                    templates[budget_template].name()
+                ),
+                "",
+            );
+            assert_eq!(status, 200, "other tenants unaffected by skint's budget");
+            (ok + 1, rejected)
+        }));
+
+        let (status, body) = http(&addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200, "shutdown: {body}");
+        let stats = server.join().expect("server thread");
+        (stats, client)
+    });
+
+    let (ok, rejected) = match client {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    };
+    // Drain accounting: every accepted connection produced exactly one
+    // classified response, and the client saw all of them.
+    assert_eq!(
+        stats.connections,
+        stats.ok_responses + stats.rejected + stats.failed
+    );
+    assert_eq!(stats.ok_responses, ok + 1); // + the shutdown ack itself
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.failed, 0);
+}

@@ -114,13 +114,16 @@ fn main() -> Result<()> {
             writers,
         },
     )?;
+    let ms = |d: Option<std::time::Duration>| d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
     println!(
-        "  {} queries ({} prepared, {} from cache/pins) in {:.1} ms ({:.0} q/s) — zero divergences",
+        "  {} queries ({} prepared, {} from cache/pins) in {:.1} ms ({:.0} q/s, p50 {:.3} ms, p99 {:.3} ms) — zero divergences",
         report.queries,
         report.prepared_queries,
         report.cached_queries,
         report.elapsed.as_secs_f64() * 1e3,
-        report.throughput()
+        report.throughput(),
+        ms(report.p50()),
+        ms(report.p99())
     );
     println!(
         "  writers: {} commits, {} rows committed, {} write conflicts retried, final epoch {}",
@@ -153,5 +156,17 @@ fn main() -> Result<()> {
     );
     let delta = session.cache_metrics().since(&before);
     assert_eq!(m, delta, "report deltas equal the session-level diff");
+
+    // The unified snapshot folds the ingest counters the replay produced
+    // into the same registry the server's /metrics endpoint scrapes.
+    let obs = session.observability_snapshot();
+    println!(
+        "  observability: epoch {}, {} series, {} ingest commits / {} conflicts / {} rows recorded",
+        obs.epoch,
+        obs.registry.names().len(),
+        obs.registry.counter_sum("relgo_ingest_commits_total"),
+        obs.registry.counter_sum("relgo_ingest_conflicts_total"),
+        obs.registry.counter_sum("relgo_ingest_rows_total")
+    );
     Ok(())
 }

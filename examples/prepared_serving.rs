@@ -69,12 +69,15 @@ fn main() -> Result<()> {
             rounds,
             serve,
         )?;
+        let ms = |d: Option<std::time::Duration>| d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
         println!(
-            "  {:<10} {} queries in {:>7.1} ms ({:>6.0} q/s)  opt {:>7.3} ms  cached {}  batches {}",
+            "  {:<10} {} queries in {:>7.1} ms ({:>6.0} q/s)  p50 {:>6.3} ms  p99 {:>6.3} ms  opt {:>7.3} ms  cached {}  batches {}",
             serve.name(),
             report.queries,
             report.elapsed.as_secs_f64() * 1e3,
             report.throughput(),
+            ms(report.p50()),
+            ms(report.p99()),
             report.opt_time.as_secs_f64() * 1e3,
             report.cached_queries,
             report.batches
@@ -91,10 +94,19 @@ fn main() -> Result<()> {
         assert_eq!(m.invalidations, 0, "no statistics rebuilds mid-replay");
     }
 
-    let m = session.cache_metrics();
+    // One unified snapshot covers the cache counters, the query-latency
+    // histograms, and everything else the session registers.
+    let obs = session.observability_snapshot();
+    let m = obs.cache;
     println!(
         "  cache metrics: hits={} misses={} prepared_hits={} prepared_invalidations={} rebind_failures={}",
         m.hits, m.misses, m.prepared_hits, m.prepared_invalidations, m.rebind_failures
+    );
+    println!(
+        "  observability: epoch {}, {} series, {} queries recorded across all paths",
+        obs.epoch,
+        obs.registry.names().len(),
+        obs.registry.counter_sum("relgo_queries_total")
     );
     assert!(m.prepared_hits > 0);
     assert_eq!(m.rebind_failures, 0);
