@@ -1350,6 +1350,7 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
         workers: 4,
         max_inflight_per_tenant: 64,
         tenant_row_budget: usize::MAX,
+        ..ServerConfig::default()
     };
     let bound = Server::new(&session, &templates, config).bind()?;
     let addr = bound.local_addr().to_string();

@@ -278,6 +278,16 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
 struct Series {
     name: String,
     help: String,
@@ -332,6 +342,19 @@ impl Registry {
             });
         }
         let (handle, metric) = make();
+        // A Prometheus family (one name) has exactly one type, regardless
+        // of labels — a mixed family renders one `# TYPE` line over
+        // samples of different kinds, which strict scrapers reject. Catch
+        // it at registration, not scrape time.
+        if let Some(conflict) = series.iter().find(|s| s.name == name) {
+            if conflict.metric.kind() != metric.kind() {
+                panic!(
+                    "metric {name} already registered as a {}, cannot re-register as a {}",
+                    conflict.metric.kind(),
+                    metric.kind()
+                );
+            }
+        }
         series.push(Series {
             name: name.to_string(),
             help: help.to_string(),
@@ -718,6 +741,16 @@ mod tests {
         assert!(text.contains("relgo_lat_seconds_count 2"));
         assert!(text.contains("relgo_cache_hits_total 9"));
         text::validate(&text).expect("exposition format is valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn cross_label_type_conflict_panics() {
+        let r = Registry::new();
+        r.counter_with("relgo_mixed_family", "as counter", &[("path", "a")]);
+        // Same family name, different labels, different type: still a
+        // malformed family — must panic rather than render mixed kinds.
+        r.gauge_with("relgo_mixed_family", "as gauge", &[("path", "b")]);
     }
 
     #[test]

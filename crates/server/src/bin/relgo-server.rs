@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! relgo-server [--sf 0.05] [--seed 42] [--addr 127.0.0.1:0] \
-//!              [--workers 4] [--max-inflight 8] [--row-budget 10000000]
+//!              [--workers 4] [--max-inflight 8] [--row-budget 10000000] \
+//!              [--max-body-bytes 4194304] [--max-prepared 1024]
 //! ```
 //!
 //! Prints exactly one line — `listening on http://ADDR` — once the
@@ -40,6 +41,10 @@ fn parse_args() -> Result<Args> {
                 args.config.max_inflight_per_tenant = parse(&value("--max-inflight")?)?
             }
             "--row-budget" => args.config.tenant_row_budget = parse(&value("--row-budget")?)?,
+            "--max-body-bytes" => args.config.max_body_bytes = parse(&value("--max-body-bytes")?)?,
+            "--max-prepared" => {
+                args.config.max_prepared_statements = parse(&value("--max-prepared")?)?
+            }
             other => return Err(RelGoError::query(format!("unknown flag {other}"))),
         }
     }

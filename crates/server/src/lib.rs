@@ -16,8 +16,9 @@
 //! | `GET /healthz` | liveness: `ok epoch=E` |
 //! | `GET /metrics` | Prometheus text format, the full registry |
 //! | `POST /query?template=NAME&draw=N[&mode=M][&tenant=T]` | instantiate + `run_cached` |
-//! | `POST /prepare?template=NAME[&mode=M]` | pin a prepared statement, returns `ok stmt=ID` |
+//! | `POST /prepare?template=NAME[&mode=M][&tenant=T]` | pin a prepared statement, returns `ok stmt=ID` |
 //! | `POST /execute?stmt=ID&draw=N[&tenant=T]` | execute a prepared handle with the template's bindings |
+//! | `POST /unprepare?stmt=ID` | release a prepared handle (and its pinned plan) |
 //! | `POST /ingest[?tenant=T]` | line-based batch: `Table\|i:1\|s:x\|d:17000`, `delete\|Table\|1` |
 //! | `POST /shutdown` | respond, then drain: in-flight requests complete, workers exit |
 //!
@@ -32,7 +33,11 @@
 //! `max_inflight_per_tenant` requests executing at once) and a cumulative
 //! [`RowBudget`] over served result rows; both reject with `429` when
 //! exhausted, and every rejection increments
-//! `relgo_http_admission_rejections_total`.
+//! `relgo_http_admission_rejections_total`. `/prepare` runs under the same
+//! gate and the server-wide prepared-statement table is capped
+//! (`max_prepared_statements`, released via `/unprepare`), so no client can
+//! grow pinned plans without bound. Request bodies larger than
+//! `max_body_bytes` are rejected with `413` before any allocation.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -65,6 +70,12 @@ pub struct ServerConfig {
     pub max_inflight_per_tenant: usize,
     /// Per-tenant cumulative budget of served result rows.
     pub tenant_row_budget: usize,
+    /// Largest accepted request body; a bigger `Content-Length` is a `413`
+    /// before any buffer is allocated (the header is untrusted input).
+    pub max_body_bytes: usize,
+    /// Server-wide cap on live prepared-statement handles; `/prepare` past
+    /// the cap is a `429` until `/unprepare` releases a slot.
+    pub max_prepared_statements: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +85,8 @@ impl Default for ServerConfig {
             workers: 4,
             max_inflight_per_tenant: 8,
             tenant_row_budget: 10_000_000,
+            max_body_bytes: 4 << 20,
+            max_prepared_statements: 1024,
         }
     }
 }
@@ -147,7 +160,11 @@ impl BoundServer<'_> {
     /// handle in non-blocking mode; after the shutdown flag rises each
     /// worker keeps accepting until the backlog is empty (every connection
     /// the OS already queued gets a complete response — drain loses zero
-    /// in-flight requests), then exits.
+    /// in-flight requests), then exits. After the last worker exits, one
+    /// final accept sweep on the calling thread serves anything the kernel
+    /// queued between a worker's last empty poll and that exit; only a
+    /// connection completing its handshake *after* the sweep misses out,
+    /// and dropping the listener resets it rather than leaving it hanging.
     pub fn run(self) -> Result<ServeStats> {
         self.listener
             .set_nonblocking(true)
@@ -174,6 +191,11 @@ impl BoundServer<'_> {
             }
             Ok::<(), RelGoError>(())
         })?;
+        // Final drain sweep (see the doc comment above): the listener is
+        // still non-blocking, so this stops at the first empty poll.
+        while let Ok((stream, _)) = self.listener.accept() {
+            handle_connection(stream, &shared);
+        }
         Ok(shared.stats())
     }
 }
@@ -348,6 +370,7 @@ enum Endpoint {
     Query,
     Prepare,
     Execute,
+    Unprepare,
     Ingest,
     Metrics,
     Healthz,
@@ -356,10 +379,11 @@ enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 9] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
+        Endpoint::Unprepare,
         Endpoint::Ingest,
         Endpoint::Metrics,
         Endpoint::Healthz,
@@ -372,6 +396,7 @@ impl Endpoint {
             Endpoint::Query => "query",
             Endpoint::Prepare => "prepare",
             Endpoint::Execute => "execute",
+            Endpoint::Unprepare => "unprepare",
             Endpoint::Ingest => "ingest",
             Endpoint::Metrics => "metrics",
             Endpoint::Healthz => "healthz",
@@ -431,6 +456,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         _ => "Internal Server Error",
     }
@@ -441,12 +467,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     shared.metrics.active.add(1);
     let start = Instant::now();
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let (endpoint, response) = match read_request(&stream) {
+    let (endpoint, response) = match read_request(&stream, shared.config.max_body_bytes) {
         Ok(req) => {
             let endpoint = route(&req);
             (endpoint, dispatch(endpoint, &req, shared))
         }
-        Err(e) => (Endpoint::Other, Response::err(400, e)),
+        Err(response) => (Endpoint::Other, response),
     };
     match response.status {
         200 => shared.ok_responses.fetch_add(1, Ordering::Relaxed),
@@ -462,23 +488,28 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     shared.metrics.active.add(-1);
 }
 
-fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+/// Parse one request off the socket. The error side is the response to
+/// send back: `400` for anything malformed, `413` when the (untrusted)
+/// `Content-Length` header exceeds `max_body_bytes` — checked *before*
+/// the body buffer is allocated, so a hostile header cannot OOM a worker.
+fn read_request(
+    stream: &TcpStream,
+    max_body_bytes: usize,
+) -> std::result::Result<Request, Response> {
+    let bad = |e: std::io::Error| Response::err(400, e);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    reader.read_line(&mut line).map_err(bad)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("").to_string();
     if method.is_empty() || !target.starts_with('/') {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "malformed request line",
-        ));
+        return Err(Response::err(400, "malformed request line"));
     }
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        if reader.read_line(&mut header).map_err(bad)? == 0 {
             break;
         }
         let header = header.trim_end();
@@ -491,10 +522,15 @@ fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
             }
         }
     }
+    if content_length > max_body_bytes {
+        return Err(Response::err(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"),
+        ));
+    }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    reader.read_exact(&mut body).map_err(bad)?;
+    let body = String::from_utf8(body).map_err(|_| Response::err(400, "non-UTF-8 request body"))?;
     let (path, params) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query_params(q)),
         None => (target, HashMap::new()),
@@ -537,6 +573,7 @@ fn route(req: &Request) -> Endpoint {
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/prepare") => Endpoint::Prepare,
         ("POST", "/execute") => Endpoint::Execute,
+        ("POST", "/unprepare") => Endpoint::Unprepare,
         ("POST", "/ingest") => Endpoint::Ingest,
         ("GET", "/metrics") => Endpoint::Metrics,
         ("GET", "/healthz") => Endpoint::Healthz,
@@ -559,8 +596,9 @@ fn dispatch(endpoint: Endpoint, req: &Request, shared: &Shared<'_>) -> Response 
             Response::ok("ok draining\n".to_string())
         }
         Endpoint::Query => with_admission(req, shared, handle_query),
-        Endpoint::Prepare => handle_prepare(req, shared),
+        Endpoint::Prepare => with_admission(req, shared, handle_prepare),
         Endpoint::Execute => with_admission(req, shared, handle_execute),
+        Endpoint::Unprepare => handle_unprepare(req, shared),
         Endpoint::Ingest => with_admission(req, shared, handle_ingest),
         Endpoint::Other => Response::err(404, format!("no route {} {}", req.method, req.path)),
     }
@@ -667,7 +705,7 @@ fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> R
     }
 }
 
-fn handle_prepare(req: &Request, shared: &Shared<'_>) -> Response {
+fn handle_prepare(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) -> Response {
     let (template_idx, template) = match lookup_template(shared.templates, req) {
         Ok(t) => t,
         Err(r) => return r,
@@ -687,12 +725,40 @@ fn handle_prepare(req: &Request, shared: &Shared<'_>) -> Response {
         Err(e) => return Response::err(500, e),
     };
     let id = shared.next_stmt.fetch_add(1, Ordering::Relaxed);
-    shared
+    // Cap check and insert under one lock acquisition, so concurrent
+    // prepares cannot overshoot the cap between a check and an insert.
+    let mut statements = shared.statements.lock().expect("statements lock");
+    if statements.len() >= shared.config.max_prepared_statements {
+        drop(statements);
+        shared.metrics.rejections.inc();
+        return Response::err(
+            429,
+            format!(
+                "prepared-statement cap ({}) reached; release handles via POST /unprepare",
+                shared.config.max_prepared_statements
+            ),
+        );
+    }
+    statements.insert(id, StmtEntry { stmt, template_idx });
+    Response::ok(format!("ok stmt={id}\n"))
+}
+
+/// Release a prepared handle: drops the pinned plan (once no in-flight
+/// `/execute` still holds its clone) and frees a cap slot.
+fn handle_unprepare(req: &Request, shared: &Shared<'_>) -> Response {
+    let id: u64 = match req.param("stmt").map(str::parse) {
+        Some(Ok(id)) => id,
+        _ => return Response::err(400, "missing or malformed stmt parameter"),
+    };
+    match shared
         .statements
         .lock()
         .expect("statements lock")
-        .insert(id, StmtEntry { stmt, template_idx });
-    Response::ok(format!("ok stmt={id}\n"))
+        .remove(&id)
+    {
+        Some(_) => Response::ok(format!("ok unprepared={id}\n")),
+        None => Response::err(400, format!("unknown statement {id}")),
+    }
 }
 
 fn handle_execute(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> Response {

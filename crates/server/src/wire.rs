@@ -83,19 +83,24 @@ pub fn decode_row(line: &str) -> Result<Vec<Value>> {
 }
 
 /// Percent-encode the characters that would collide with the wire
-/// format's separators (`|`, newlines) or the escape itself (`%`).
+/// format's separators (`|`, newlines), the escape itself (`%`), or the
+/// decoder's `+`-for-space tolerance. All other bytes — including
+/// multi-byte UTF-8 sequences — pass through verbatim, so
+/// `percent_decode(percent_encode(s)) == s` for every string.
 pub fn percent_encode(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+    let mut out = Vec::with_capacity(s.len());
     for b in s.bytes() {
         match b {
-            b'%' | b'|' | b'\n' | b'\r' | b'&' | b'=' | b' ' => {
-                out.push('%');
-                out.push_str(&format!("{b:02X}"));
+            b'%' | b'|' | b'\n' | b'\r' | b'&' | b'=' | b' ' | b'+' => {
+                out.push(b'%');
+                out.extend_from_slice(format!("{b:02X}").as_bytes());
             }
-            _ => out.push(b as char),
+            _ => out.push(b),
         }
     }
-    out
+    // Only ASCII bytes were replaced (with ASCII escapes), so every
+    // multi-byte sequence survives intact and the buffer is valid UTF-8.
+    String::from_utf8(out).expect("percent_encode preserves UTF-8")
 }
 
 /// Reverse [`percent_encode`]; also tolerates `+` for space (HTML form
@@ -194,6 +199,9 @@ mod tests {
             Value::Float(f64::MIN_POSITIVE),
             Value::str("plain"),
             Value::str("pipes|and%escapes\nand newlines"),
+            Value::str("Émile"),
+            Value::str("naïve 🦀 — ユニコード"),
+            Value::str("a+b plus%2Bliteral"),
             Value::Bool(true),
             Value::Date(18_000),
         ];
@@ -222,6 +230,17 @@ mod tests {
         assert!(decode_value("x:1").is_err());
         assert!(decode_value("i:notanint").is_err());
         assert!(decode_value("b:maybe").is_err());
+    }
+
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        for s in ["Émile", "Ω≈ç√∫", "🦀🦀", "日本語テキスト", "é%é|é\né+é"]
+        {
+            let encoded = percent_encode(s);
+            assert_eq!(percent_decode(&encoded), s, "via {encoded:?}");
+            let v = Value::str(s);
+            assert_eq!(decode_value(&encode_value(&v)).unwrap(), v);
+        }
     }
 
     #[test]

@@ -172,6 +172,14 @@ fn server_round_trips_against_in_process_oracle() {
         assert_eq!(rows, expected, "prepared draw {draw}");
     }
 
+    // Release the handle; executing it afterwards is a clean 400 (the
+    // failed execute still counts toward the endpoint's request series).
+    let (status, body) = http(&addr, "POST", &format!("/unprepare?stmt={stmt}"), "");
+    assert_eq!(status, 200, "unprepare failed: {body}");
+    assert_eq!(body.trim(), format!("ok unprepared={stmt}"));
+    let (status, _) = http(&addr, "POST", &format!("/execute?stmt={stmt}&draw=3"), "");
+    assert_eq!(status, 400, "released handle must be unknown");
+
     // --- error paths count toward their endpoint's series ---------------
     let (status, _) = http(&addr, "POST", "/query?template=NoSuchTemplate&draw=0", "");
     assert_eq!(status, 400);
@@ -196,7 +204,7 @@ fn server_round_trips_against_in_process_oracle() {
     // --- ingest over the wire, mirrored on the oracle --------------------
     // Two commits: a delete target must exist in the published base, so
     // the inserts land first and the delete rides the next epoch.
-    let ingest_body = "Person|i:800001|s:WireBob|d:17000\nPerson|i:800002|s:WireEve|d:17001\n";
+    let ingest_body = "Person|i:800001|s:WireBob|d:17000\nPerson|i:800002|s:WïreÉve🦀|d:17001\n";
     let (status, body) = http(&addr, "POST", "/ingest", ingest_body);
     assert_eq!(status, 200, "ingest failed: {body}");
     assert!(
@@ -225,7 +233,7 @@ fn server_round_trips_against_in_process_oracle() {
             "Person",
             vec![
                 Value::Int(800_002),
-                Value::str("WireEve"),
+                Value::str("WïreÉve🦀"),
                 Value::Date(17_001),
             ],
         )
@@ -282,10 +290,14 @@ fn server_round_trips_against_in_process_oracle() {
     );
     assert_eq!(
         scrape.value("relgo_http_requests_total", &[("endpoint", "execute")]),
-        Some(executes_sent as f64)
+        Some((executes_sent + 1) as f64), // + the 400 on the released handle
     );
     assert_eq!(
         scrape.value("relgo_http_requests_total", &[("endpoint", "prepare")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        scrape.value("relgo_http_requests_total", &[("endpoint", "unprepare")]),
         Some(1.0)
     );
     assert_eq!(
@@ -360,6 +372,8 @@ fn in_process_admission_budget_and_drain_accounting() {
         workers: 2,
         max_inflight_per_tenant: 1,
         tenant_row_budget: 2 * budget_rows + 1,
+        max_body_bytes: 64,
+        ..ServerConfig::default()
     };
     let bound = Server::new(&session, &templates, config)
         .bind()
@@ -411,6 +425,11 @@ fn in_process_admission_budget_and_drain_accounting() {
                 "",
             );
             assert_eq!(status, 200, "other tenants unaffected by skint's budget");
+            // A body bigger than the 64-byte cap is rejected up front
+            // with 413 — no multi-GB allocation from a hostile header.
+            let big_body = "x".repeat(65);
+            let (status, body) = http(&addr, "POST", "/ingest", &big_body);
+            assert_eq!(status, 413, "oversized body: {body}");
             (ok + 1, rejected)
         }));
 
@@ -432,5 +451,5 @@ fn in_process_admission_budget_and_drain_accounting() {
     );
     assert_eq!(stats.ok_responses, ok + 1); // + the shutdown ack itself
     assert_eq!(stats.rejected, rejected);
-    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.failed, 1); // the 413 oversized-body probe
 }
