@@ -1,0 +1,117 @@
+//! Criterion bench for checkpointing: the cost of writing a snapshot
+//! (encode + fsync + rename + WAL compaction), and recovery latency from a
+//! checkpoint plus a short WAL tail vs full-history replay of the same
+//! number of committed epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relgo::prelude::*;
+use relgo::CheckpointStore;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+fn snb_base() -> (relgo::storage::Database, relgo::graph::RGMapping) {
+    relgo::datagen::generate_snb(&relgo::datagen::SnbParams { sf: 0.05, seed: 42 })
+}
+
+fn wal_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("relgo_bench_ckpt_{}_{tag}.wal", std::process::id()))
+}
+
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    if let Ok(ckpts) = CheckpointStore::for_wal(path).list() {
+        for (_, p) in ckpts {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Commit one 8-insert person batch with globally fresh keys.
+fn commit_batch(session: &Session, next: &AtomicI64) {
+    let lo = next.fetch_add(8, Ordering::Relaxed);
+    let mut batch = session.begin_ingest();
+    for i in 0..8 {
+        let id = lo + i;
+        batch
+            .insert_row(
+                "Person",
+                vec![
+                    Value::Int(id),
+                    Value::str(format!("ckpt_{id}")),
+                    Value::Date(19_000),
+                ],
+            )
+            .unwrap();
+    }
+    batch.commit().unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_ckpt");
+    group.sample_size(10);
+
+    // Checkpoint write latency: each iteration commits one batch (so the
+    // snapshot epoch advances and the write is never a no-op) and then
+    // snapshots the full database.
+    {
+        let path = wal_path("write");
+        cleanup(&path);
+        let (db, mapping) = snb_base();
+        let (session, _) = Session::open_durable(
+            db,
+            mapping,
+            SessionOptions::default(),
+            &path,
+            WalOptions::default(),
+        )
+        .unwrap();
+        let next = AtomicI64::new(40_000_000);
+        group.bench_function("checkpoint_snb_sf005", |b| {
+            b.iter(|| {
+                commit_batch(&session, &next);
+                session.checkpoint().unwrap()
+            })
+        });
+        cleanup(&path);
+    }
+
+    // Recovery from a checkpoint + 2-record tail vs full replay of the same
+    // 16-epoch history. Both logs hold identical histories; the first was
+    // checkpointed at epoch 14.
+    {
+        let ckpt_path = wal_path("recover_ckpt");
+        let full_path = wal_path("recover_full");
+        cleanup(&ckpt_path);
+        cleanup(&full_path);
+        let (db, mapping) = snb_base();
+        for (path, checkpoint_at) in [(&ckpt_path, Some(14)), (&full_path, None)] {
+            let (writer, _) = Session::recover(db.clone(), mapping.clone(), path).unwrap();
+            let next = AtomicI64::new(40_000_000);
+            for c in 0..16 {
+                commit_batch(&writer, &next);
+                if checkpoint_at == Some(c + 1) {
+                    writer.checkpoint().unwrap();
+                }
+            }
+        }
+        for (tag, path, replayed) in [
+            ("recover_from_checkpoint_tail2", &ckpt_path, 2usize),
+            ("recover_full_replay16", &full_path, 16usize),
+        ] {
+            group.bench_function(tag, |b| {
+                b.iter(|| {
+                    let (session, report) =
+                        Session::recover(db.clone(), mapping.clone(), path).unwrap();
+                    assert_eq!(report.records, replayed);
+                    assert_eq!(session.epoch(), 16);
+                    session
+                })
+            });
+        }
+        cleanup(&ckpt_path);
+        cleanup(&full_path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

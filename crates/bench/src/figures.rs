@@ -1125,6 +1125,239 @@ pub fn fig_wal(cfg: &BenchConfig) -> Result<String> {
     Ok(out)
 }
 
+/// Checkpointing figure (`fig_ckpt`), three panels — and self-checking:
+/// rendering errors instead of printing a wrong table.
+///
+/// **(a) WAL compaction.** A durable session commits a person-insert
+/// stream, then checkpoints. The figure errors unless compaction drops
+/// every pre-checkpoint record and the live log shrinks to zero bytes on
+/// disk (the snapshot now carries that history).
+///
+/// **(b) Bounded recovery.** Two sessions replay the same N-commit history;
+/// one runs under an auto-checkpoint policy capped at C records, the other
+/// never checkpoints. The figure errors unless recovery of the first
+/// replays at most C WAL records while the second replays all N — the
+/// policy bounds replay regardless of history length.
+///
+/// **(c) Bit-identity.** Both recovered sessions must match the live one on
+/// base tables and on a probe query under both optimizer modes.
+pub fn fig_ckpt(cfg: &BenchConfig) -> Result<String> {
+    use relgo::workloads::templates::snb_templates;
+    use std::time::Instant;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fig_ckpt — checkpointing: WAL compaction, bounded recovery replay"
+    )
+    .ok();
+
+    let (db, mapping) = relgo::datagen::generate_snb(&relgo::datagen::SnbParams {
+        sf: cfg.snb_sf_small,
+        seed: 42,
+    });
+    let wal_path = |tag: &str| {
+        std::env::temp_dir().join(format!("relgo_fig_ckpt_{}_{tag}.wal", std::process::id()))
+    };
+    let cleanup = |path: &std::path::Path| {
+        let _ = std::fs::remove_file(path);
+        if let Ok(ckpts) = relgo::CheckpointStore::for_wal(path).list() {
+            for (_, p) in ckpts {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    };
+    let options = SessionOptions {
+        opt_timeout: cfg.opt_timeout,
+        ..SessionOptions::default()
+    };
+    let commit_batch = |session: &Session, c: i64| -> Result<()> {
+        let mut batch = session.begin_ingest();
+        for i in 0..8i64 {
+            let id = 40_000_000 + c * 8 + i;
+            batch.insert_row(
+                "Person",
+                vec![
+                    Value::Int(id),
+                    Value::str(format!("ckpt_{id}")),
+                    Value::Date(19_000),
+                ],
+            )?;
+        }
+        batch.commit()?;
+        Ok(())
+    };
+
+    // ---- (a) checkpoint compacts the WAL on disk -----------------------
+    let commits = 4 * cfg.reps.max(2) as i64;
+    let path = wal_path("compact");
+    cleanup(&path);
+    let (session, _) = Session::open_durable(
+        db.clone(),
+        mapping.clone(),
+        options,
+        &path,
+        WalOptions::default(),
+    )?;
+    for c in 0..commits {
+        commit_batch(&session, c)?;
+    }
+    let before = session
+        .wal_bytes_since_checkpoint()
+        .ok_or_else(|| RelGoError::execution("durable session must expose live WAL bytes"))?;
+    if before == 0 {
+        return Err(RelGoError::execution(
+            "WAL must hold bytes before the checkpoint",
+        ));
+    }
+    let report = session.checkpoint()?;
+    if report.wal.records_dropped != commits as u64 || report.wal.bytes_retained != 0 {
+        return Err(RelGoError::execution(format!(
+            "checkpoint at the head epoch must drop all {commits} records and retain 0 bytes \
+             (dropped {}, retained {})",
+            report.wal.records_dropped, report.wal.bytes_retained
+        )));
+    }
+    if session.wal_bytes_since_checkpoint() != Some(0) {
+        return Err(RelGoError::execution(
+            "compaction must shrink the live WAL to 0 bytes on disk",
+        ));
+    }
+    writeln!(
+        out,
+        "(a) compaction: {commits} commits, {before} WAL bytes -> 0 after checkpoint \
+         (snapshot {} bytes at epoch {}, {:.1} ms)",
+        report.bytes,
+        report.epoch,
+        report.elapsed.as_secs_f64() * 1e3
+    )
+    .ok();
+    cleanup(&path);
+
+    // ---- (b) bounded recovery under an auto-checkpoint policy ----------
+    let cap = 4u64;
+    let total = (3 * cap + 1) as i64; // cadence leaves a 1-record tail
+    let auto_path = wal_path("auto");
+    let full_path = wal_path("full");
+    cleanup(&auto_path);
+    cleanup(&full_path);
+    let auto_options = SessionOptions {
+        checkpoint: Some(CheckpointPolicy {
+            max_records: cap,
+            max_wal_bytes: u64::MAX,
+        }),
+        ..options
+    };
+    let (live_auto, _) = Session::open_durable(
+        db.clone(),
+        mapping.clone(),
+        auto_options,
+        &auto_path,
+        WalOptions::default(),
+    )?;
+    let (live_full, _) = Session::open_durable(
+        db.clone(),
+        mapping.clone(),
+        options,
+        &full_path,
+        WalOptions::default(),
+    )?;
+    for c in 0..total {
+        commit_batch(&live_auto, c)?;
+        commit_batch(&live_full, c)?;
+    }
+    let start = Instant::now();
+    let (rec_auto, ra) = Session::recover(db.clone(), mapping.clone(), &auto_path)?;
+    let auto_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let (rec_full, rf) = Session::recover(db.clone(), mapping.clone(), &full_path)?;
+    let full_ms = start.elapsed().as_secs_f64() * 1e3;
+    if !ra.checkpoint_loaded || ra.records as u64 > cap {
+        return Err(RelGoError::execution(format!(
+            "policy cap {cap} must bound recovery replay: loaded={} records={}",
+            ra.checkpoint_loaded, ra.records
+        )));
+    }
+    if rf.checkpoint_loaded || rf.records as i64 != total {
+        return Err(RelGoError::execution(format!(
+            "the never-checkpointed twin must replay its full {total}-record history: \
+             loaded={} records={}",
+            rf.checkpoint_loaded, rf.records
+        )));
+    }
+    if rec_auto.epoch() != live_auto.epoch() || rec_full.epoch() != live_full.epoch() {
+        return Err(RelGoError::execution(
+            "both recoveries must land on the live epoch",
+        ));
+    }
+    writeln!(
+        out,
+        "(b) bounded recovery: {total}-commit history, policy cap {cap} records"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{} {} {} {} {}",
+        cell("path", 14),
+        cell("ckpt epoch", 11),
+        cell("replayed", 9),
+        cell("skipped", 8),
+        cell("recover ms", 12)
+    )
+    .ok();
+    for (tag, rec, ms) in [
+        ("checkpointed", &ra, auto_ms),
+        ("full-replay", &rf, full_ms),
+    ] {
+        writeln!(
+            out,
+            "{} {} {} {} {}",
+            cell(tag, 14),
+            cell(&rec.checkpoint_epoch.to_string(), 11),
+            cell(&rec.records.to_string(), 9),
+            cell(&rec.skipped_records.to_string(), 8),
+            cell(&format!("{ms:.1}"), 12)
+        )
+        .ok();
+    }
+
+    // ---- (c) bit-identity against the live sessions --------------------
+    let schema = SnbSchema::resolve(live_auto.view().schema())?;
+    let probe = snb_templates(&schema)[0].instantiate(3)?;
+    for (tag, live, rec) in [
+        ("auto", &live_auto, &rec_auto),
+        ("full", &live_full, &rec_full),
+    ] {
+        let live_db = live.db();
+        let rec_db = rec.db();
+        for name in ["Person", "Knows", "Likes"] {
+            if !tables_bit_identical(live_db.table(name)?, rec_db.table(name)?) {
+                return Err(RelGoError::execution(format!(
+                    "{tag}: recovered table {name} diverges from the live session"
+                )));
+            }
+        }
+        for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+            let want = live.run(&probe, mode)?.table;
+            let got = rec.run(&probe, mode)?.table;
+            if !tables_bit_identical(&want, &got) {
+                return Err(RelGoError::execution(format!(
+                    "{tag}: recovered session answers the probe differently under {mode:?}"
+                )));
+            }
+        }
+    }
+    writeln!(
+        out,
+        "(c) both recoveries bit-identical to the live sessions (tables + probe under \
+         RelGo and GRainDb)"
+    )
+    .ok();
+    cleanup(&auto_path);
+    cleanup(&full_path);
+    Ok(out)
+}
+
 /// Intra-query parallel scaling (`fig_par`): GLogue statistics build and
 /// expand-heavy query execution at 1/2/4/8 threads over {SNB, JOB}, with
 /// bit-identity checks of every parallel result against the serial run.

@@ -1,0 +1,638 @@
+//! Versioned, CRC-checked on-disk checkpoints of a full epoch's tables.
+//!
+//! A checkpoint snapshots one published epoch of a [`Database`] — every
+//! table (schema + rows, all six [`relgo_common::Value`] types), the primary-key map, and
+//! the foreign keys — so recovery can load the snapshot and replay only the
+//! WAL tail behind it instead of the full commit history. Key indexes are
+//! derived data: the decoder re-warms one unique index per primary key,
+//! which also re-validates key uniqueness on the way in.
+//!
+//! ## File format
+//!
+//! ```text
+//! [8B magic "RGCKPT1\n"][u32 crc32(payload)][u64 payload len][payload]
+//! ```
+//!
+//! The payload reuses the WAL's hand-rolled little-endian codec (the
+//! vendored serde shim is a no-op): epoch, then each table in registration
+//! order as `name, fields (name + type tag), row count, row-major tagged
+//! values`, then the primary-key pairs and foreign-key quads.
+//!
+//! ## Atomicity
+//!
+//! [`CheckpointStore::write`] writes a sibling temp file, fsyncs it,
+//! atomically renames it to `<wal>.ckpt.<epoch>`, and fsyncs the directory.
+//! A crash at any point leaves either the old checkpoint set or the new one
+//! — never a torn visible checkpoint, because torn bytes only ever live
+//! under the temp name, which the loader ignores. [`CheckpointCrash`] lets
+//! the crash-recovery harness kill the process inside each phase to prove
+//! it. [`CheckpointStore::load_newest`] additionally tolerates a corrupted
+//! newest file (bit rot after rename) by falling back to the previous
+//! checkpoint, which retention keeps around for exactly this reason.
+
+use crate::wal::{crc32, put_bytes, put_value, Reader};
+use relgo_common::{DataType, Field, RelGoError, Result, Schema};
+use relgo_storage::{Database, TableBuilder};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Leading bytes of every checkpoint file; the trailing digit is the
+/// format version.
+pub const MAGIC: &[u8; 8] = b"RGCKPT1\n";
+
+/// Fault-injection points for the crash-recovery harness: abort the
+/// process inside a chosen checkpoint phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCrash {
+    /// Die mid-temp-write: only the first `n` bytes of the temp file reach
+    /// disk (clamped to tear the file even for large `n`).
+    MidTempWrite(u64),
+    /// Die after the temp file is fully written but before it is fsynced
+    /// and renamed — models a power cut during the fsync.
+    BeforeRename,
+    /// Die right after the atomic rename: the checkpoint is durable but
+    /// the caller's WAL truncation never runs.
+    AfterRename,
+}
+
+/// What [`CheckpointStore::write`] produced.
+#[derive(Debug, Clone)]
+pub struct WrittenCheckpoint {
+    /// The epoch the snapshot captures.
+    pub epoch: u64,
+    /// Final (post-rename) path of the checkpoint file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// What [`CheckpointStore::load_newest`] recovered.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The epoch the snapshot captures.
+    pub epoch: u64,
+    /// The reconstructed database (primary-key indexes re-warmed).
+    pub db: Database,
+    /// Path the snapshot was loaded from.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Newer checkpoint files that were rejected as corrupt before this
+    /// one loaded (0 on the happy path).
+    pub rejected: usize,
+}
+
+/// What [`CheckpointStore::retain`] did with superseded checkpoints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionReport {
+    /// Checkpoint files deleted.
+    pub removed: usize,
+    /// Checkpoint files moved into the archive directory.
+    pub archived: usize,
+}
+
+/// A family of checkpoint files living next to a WAL: `<wal>.ckpt.<epoch>`,
+/// plus one `<wal>.ckpt.tmp` scratch name for in-flight writes.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    prefix: String,
+}
+
+impl CheckpointStore {
+    /// The store for checkpoints of the log at `wal_path`.
+    pub fn for_wal(wal_path: impl AsRef<Path>) -> CheckpointStore {
+        let wal_path = wal_path.as_ref();
+        let dir = match wal_path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let file = wal_path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "wal".to_string());
+        CheckpointStore {
+            dir,
+            prefix: format!("{file}.ckpt."),
+        }
+    }
+
+    fn path_for(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("{}{epoch:020}", self.prefix))
+    }
+
+    fn temp_path(&self) -> PathBuf {
+        self.dir.join(format!("{}tmp", self.prefix))
+    }
+
+    /// Existing checkpoint files as `(epoch, path)`, ascending by epoch.
+    /// Temp files and foreign names are ignored.
+    pub fn list(&self) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(out), // no directory yet: no checkpoints
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(suffix) = name.strip_prefix(&self.prefix) else {
+                continue;
+            };
+            let Ok(epoch) = suffix.parse::<u64>() else {
+                continue; // the temp file or an unrelated sibling
+            };
+            out.push((epoch, entry.path()));
+        }
+        out.sort_unstable_by_key(|(e, _)| *e);
+        Ok(out)
+    }
+
+    /// Snapshot `db` at `epoch` via write-to-temp + fsync + atomic rename +
+    /// directory fsync. `crash` is the harness's fault-injection hook.
+    pub fn write(
+        &self,
+        epoch: u64,
+        db: &Database,
+        crash: Option<CheckpointCrash>,
+    ) -> Result<WrittenCheckpoint> {
+        let image = encode_checkpoint(epoch, db);
+        let tmp = self.temp_path();
+        let mut f = File::create(&tmp).map_err(|e| ckpt_err("create temp", &e))?;
+        if let Some(CheckpointCrash::MidTempWrite(n)) = crash {
+            // Tear the temp file: write a strict prefix, make sure it is
+            // the bytes a power cut would leave, and die.
+            let keep = (n as usize).min(image.len().saturating_sub(1));
+            let _ = f.write_all(&image[..keep]);
+            let _ = f.sync_all();
+            std::process::abort();
+        }
+        f.write_all(&image)
+            .map_err(|e| ckpt_err("write temp", &e))?;
+        if crash == Some(CheckpointCrash::BeforeRename) {
+            std::process::abort();
+        }
+        f.sync_all().map_err(|e| ckpt_err("fsync temp", &e))?;
+        drop(f);
+        let path = self.path_for(epoch);
+        std::fs::rename(&tmp, &path).map_err(|e| ckpt_err("rename", &e))?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        if crash == Some(CheckpointCrash::AfterRename) {
+            std::process::abort();
+        }
+        Ok(WrittenCheckpoint {
+            epoch,
+            path,
+            bytes: image.len() as u64,
+        })
+    }
+
+    /// Load the newest checkpoint that decodes cleanly, skipping (and
+    /// counting) corrupt newer files — a flipped CRC byte, a truncated
+    /// header, or a zero-length file all fall back to the checkpoint
+    /// before them. `Ok(None)` means no valid checkpoint exists.
+    pub fn load_newest(&self) -> Result<Option<LoadedCheckpoint>> {
+        let mut list = self.list()?;
+        let mut rejected = 0usize;
+        while let Some((epoch, path)) = list.pop() {
+            let Ok(bytes) = std::fs::read(&path) else {
+                rejected += 1;
+                continue;
+            };
+            match decode_checkpoint(&bytes) {
+                Ok((e, db)) if e == epoch => {
+                    return Ok(Some(LoadedCheckpoint {
+                        epoch,
+                        db,
+                        path,
+                        bytes: bytes.len() as u64,
+                        rejected,
+                    }))
+                }
+                _ => rejected += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Keep the `keep` newest checkpoint files; delete older ones, or move
+    /// them into `archive_dir` when given. Keeping at least 2 preserves the
+    /// fallback target [`CheckpointStore::load_newest`] relies on if the
+    /// newest file rots after its rename.
+    pub fn retain(&self, keep: usize, archive_dir: Option<&Path>) -> Result<RetentionReport> {
+        let mut list = self.list()?;
+        let mut report = RetentionReport::default();
+        if list.len() <= keep {
+            return Ok(report);
+        }
+        let drop_n = list.len() - keep;
+        for (_, path) in list.drain(..drop_n) {
+            match archive_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).map_err(|e| ckpt_err("archive mkdir", &e))?;
+                    let dest = dir.join(path.file_name().unwrap_or_default());
+                    if std::fs::rename(&path, &dest).is_err() {
+                        // Cross-device fallback: copy, then remove.
+                        std::fs::copy(&path, &dest).map_err(|e| ckpt_err("archive copy", &e))?;
+                        std::fs::remove_file(&path).map_err(|e| ckpt_err("archive rm", &e))?;
+                    }
+                    report.archived += 1;
+                }
+                None => {
+                    std::fs::remove_file(&path).map_err(|e| ckpt_err("remove", &e))?;
+                    report.removed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn ckpt_err(what: &str, e: &std::io::Error) -> RelGoError {
+    RelGoError::execution(format!("checkpoint {what} failed: {e}"))
+}
+
+fn corrupt(what: &str) -> RelGoError {
+    RelGoError::execution(format!("checkpoint corrupt: {what}"))
+}
+
+// --------------------------------------------------------------------------
+// Codec.
+// --------------------------------------------------------------------------
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn dtype_from(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        4 => DataType::Date,
+        t => return Err(corrupt(&format!("unknown data type tag {t}"))),
+    })
+}
+
+/// Encode the complete checkpoint file image (header + payload) for `db`
+/// at `epoch`.
+pub fn encode_checkpoint(epoch: u64, db: &Database) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(256);
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    let tables: Vec<_> = db.tables().collect();
+    payload.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for table in &tables {
+        put_bytes(&mut payload, table.name().as_bytes());
+        let fields = table.schema().fields();
+        payload.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+        for field in fields {
+            put_bytes(&mut payload, field.name.as_bytes());
+            payload.push(dtype_tag(field.dtype));
+        }
+        payload.extend_from_slice(&(table.num_rows() as u64).to_le_bytes());
+        for r in 0..table.num_rows() as u32 {
+            for v in table.row(r) {
+                put_value(&mut payload, &v);
+            }
+        }
+    }
+    let pks: Vec<(&str, &str)> = tables
+        .iter()
+        .filter_map(|t| db.primary_key(t.name()).map(|pk| (t.name(), pk)))
+        .collect();
+    payload.extend_from_slice(&(pks.len() as u32).to_le_bytes());
+    for (table, column) in pks {
+        put_bytes(&mut payload, table.as_bytes());
+        put_bytes(&mut payload, column.as_bytes());
+    }
+    let fks = db.foreign_keys();
+    payload.extend_from_slice(&(fks.len() as u32).to_le_bytes());
+    for fk in fks {
+        put_bytes(&mut payload, fk.table.as_bytes());
+        put_bytes(&mut payload, fk.column.as_bytes());
+        put_bytes(&mut payload, fk.ref_table.as_bytes());
+        put_bytes(&mut payload, fk.ref_column.as_bytes());
+    }
+
+    let mut image = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
+    image.extend_from_slice(MAGIC);
+    image.extend_from_slice(&crc32(&payload).to_le_bytes());
+    image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    image.extend_from_slice(&payload);
+    image
+}
+
+/// Decode a checkpoint file image back into `(epoch, Database)`, verifying
+/// the magic, the length, and the CRC before touching the payload, and
+/// re-warming one key index per primary key afterwards.
+pub fn decode_checkpoint(image: &[u8]) -> Result<(u64, Database)> {
+    let header_len = MAGIC.len() + 12;
+    let Some(header) = image.get(..header_len) else {
+        return Err(corrupt("truncated header"));
+    };
+    if &header[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let crc = u32::from_le_bytes(header[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    let len = u64::from_le_bytes(header[MAGIC.len() + 4..header_len].try_into().unwrap());
+    let Some(payload) = image.get(header_len..) else {
+        return Err(corrupt("truncated payload"));
+    };
+    if payload.len() as u64 != len {
+        return Err(corrupt("payload length mismatch"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("crc mismatch"));
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        off: 0,
+    };
+    let epoch = r.u64()?;
+    let n_tables = r.u32()? as usize;
+    let mut db = Database::new();
+    for _ in 0..n_tables {
+        let name = r.string()?;
+        let n_fields = r.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_fields.min(64));
+        for _ in 0..n_fields {
+            let fname = r.string()?;
+            let tag = r.take(1)?[0];
+            fields.push(Field::new(fname, dtype_from(tag)?));
+        }
+        let schema = Schema::new(fields)?;
+        let n_rows = r.u64()? as usize;
+        let mut builder = TableBuilder::new(&name, schema.clone());
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                row.push(r.value()?);
+            }
+            builder.push_row(row)?;
+        }
+        db.add_table(builder.finish());
+    }
+    let n_pks = r.u32()? as usize;
+    let mut pks = Vec::with_capacity(n_pks.min(64));
+    for _ in 0..n_pks {
+        let table = r.string()?;
+        let column = r.string()?;
+        db.set_primary_key(&table, &column)?;
+        pks.push((table, column));
+    }
+    // Foreign keys validate against primary keys, so they decode after the
+    // whole primary-key map is in place.
+    let n_fks = r.u32()? as usize;
+    for _ in 0..n_fks {
+        let table = r.string()?;
+        let column = r.string()?;
+        let ref_table = r.string()?;
+        let ref_column = r.string()?;
+        db.add_foreign_key(&table, &column, &ref_table, &ref_column)?;
+    }
+    if r.off != payload.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    // Re-warm the unique key indexes the snapshot's metadata names; this
+    // also re-validates primary-key uniqueness of the decoded rows.
+    for (table, column) in &pks {
+        db.key_index(table, column)?;
+    }
+    Ok((epoch, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgo_common::Value;
+    use relgo_storage::table::table_of;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "relgo_ckpt_test_{}_{tag}_{n}.wal",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(store: &CheckpointStore) {
+        for (_, path) in store.list().unwrap() {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// A database exercising all six `Value` variants, non-ASCII strings,
+    /// an empty table, a primary key, and a foreign key.
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(table_of(
+            "Person",
+            &[
+                ("person_id", DataType::Int),
+                ("name", DataType::Str),
+                ("score", DataType::Float),
+                ("active", DataType::Bool),
+                ("joined", DataType::Date),
+                ("note", DataType::Str),
+            ],
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::str("Ada"),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    Value::Date(18_000),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::str("Ωμέγα-测试"),
+                    Value::Float(-0.0),
+                    Value::Bool(false),
+                    Value::Date(-3),
+                    Value::str(""),
+                ],
+            ],
+        ));
+        db.add_table(table_of(
+            "Likes",
+            &[("like_id", DataType::Int), ("person_id", DataType::Int)],
+            vec![vec![Value::Int(10), Value::Int(1)]],
+        ));
+        db.add_table(table_of("Empty", &[("k", DataType::Int)], vec![]));
+        db.set_primary_key("Person", "person_id").unwrap();
+        db.set_primary_key("Likes", "like_id").unwrap();
+        db.add_foreign_key("Likes", "person_id", "Person", "person_id")
+            .unwrap();
+        db
+    }
+
+    fn dbs_identical(a: &Database, b: &Database) -> bool {
+        let names_a = a.table_names();
+        if names_a != b.table_names() {
+            return false;
+        }
+        for name in names_a {
+            let (ta, tb) = (a.table(name).unwrap(), b.table(name).unwrap());
+            if ta.schema() != tb.schema() || ta.num_rows() != tb.num_rows() {
+                return false;
+            }
+            if (0..ta.num_rows() as u32).any(|r| ta.row(r) != tb.row(r)) {
+                return false;
+            }
+            if a.primary_key(name) != b.primary_key(name) {
+                return false;
+            }
+        }
+        a.foreign_keys() == b.foreign_keys()
+    }
+
+    #[test]
+    fn codec_round_trips_all_value_types_and_metadata() {
+        let db = sample_db();
+        let image = encode_checkpoint(42, &db);
+        let (epoch, decoded) = decode_checkpoint(&image).unwrap();
+        assert_eq!(epoch, 42);
+        assert!(dbs_identical(&db, &decoded));
+    }
+
+    #[test]
+    fn decoder_rejects_torn_and_corrupt_images() {
+        let image = encode_checkpoint(7, &sample_db());
+        // Zero-length and truncated-header images.
+        assert!(decode_checkpoint(&[]).is_err());
+        assert!(decode_checkpoint(&image[..MAGIC.len() + 3]).is_err());
+        // Truncated payload.
+        assert!(decode_checkpoint(&image[..image.len() - 1]).is_err());
+        // Bad magic.
+        let mut bad = image.clone();
+        bad[0] ^= 0xff;
+        assert!(decode_checkpoint(&bad).is_err());
+        // One flipped payload byte must trip the CRC.
+        let mut bad = image.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(decode_checkpoint(&bad).is_err());
+        // A flipped CRC byte is equally fatal.
+        let mut bad = image;
+        bad[MAGIC.len()] ^= 0x01;
+        assert!(decode_checkpoint(&bad).is_err());
+    }
+
+    #[test]
+    fn store_writes_atomically_and_loads_newest() {
+        let store = CheckpointStore::for_wal(temp_wal("store"));
+        cleanup(&store);
+        let db = sample_db();
+        let w1 = store.write(3, &db, None).unwrap();
+        assert!(w1.path.exists());
+        store.write(9, &db, None).unwrap();
+        // No temp file survives a completed write.
+        assert!(!store.temp_path().exists());
+        let loaded = store.load_newest().unwrap().unwrap();
+        assert_eq!((loaded.epoch, loaded.rejected), (9, 0));
+        assert!(dbs_identical(&db, &loaded.db));
+        assert_eq!(
+            store
+                .list()
+                .unwrap()
+                .iter()
+                .map(|(e, _)| *e)
+                .collect::<Vec<_>>(),
+            vec![3, 9]
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_checkpoint() {
+        let store = CheckpointStore::for_wal(temp_wal("fallback"));
+        cleanup(&store);
+        let db = sample_db();
+        store.write(3, &db, None).unwrap();
+        let w2 = store.write(9, &db, None).unwrap();
+
+        // Flip one byte of the newest file: load falls back to epoch 3.
+        let mut bytes = std::fs::read(&w2.path).unwrap();
+        bytes[MAGIC.len() + 1] ^= 0xff;
+        std::fs::write(&w2.path, &bytes).unwrap();
+        let loaded = store.load_newest().unwrap().unwrap();
+        assert_eq!((loaded.epoch, loaded.rejected), (3, 1));
+        assert!(dbs_identical(&db, &loaded.db));
+
+        // Truncate the newest to a short header: still falls back.
+        std::fs::write(&w2.path, &bytes[..5]).unwrap();
+        let loaded = store.load_newest().unwrap().unwrap();
+        assert_eq!((loaded.epoch, loaded.rejected), (3, 1));
+
+        // Zero-length newest: still falls back.
+        std::fs::write(&w2.path, b"").unwrap();
+        let loaded = store.load_newest().unwrap().unwrap();
+        assert_eq!((loaded.epoch, loaded.rejected), (3, 1));
+
+        // Every checkpoint corrupt: no checkpoint, caller replays from base.
+        for (_, path) in store.list().unwrap() {
+            std::fs::write(path, b"junk").unwrap();
+        }
+        assert!(store.load_newest().unwrap().is_none());
+        cleanup(&store);
+    }
+
+    #[test]
+    fn stray_temp_file_is_ignored_by_load_and_list() {
+        let store = CheckpointStore::for_wal(temp_wal("straytmp"));
+        cleanup(&store);
+        let db = sample_db();
+        store.write(4, &db, None).unwrap();
+        // A crash between temp write and rename leaves this behind.
+        std::fs::write(store.temp_path(), b"torn checkpoint bytes").unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        let loaded = store.load_newest().unwrap().unwrap();
+        assert_eq!((loaded.epoch, loaded.rejected), (4, 0));
+        std::fs::remove_file(store.temp_path()).ok();
+        cleanup(&store);
+    }
+
+    #[test]
+    fn retention_keeps_newest_and_archives_or_deletes_the_rest() {
+        let store = CheckpointStore::for_wal(temp_wal("retain"));
+        cleanup(&store);
+        let db = sample_db();
+        for epoch in [1u64, 2, 3, 4] {
+            store.write(epoch, &db, None).unwrap();
+        }
+        let report = store.retain(2, None).unwrap();
+        assert_eq!((report.removed, report.archived), (2, 0));
+        let epochs: Vec<u64> = store.list().unwrap().iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![3, 4]);
+
+        // Archival moves instead of deleting.
+        store.write(5, &db, None).unwrap();
+        let archive =
+            std::env::temp_dir().join(format!("relgo_ckpt_archive_{}", std::process::id()));
+        let report = store.retain(2, Some(&archive)).unwrap();
+        assert_eq!((report.removed, report.archived), (0, 1));
+        let archived = CheckpointStore {
+            dir: archive.clone(),
+            prefix: store.prefix.clone(),
+        };
+        let moved = archived.list().unwrap();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, 3);
+        std::fs::remove_dir_all(&archive).ok();
+        cleanup(&store);
+    }
+}

@@ -23,6 +23,7 @@ use relgo_common::{FxHashMap, RelGoError, Result, RowId, Value};
 use relgo_graph::GraphView;
 use relgo_storage::{Database, Table, TableChange, WriteSet};
 
+pub mod checkpoint;
 pub mod wal;
 
 /// The pending delta against one table: appended rows plus primary-key

@@ -83,6 +83,20 @@ impl Default for WalOptions {
     }
 }
 
+/// What one [`Wal::compact_through`] call dropped and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCompaction {
+    /// Records whose epoch was at or below the checkpoint epoch, removed
+    /// from the head of the log.
+    pub records_dropped: u64,
+    /// Bytes those records occupied on disk.
+    pub bytes_dropped: u64,
+    /// Bytes of log tail kept (records above the checkpoint epoch).
+    pub bytes_retained: u64,
+    /// Bytes appended to the archive file (0 when no archive was given).
+    pub archived_bytes: u64,
+}
+
 /// Monotonic WAL counters (records staged, group flushes, fsyncs, bytes
 /// written). `syncs < records` under concurrent writers is the observable
 /// proof of group commit.
@@ -166,6 +180,10 @@ pub struct Wal {
     path: PathBuf,
     /// Bytes written by this process (drives `crash_after_bytes`).
     written: AtomicU64,
+    /// Valid bytes currently on disk (valid prefix at open, plus every
+    /// flush, minus what compaction truncates). Drives checkpoint policy
+    /// and the `relgo_wal_bytes_since_checkpoint` gauge.
+    disk_len: AtomicU64,
 }
 
 impl Wal {
@@ -236,6 +254,7 @@ impl Wal {
             options,
             path,
             written: AtomicU64::new(0),
+            disk_len: AtomicU64::new(off as u64),
         };
         Ok((wal, recovery))
     }
@@ -248,6 +267,13 @@ impl Wal {
     /// Current counters.
     pub fn stats(&self) -> WalStats {
         self.state.lock().unwrap().stats
+    }
+
+    /// Valid log bytes currently on disk. Because compaction truncates the
+    /// log behind a checkpoint, this is also "WAL bytes since the last
+    /// checkpoint" for a checkpointed session.
+    pub fn disk_len(&self) -> u64 {
+        self.disk_len.load(Ordering::Relaxed)
     }
 
     /// Stage one record and return its sequence number. Staging is pure
@@ -325,6 +351,7 @@ impl Wal {
         }
         file.write_all(buf).map_err(|e| io_err("write", &e))?;
         self.written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.disk_len.fetch_add(buf.len() as u64, Ordering::Relaxed);
         if !buf.is_empty() {
             if let Some(delay) = self.options.sync_delay {
                 std::thread::sleep(delay);
@@ -334,6 +361,161 @@ impl Wal {
             file.sync_all().map_err(|e| io_err("fsync", &e))?;
         }
         Ok(())
+    }
+
+    /// Truncate-behind-checkpoint log compaction: drop every record whose
+    /// epoch is `<= epoch` from the head of the log, keeping only the tail
+    /// a checkpoint-based recovery still needs to replay.
+    ///
+    /// The caller names an epoch already captured by a durable checkpoint.
+    /// Compaction quiesces flushing by becoming the flush leader itself (so
+    /// staged records are on disk before the log is rewritten), then writes
+    /// the surviving tail to a sibling temp file, fsyncs it, and atomically
+    /// renames it over the log. A crash before the rename leaves the old
+    /// log (recovery skips the already-checkpointed prefix); a crash after
+    /// leaves exactly the tail — never a torn log.
+    ///
+    /// `archive_to`, when given, appends the dropped record-aligned prefix
+    /// to that file before truncation, so the full commit history remains
+    /// replayable offline (the archive is itself a valid WAL).
+    pub fn compact_through(&self, epoch: u64, archive_to: Option<&Path>) -> Result<WalCompaction> {
+        let mut st = self.state.lock().unwrap();
+        while st.flushing {
+            st = self.flushed.wait(st).unwrap();
+        }
+        // Become the leader: compaction must see every staged record on
+        // disk, so it flushes the buffer itself as part of the rewrite.
+        let staged = std::mem::take(&mut st.staged);
+        let through = st.next_seq - 1;
+        st.flushing = true;
+        drop(st);
+
+        let outcome = self.compact_inner(epoch, &staged, archive_to);
+
+        let mut st = self.state.lock().unwrap();
+        st.flushing = false;
+        if outcome.is_ok() {
+            st.durable_seq = st.durable_seq.max(through);
+            if !staged.is_empty() {
+                st.stats.flushes += 1;
+                st.stats.bytes += staged.len() as u64;
+                if self.options.fsync {
+                    st.stats.syncs += 1;
+                }
+            }
+        }
+        self.flushed.notify_all();
+        outcome
+    }
+
+    /// The compaction body; runs as the (sole) flush leader.
+    fn compact_inner(
+        &self,
+        epoch: u64,
+        staged: &[u8],
+        archive_to: Option<&Path>,
+    ) -> Result<WalCompaction> {
+        let mut file = self.file.lock().unwrap();
+        if !staged.is_empty() {
+            file.write_all(staged).map_err(|e| io_err("write", &e))?;
+            self.disk_len
+                .fetch_add(staged.len() as u64, Ordering::Relaxed);
+            if self.options.fsync {
+                file.sync_all().map_err(|e| io_err("fsync", &e))?;
+            }
+        }
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("seek", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("read", &e))?;
+
+        // Find the first record the checkpoint does not cover; everything
+        // before it is the droppable prefix. Only fully-valid records are
+        // walked — a torn tail (possible only after an unflushed crash, not
+        // in this live process) is conservatively kept.
+        let mut off = 0usize;
+        let mut dropped = 0u64;
+        while let Some(header) = bytes.get(off..off + 8) {
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if len > MAX_RECORD {
+                break;
+            }
+            let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            let Ok(record) = decode_payload(payload) else {
+                break;
+            };
+            if record.epoch > epoch {
+                break;
+            }
+            dropped += 1;
+            off += 8 + len;
+        }
+        if off == 0 {
+            // Nothing to drop; leave the log alone.
+            file.seek(SeekFrom::End(0))
+                .map_err(|e| io_err("seek", &e))?;
+            return Ok(WalCompaction {
+                bytes_retained: bytes.len() as u64,
+                ..WalCompaction::default()
+            });
+        }
+
+        let archived_bytes = match archive_to {
+            Some(archive) => {
+                let mut f = OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(archive)
+                    .map_err(|e| io_err("archive open", &e))?;
+                f.write_all(&bytes[..off])
+                    .map_err(|e| io_err("archive write", &e))?;
+                f.sync_all().map_err(|e| io_err("archive fsync", &e))?;
+                off as u64
+            }
+            None => 0,
+        };
+
+        // Rewrite the log as tail-only: temp + fsync + atomic rename, then
+        // swap the live handle to the new file.
+        let tail = &bytes[off..];
+        let mut tmp_name = self.path.clone().into_os_string();
+        tmp_name.push(".compact.tmp");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("compact create", &e))?;
+            f.write_all(tail).map_err(|e| io_err("compact write", &e))?;
+            f.sync_all().map_err(|e| io_err("compact fsync", &e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("compact rename", &e))?;
+        if let Some(dir) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let mut new_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| io_err("compact reopen", &e))?;
+        new_file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", &e))?;
+        *file = new_file;
+        self.disk_len.store(tail.len() as u64, Ordering::Relaxed);
+
+        Ok(WalCompaction {
+            records_dropped: dropped,
+            bytes_dropped: off as u64,
+            bytes_retained: tail.len() as u64,
+            archived_bytes,
+        })
     }
 }
 
@@ -367,12 +549,12 @@ fn encode_payload(epoch: u64, delta: &DeltaSet) -> Vec<u8> {
     out
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
     out.extend_from_slice(b);
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(0),
         Value::Int(i) => {
@@ -428,13 +610,13 @@ fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
     Ok(WalRecord { epoch, delta })
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    off: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) off: usize,
 }
 
 impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8]> {
         let Some(b) = self.buf.get(self.off..self.off + n) else {
             return Err(RelGoError::execution("wal record truncated"));
         };
@@ -442,26 +624,26 @@ impl Reader<'_> {
         Ok(b)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Result<i64> {
+    pub(crate) fn i64(&mut self) -> Result<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn string(&mut self) -> Result<String> {
+    pub(crate) fn string(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let b = self.take(n)?;
         String::from_utf8(b.to_vec())
             .map_err(|_| RelGoError::execution("wal record has invalid utf-8"))
     }
 
-    fn value(&mut self) -> Result<Value> {
+    pub(crate) fn value(&mut self) -> Result<Value> {
         Ok(match self.take(1)?[0] {
             0 => Value::Null,
             1 => Value::Int(self.i64()?),
@@ -718,6 +900,97 @@ mod tests {
         let (_w, rec) = Wal::open(&path, WalOptions::default()).unwrap();
         assert_eq!(rec.records.len(), writers * per);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_checkpointed_prefix_and_keeps_tail() {
+        let path = temp_wal("compact");
+        let (wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        for i in 0..6 {
+            let seq = wal.append(i as u64 + 1, &sample_delta(i));
+            wal.sync_through(seq).unwrap();
+        }
+        let before = wal.disk_len();
+        let c = wal.compact_through(4, None).unwrap();
+        assert_eq!(c.records_dropped, 4);
+        assert!(c.bytes_dropped > 0);
+        assert_eq!(c.bytes_dropped + c.bytes_retained, before);
+        assert_eq!(wal.disk_len(), c.bytes_retained);
+        assert!(wal.disk_len() < before, "the log must shrink on disk");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), c.bytes_retained);
+
+        // The surviving tail is exactly epochs 5..=6 and appends extend it.
+        let seq = wal.append(7, &sample_delta(6));
+        wal.sync_through(seq).unwrap();
+        drop(wal);
+        let (_w, rec) = Wal::open(&path, WalOptions::default()).unwrap();
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![5, 6, 7]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_flushes_staged_records_before_rewriting() {
+        let path = temp_wal("compact_staged");
+        let (wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        for i in 0..3 {
+            // Staged only: no sync_through before compaction.
+            wal.append(i as u64 + 1, &sample_delta(i));
+        }
+        let c = wal.compact_through(2, None).unwrap();
+        assert_eq!(c.records_dropped, 2);
+        drop(wal);
+        let (_w, rec) = Wal::open(&path, WalOptions::default()).unwrap();
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![3], "staged records survive compaction");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_with_nothing_to_drop_is_a_no_op() {
+        let path = temp_wal("compact_noop");
+        let (wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        for i in 0..3 {
+            let seq = wal.append(i as u64 + 10, &sample_delta(i));
+            wal.sync_through(seq).unwrap();
+        }
+        let before = wal.disk_len();
+        let c = wal.compact_through(5, None).unwrap();
+        assert_eq!((c.records_dropped, c.bytes_dropped), (0, 0));
+        assert_eq!(c.bytes_retained, before);
+        // The log still appends and replays cleanly.
+        let seq = wal.append(13, &sample_delta(3));
+        wal.sync_through(seq).unwrap();
+        drop(wal);
+        let (_w, rec) = Wal::open(&path, WalOptions::default()).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_archive_preserves_the_dropped_history() {
+        let path = temp_wal("compact_archive");
+        let archive = temp_wal("compact_archive_out");
+        let (wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        for i in 0..5 {
+            let seq = wal.append(i as u64 + 1, &sample_delta(i));
+            wal.sync_through(seq).unwrap();
+        }
+        let c = wal.compact_through(3, Some(&archive)).unwrap();
+        assert_eq!(c.records_dropped, 3);
+        assert_eq!(c.archived_bytes, c.bytes_dropped);
+        // The archive is itself a valid WAL holding exactly the dropped
+        // prefix; a second compaction appends to it.
+        let (_a, rec) = Wal::open(&archive, WalOptions::default()).unwrap();
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        wal.compact_through(4, Some(&archive)).unwrap();
+        drop(wal);
+        let (_a, rec) = Wal::open(&archive, WalOptions::default()).unwrap();
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3, 4]);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&archive).ok();
     }
 
     #[test]

@@ -46,20 +46,27 @@ pub use relgo_pattern as pattern;
 pub use relgo_storage as storage;
 pub use relgo_workloads as workloads;
 
-pub use ingest::{CommitError, IngestBatch, IngestReport, StatsRefresh};
+pub use ingest::{CommitError, IngestBatch, IngestReport, RetryPolicy, StatsRefresh};
 pub use observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
 pub use prepared::{BatchOutcome, PreparedStatement};
+pub use relgo_delta::checkpoint::{CheckpointCrash, CheckpointStore};
 pub use relgo_delta::wal::{Wal, WalOptions, WalStats};
 pub use serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
-pub use session::{QueryOutcome, RecoveryReport, Session, SessionOptions, Snapshot};
+pub use session::{
+    CheckpointPolicy, CheckpointReport, CheckpointRequest, QueryOutcome, RecoveryReport, Session,
+    SessionOptions, Snapshot,
+};
 
 /// The convenient all-in-one import.
 pub mod prelude {
-    pub use crate::ingest::{CommitError, IngestBatch, IngestReport, StatsRefresh};
+    pub use crate::ingest::{CommitError, IngestBatch, IngestReport, RetryPolicy, StatsRefresh};
     pub use crate::observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
     pub use crate::prepared::{BatchOutcome, PreparedStatement};
     pub use crate::serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
-    pub use crate::session::{QueryOutcome, RecoveryReport, Session, SessionOptions, Snapshot};
+    pub use crate::session::{
+        CheckpointPolicy, CheckpointReport, CheckpointRequest, QueryOutcome, RecoveryReport,
+        Session, SessionOptions, Snapshot,
+    };
     pub use relgo_cache::{CacheConfig, MetricsSnapshot, PinnedPlan, PlanCache};
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};

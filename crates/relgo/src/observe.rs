@@ -75,6 +75,12 @@ pub struct SessionMetrics {
     ingest_rows: Arc<Counter>,
     ingest_commit_seconds: Arc<Histogram>,
     recovery_replayed: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    recovery_checkpoint_loads: Arc<Counter>,
+    recovery_checkpoint_fallbacks: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
+    checkpoint_seconds: Arc<Histogram>,
 }
 
 impl Default for SessionMetrics {
@@ -128,6 +134,30 @@ impl SessionMetrics {
             "relgo_recovery_replayed_total",
             "WAL records replayed during crash recovery",
         );
+        let recoveries = registry.counter(
+            "relgo_recoveries_total",
+            "Durable session opens that ran crash recovery",
+        );
+        let recovery_checkpoint_loads = registry.counter(
+            "relgo_recovery_checkpoint_loads_total",
+            "Recoveries that started from an on-disk checkpoint",
+        );
+        let recovery_checkpoint_fallbacks = registry.counter(
+            "relgo_recovery_checkpoint_fallbacks_total",
+            "Corrupt checkpoint files skipped during recovery (torn-newest fallback)",
+        );
+        let checkpoints = registry.counter(
+            "relgo_checkpoints_total",
+            "Checkpoints written (snapshot + WAL compaction + retention)",
+        );
+        let checkpoint_failures = registry.counter(
+            "relgo_checkpoint_failures_total",
+            "Checkpoint attempts that failed (the WAL still covers the data)",
+        );
+        let checkpoint_seconds = registry.histogram(
+            "relgo_checkpoint_seconds",
+            "Checkpoint latency (snapshot encode + fsync + rename + compaction)",
+        );
         SessionMetrics {
             registry,
             queries,
@@ -138,6 +168,12 @@ impl SessionMetrics {
             ingest_rows,
             ingest_commit_seconds,
             recovery_replayed,
+            recoveries,
+            recovery_checkpoint_loads,
+            recovery_checkpoint_fallbacks,
+            checkpoints,
+            checkpoint_failures,
+            checkpoint_seconds,
         }
     }
 
@@ -198,6 +234,28 @@ impl SessionMetrics {
         self.ingest_commit_seconds.record(commit_time);
     }
 
+    /// Record one crash recovery (durable open): whether it started from a
+    /// checkpoint, and how many corrupt checkpoint files it skipped.
+    pub(crate) fn record_recovery(&self, checkpoint_loaded: bool, fallbacks: usize) {
+        self.recoveries.inc();
+        if checkpoint_loaded {
+            self.recovery_checkpoint_loads.inc();
+        }
+        self.recovery_checkpoint_fallbacks.add(fallbacks as u64);
+    }
+
+    /// Record one completed checkpoint.
+    pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
+        self.checkpoints.inc();
+        self.checkpoint_seconds.record(elapsed);
+    }
+
+    /// Record a failed checkpoint attempt (the WAL keeps covering the
+    /// data; only recovery time suffers until a checkpoint succeeds).
+    pub(crate) fn record_checkpoint_failure(&self) {
+        self.checkpoint_failures.inc();
+    }
+
     /// Total ingest conflicts recorded so far.
     pub fn ingest_conflicts(&self) -> u64 {
         self.ingest_conflicts.get()
@@ -206,6 +264,11 @@ impl SessionMetrics {
     /// Total ingest commits recorded so far.
     pub fn ingest_commits(&self) -> u64 {
         self.ingest_commits.get()
+    }
+
+    /// Total checkpoints recorded so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.get()
     }
 }
 
@@ -220,6 +283,11 @@ pub struct ObservabilitySnapshot {
     pub cache: MetricsSnapshot,
     /// WAL counters on a durable session (`None` otherwise).
     pub wal: Option<WalStats>,
+    /// Epoch of the newest durable checkpoint (0 when none exists).
+    pub checkpoint_epoch: u64,
+    /// WAL bytes accumulated since the last checkpoint (`None` when the
+    /// session is not durable).
+    pub wal_bytes_since_checkpoint: Option<u64>,
     /// Process-global morsel-scheduler counters.
     pub morsels: MorselCounters,
     /// The registry snapshot with the above folded in as additional series.
@@ -234,6 +302,8 @@ impl ObservabilitySnapshot {
         epoch: u64,
         cache: MetricsSnapshot,
         wal: Option<WalStats>,
+        checkpoint_epoch: u64,
+        wal_bytes_since_checkpoint: Option<u64>,
     ) -> ObservabilitySnapshot {
         let morsels = relgo_common::morsel::morsel_counters();
         let mut registry = metrics.registry.snapshot();
@@ -243,6 +313,26 @@ impl ObservabilitySnapshot {
             &[],
             epoch as i64,
         );
+        registry.push_gauge(
+            "relgo_checkpoint_epoch",
+            "Epoch of the newest durable checkpoint (0 when none exists)",
+            &[],
+            checkpoint_epoch as i64,
+        );
+        registry.push_gauge(
+            "relgo_checkpoint_age_epochs",
+            "Commits published since the last checkpoint (recovery replay bound)",
+            &[],
+            epoch.saturating_sub(checkpoint_epoch) as i64,
+        );
+        if let Some(bytes) = wal_bytes_since_checkpoint {
+            registry.push_gauge(
+                "relgo_wal_bytes_since_checkpoint",
+                "Live WAL bytes on disk (the log is truncated at each checkpoint)",
+                &[],
+                bytes.min(i64::MAX as u64) as i64,
+            );
+        }
         for (name, value) in cache.counters() {
             registry.push_counter(
                 &format!("relgo_plan_cache_{name}_total"),
@@ -283,6 +373,8 @@ impl ObservabilitySnapshot {
             epoch,
             cache,
             wal,
+            checkpoint_epoch,
+            wal_bytes_since_checkpoint,
             morsels,
             registry,
         }
@@ -356,7 +448,7 @@ mod tests {
             syncs: 1,
             bytes: 64,
         });
-        let snap = ObservabilitySnapshot::collect(&m, 7, cache, wal);
+        let snap = ObservabilitySnapshot::collect(&m, 7, cache, wal, 5, Some(64));
         let names = snap.series_names();
         assert!(names.len() >= 12, "{} series: {names:?}", names.len());
         for required in [
@@ -368,6 +460,9 @@ mod tests {
             "relgo_ingest_rows_total",
             "relgo_ingest_commit_seconds",
             "relgo_epoch",
+            "relgo_checkpoint_epoch",
+            "relgo_checkpoint_age_epochs",
+            "relgo_wal_bytes_since_checkpoint",
             "relgo_plan_cache_hits_total",
             "relgo_wal_records_total",
             "relgo_morsel_runs_total",
@@ -379,6 +474,12 @@ mod tests {
         relgo_metrics::text::validate(&text).expect("valid exposition format");
         let scrape = relgo_metrics::text::parse(&text).unwrap();
         assert_eq!(scrape.value("relgo_epoch", &[]), Some(7.0));
+        assert_eq!(scrape.value("relgo_checkpoint_epoch", &[]), Some(5.0));
+        assert_eq!(scrape.value("relgo_checkpoint_age_epochs", &[]), Some(2.0));
+        assert_eq!(
+            scrape.value("relgo_wal_bytes_since_checkpoint", &[]),
+            Some(64.0)
+        );
         assert_eq!(scrape.value("relgo_plan_cache_hits_total", &[]), Some(3.0));
         assert_eq!(scrape.value("relgo_wal_records_total", &[]), Some(2.0));
         assert_eq!(scrape.value("relgo_ingest_rows_total", &[]), Some(5.0));

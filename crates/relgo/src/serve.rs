@@ -467,10 +467,17 @@ pub fn replay_concurrent_with(
                     tally.counts.conflicts += 1;
                     // Lost the marker race: re-stage against the current
                     // epoch without the marker. The private rows are
-                    // disjoint from every other batch, so the retry's
-                    // validation must pass.
+                    // disjoint from every other batch, so the retry must
+                    // eventually validate — the jittered backoff
+                    // de-synchronizes this writer from the other losers of
+                    // the same round (per-writer seed), and rebasing covers
+                    // losing further races to *them* meanwhile.
+                    let policy = crate::ingest::RetryPolicy {
+                        seed: w as u64,
+                        ..crate::ingest::RetryPolicy::default()
+                    };
                     match stage_chunk(session, mixed_ops, chunk, r, false)
-                        .and_then(|b| b.commit().map_err(RelGoError::from))
+                        .and_then(|b| b.commit_with_retry(policy).map_err(RelGoError::from))
                     {
                         Ok(report) => {
                             tally.counts.commits += 1;

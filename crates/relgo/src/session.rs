@@ -21,7 +21,8 @@ use relgo_core::{
     SpjmQuery,
 };
 use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
-use relgo_delta::wal::{Wal, WalOptions, WalStats};
+use relgo_delta::checkpoint::{CheckpointCrash, CheckpointStore, RetentionReport};
+use relgo_delta::wal::{Wal, WalCompaction, WalOptions, WalStats};
 use relgo_exec::{execute_plan, ExecConfig};
 use relgo_glogue::GLogue;
 use relgo_graph::{GraphView, RGMapping};
@@ -30,7 +31,8 @@ use relgo_storage::{Database, Table, WriteSet};
 use relgo_workloads::job_queries::ImdbSchema;
 use relgo_workloads::snb_queries::SnbSchema;
 use std::collections::VecDeque;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -65,6 +67,34 @@ pub struct SessionOptions {
     /// paths are exact — the knob trades commit latency against retained
     /// optimizer warmth.
     pub stats_staleness: f64,
+    /// Auto-checkpoint policy for durable sessions: when set, a commit
+    /// whose WAL growth crosses either threshold triggers a checkpoint +
+    /// log compaction inline (one at a time; concurrent committers skip).
+    /// `None` (the default) means checkpoints happen only via
+    /// [`Session::checkpoint`].
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+/// When a durable session checkpoints automatically. Either threshold
+/// triggers; recovery replay is thereby bounded to at most `max_records`
+/// WAL records (the `figckpt` figure proves this stays flat while
+/// checkpoint-less replay grows with commit history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the WAL holds this many on-disk bytes.
+    pub max_wal_bytes: u64,
+    /// Checkpoint once this many commits accumulate since the last
+    /// checkpoint.
+    pub max_records: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            max_wal_bytes: 16 << 20,
+            max_records: 512,
+        }
+    }
 }
 
 impl Default for SessionOptions {
@@ -78,6 +108,7 @@ impl Default for SessionOptions {
             plan_cache_capacity: 1024,
             threads: relgo_common::morsel::threads_from_env().unwrap_or(1),
             stats_staleness: 0.2,
+            checkpoint: None,
         }
     }
 }
@@ -143,6 +174,13 @@ pub struct Session {
     /// Installed *after* recovery replay so replay does not re-append the
     /// records it is replaying.
     wal: OnceLock<Wal>,
+    /// Serializes checkpoints against each other. Commits proceed
+    /// concurrently — a checkpoint snapshots an immutable pinned state and
+    /// never takes `write_lock`.
+    ckpt_lock: Mutex<()>,
+    /// Epoch of the newest durable checkpoint (0 = none). Drives the
+    /// auto-checkpoint record threshold and the checkpoint-age gauge.
+    last_checkpoint_epoch: AtomicU64,
     /// The session's metrics registry: every serving path records into it,
     /// and [`Session::observability_snapshot`] folds the subsystem counters
     /// around it.
@@ -164,6 +202,48 @@ pub struct RecoveryReport {
     pub rows_replayed: usize,
     /// Wall time of the replay (merge + view/index + statistics per epoch).
     pub replay_time: Duration,
+    /// Whether recovery started from an on-disk checkpoint instead of the
+    /// caller's base database.
+    pub checkpoint_loaded: bool,
+    /// Epoch of the checkpoint recovery started from (0 when none).
+    pub checkpoint_epoch: u64,
+    /// Corrupt newer checkpoint files skipped before a valid one loaded —
+    /// the torn-newest fallback path (0 on the happy path).
+    pub checkpoint_fallbacks: usize,
+    /// WAL records skipped because the checkpoint already captured them (a
+    /// crash between checkpoint rename and WAL truncation leaves these).
+    pub skipped_records: usize,
+}
+
+/// What one [`Session::checkpoint`] call did.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// The epoch the snapshot captured.
+    pub epoch: u64,
+    /// Checkpoint file size in bytes.
+    pub bytes: u64,
+    /// Final path of the checkpoint file.
+    pub path: PathBuf,
+    /// What log compaction dropped and kept behind the checkpoint.
+    pub wal: WalCompaction,
+    /// What retention did with superseded checkpoint files.
+    pub retention: RetentionReport,
+    /// Wall time of the whole checkpoint (snapshot encode + write + fsync +
+    /// rename + compaction + retention).
+    pub elapsed: Duration,
+}
+
+/// Knobs for one explicit [`Session::checkpoint_with`] call.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointRequest {
+    /// Archive instead of delete: superseded checkpoint files move into
+    /// this directory, and the WAL records compaction drops are appended to
+    /// `<dir>/<wal-name>.archive` (itself a replayable log) before the live
+    /// log is truncated.
+    pub archive_dir: Option<PathBuf>,
+    /// Crash-fault injection for the recovery harness: abort the process
+    /// inside the chosen checkpoint phase.
+    pub crash: Option<CheckpointCrash>,
 }
 
 impl Session {
@@ -205,6 +285,8 @@ impl Session {
             write_lock: Mutex::new(()),
             committed: Mutex::new(VecDeque::new()),
             wal: OnceLock::new(),
+            ckpt_lock: Mutex::new(()),
+            last_checkpoint_epoch: AtomicU64::new(0),
             metrics: Arc::new(SessionMetrics::new()),
         })
     }
@@ -224,6 +306,15 @@ impl Session {
     /// `db`/`mapping` must be the same base the log was written against
     /// (the log stores deltas, not the base); a WAL whose first record does
     /// not continue the base's epoch is rejected.
+    ///
+    /// When checkpoints exist next to the log ([`Session::checkpoint`]
+    /// writes them as `<wal>.ckpt.<epoch>` siblings), recovery loads the
+    /// newest valid one instead of starting from `db` and replays only the
+    /// WAL tail behind it — bounded restart. A corrupt newest checkpoint
+    /// (torn by bit rot after its atomic rename) falls back to the previous
+    /// checkpoint and a correspondingly longer replay; records the loaded
+    /// checkpoint already covers are skipped, so a crash between a
+    /// checkpoint's rename and its WAL truncation recovers identically.
     pub fn open_durable(
         db: Database,
         mapping: RGMapping,
@@ -231,12 +322,41 @@ impl Session {
         wal_path: impl AsRef<Path>,
         wal_options: WalOptions,
     ) -> Result<(Session, RecoveryReport)> {
-        let session = Session::open_with(db, mapping, options)?;
+        let wal_path = wal_path.as_ref();
+        let store = CheckpointStore::for_wal(wal_path);
+        let loaded = store.load_newest()?;
+        let (base_db, checkpoint_loaded, checkpoint_epoch, checkpoint_fallbacks) = match loaded {
+            Some(l) => (l.db, true, l.epoch, l.rejected),
+            None => (db, false, 0, 0),
+        };
+        let session = Session::open_with(base_db, mapping, options)?;
+        if checkpoint_epoch > 0 {
+            // Stamp the snapshot's epoch before replay: the WAL tail
+            // continues from the checkpoint, not from 0.
+            let st = session.state();
+            session.publish(SessionState {
+                epoch: checkpoint_epoch,
+                db: Arc::clone(&st.db),
+                view: Arc::clone(&st.view),
+                glogue: Arc::clone(&st.glogue),
+            });
+        }
+        session
+            .last_checkpoint_epoch
+            .store(checkpoint_epoch, Ordering::Release);
         let (wal, recovered) = Wal::open(wal_path, wal_options)?;
         let replay_start = Instant::now();
-        let records = recovered.records.len();
+        let mut records = 0usize;
+        let mut skipped_records = 0usize;
         let mut rows_replayed = 0;
         for record in recovered.records {
+            if record.epoch <= checkpoint_epoch {
+                // The checkpoint already captures this commit; it survived
+                // on disk because the crash hit between the checkpoint
+                // rename and the log truncation.
+                skipped_records += 1;
+                continue;
+            }
             if record.epoch != session.epoch() + 1 {
                 return Err(RelGoError::execution(format!(
                     "wal replay discontinuity: record for epoch {} cannot \
@@ -245,6 +365,7 @@ impl Session {
                     session.epoch()
                 )));
             }
+            records += 1;
             rows_replayed += record.delta.inserted_rows() + record.delta.deleted_rows();
             session
                 .commit_delta(record.delta, None)
@@ -257,7 +378,14 @@ impl Session {
             truncated_bytes: recovered.truncated_bytes,
             rows_replayed,
             replay_time: replay_start.elapsed(),
+            checkpoint_loaded,
+            checkpoint_epoch,
+            checkpoint_fallbacks,
+            skipped_records,
         };
+        session
+            .metrics
+            .record_recovery(checkpoint_loaded, checkpoint_fallbacks);
         // Install the log only now: replay above must not re-append the
         // records it replays, while commits from here on append normally.
         let _ = session.wal.set(wal);
@@ -295,6 +423,118 @@ impl Session {
     /// The write-ahead log, when durable.
     pub(crate) fn wal(&self) -> Option<&Wal> {
         self.wal.get()
+    }
+
+    /// Epoch of the newest durable checkpoint (0 when none exists).
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.last_checkpoint_epoch.load(Ordering::Acquire)
+    }
+
+    /// WAL bytes accumulated since the last checkpoint (`None` when the
+    /// session is not durable). Compaction truncates the log behind each
+    /// checkpoint, so the live log size *is* the bytes-since measure.
+    pub fn wal_bytes_since_checkpoint(&self) -> Option<u64> {
+        self.wal().map(Wal::disk_len)
+    }
+
+    /// Checkpoint the current epoch: snapshot every table + key metadata to
+    /// a CRC-checked sibling file of the WAL (write-to-temp + fsync +
+    /// atomic rename — a crash mid-checkpoint leaves the old checkpoint
+    /// set intact), then compact the log behind it and retire superseded
+    /// checkpoints, keeping the newest two (the older one is the fallback
+    /// if the newest rots on disk).
+    ///
+    /// Commits proceed concurrently — the snapshot pins one immutable
+    /// published state and never blocks writers. Requires a durable
+    /// session.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        self.checkpoint_with(CheckpointRequest::default())
+    }
+
+    /// [`Session::checkpoint`] with explicit knobs (archival, crash-fault
+    /// injection for the recovery harness).
+    pub fn checkpoint_with(&self, request: CheckpointRequest) -> Result<CheckpointReport> {
+        let _ckpt = self.ckpt_lock.lock();
+        let result = self.checkpoint_locked(&request);
+        match &result {
+            Ok(report) => self.metrics.record_checkpoint(report.elapsed),
+            Err(_) => self.metrics.record_checkpoint_failure(),
+        }
+        result
+    }
+
+    /// The checkpoint body; runs with `ckpt_lock` held.
+    fn checkpoint_locked(&self, request: &CheckpointRequest) -> Result<CheckpointReport> {
+        let Some(wal) = self.wal() else {
+            return Err(RelGoError::execution(
+                "checkpoint requires a durable session (open the session \
+                 with open_durable/recover)",
+            ));
+        };
+        let start = Instant::now();
+        let state = self.state();
+        let store = CheckpointStore::for_wal(wal.path());
+        let wal_archive = match &request.archive_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    RelGoError::execution(format!("checkpoint archive mkdir failed: {e}"))
+                })?;
+                let name = wal
+                    .path()
+                    .file_name()
+                    .map(|f| f.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "wal".to_string());
+                Some(dir.join(format!("{name}.archive")))
+            }
+            None => None,
+        };
+        let written = store.write(state.epoch, &state.db, request.crash)?;
+        // The snapshot is durable; everything at or below its epoch is now
+        // redundant in the log. A crash before (or during) this truncation
+        // is fine — recovery skips records the checkpoint covers.
+        let compaction = wal.compact_through(state.epoch, wal_archive.as_deref())?;
+        let retention = store.retain(2, request.archive_dir.as_deref())?;
+        self.last_checkpoint_epoch
+            .fetch_max(state.epoch, Ordering::AcqRel);
+        Ok(CheckpointReport {
+            epoch: written.epoch,
+            bytes: written.bytes,
+            path: written.path,
+            wal: compaction,
+            retention,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Auto-checkpoint hook: called by the commit pipeline after a live
+    /// commit is durable. Checkpoints inline when the session's
+    /// [`CheckpointPolicy`] thresholds are crossed; concurrent committers
+    /// skip while one checkpoint runs. Failures are counted in metrics but
+    /// do not fail the (already durable) commit.
+    pub(crate) fn maybe_auto_checkpoint(&self, epoch: u64) {
+        let Some(policy) = self.options.checkpoint else {
+            return;
+        };
+        let Some(wal) = self.wal() else { return };
+        let due = |last: u64| {
+            epoch.saturating_sub(last) >= policy.max_records
+                || wal.disk_len() >= policy.max_wal_bytes
+        };
+        if !due(self.last_checkpoint_epoch()) {
+            return;
+        }
+        let Some(_ckpt) = self.ckpt_lock.try_lock() else {
+            return; // a checkpoint is already running; its epoch covers us
+        };
+        // Re-check under the lock: the previous holder may have
+        // checkpointed past this commit already.
+        if !due(self.last_checkpoint_epoch()) {
+            return;
+        }
+        match self.checkpoint_locked(&CheckpointRequest::default()) {
+            Ok(report) => self.metrics.record_checkpoint(report.elapsed),
+            Err(_) => self.metrics.record_checkpoint_failure(),
+        }
     }
 
     /// First-committer-wins validation: reject iff some commit that
@@ -453,6 +693,8 @@ impl Session {
             self.epoch(),
             self.cache_metrics(),
             self.wal_stats(),
+            self.last_checkpoint_epoch(),
+            self.wal_bytes_since_checkpoint(),
         )
     }
 
@@ -765,6 +1007,7 @@ impl Snapshot<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relgo_common::Value;
     use relgo_workloads::snb_queries;
 
     #[test]
@@ -793,6 +1036,124 @@ mod tests {
         .unwrap();
         let out = session.run(&q, OptimizerMode::RelGo).unwrap();
         assert_eq!(out.table.num_rows(), 1, "MIN aggregate returns one row");
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("relgo_session_{tag}_{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn cleanup_wal(path: &Path) {
+        std::fs::remove_file(path).ok();
+        let store = CheckpointStore::for_wal(path);
+        for (_, p) in store.list().unwrap_or_default() {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    fn commit_person(session: &Session, key: i64) {
+        let mut batch = session.begin_ingest();
+        batch
+            .insert_row(
+                "Person",
+                vec![key.into(), format!("P{key}").into(), Value::Date(17_000)],
+            )
+            .unwrap();
+        batch.commit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_bounds_recovery_replay() {
+        use relgo_datagen::{generate_snb, SnbParams};
+        let path = temp_wal("ckpt");
+        let params = SnbParams { sf: 0.03, seed: 42 };
+        let (db, mapping) = generate_snb(&params);
+        let (session, _) = Session::open_durable(
+            db,
+            mapping,
+            SessionOptions::default(),
+            &path,
+            WalOptions::default(),
+        )
+        .unwrap();
+        for i in 0..6 {
+            commit_person(&session, 800_000 + i);
+        }
+        let before = session.wal_bytes_since_checkpoint().unwrap();
+        assert!(before > 0);
+
+        let report = session.checkpoint().unwrap();
+        assert_eq!(report.epoch, 6);
+        assert_eq!(report.wal.records_dropped, 6);
+        assert_eq!(session.last_checkpoint_epoch(), 6);
+        assert_eq!(session.wal_bytes_since_checkpoint(), Some(0));
+        assert_eq!(session.metrics().checkpoints(), 1);
+        let snap = session.observability_snapshot();
+        assert_eq!(snap.checkpoint_epoch, 6);
+        assert_eq!(snap.wal_bytes_since_checkpoint, Some(0));
+
+        // Two commits land after the checkpoint: the WAL holds only them.
+        commit_person(&session, 800_100);
+        commit_person(&session, 800_101);
+
+        let (db, mapping) = generate_snb(&params);
+        let (back, rec) = Session::recover(db, mapping, &path).unwrap();
+        assert!(rec.checkpoint_loaded);
+        assert_eq!(rec.checkpoint_epoch, 6);
+        assert_eq!(rec.checkpoint_fallbacks, 0);
+        assert_eq!(rec.records, 2, "replay is bounded to the WAL tail");
+        assert_eq!(back.epoch(), session.epoch());
+        assert_eq!(back.last_checkpoint_epoch(), 6);
+        for name in ["Person", "Knows", "Likes"] {
+            assert_eq!(
+                session.db().table(name).unwrap().sorted_rows(),
+                back.db().table(name).unwrap().sorted_rows(),
+                "{name} survives checkpointed recovery bit-identically"
+            );
+        }
+        // The recovered session keeps serving durably past the checkpoint.
+        commit_person(&back, 800_200);
+        assert_eq!(back.epoch(), 9);
+        cleanup_wal(&path);
+    }
+
+    #[test]
+    fn auto_checkpoint_policy_fires_on_record_threshold() {
+        use relgo_datagen::{generate_snb, SnbParams};
+        let path = temp_wal("autockpt");
+        let (db, mapping) = generate_snb(&SnbParams { sf: 0.03, seed: 42 });
+        let options = SessionOptions {
+            checkpoint: Some(CheckpointPolicy {
+                max_records: 3,
+                max_wal_bytes: u64::MAX,
+            }),
+            ..SessionOptions::default()
+        };
+        let (session, _) =
+            Session::open_durable(db, mapping, options, &path, WalOptions::default()).unwrap();
+        commit_person(&session, 800_000);
+        commit_person(&session, 800_001);
+        assert_eq!(session.last_checkpoint_epoch(), 0, "below threshold");
+        commit_person(&session, 800_002);
+        assert_eq!(session.last_checkpoint_epoch(), 3, "third commit triggers");
+        assert_eq!(session.metrics().checkpoints(), 1);
+        commit_person(&session, 800_003);
+        assert_eq!(session.last_checkpoint_epoch(), 3, "counter restarted");
+        for i in 4..6 {
+            commit_person(&session, 800_000 + i);
+        }
+        assert_eq!(session.last_checkpoint_epoch(), 6);
+        assert_eq!(session.metrics().checkpoints(), 2);
+        cleanup_wal(&path);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_session() {
+        let (session, _) = Session::snb(0.03, 42).unwrap();
+        let err = session.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("durable"), "{err}");
     }
 
     #[test]

@@ -13,14 +13,18 @@
 //!
 //! | method + path | semantics |
 //! |---|---|
-//! | `GET /healthz` | liveness: `ok epoch=E` |
+//! | `GET /healthz` | liveness: `ok epoch=E` (durable sessions append ` wal_bytes_since_checkpoint=B`) |
 //! | `GET /metrics` | Prometheus text format, the full registry |
 //! | `POST /query?template=NAME&draw=N[&mode=M][&tenant=T]` | instantiate + `run_cached` |
 //! | `POST /prepare?template=NAME[&mode=M][&tenant=T]` | pin a prepared statement, returns `ok stmt=ID` |
 //! | `POST /execute?stmt=ID&draw=N[&tenant=T]` | execute a prepared handle with the template's bindings |
 //! | `POST /unprepare?stmt=ID` | release a prepared handle (and its pinned plan) |
 //! | `POST /ingest[?tenant=T]` | line-based batch: `Table\|i:1\|s:x\|d:17000`, `delete\|Table\|1` |
+//! | `POST /checkpoint` | snapshot the current epoch + compact the WAL behind it (durable sessions) |
 //! | `POST /shutdown` | respond, then drain: in-flight requests complete, workers exit |
+//!
+//! Lost `/ingest` commit races answer `409` with a `Retry-After` header —
+//! the batch is retryable as-is against the advanced epoch.
 //!
 //! Result rows travel as tagged values (`n:` null, `i:` int, `f:` float,
 //! `s:` string, `b:` bool, `d:` date) joined with `|`, one row per line,
@@ -195,6 +199,13 @@ impl BoundServer<'_> {
         // still non-blocking, so this stops at the first empty poll.
         while let Ok((stream, _)) = self.listener.accept() {
             handle_connection(stream, &shared);
+        }
+        // Graceful-drain checkpoint: with every request answered and no
+        // writer left, snapshot the final epoch so the next open replays
+        // nothing. Best-effort — a failure leaves the WAL authoritative
+        // (and counted in relgo_checkpoint_failures_total).
+        if self.server.session.is_durable() {
+            let _ = self.server.session.checkpoint();
         }
         Ok(shared.stats())
     }
@@ -372,6 +383,7 @@ enum Endpoint {
     Execute,
     Unprepare,
     Ingest,
+    Checkpoint,
     Metrics,
     Healthz,
     Shutdown,
@@ -379,12 +391,13 @@ enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 9] = [
+    const ALL: [Endpoint; 10] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
         Endpoint::Unprepare,
         Endpoint::Ingest,
+        Endpoint::Checkpoint,
         Endpoint::Metrics,
         Endpoint::Healthz,
         Endpoint::Shutdown,
@@ -398,6 +411,7 @@ impl Endpoint {
             Endpoint::Execute => "execute",
             Endpoint::Unprepare => "unprepare",
             Endpoint::Ingest => "ingest",
+            Endpoint::Checkpoint => "checkpoint",
             Endpoint::Metrics => "metrics",
             Endpoint::Healthz => "healthz",
             Endpoint::Shutdown => "shutdown",
@@ -431,21 +445,37 @@ impl Request {
     }
 }
 
-/// A response about to be written: status plus plain-text body.
+/// A response about to be written: status plus plain-text body, and an
+/// optional `Retry-After` delay (seconds) for retryable rejections.
 struct Response {
     status: u16,
     body: String,
+    retry_after: Option<u64>,
 }
 
 impl Response {
     fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
     fn err(status: u16, msg: impl std::fmt::Display) -> Response {
         Response {
             status,
             body: format!("error: {msg}\n"),
+            retry_after: None,
+        }
+    }
+
+    /// `err`, advertising that the same request may succeed if repeated
+    /// after `seconds` (sets the standard `Retry-After` header).
+    fn retryable(status: u16, msg: impl std::fmt::Display, seconds: u64) -> Response {
+        Response {
+            retry_after: Some(seconds),
+            ..Response::err(status, msg)
         }
     }
 }
@@ -553,13 +583,21 @@ fn parse_query_params(q: &str) -> HashMap<String, String> {
         .collect()
 }
 
-fn write_response(mut stream: &TcpStream, response: &Response) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn response_head(response: &Response) -> String {
+    let retry_after = response
+        .retry_after
+        .map(|s| format!("Retry-After: {s}\r\n"))
+        .unwrap_or_default();
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
         response.status,
         status_text(response.status),
         response.body.len()
-    );
+    )
+}
+
+fn write_response(mut stream: &TcpStream, response: &Response) {
+    let head = response_head(response);
     // A client that hung up early is its own problem; the write result
     // only matters to it, not to the server loop.
     let _ = stream
@@ -575,6 +613,7 @@ fn route(req: &Request) -> Endpoint {
         ("POST", "/execute") => Endpoint::Execute,
         ("POST", "/unprepare") => Endpoint::Unprepare,
         ("POST", "/ingest") => Endpoint::Ingest,
+        ("POST", "/checkpoint") => Endpoint::Checkpoint,
         ("GET", "/metrics") => Endpoint::Metrics,
         ("GET", "/healthz") => Endpoint::Healthz,
         ("POST", "/shutdown") => Endpoint::Shutdown,
@@ -584,7 +623,14 @@ fn route(req: &Request) -> Endpoint {
 
 fn dispatch(endpoint: Endpoint, req: &Request, shared: &Shared<'_>) -> Response {
     match endpoint {
-        Endpoint::Healthz => Response::ok(format!("ok epoch={}\n", shared.session.epoch())),
+        Endpoint::Healthz => {
+            let mut body = format!("ok epoch={}", shared.session.epoch());
+            if let Some(bytes) = shared.session.wal_bytes_since_checkpoint() {
+                body.push_str(&format!(" wal_bytes_since_checkpoint={bytes}"));
+            }
+            body.push('\n');
+            Response::ok(body)
+        }
         Endpoint::Metrics => {
             Response::ok(shared.session.observability_snapshot().render_prometheus())
         }
@@ -600,6 +646,9 @@ fn dispatch(endpoint: Endpoint, req: &Request, shared: &Shared<'_>) -> Response 
         Endpoint::Execute => with_admission(req, shared, handle_execute),
         Endpoint::Unprepare => handle_unprepare(req, shared),
         Endpoint::Ingest => with_admission(req, shared, handle_ingest),
+        // Admission-exempt like /shutdown: an operator must be able to
+        // checkpoint a session whose tenants have saturated their gates.
+        Endpoint::Checkpoint => handle_checkpoint(shared),
         Endpoint::Other => Response::err(404, format!("no route {} {}", req.method, req.path)),
     }
 }
@@ -679,7 +728,7 @@ fn render_outcome(
         body.push_str(&wire::encode_row(&outcome.table.row(r as u32)));
         body.push('\n');
     }
-    Response { status: 200, body }
+    Response::ok(body)
 }
 
 fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> Response {
@@ -804,14 +853,38 @@ fn handle_ingest(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) ->
             "ok epoch={} inserted={} deleted={}\n",
             report.epoch, report.inserted, report.deleted
         )),
-        Err(CommitError::Conflict { table, key, .. }) => {
-            Response::err(409, format!("write-write conflict on {table} key {key}"))
-        }
-        Err(CommitError::StaleBase { base_epoch, .. }) => Response::err(
+        Err(CommitError::Conflict { table, key, .. }) => Response::retryable(
+            409,
+            format!("write-write conflict on {table} key {key}"),
+            INGEST_RETRY_AFTER_SECS,
+        ),
+        Err(CommitError::StaleBase { base_epoch, .. }) => Response::retryable(
             409,
             format!("base epoch {base_epoch} predates the retained commit log"),
+            INGEST_RETRY_AFTER_SECS,
         ),
         Err(CommitError::Failed(e)) => Response::err(400, e),
+    }
+}
+
+/// `Retry-After` advertised on lost `/ingest` commit races. The conflict
+/// window is one group-commit, so the smallest representable HTTP delay
+/// (seconds are the unit) is already generous.
+const INGEST_RETRY_AFTER_SECS: u64 = 1;
+
+/// `POST /checkpoint`: snapshot the current epoch next to the WAL and
+/// compact the log behind it (see [`Session::checkpoint`]). `400` on an
+/// in-memory session — there is no log to bound.
+fn handle_checkpoint(shared: &Shared<'_>) -> Response {
+    if !shared.session.is_durable() {
+        return Response::err(400, "session is not durable (no WAL to checkpoint)");
+    }
+    match shared.session.checkpoint() {
+        Ok(report) => Response::ok(format!(
+            "ok checkpoint epoch={} bytes={} wal_records_dropped={} wal_bytes_retained={}\n",
+            report.epoch, report.bytes, report.wal.records_dropped, report.wal.bytes_retained
+        )),
+        Err(e) => Response::err(500, e),
     }
 }
 
@@ -834,6 +907,17 @@ mod tests {
         assert_eq!(params.get("draw").unwrap(), "5");
         assert_eq!(params.get("tenant").unwrap(), "team a");
         assert_eq!(params.get("flag").unwrap(), "");
+    }
+
+    #[test]
+    fn retryable_responses_carry_a_retry_after_header() {
+        let head = response_head(&Response::retryable(409, "conflict", 1));
+        assert!(head.contains("HTTP/1.1 409 Conflict\r\n"), "{head}");
+        assert!(head.contains("\r\nRetry-After: 1\r\n"), "{head}");
+        let head = response_head(&Response::err(400, "bad"));
+        assert!(!head.contains("Retry-After"), "{head}");
+        let head = response_head(&Response::ok("ok\n".to_string()));
+        assert!(!head.contains("Retry-After"), "{head}");
     }
 
     #[test]

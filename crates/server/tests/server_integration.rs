@@ -341,6 +341,125 @@ fn server_round_trips_against_in_process_oracle() {
     assert!(exit.success(), "server exit status: {exit:?}");
 }
 
+/// Durable server lifecycle: `/healthz` reports WAL growth, `POST
+/// /checkpoint` snapshots + truncates the log, `/metrics` exposes the
+/// checkpoint gauges, and graceful drain leaves a checkpoint behind so the
+/// next open replays nothing.
+#[test]
+fn durable_server_checkpoints_and_drains_with_bounded_recovery() {
+    use relgo::datagen::{generate_snb, SnbParams};
+    use relgo::CheckpointStore;
+
+    let params = SnbParams { sf: 0.01, seed: 11 };
+    let wal_path =
+        std::env::temp_dir().join(format!("relgo_server_ckpt_{}.wal", std::process::id()));
+    std::fs::remove_file(&wal_path).ok();
+    let cleanup = || {
+        std::fs::remove_file(&wal_path).ok();
+        for (_, p) in CheckpointStore::for_wal(&wal_path)
+            .list()
+            .unwrap_or_default()
+        {
+            std::fs::remove_file(p).ok();
+        }
+    };
+    cleanup();
+
+    let (db, mapping) = generate_snb(&params);
+    let (session, rec) = Session::open_durable(
+        db,
+        mapping,
+        SessionOptions::default(),
+        &wal_path,
+        WalOptions::default(),
+    )
+    .expect("durable session");
+    assert_eq!(rec.records, 0);
+    let schema = SnbSchema::resolve(session.view().schema()).expect("schema");
+    let templates = snb_templates(&schema);
+    let bound = Server::new(&session, &templates, ServerConfig::default())
+        .bind()
+        .expect("bind");
+    let addr = bound.local_addr().to_string();
+
+    let (stats, client) = std::thread::scope(|scope| {
+        let server = scope.spawn(move || bound.run().expect("server run"));
+        let client = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Two commits grow the log; healthz reports the growth.
+            for key in [900_001i64, 900_002] {
+                let (status, body) = http(
+                    &addr,
+                    "POST",
+                    "/ingest",
+                    &format!("Person|i:{key}|s:Ckpt{key}|d:17000\n"),
+                );
+                assert_eq!(status, 200, "ingest failed: {body}");
+            }
+            let (status, body) = http(&addr, "GET", "/healthz", "");
+            assert_eq!(status, 200);
+            assert!(body.starts_with("ok epoch=2 "), "healthz body: {body}");
+            let wal_bytes: u64 = body
+                .trim()
+                .split_once("wal_bytes_since_checkpoint=")
+                .expect("durable healthz reports WAL bytes")
+                .1
+                .parse()
+                .expect("byte count parses");
+            assert!(wal_bytes > 0, "two records on disk: {body}");
+
+            // Checkpoint over the wire: log truncated, gauges move.
+            let (status, body) = http(&addr, "POST", "/checkpoint", "");
+            assert_eq!(status, 200, "checkpoint failed: {body}");
+            assert!(body.starts_with("ok checkpoint epoch=2 "), "{body}");
+            assert!(body.contains("wal_records_dropped=2"), "{body}");
+            let (_, body) = http(&addr, "GET", "/healthz", "");
+            assert_eq!(body.trim(), "ok epoch=2 wal_bytes_since_checkpoint=0");
+            let (_, scrape_body) = http(&addr, "GET", "/metrics", "");
+            let scrape = text::parse(&scrape_body).expect("scrape parses");
+            assert_eq!(scrape.value("relgo_checkpoints_total", &[]), Some(1.0));
+            assert_eq!(scrape.value("relgo_checkpoint_epoch", &[]), Some(2.0));
+            assert_eq!(
+                scrape.value("relgo_wal_bytes_since_checkpoint", &[]),
+                Some(0.0)
+            );
+
+            // One more commit after the checkpoint, left for drain to cover.
+            let (status, body) = http(
+                &addr,
+                "POST",
+                "/ingest",
+                "Person|i:900003|s:AfterCkpt|d:17000\n",
+            );
+            assert_eq!(status, 200, "ingest failed: {body}");
+        }));
+        let (status, _) = http(&addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        let stats = server.join().expect("server thread");
+        (stats, client)
+    });
+    if let Err(p) = client {
+        cleanup();
+        std::panic::resume_unwind(p);
+    }
+    assert_eq!(stats.failed, 0, "no failed requests");
+
+    // Drain checkpointed the final epoch: recovery replays nothing.
+    assert_eq!(session.last_checkpoint_epoch(), 3);
+    assert_eq!(session.wal_bytes_since_checkpoint(), Some(0));
+    let (db, mapping) = generate_snb(&params);
+    let (back, rec) = Session::recover(db, mapping, &wal_path).expect("recover");
+    assert!(rec.checkpoint_loaded);
+    assert_eq!(rec.checkpoint_epoch, 3);
+    assert_eq!(rec.records, 0, "drain checkpoint covers every commit");
+    assert_eq!(back.epoch(), session.epoch());
+    assert_eq!(
+        session.db().table("Person").unwrap().sorted_rows(),
+        back.db().table("Person").unwrap().sorted_rows(),
+        "Person survives server drain + recovery bit-identically"
+    );
+    cleanup();
+}
+
 #[test]
 fn in_process_admission_budget_and_drain_accounting() {
     let (session, schema) = Session::snb(0.01, 11).expect("session");
@@ -430,6 +549,10 @@ fn in_process_admission_budget_and_drain_accounting() {
             let big_body = "x".repeat(65);
             let (status, body) = http(&addr, "POST", "/ingest", &big_body);
             assert_eq!(status, 413, "oversized body: {body}");
+            // Checkpointing an in-memory session is a clean client error.
+            let (status, body) = http(&addr, "POST", "/checkpoint", "");
+            assert_eq!(status, 400, "non-durable checkpoint: {body}");
+            assert!(body.contains("not durable"), "{body}");
             (ok + 1, rejected)
         }));
 
@@ -451,5 +574,6 @@ fn in_process_admission_budget_and_drain_accounting() {
     );
     assert_eq!(stats.ok_responses, ok + 1); // + the shutdown ack itself
     assert_eq!(stats.rejected, rejected);
-    assert_eq!(stats.failed, 1); // the 413 oversized-body probe
+    // The 413 oversized-body probe and the 400 non-durable checkpoint.
+    assert_eq!(stats.failed, 2);
 }

@@ -17,10 +17,21 @@
 //!
 //! The child re-enters through the `wal_child_entry` test below, selected
 //! with `--exact`; with the env var unset (the normal suite) it no-ops.
+//!
+//! A second harness (`ckpt_child_entry` + `run_ckpt_crash_case`) kills the
+//! *checkpointer* instead of the committer: the child takes one successful
+//! checkpoint, commits more, then runs a checkpoint armed with
+//! [`CheckpointCrash`] — aborting mid-temp-file-write (at a randomized byte
+//! offset), after the full write but before the atomic rename, or after the
+//! rename but before the WAL truncation. Recovery must restore **every**
+//! committed epoch bit-identically in all three cases, falling back to the
+//! earlier checkpoint when the doomed snapshot never became visible and
+//! skipping already-covered log records when it did.
 
 use proptest::prelude::*;
 use relgo::prelude::*;
 use relgo::workloads::templates::snb_templates;
+use relgo::{CheckpointCrash, CheckpointRequest, CheckpointStore};
 use relgo_storage::Database;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -149,6 +160,240 @@ fn wal_child_entry() {
     }
     // Reached only when the byte budget outlives the whole stream.
     println!("WAL_CHILD_COMPLETED_ALL");
+}
+
+/// Child-process entry point for checkpoint-phase crash injection. Inert in
+/// the normal suite; when the parent sets `RELGO_CKPT_CHILD_PATH` it takes
+/// one successful checkpoint, commits a tail past it, then runs a
+/// checkpoint armed to abort inside the phase `RELGO_CKPT_CHILD_PHASE`
+/// selects (0 = mid-temp-write at byte `RELGO_CKPT_CHILD_OFFSET`,
+/// 1 = before the atomic rename, 2 = after the rename but before the WAL
+/// truncation).
+#[test]
+fn ckpt_child_entry() {
+    let Some(path) = std::env::var_os("RELGO_CKPT_CHILD_PATH") else {
+        return;
+    };
+    let getenv = |k: &str| std::env::var(k).unwrap().parse::<u64>().unwrap();
+    let seed = getenv("RELGO_CKPT_CHILD_SEED");
+    let pre = getenv("RELGO_CKPT_CHILD_PRE") as usize;
+    let post = getenv("RELGO_CKPT_CHILD_POST") as usize;
+    let ops = getenv("RELGO_CKPT_CHILD_OPS") as usize;
+    let phase = getenv("RELGO_CKPT_CHILD_PHASE");
+    let offset = getenv("RELGO_CKPT_CHILD_OFFSET");
+    let (db, mapping) =
+        relgo::datagen::generate_snb(&relgo::datagen::SnbParams { sf: 0.03, seed: 42 });
+    let (session, recovered) = Session::open_durable(
+        db,
+        mapping,
+        SessionOptions::default(),
+        &path,
+        WalOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(recovered.records, 0, "child starts on an empty log");
+    for chunk in 0..pre {
+        stage_and_commit(&session, seed, chunk, ops);
+    }
+    // A first, successful checkpoint: depending on the crash phase below,
+    // recovery either falls back to this one or supersedes it.
+    session.checkpoint().unwrap();
+    for chunk in pre..pre + post {
+        stage_and_commit(&session, seed, chunk, ops);
+    }
+    let crash = match phase {
+        0 => CheckpointCrash::MidTempWrite(offset),
+        1 => CheckpointCrash::BeforeRename,
+        _ => CheckpointCrash::AfterRename,
+    };
+    let _ = session.checkpoint_with(CheckpointRequest {
+        crash: Some(crash),
+        ..CheckpointRequest::default()
+    });
+    // The armed checkpoint aborts the process inside the chosen phase; the
+    // parent asserts this line was never reached.
+    println!("CKPT_CHILD_SURVIVED_CRASH");
+}
+
+/// Remove the WAL, every checkpoint sibling, and any stray temp file a
+/// mid-write crash left behind.
+fn ckpt_cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    for (_, p) in CheckpointStore::for_wal(path).list().unwrap_or_default() {
+        let _ = std::fs::remove_file(p);
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".ckpt.tmp");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(tmp));
+}
+
+/// Spawn a child that crashes inside checkpoint phase `phase`, recover in
+/// this process, and differential-check every table and query result
+/// against a never-crashed oracle replaying the same commit stream.
+fn run_ckpt_crash_case(
+    phase: u64,
+    offset: u64,
+    seed: u64,
+    pre: usize,
+    post: usize,
+    ops: usize,
+    template_idx: usize,
+    draw: u64,
+) {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "relgo_ckpt_recovery_{}_{}.wal",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    ckpt_cleanup(&path);
+
+    // --- run the doomed checkpointer in a child process ------------------
+    let out = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "ckpt_child_entry",
+            "--exact",
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .env("RELGO_CKPT_CHILD_PATH", &path)
+        .env("RELGO_CKPT_CHILD_SEED", seed.to_string())
+        .env("RELGO_CKPT_CHILD_PRE", pre.to_string())
+        .env("RELGO_CKPT_CHILD_POST", post.to_string())
+        .env("RELGO_CKPT_CHILD_OPS", ops.to_string())
+        .env("RELGO_CKPT_CHILD_PHASE", phase.to_string())
+        .env("RELGO_CKPT_CHILD_OFFSET", offset.to_string())
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("CKPT_CHILD_SURVIVED_CRASH"),
+        "armed checkpoint did not abort (phase {phase})"
+    );
+    assert!(
+        out.status.code().is_none(),
+        "child must die by the crash hook's abort, got {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status,
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --- recover in this (fresh) process ---------------------------------
+    let total = pre + post;
+    let (db, mapping) = base();
+    let (session, report) = Session::recover(db.clone(), mapping.clone(), &path).unwrap();
+    assert!(report.checkpoint_loaded, "a valid checkpoint always exists");
+    assert_eq!(
+        report.truncated_bytes, 0,
+        "a checkpoint crash never tears the WAL itself"
+    );
+    assert_eq!(
+        session.epoch(),
+        total as u64,
+        "every committed epoch survives a phase-{phase} checkpoint crash"
+    );
+    match phase {
+        0 | 1 => {
+            // The doomed snapshot never became visible (no rename): recovery
+            // starts from the earlier checkpoint and replays the whole tail.
+            assert_eq!(report.checkpoint_epoch, pre as u64);
+            assert_eq!(report.records, post);
+            assert_eq!(report.skipped_records, 0);
+        }
+        _ => {
+            // Renamed before the abort: the new snapshot is authoritative,
+            // and the log records it already covers (the truncation never
+            // ran) are skipped instead of replayed twice.
+            assert_eq!(report.checkpoint_epoch, total as u64);
+            assert_eq!(report.records, 0);
+            assert_eq!(report.skipped_records, post);
+        }
+    }
+
+    // --- the never-crashed oracle: same stream, plain commits ------------
+    let oracle =
+        Session::open_with(db.clone(), mapping.clone(), SessionOptions::default()).unwrap();
+    for chunk in 0..total {
+        stage_and_commit(&oracle, seed, chunk, ops);
+    }
+    {
+        let recovered_db = session.db();
+        let oracle_db = oracle.db();
+        for name in ["Person", "Knows", "Likes"] {
+            assert!(
+                bit_identical(
+                    recovered_db.table(name).unwrap(),
+                    oracle_db.table(name).unwrap()
+                ),
+                "table {name} diverges after a phase-{phase} checkpoint crash"
+            );
+        }
+    }
+    let schema = SnbSchema::resolve(session.view().schema()).unwrap();
+    let t = &snb_templates(&schema)[template_idx];
+    let q = t.instantiate(draw).unwrap();
+    for mode in [OptimizerMode::RelGo, OptimizerMode::GRainDb] {
+        let want = oracle.run(&q, mode).unwrap().table;
+        let got = session.run(&q, mode).unwrap().table;
+        assert!(bit_identical(&want, &got), "{} run diverges", mode.name());
+        let cached = session.run_cached(&q, mode).unwrap().table;
+        assert!(
+            bit_identical(&want, &cached),
+            "{} run_cached diverges",
+            mode.name()
+        );
+        let stmt = session.prepare(&t.instantiate(0).unwrap(), mode).unwrap();
+        let prepared = stmt.execute(&t.bindings(draw).unwrap()).unwrap().table;
+        assert!(
+            bit_identical(&want, &prepared),
+            "{} prepared execute diverges",
+            mode.name()
+        );
+    }
+
+    // --- recovery is idempotent ------------------------------------------
+    drop(session);
+    let (session2, report2) = Session::recover(db.clone(), mapping.clone(), &path).unwrap();
+    assert_eq!(session2.epoch(), total as u64);
+    assert_eq!(report2.truncated_bytes, 0);
+    assert_eq!(
+        (report2.records, report2.skipped_records),
+        (report.records, report.skipped_records),
+        "second recovery of the same files sees the same split"
+    );
+    drop(session2);
+    ckpt_cleanup(&path);
+}
+
+/// Deterministic sweep: kill the checkpointer inside each of the three
+/// phases (mid-temp-write both at offset 0 — an empty temp file — and
+/// deeper into the image), and recover bit-identically every time.
+#[test]
+fn checkpoint_crash_at_every_phase_recovers_bit_identically() {
+    for (phase, offset) in [(0u64, 0u64), (0, 129), (1, 0), (2, 0)] {
+        run_ckpt_crash_case(phase, offset, 1_000 + phase * 64 + offset, 2, 2, 3, 1, 7);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Randomized checkpoint-phase kills: any phase, any mid-write byte
+    /// offset, any commit split — recovery always restores all committed
+    /// epochs bit-identically.
+    #[test]
+    fn killed_checkpointer_recovers_all_committed_epochs(
+        phase in 0u64..3,
+        offset in 0u64..8_192,
+        seed in 0u64..1_000,
+        pre in 1usize..4,
+        post in 1usize..4,
+        ops in 2usize..5,
+        template_idx in 0usize..5,
+        draw in 0u64..40,
+    ) {
+        run_ckpt_crash_case(phase, offset, seed, pre, post, ops, template_idx, draw);
+    }
 }
 
 proptest! {

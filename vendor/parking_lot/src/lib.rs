@@ -27,6 +27,16 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Acquire without blocking: `None` if the lock is currently held
+    /// (parking_lot returns `Option`, not std's `Result`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
