@@ -1533,6 +1533,7 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
     use relgo_server::{Server, ServerConfig};
     use std::io::{Read as _, Write as _};
     use std::net::TcpStream;
+    use std::time::{Duration, Instant};
 
     // A tiny blocking HTTP client; any malformed response is an error the
     // figure propagates (that is the "zero lost queries" check's teeth).
@@ -1559,6 +1560,55 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| err("malformed status line"))?;
         Ok((status, body.to_string()))
+    }
+
+    // The keep-alive counterpart: send `paths` back to back over ONE
+    // socket, returning each request's status and wall latency. The
+    // per-response `Content-Length` framing keeps the stream synchronized.
+    fn http_keepalive(addr: &str, paths: &[String]) -> Result<Vec<(u16, Duration)>> {
+        use std::io::{BufRead as _, BufReader};
+        let err = |what: &str| RelGoError::execution(format!("keep-alive client: {what}"));
+        let stream = TcpStream::connect(addr).map_err(|e| err(&format!("connect: {e}")))?;
+        let mut reader = BufReader::new(&stream);
+        let mut results = Vec::with_capacity(paths.len());
+        for path in paths {
+            let start = Instant::now();
+            let req = format!("POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n");
+            (&stream)
+                .write_all(req.as_bytes())
+                .map_err(|e| err(&format!("send: {e}")))?;
+            let mut status = 0u16;
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                if reader
+                    .read_line(&mut line)
+                    .map_err(|e| err(&format!("read: {e}")))?
+                    == 0
+                {
+                    return Err(err("server closed a keep-alive connection early"));
+                }
+                if status == 0 {
+                    status = line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("malformed status line"))?;
+                }
+                if line == "\r\n" {
+                    break;
+                }
+                if let Some(v) = line.strip_prefix("Content-Length: ") {
+                    content_length = v.trim().parse().map_err(|_| err("bad Content-Length"))?;
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| err(&format!("read body: {e}")))?;
+            results.push((status, start.elapsed()));
+        }
+        Ok(results)
     }
 
     let mut out = String::new();
@@ -1594,7 +1644,7 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
         // All client work in a fallible closure so the shutdown below runs
         // on *every* path — a figure error must not leave the server (and
         // with it the whole scope) waiting forever.
-        let client_work = || -> Result<(u64, u64)> {
+        let client_work = || -> Result<(u64, u64, u64, u64, f64, f64, Duration)> {
             let mut sent = 0u64;
             let mut rows_received = 0u64;
             // Concurrent query clients, one tenant each.
@@ -1703,7 +1753,77 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
                 return Err(RelGoError::execution(format!("ingest: {status}: {body}")));
             }
 
-            Ok((sent, rows_received))
+            // Keep-alive reuse: the same cached query N times over ONE
+            // persistent connection vs N fresh connections — the delta is
+            // the per-request connection-setup tax keep-alive removes.
+            let ka_reqs = (2 * rounds).max(4);
+            let ka_path = format!("/query?template={}&draw=0&tenant=ka", templates[0].name());
+            let reused: Vec<(u16, Duration)> =
+                http_keepalive(&addr, &vec![ka_path.clone(); ka_reqs])?;
+            let mut fresh = Vec::with_capacity(ka_reqs);
+            for _ in 0..ka_reqs {
+                let start = Instant::now();
+                let (status, _) = http(&addr, "POST", &ka_path, "")?;
+                fresh.push((status, start.elapsed()));
+            }
+            for (status, _) in reused.iter().chain(fresh.iter()) {
+                sent += 1;
+                if *status != 200 {
+                    return Err(RelGoError::execution(format!(
+                        "keep-alive phase query failed: status {status}"
+                    )));
+                }
+            }
+            // Same rows flow on both paths; count them off the oracle-free
+            // meta line of one probe (all draws identical).
+            let (_, probe_body) = http(&addr, "POST", &ka_path, "")?;
+            sent += 1;
+            let ka_rows: u64 = probe_body
+                .lines()
+                .next()
+                .and_then(|m| m.strip_prefix("ok rows="))
+                .and_then(|m| m.split_whitespace().next())
+                .and_then(|m| m.parse().ok())
+                .unwrap_or(0);
+            rows_received += ka_rows * (2 * ka_reqs + 1) as u64;
+            let mean_us = |v: &[(u16, Duration)]| {
+                v.iter().map(|(_, d)| d.as_micros() as f64).sum::<f64>() / v.len() as f64
+            };
+            let (reused_mean_us, fresh_mean_us) = (mean_us(&reused), mean_us(&fresh));
+            let reuses = (ka_reqs - 1) as u64; // first request on the socket is not a reuse
+
+            // Deadline-bounded termination: an already-expired budget
+            // (`deadline_ms=0`) must answer 503 within one morsel's work,
+            // never run the query to completion. The generous wall bound
+            // below is the *proof* — an unbounded query at this scale
+            // would be cut off mid-flight, not merely slow.
+            let deadline_probes = 2u64;
+            let deadline_start = Instant::now();
+            for _ in 0..deadline_probes {
+                let (status, body) = http(&addr, "POST", &format!("{ka_path}&deadline_ms=0"), "")?;
+                sent += 1;
+                if status != 503 {
+                    return Err(RelGoError::execution(format!(
+                        "expired deadline answered {status}, want 503: {body}"
+                    )));
+                }
+            }
+            let deadline_elapsed = deadline_start.elapsed() / deadline_probes as u32;
+            if deadline_elapsed > Duration::from_secs(2) {
+                return Err(RelGoError::execution(format!(
+                    "deadline_ms=0 query took {deadline_elapsed:?} to terminate (bound: 2s)"
+                )));
+            }
+
+            Ok((
+                sent,
+                rows_received,
+                reuses,
+                deadline_probes,
+                reused_mean_us,
+                fresh_mean_us,
+                deadline_elapsed,
+            ))
         };
         let client_result = client_work();
 
@@ -1719,15 +1839,34 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
         (stats, combined)
     });
     let stats = stats?;
-    let ((queries_sent, rows_received), scrape_body) = client_result?;
+    let (
+        (
+            queries_sent,
+            rows_received,
+            reuses,
+            deadline_probes,
+            reused_mean_us,
+            fresh_mean_us,
+            deadline_elapsed,
+        ),
+        scrape_body,
+    ) = client_result?;
 
-    // Drain accounting: every accepted connection was answered, nothing
-    // in-flight was lost, nothing failed.
+    // Drain accounting: every request was answered, nothing in-flight was
+    // lost, and the only non-2xx responses are the deliberate deadline
+    // probes (503s). Keep-alive reuse means strictly more requests than
+    // connections.
     let answered = stats.ok_responses + stats.rejected + stats.failed;
-    if stats.connections != answered || stats.failed != 0 || stats.rejected != 0 {
+    if stats.requests != answered || stats.failed != deadline_probes || stats.rejected != 0 {
         return Err(RelGoError::execution(format!(
-            "drain lost requests: connections={} answered={answered} rejected={} failed={}",
-            stats.connections, stats.rejected, stats.failed
+            "drain lost requests: requests={} answered={answered} rejected={} failed={}",
+            stats.requests, stats.rejected, stats.failed
+        )));
+    }
+    if stats.requests <= stats.connections {
+        return Err(RelGoError::execution(format!(
+            "keep-alive reuse missing: requests={} <= connections={}",
+            stats.requests, stats.connections
         )));
     }
 
@@ -1744,6 +1883,29 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
     if scraped_queries != queries_sent as f64 || scraped_rows != rows_received as f64 {
         return Err(RelGoError::execution(format!(
             "scrape does not reconcile: queries {scraped_queries} vs {queries_sent}, rows {scraped_rows} vs {rows_received}"
+        )));
+    }
+    // The keep-alive and deadline series reconcile exactly: every client
+    // in this figure except the keep-alive phase sends
+    // `Connection: close`, so the phase's reuses are the only ones.
+    let scraped_reuses = scrape
+        .value("relgo_http_keepalive_reuses_total", &[])
+        .unwrap_or(-1.0);
+    let scraped_deadlines = scrape
+        .value("relgo_http_deadline_expirations_total", &[])
+        .unwrap_or(-1.0);
+    if scraped_reuses != reuses as f64 || scraped_deadlines != deadline_probes as f64 {
+        return Err(RelGoError::execution(format!(
+            "keep-alive/deadline series do not reconcile: reuses {scraped_reuses} vs {reuses}, deadlines {scraped_deadlines} vs {deadline_probes}"
+        )));
+    }
+    // The scrape's own connection is open while /metrics renders.
+    let open = scrape
+        .value("relgo_http_open_connections", &[])
+        .unwrap_or(0.0);
+    if open < 1.0 {
+        return Err(RelGoError::execution(format!(
+            "open-connections gauge missed the scraping connection: {open}"
         )));
     }
     if series < 12 {
@@ -1799,8 +1961,20 @@ pub fn fig_serve(cfg: &BenchConfig) -> Result<String> {
     }
     writeln!(
         out,
-        "drain: connections={} answered={answered} lost=0;  scrape: {series} series, validated, counters reconcile",
-        stats.connections
+        "drain: requests={} over connections={} answered={answered} lost=0;  scrape: {series} series, validated, counters reconcile",
+        stats.requests, stats.connections
+    )
+    .ok();
+    writeln!(
+        out,
+        "(a2) keep-alive: {reuses} reuses on one socket; per-request mean {:.0}us reused vs {:.0}us fresh",
+        reused_mean_us, fresh_mean_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "(a3) deadline: deadline_ms=0 answers 503 in {:.1}ms mean (bound 2000ms) — expired queries terminate within one morsel",
+        deadline_elapsed.as_secs_f64() * 1e3
     )
     .ok();
     if !query_p99_finite {
@@ -1975,6 +2149,8 @@ mod tests {
         let s = fig_serve(&tiny()).unwrap();
         assert!(s.contains("lost=0"), "{s}");
         assert!(s.contains("counters reconcile"), "{s}");
+        assert!(s.contains("keep-alive:"), "{s}");
+        assert!(s.contains("deadline_ms=0 answers 503"), "{s}");
         assert!(s.contains("trace coverage"), "{s}");
     }
 

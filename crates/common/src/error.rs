@@ -33,6 +33,10 @@ pub enum RelGoError {
     /// an overlapping primary-key write-set since this batch's base epoch.
     /// Retryable — re-stage the batch against the current epoch.
     Conflict(String),
+    /// The query's wall-clock deadline expired mid-execution (checked at
+    /// morsel boundaries, see `morsel::TimeBudget`). Retryable with a
+    /// longer deadline — the serving edge maps it to `503` + `Retry-After`.
+    DeadlineExceeded(String),
 }
 
 impl RelGoError {
@@ -65,6 +69,11 @@ impl RelGoError {
     pub fn conflict(msg: impl Into<String>) -> Self {
         RelGoError::Conflict(msg.into())
     }
+
+    /// Shorthand constructor for [`RelGoError::DeadlineExceeded`].
+    pub fn deadline_exceeded(msg: impl Into<String>) -> Self {
+        RelGoError::DeadlineExceeded(msg.into())
+    }
 }
 
 impl fmt::Display for RelGoError {
@@ -77,6 +86,7 @@ impl fmt::Display for RelGoError {
             RelGoError::Execution(s) => write!(f, "execution error: {s}"),
             RelGoError::ResourceExhausted(s) => write!(f, "resource exhausted: {s}"),
             RelGoError::Conflict(s) => write!(f, "write conflict: {s}"),
+            RelGoError::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
         }
     }
 }
@@ -103,6 +113,8 @@ mod tests {
         assert!(e.to_string().starts_with("resource exhausted"));
         let e = RelGoError::conflict("Person.person_id = 7 vs epoch 3");
         assert!(e.to_string().starts_with("write conflict"));
+        let e = RelGoError::deadline_exceeded("query ran past its 50ms deadline");
+        assert!(e.to_string().starts_with("deadline exceeded"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::{RelGoError, Result};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 // Process-global scheduler counters. `relgo-common` sits below the metrics
 // crate in the dependency order, so the scheduler keeps plain atomics and
@@ -227,6 +228,55 @@ impl RowBudget {
     }
 }
 
+/// The wall-clock analogue of [`RowBudget`]: a fixed deadline shared by
+/// every worker of one query. `check` is called once per *morsel* (and by
+/// the serial operators' row guard), never per row, so the `Instant::now`
+/// cost is amortized over `DEFAULT_MORSEL_ROWS` items — a query overruns
+/// its deadline by at most one morsel's worth of work.
+///
+/// `Copy`, so it threads through execution contexts without sharing: all
+/// copies compare against the same absolute deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBudget {
+    deadline: Instant,
+    limit: Duration,
+}
+
+impl TimeBudget {
+    /// A budget expiring `limit` from now. Start the clock where the
+    /// request enters the system (e.g. at HTTP parse time), not where
+    /// execution begins, so queueing and planning count against it.
+    pub fn new(limit: Duration) -> TimeBudget {
+        TimeBudget {
+            deadline: Instant::now() + limit,
+            limit,
+        }
+    }
+
+    /// The total wall-clock allowance the budget was created with.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// Errors with `DeadlineExceeded` once the deadline has passed; the
+    /// caller must stop before materializing further output.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        if self.expired() {
+            return Err(RelGoError::DeadlineExceeded(format!(
+                "query ran past its {}ms deadline",
+                self.limit.as_millis()
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +328,23 @@ mod tests {
         let b = RowBudget::new(10);
         assert!(b.charge(10).is_ok());
         assert!(matches!(b.charge(1), Err(RelGoError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn time_budget_expires_and_reports_its_limit() {
+        let fresh = TimeBudget::new(Duration::from_secs(3600));
+        assert!(!fresh.expired());
+        assert!(fresh.check().is_ok());
+        assert_eq!(fresh.limit(), Duration::from_secs(3600));
+        let spent = TimeBudget::new(Duration::ZERO);
+        assert!(spent.expired());
+        assert!(matches!(
+            spent.check(),
+            Err(RelGoError::DeadlineExceeded(ref m)) if m.contains("0ms")
+        ));
+        // Copies share the same absolute deadline.
+        let copy = spent;
+        assert!(copy.check().is_err());
     }
 
     #[test]

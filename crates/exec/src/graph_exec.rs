@@ -32,7 +32,7 @@
 //! entries to amortize one evaluation per table row.
 
 use crate::chunk::GraphChunk;
-use relgo_common::morsel::{self, RowBudget};
+use relgo_common::morsel::{self, RowBudget, TimeBudget};
 use relgo_common::{FxHashMap, LabelId, RelGoError, Result, RowId};
 use relgo_core::graph_plan::{GraphOp, StarLeg};
 use relgo_graph::{Direction, GraphIndex, GraphView};
@@ -78,6 +78,9 @@ pub struct GraphExecContext<'a> {
     pub row_limit: usize,
     /// Intra-operator worker threads (1 = serial).
     pub threads: usize,
+    /// Optional wall-clock budget: every morsel boundary (and the serial
+    /// row guard) checks it, so expiry aborts within one morsel's work.
+    pub deadline: Option<TimeBudget>,
     /// Shared per-batch state (`None` outside batched execution).
     pub batch: Option<&'a BatchState>,
 }
@@ -93,8 +96,10 @@ impl<'a> GraphExecContext<'a> {
     /// Post-materialization row-limit check for the serial operators
     /// (scans, joins). The morsel-parallel operators use a shared
     /// [`RowBudget`] instead, which charges projected sizes *before*
-    /// materializing; both trip at the same cumulative boundary.
+    /// materializing; both trip at the same cumulative boundary. Also the
+    /// serial operators' deadline checkpoint.
     fn guard(&self, rows: usize) -> Result<()> {
+        self.check_deadline()?;
         if rows > self.row_limit {
             return Err(RelGoError::ResourceExhausted(format!(
                 "intermediate graph relation of {rows} rows exceeds the {} row budget",
@@ -102,6 +107,17 @@ impl<'a> GraphExecContext<'a> {
             )));
         }
         Ok(())
+    }
+
+    /// Morsel-boundary deadline check: called once per morsel by the
+    /// parallel operators (cheap relative to a morsel's work), erroring
+    /// with `DeadlineExceeded` once the budget expires.
+    #[inline]
+    fn check_deadline(&self) -> Result<()> {
+        match &self.deadline {
+            Some(deadline) => deadline.check(),
+            None => Ok(()),
+        }
     }
 }
 
@@ -428,6 +444,7 @@ fn expand(
         ctx.threads,
         morsel::DEFAULT_MORSEL_ROWS,
         |_, range| {
+            ctx.check_deadline()?;
             let cap: usize = degs[range.clone()].iter().sum();
             let mut gather = Vec::with_capacity(cap);
             let mut to_col = Vec::with_capacity(cap);
@@ -544,6 +561,7 @@ fn expand_intersect(
         ctx.threads,
         morsel::DEFAULT_MORSEL_ROWS,
         |_, range| {
+            ctx.check_deadline()?;
             let mut gather = Vec::new();
             let mut to_col: Vec<RowId> = Vec::new();
             let mut edge_cols: Vec<Vec<RowId>> = vec![Vec::new(); legs.len()];
@@ -676,6 +694,7 @@ fn filter_vertex(
         ctx.threads,
         morsel::DEFAULT_MORSEL_ROWS,
         |_, range| {
+            ctx.check_deadline()?;
             let mut keep = Vec::new();
             for i in range {
                 if passes(&mask, Some(predicate), table, col[i])? {
@@ -822,6 +841,7 @@ mod tests {
             use_index: idx,
             row_limit: 1_000_000,
             threads: 1,
+            deadline: None,
             batch: None,
         }
     }

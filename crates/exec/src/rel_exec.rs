@@ -7,6 +7,7 @@
 
 use crate::chunk::GraphChunk;
 use crate::graph_exec::{execute_graph, BatchState, GraphExecContext};
+use relgo_common::morsel::TimeBudget;
 use relgo_common::{DataType, ElementId, Field, FxHashMap, Result, Schema};
 use relgo_core::rel_plan::{PhysicalPlan, RelOp};
 use relgo_core::spjm::{AttrRef, GraphColumn, PatternElemRef};
@@ -26,6 +27,9 @@ pub struct ExecConfig {
     /// Intra-query worker threads for morsel-parallel graph operators
     /// (1 = serial; parallel output is bit-identical to serial).
     pub threads: usize,
+    /// Optional wall-clock budget checked at morsel boundaries; expiry
+    /// aborts with `DeadlineExceeded` (the time analogue of `row_limit`).
+    pub deadline: Option<TimeBudget>,
 }
 
 impl Default for ExecConfig {
@@ -34,6 +38,7 @@ impl Default for ExecConfig {
             use_index: true,
             row_limit: 50_000_000,
             threads: 1,
+            deadline: None,
         }
     }
 }
@@ -80,6 +85,11 @@ fn exec_rel(
     cfg: &ExecConfig,
     batch: Option<&BatchState>,
 ) -> Result<Arc<Table>> {
+    // Operator-boundary deadline check for the relational tree; the graph
+    // operators below re-check at every morsel boundary.
+    if let Some(deadline) = &cfg.deadline {
+        deadline.check()?;
+    }
     match op {
         RelOp::ScanGraphTable { graph, columns } => {
             let ctx = GraphExecContext {
@@ -88,6 +98,7 @@ fn exec_rel(
                 use_index: cfg.use_index,
                 row_limit: cfg.row_limit,
                 threads: cfg.threads,
+                deadline: cfg.deadline,
                 batch,
             };
             let chunk = execute_graph(graph, &ctx)?;
@@ -451,6 +462,7 @@ mod tests {
             use_index: true,
             row_limit: 1_000_000,
             threads: 1,
+            deadline: None,
             batch: None,
         };
         let chunk = execute_graph(&plan, &ctx).unwrap();

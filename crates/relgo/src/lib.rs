@@ -68,6 +68,7 @@ pub mod prelude {
         Session, SessionOptions, Snapshot,
     };
     pub use relgo_cache::{CacheConfig, MetricsSnapshot, PinnedPlan, PlanCache};
+    pub use relgo_common::morsel::TimeBudget;
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};
     pub use relgo_delta::wal::{WalOptions, WalStats};

@@ -29,6 +29,7 @@ use crate::observe::QueryPath;
 use crate::session::{QueryOutcome, Session};
 use parking_lot::Mutex;
 use relgo_cache::PinnedPlan;
+use relgo_common::morsel::TimeBudget;
 use relgo_common::{Result, Value};
 use relgo_core::{
     bind_query, parameterize, rebind_plan, validate_bindings, OptStats, OptimizerMode,
@@ -201,6 +202,17 @@ impl PreparedStatement<'_> {
     /// validation + literal rebinding only; `outcome.cached` reports
     /// whether the pinned skeleton served it.
     pub fn execute(&self, bindings: &[Value]) -> Result<QueryOutcome> {
+        self.execute_with_deadline(bindings, None)
+    }
+
+    /// [`PreparedStatement::execute`] under an optional wall-clock budget:
+    /// execution checks the deadline at every morsel boundary and aborts
+    /// with `DeadlineExceeded` on expiry.
+    pub fn execute_with_deadline(
+        &self,
+        bindings: &[Value],
+        deadline: Option<TimeBudget>,
+    ) -> Result<QueryOutcome> {
         let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
         trace.time(Stage::Parse, || validate_bindings(&self.slot_sig, bindings))?;
@@ -211,7 +223,10 @@ impl PreparedStatement<'_> {
             timed_out: false,
         };
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || self.session.execute(&plan, self.mode))?;
+        let table = trace.time(Stage::Execute, || {
+            self.session
+                .execute_with_deadline(&plan, self.mode, deadline)
+        })?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.session

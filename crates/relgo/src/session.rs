@@ -15,6 +15,7 @@ use crate::ingest::{CommitError, IngestBatch};
 use crate::observe::{ObservabilitySnapshot, QueryPath, SessionMetrics};
 use parking_lot::{Mutex, RwLock};
 use relgo_cache::{CacheConfig, MetricsSnapshot, PlanCache};
+use relgo_common::morsel::TimeBudget;
 use relgo_common::{RelGoError, Result};
 use relgo_core::{
     optimize, parameterize, rebind_plan, OptStats, OptimizerMode, PhysicalPlan, PlannerContext,
@@ -788,10 +789,22 @@ impl Session {
     /// The execution configuration `mode` runs under (shared by the
     /// per-query and batched execution paths).
     pub(crate) fn exec_config(&self, mode: OptimizerMode) -> ExecConfig {
+        self.exec_config_with(mode, None)
+    }
+
+    /// [`Session::exec_config`] with a per-query wall-clock budget:
+    /// execution checks it at morsel boundaries and aborts with
+    /// `DeadlineExceeded` on expiry.
+    pub(crate) fn exec_config_with(
+        &self,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+    ) -> ExecConfig {
         ExecConfig {
             use_index: mode.uses_graph_index(),
             row_limit: self.options.row_limit,
             threads: self.options.threads,
+            deadline,
         }
     }
 
@@ -800,13 +813,29 @@ impl Session {
         state: &SessionState,
         plan: &PhysicalPlan,
         mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
     ) -> Result<Table> {
-        execute_plan(plan, &state.view, &state.db, &self.exec_config(mode))
+        execute_plan(
+            plan,
+            &state.view,
+            &state.db,
+            &self.exec_config_with(mode, deadline),
+        )
     }
 
     /// Execute a previously optimized plan under `mode`'s execution regime.
     pub fn execute(&self, plan: &PhysicalPlan, mode: OptimizerMode) -> Result<Table> {
-        self.execute_at(&self.state(), plan, mode)
+        self.execute_at(&self.state(), plan, mode, None)
+    }
+
+    /// [`Session::execute`] under an optional wall-clock budget.
+    pub fn execute_with_deadline(
+        &self,
+        plan: &PhysicalPlan,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+    ) -> Result<Table> {
+        self.execute_at(&self.state(), plan, mode, deadline)
     }
 
     fn run_at(
@@ -818,7 +847,7 @@ impl Session {
         let mut trace = QueryTrace::start();
         let (plan, opt) = trace.time(Stage::Optimize, || self.optimize_at(state, query, mode))?;
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode, None))?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.metrics.record_query(QueryPath::Run, &trace);
@@ -843,6 +872,16 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
     ) -> Result<QueryOutcome> {
+        self.run_cached_at_with(state, query, mode, None)
+    }
+
+    fn run_cached_at_with(
+        &self,
+        state: &SessionState,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+    ) -> Result<QueryOutcome> {
         let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
         let pq = trace.time(Stage::Parameterize, || parameterize(query));
@@ -860,8 +899,9 @@ impl Session {
                         timed_out: false,
                     };
                     let start = Instant::now();
-                    let table =
-                        trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+                    let table = trace.time(Stage::Execute, || {
+                        self.execute_at(state, &plan, mode, deadline)
+                    })?;
                     let exec_time = start.elapsed();
                     let trace = trace.finish();
                     self.metrics.record_query(QueryPath::Cached, &trace);
@@ -894,7 +934,9 @@ impl Session {
         // Charge the full miss path (parameterize + lookup + optimize).
         opt.elapsed = opt_start.elapsed();
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode))?;
+        let table = trace.time(Stage::Execute, || {
+            self.execute_at(state, &plan, mode, deadline)
+        })?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.metrics.record_query(QueryPath::Cached, &trace);
@@ -918,6 +960,20 @@ impl Session {
     /// optimized normally and the skeleton inserted for the next instance.
     pub fn run_cached(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
         self.run_cached_at(&self.state(), query, mode)
+    }
+
+    /// [`Session::run_cached`] under an optional wall-clock budget:
+    /// execution checks the deadline at every morsel boundary and aborts
+    /// with `DeadlineExceeded` on expiry (the serving edge maps that to
+    /// `503` + `Retry-After`). Construct the [`TimeBudget`] where the
+    /// request enters the system so queueing and planning count against it.
+    pub fn run_cached_with_deadline(
+        &self,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+    ) -> Result<QueryOutcome> {
+        self.run_cached_at_with(&self.state(), query, mode, deadline)
     }
 
     fn oracle_at(&self, state: &SessionState, query: &SpjmQuery) -> Result<Table> {

@@ -4,7 +4,10 @@
 //! ```text
 //! relgo-server [--sf 0.05] [--seed 42] [--addr 127.0.0.1:0] \
 //!              [--workers 4] [--max-inflight 8] [--row-budget 10000000] \
-//!              [--max-body-bytes 4194304] [--max-prepared 1024]
+//!              [--max-body-bytes 4194304] [--max-prepared 1024] \
+//!              [--max-header-bytes 16384] [--idle-timeout-ms 5000] \
+//!              [--max-requests-per-conn 1000] [--deadline-ms MS] \
+//!              [--access-log PATH]
 //! ```
 //!
 //! Prints exactly one line — `listening on http://ADDR` — once the
@@ -45,6 +48,20 @@ fn parse_args() -> Result<Args> {
             "--max-prepared" => {
                 args.config.max_prepared_statements = parse(&value("--max-prepared")?)?
             }
+            "--max-header-bytes" => {
+                args.config.max_header_bytes = parse(&value("--max-header-bytes")?)?
+            }
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout =
+                    std::time::Duration::from_millis(parse(&value("--idle-timeout-ms")?)?)
+            }
+            "--max-requests-per-conn" => {
+                args.config.max_requests_per_connection = parse(&value("--max-requests-per-conn")?)?
+            }
+            "--deadline-ms" => {
+                args.config.default_deadline_ms = Some(parse(&value("--deadline-ms")?)?)
+            }
+            "--access-log" => args.config.access_log = Some(value("--access-log")?),
             other => return Err(RelGoError::query(format!("unknown flag {other}"))),
         }
     }
@@ -73,8 +90,8 @@ fn run() -> Result<()> {
     println!("listening on http://{}", bound.local_addr());
     let stats = bound.run()?;
     eprintln!(
-        "drained: {} connections, {} ok, {} rejected, {} failed",
-        stats.connections, stats.ok_responses, stats.rejected, stats.failed
+        "drained: {} requests over {} connections, {} ok, {} rejected, {} failed",
+        stats.requests, stats.connections, stats.ok_responses, stats.rejected, stats.failed
     );
     Ok(())
 }

@@ -1,13 +1,43 @@
 //! # relgo-server
 //!
 //! A minimal, std-only HTTP/1.1 edge over one shared [`Session`]: a fixed
-//! pool of blocking worker threads accepts one request per connection and
-//! serves the whole query lifecycle — templated ad-hoc queries through the
-//! plan cache, prepared-statement handles, optimistic ingest batches, and a
-//! Prometheus text-format `/metrics` scrape that folds the session's
-//! observability snapshot together with the server's own HTTP-edge series
-//! (both live on the session's metrics registry, so one scrape covers the
-//! whole process).
+//! pool of blocking worker threads serves **persistent connections** (each
+//! connection carries a keep-alive request loop) through the whole query
+//! lifecycle — templated ad-hoc queries through the plan cache,
+//! prepared-statement handles (template draws or client-supplied `bind=`
+//! values), optimistic ingest batches, and a Prometheus text-format
+//! `/metrics` scrape that folds the session's observability snapshot
+//! together with the server's own HTTP-edge series (both live on the
+//! session's metrics registry, so one scrape covers the whole process).
+//!
+//! ## Keep-alive
+//!
+//! Connections are persistent by default (HTTP/1.1 semantics): the worker
+//! loops reading requests off one socket until the client sends
+//! `Connection: close` (or speaks HTTP/1.0 without `keep-alive`), the
+//! connection idles past [`ServerConfig::idle_timeout`], it reaches
+//! [`ServerConfig::max_requests_per_connection`], a framing error poisons
+//! the stream position (`400`/`413`/`431` close; handler-level errors do
+//! not), or drain begins — shutdown finishes the in-flight request, then
+//! answers it with `Connection: close`. Every response advertises the
+//! decision in its `Connection` header.
+//!
+//! ## Deadlines
+//!
+//! `/query` and `/execute` accept a `deadline_ms` parameter (falling back
+//! to [`ServerConfig::default_deadline_ms`]): the remaining budget rides
+//! into execution as a [`TimeBudget`] checked at every morsel boundary, so
+//! an expired query stops within one morsel's work and answers `503` with
+//! `Retry-After` instead of pinning a worker.
+//!
+//! ## Access logs
+//!
+//! With [`ServerConfig::access_log`] set, every request appends one JSON
+//! line — `{"unix_ms":..,"conn":..,"seq":..,"tenant":..,"endpoint":..,
+//! "method":..,"path":..,"status":..,"rows":..,"micros":..,
+//! "stages":{"execute":..}}` — keyed by the same `QueryTrace` spans the
+//! metrics registry records (stage micros appear for the serving endpoints
+//! that execute queries).
 //!
 //! ## Endpoints
 //!
@@ -50,6 +80,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use relgo::metrics::trace::StageTimings;
 use relgo::metrics::{Counter, Gauge, Histogram};
 use relgo::prelude::*;
 use relgo_common::morsel::RowBudget;
@@ -59,8 +90,10 @@ pub mod wire;
 /// How long a worker sleeps between empty non-blocking accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
-/// Per-connection socket read timeout: a stalled client cannot pin a
-/// worker (or block drain) forever.
+/// Socket read timeout once a request has started arriving: a client that
+/// stalls mid-request cannot pin a worker (or block drain) forever. The
+/// separate [`ServerConfig::idle_timeout`] governs the quiet gap *between*
+/// requests on a persistent connection.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Tuning knobs for [`Server`].
@@ -80,6 +113,22 @@ pub struct ServerConfig {
     /// Server-wide cap on live prepared-statement handles; `/prepare` past
     /// the cap is a `429` until `/unprepare` releases a slot.
     pub max_prepared_statements: usize,
+    /// Cumulative cap on request-line + header bytes per request; past it
+    /// the request is rejected with `431` (a streaming endless header can
+    /// no longer OOM a worker).
+    pub max_header_bytes: usize,
+    /// How long a persistent connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served over one connection before the server closes it
+    /// (bounds per-connection resource drift under very long reuse).
+    pub max_requests_per_connection: usize,
+    /// Server-wide default execution deadline applied when a request does
+    /// not pass `deadline_ms`; `None` leaves queries unbounded.
+    pub default_deadline_ms: Option<u64>,
+    /// Append one JSON access-log line per request to this path
+    /// (`None` disables access logging).
+    pub access_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +140,11 @@ impl Default for ServerConfig {
             tenant_row_budget: 10_000_000,
             max_body_bytes: 4 << 20,
             max_prepared_statements: 1024,
+            max_header_bytes: 16 << 10,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
+            default_deadline_ms: None,
+            access_log: None,
         }
     }
 }
@@ -98,8 +152,12 @@ impl Default for ServerConfig {
 /// What one server run saw, returned by [`BoundServer::run`] after drain.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
-    /// Connections accepted (== requests: one request per connection).
+    /// TCP connections accepted (a persistent connection counts once).
     pub connections: u64,
+    /// HTTP requests answered across all connections
+    /// (`== ok_responses + rejected + failed`; under keep-alive reuse this
+    /// exceeds `connections`).
+    pub requests: u64,
     /// Requests that produced a 2xx response.
     pub ok_responses: u64,
     /// Requests rejected by admission control or a row budget (429).
@@ -177,7 +235,7 @@ impl BoundServer<'_> {
             self.server.session,
             self.server.templates,
             &self.server.config,
-        );
+        )?;
         let workers = self.server.config.workers.max(1);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -223,6 +281,9 @@ struct EdgeMetrics {
     requests: [Arc<Counter>; Endpoint::ALL.len()],
     latency: [Arc<Histogram>; Endpoint::ALL.len()],
     active: Arc<Gauge>,
+    open_connections: Arc<Gauge>,
+    keepalive_reuses: Arc<Counter>,
+    deadline_expirations: Arc<Counter>,
     rejections: Arc<Counter>,
     rows_served: Arc<Counter>,
 }
@@ -247,7 +308,19 @@ impl EdgeMetrics {
             }),
             active: reg.gauge(
                 "relgo_http_active_connections",
-                "Connections currently being handled.",
+                "Requests currently being handled.",
+            ),
+            open_connections: reg.gauge(
+                "relgo_http_open_connections",
+                "TCP connections currently open (idle keep-alive included).",
+            ),
+            keepalive_reuses: reg.counter(
+                "relgo_http_keepalive_reuses_total",
+                "Requests served over an already-used persistent connection.",
+            ),
+            deadline_expirations: reg.counter(
+                "relgo_http_deadline_expirations_total",
+                "Requests aborted because their execution deadline expired.",
             ),
             rejections: reg.counter(
                 "relgo_http_admission_rejections_total",
@@ -278,7 +351,9 @@ struct Shared<'s> {
     next_stmt: AtomicU64,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     metrics: EdgeMetrics,
+    access_log: Option<Mutex<std::fs::File>>,
     connections: AtomicU64,
+    requests: AtomicU64,
     ok_responses: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
@@ -289,8 +364,18 @@ impl<'s> Shared<'s> {
         session: &'s Session,
         templates: &'s [QueryTemplate],
         config: &'s ServerConfig,
-    ) -> Shared<'s> {
-        Shared {
+    ) -> Result<Shared<'s>> {
+        let access_log = match &config.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| RelGoError::execution(format!("open access log {path}: {e}")))?,
+            )),
+            None => None,
+        };
+        Ok(Shared {
             session,
             templates,
             config,
@@ -299,11 +384,13 @@ impl<'s> Shared<'s> {
             next_stmt: AtomicU64::new(1),
             tenants: Mutex::new(HashMap::new()),
             metrics: EdgeMetrics::new(session),
+            access_log,
             connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
             ok_responses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
-        }
+        })
     }
 
     fn tenant(&self, name: &str) -> Arc<Tenant> {
@@ -319,9 +406,20 @@ impl<'s> Shared<'s> {
     fn stats(&self) -> ServeStats {
         ServeStats {
             connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
             ok_responses: self.ok_responses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Append one JSON line to the access log (no-op when disabled).
+    fn log_access(&self, line: &str) {
+        if let Some(log) = &self.access_log {
+            let mut file = log.lock().expect("access log lock");
+            // One write per line: the mutex orders writers, a single
+            // write_all keeps lines unsplit under concurrency.
+            let _ = file.write_all(format!("{line}\n").as_bytes());
         }
     }
 }
@@ -427,12 +525,17 @@ impl Endpoint {
     }
 }
 
-/// One parsed request: method, bare path, decoded query params, body.
+/// One parsed request: method, bare path, decoded query params, body, and
+/// the connection semantics the client asked for.
 struct Request {
     method: String,
     path: String,
     params: HashMap<String, String>,
     body: String,
+    /// Whether the client allows the connection to persist after this
+    /// request (HTTP/1.1 default; `Connection: close` or bare HTTP/1.0
+    /// opt out, `Connection: keep-alive` opts HTTP/1.0 back in).
+    keep_alive: bool,
 }
 
 impl Request {
@@ -445,12 +548,22 @@ impl Request {
     }
 }
 
-/// A response about to be written: status plus plain-text body, and an
-/// optional `Retry-After` delay (seconds) for retryable rejections.
+/// A response about to be written: status plus plain-text body, an
+/// optional `Retry-After` delay (seconds) for retryable rejections, and
+/// bookkeeping the access log and connection loop read back.
 struct Response {
     status: u16,
     body: String,
     retry_after: Option<u64>,
+    /// The stream position can no longer be trusted (framing error):
+    /// close the connection after this response regardless of keep-alive.
+    close: bool,
+    /// Result rows the response carries (access-log field).
+    rows: usize,
+    /// Per-stage query timings when the endpoint executed one
+    /// (access-log `stages` field). Boxed to keep `Response` small enough
+    /// to travel as the `Err` arm of the parameter-parsing helpers.
+    stages: Option<Box<StageTimings>>,
 }
 
 impl Response {
@@ -459,6 +572,9 @@ impl Response {
             status: 200,
             body,
             retry_after: None,
+            close: false,
+            rows: 0,
+            stages: None,
         }
     }
 
@@ -467,6 +583,9 @@ impl Response {
             status,
             body: format!("error: {msg}\n"),
             retry_after: None,
+            close: false,
+            rows: 0,
+            stages: None,
         }
     }
 
@@ -475,6 +594,14 @@ impl Response {
     fn retryable(status: u16, msg: impl std::fmt::Display, seconds: u64) -> Response {
         Response {
             retry_after: Some(seconds),
+            ..Response::err(status, msg)
+        }
+    }
+
+    /// `err` that also poisons the connection (framing errors).
+    fn fatal(status: u16, msg: impl std::fmt::Display) -> Response {
+        Response {
+            close: true,
             ..Response::err(status, msg)
         }
     }
@@ -488,122 +615,338 @@ fn status_text(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
+/// Serve one connection to completion: a keep-alive request loop. Each
+/// iteration reads one request off the shared buffered reader (pipelined
+/// bytes survive between iterations), dispatches it, decides whether the
+/// connection persists, and answers with the decision in the `Connection`
+/// header. The loop ends on client close, idle timeout, the per-connection
+/// request cap, a framing error, or drain (the in-flight request finishes,
+/// then the connection closes).
 fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
-    shared.connections.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.active.add(1);
-    let start = Instant::now();
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let (endpoint, response) = match read_request(&stream, shared.config.max_body_bytes) {
-        Ok(req) => {
-            let endpoint = route(&req);
-            (endpoint, dispatch(endpoint, &req, shared))
+    let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.metrics.open_connections.add(1);
+    // Request/response exchanges are latency-bound, not throughput-bound:
+    // never trade a delayed-ACK round trip for packet coalescing.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(&stream);
+    let mut seq: u64 = 0;
+    loop {
+        // The idle timeout governs the quiet gap before the next request
+        // line; once bytes flow, read_request tightens it to READ_TIMEOUT.
+        let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+        let start = Instant::now();
+        let (req, endpoint, response) = match read_request(&mut reader, &stream, shared.config) {
+            ReadOutcome::Closed => break,
+            ReadOutcome::Bad(response) => (None, Endpoint::Other, response),
+            ReadOutcome::Request(req) => {
+                let endpoint = route(&req);
+                shared.metrics.active.add(1);
+                let response = dispatch(endpoint, &req, shared);
+                shared.metrics.active.add(-1);
+                (Some(req), endpoint, response)
+            }
+        };
+        seq += 1;
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if seq > 1 {
+            shared.metrics.keepalive_reuses.inc();
         }
-        Err(response) => (Endpoint::Other, response),
-    };
-    match response.status {
-        200 => shared.ok_responses.fetch_add(1, Ordering::Relaxed),
-        429 => shared.rejected.fetch_add(1, Ordering::Relaxed),
-        _ => shared.failed.fetch_add(1, Ordering::Relaxed),
-    };
-    // Count *before* writing: once a client holds response N, any scrape
-    // it takes next must already include N (a /metrics body itself is
-    // rendered pre-increment, so a scrape never counts itself).
-    shared.metrics.requests[endpoint.idx()].inc();
-    shared.metrics.latency[endpoint.idx()].record(start.elapsed());
-    write_response(&stream, &response);
-    shared.metrics.active.add(-1);
+        let keep_alive = !response.close
+            && req.as_ref().is_some_and(|r| r.keep_alive)
+            && seq < shared.config.max_requests_per_connection as u64
+            && !shared.shutdown.load(Ordering::Acquire);
+        match response.status {
+            200 => shared.ok_responses.fetch_add(1, Ordering::Relaxed),
+            429 => shared.rejected.fetch_add(1, Ordering::Relaxed),
+            _ => shared.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // Count *before* writing: once a client holds response N, any
+        // scrape it takes next must already include N (a /metrics body
+        // itself is rendered pre-increment, so a scrape never counts
+        // itself).
+        shared.metrics.requests[endpoint.idx()].inc();
+        shared.metrics.latency[endpoint.idx()].record(start.elapsed());
+        shared.log_access(&access_log_line(
+            req.as_ref(),
+            &response,
+            endpoint,
+            conn_id,
+            seq,
+            start.elapsed(),
+        ));
+        write_response(&stream, &response, keep_alive);
+        if !keep_alive {
+            break;
+        }
+    }
+    shared.metrics.open_connections.add(-1);
 }
 
-/// Parse one request off the socket. The error side is the response to
-/// send back: `400` for anything malformed, `413` when the (untrusted)
-/// `Content-Length` header exceeds `max_body_bytes` — checked *before*
-/// the body buffer is allocated, so a hostile header cannot OOM a worker.
+/// What one attempt to read a request off a persistent connection yielded.
+enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// Nothing to serve: the client closed (or idled out) between
+    /// requests. No response is owed; the connection just closes.
+    Closed,
+    /// A malformed request: answer with this response, then close (the
+    /// stream position is untrustworthy after a framing error).
+    Bad(Response),
+}
+
+/// How one capped header-line read ended.
+enum LineRead {
+    Line,
+    Eof,
+    TooLong,
+}
+
+/// Read one `\n`-terminated line, charging its bytes against the
+/// remaining per-request header budget. A line that would overrun the
+/// budget stops reading early and reports [`LineRead::TooLong`] — the
+/// unbounded `read_line`-into-`String` this replaces let a client
+/// streaming an endless header OOM the worker.
+fn read_header_line(
+    reader: &mut BufReader<&TcpStream>,
+    line: &mut String,
+    budget: &mut usize,
+) -> std::io::Result<LineRead> {
+    // +1 so a line using the exact remaining budget is distinguishable
+    // from one that overruns it.
+    let cap = (*budget as u64).saturating_add(1);
+    let n = reader.by_ref().take(cap).read_line(line)?;
+    if n > *budget {
+        return Ok(LineRead::TooLong);
+    }
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    *budget -= n;
+    Ok(LineRead::Line)
+}
+
+/// Parse one request off the connection's buffered reader. Framing is
+/// strict because a persistent connection must stay byte-synchronized:
+/// header bytes are capped (`431` past `max_header_bytes`),
+/// `Content-Length` must parse and appear at most once (`400` otherwise —
+/// the old `unwrap_or(0)` would desynchronize every later request on the
+/// connection), an oversized declared body is `413` *before* any buffer
+/// is allocated, and query-string percent-escapes must decode to valid
+/// UTF-8 (`400`).
 fn read_request(
+    reader: &mut BufReader<&TcpStream>,
     stream: &TcpStream,
-    max_body_bytes: usize,
-) -> std::result::Result<Request, Response> {
-    let bad = |e: std::io::Error| Response::err(400, e);
-    let mut reader = BufReader::new(stream);
+    config: &ServerConfig,
+) -> ReadOutcome {
+    let mut header_budget = config.max_header_bytes;
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(bad)?;
+    match read_header_line(reader, &mut line, &mut header_budget) {
+        Ok(LineRead::Line) => {}
+        // EOF, idle timeout, or any transport error before a request
+        // line: nobody is waiting for a response.
+        Ok(LineRead::Eof) | Err(_) => return ReadOutcome::Closed,
+        Ok(LineRead::TooLong) => {
+            return ReadOutcome::Bad(Response::fatal(
+                431,
+                format!(
+                    "request line exceeds the {}-byte header limit",
+                    config.max_header_bytes
+                ),
+            ))
+        }
+    }
+    // A request is in flight: the stalled-client timeout takes over from
+    // the (typically longer) idle timeout.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_string();
     if method.is_empty() || !target.starts_with('/') {
-        return Err(Response::err(400, "malformed request line"));
+        return ReadOutcome::Bad(Response::fatal(400, "malformed request line"));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header).map_err(bad)? == 0 {
-            break;
+        line.clear();
+        match read_header_line(reader, &mut line, &mut header_budget) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) => {
+                return ReadOutcome::Bad(Response::fatal(400, "connection closed mid-headers"))
+            }
+            Ok(LineRead::TooLong) => {
+                return ReadOutcome::Bad(Response::fatal(
+                    431,
+                    format!("headers exceed the {}-byte limit", config.max_header_bytes),
+                ))
+            }
+            Err(e) => return ReadOutcome::Bad(Response::fatal(400, e)),
         }
-        let header = header.trim_end();
+        let header = line.trim_end();
         if header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                let parsed: usize = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return ReadOutcome::Bad(Response::fatal(
+                            400,
+                            format!("malformed Content-Length {:?}", value.trim()),
+                        ))
+                    }
+                };
+                if content_length.replace(parsed).is_some() {
+                    return ReadOutcome::Bad(Response::fatal(
+                        400,
+                        "duplicate Content-Length header",
+                    ));
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
             }
         }
     }
-    if content_length > max_body_bytes {
-        return Err(Response::err(
+    let content_length = content_length.unwrap_or(0);
+    if content_length > config.max_body_bytes {
+        return ReadOutcome::Bad(Response::fatal(
             413,
-            format!("body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"),
+            format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                config.max_body_bytes
+            ),
         ));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(bad)?;
-    let body = String::from_utf8(body).map_err(|_| Response::err(400, "non-UTF-8 request body"))?;
+    if let Err(e) = reader.read_exact(&mut body) {
+        return ReadOutcome::Bad(Response::fatal(400, e));
+    }
+    let body = match String::from_utf8(body) {
+        Ok(b) => b,
+        Err(_) => return ReadOutcome::Bad(Response::fatal(400, "non-UTF-8 request body")),
+    };
     let (path, params) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query_params(q)),
+        Some((p, q)) => match parse_query_params(q) {
+            Ok(params) => (p.to_string(), params),
+            Err(e) => return ReadOutcome::Bad(Response::fatal(400, e)),
+        },
         None => (target, HashMap::new()),
     };
-    Ok(Request {
+    // HTTP/1.1 persists by default; `close` opts out, and bare HTTP/1.0
+    // opts out unless the client sends `keep-alive`.
+    let keep_alive = match connection.as_deref() {
+        Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+        Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
+    ReadOutcome::Request(Request {
         method,
         path,
         params,
         body,
+        keep_alive,
     })
 }
 
-fn parse_query_params(q: &str) -> HashMap<String, String> {
+fn parse_query_params(q: &str) -> Result<HashMap<String, String>> {
     q.split('&')
         .filter(|kv| !kv.is_empty())
         .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (wire::percent_decode(k), wire::percent_decode(v)),
-            None => (wire::percent_decode(kv), String::new()),
+            Some((k, v)) => Ok((wire::percent_decode(k)?, wire::percent_decode(v)?)),
+            None => Ok((wire::percent_decode(kv)?, String::new())),
         })
         .collect()
 }
 
-fn response_head(response: &Response) -> String {
+fn response_head(response: &Response, keep_alive: bool) -> String {
     let retry_after = response
         .retry_after
         .map(|s| format!("Retry-After: {s}\r\n"))
         .unwrap_or_default();
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.body.len()
     )
 }
 
-fn write_response(mut stream: &TcpStream, response: &Response) {
-    let head = response_head(response);
+fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool) {
+    // One write per response: separate head/body writes would let Nagle
+    // hold the body packet for the client's delayed ACK (~40ms per
+    // request) on a persistent connection, where no close flushes it.
+    let mut payload = response_head(response, keep_alive);
+    payload.push_str(&response.body);
     // A client that hung up early is its own problem; the write result
     // only matters to it, not to the server loop.
     let _ = stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .write_all(payload.as_bytes())
         .and_then(|()| stream.flush());
+}
+
+/// Render one JSON access-log line. Hand-rolled (the vendored serde is a
+/// no-op shim), so strings pass through [`json_escape`].
+fn access_log_line(
+    req: Option<&Request>,
+    response: &Response,
+    endpoint: Endpoint,
+    conn_id: u64,
+    seq: u64,
+    elapsed: Duration,
+) -> String {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut line = String::with_capacity(192);
+    line.push_str(&format!(
+        "{{\"unix_ms\":{unix_ms},\"conn\":{conn_id},\"seq\":{seq},\"tenant\":\""
+    ));
+    json_escape(req.map_or("-", |r| r.tenant()), &mut line);
+    line.push_str("\",\"endpoint\":\"");
+    line.push_str(endpoint.name());
+    line.push_str("\",\"method\":\"");
+    json_escape(req.map_or("-", |r| &r.method), &mut line);
+    line.push_str("\",\"path\":\"");
+    json_escape(req.map_or("-", |r| &r.path), &mut line);
+    line.push_str(&format!(
+        "\",\"status\":{},\"rows\":{},\"micros\":{}",
+        response.status,
+        response.rows,
+        elapsed.as_micros()
+    ));
+    if let Some(stages) = &response.stages {
+        line.push_str(",\"stages\":{");
+        for (i, (stage, d)) in stages.nonzero().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{}", stage.name(), d.as_micros()));
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
 }
 
 fn route(req: &Request) -> Endpoint {
@@ -703,6 +1046,45 @@ fn parse_mode_param(req: &Request) -> std::result::Result<OptimizerMode, Respons
     }
 }
 
+/// Resolve this request's execution deadline: the `deadline_ms` query
+/// parameter wins, else the server-wide default, else unbounded. The
+/// [`TimeBudget`] starts *here* — queueing, planning and cache probes all
+/// count against it, matching what the client actually experiences.
+fn parse_deadline(
+    req: &Request,
+    shared: &Shared<'_>,
+) -> std::result::Result<Option<TimeBudget>, Response> {
+    let ms = match req.param("deadline_ms") {
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+            Response::err(
+                400,
+                "deadline_ms must be a non-negative integer of milliseconds",
+            )
+        })?),
+        None => shared.config.default_deadline_ms,
+    };
+    Ok(ms.map(|ms| TimeBudget::new(Duration::from_millis(ms))))
+}
+
+/// `Retry-After` advertised on deadline expiries: the query is retryable
+/// immediately with a longer (or absent) deadline, so advertise the
+/// minimum representable delay.
+const DEADLINE_RETRY_AFTER_SECS: u64 = 1;
+
+/// Map an engine error onto an HTTP response. A deadline expiry is the
+/// *client's* budget running out, not a server fault: `503` with
+/// `Retry-After` (and a metric), keeping the connection alive. Anything
+/// else stays a `500`.
+fn engine_error(e: RelGoError, shared: &Shared<'_>) -> Response {
+    match e {
+        RelGoError::DeadlineExceeded(_) => {
+            shared.metrics.deadline_expirations.inc();
+            Response::retryable(503, e, DEADLINE_RETRY_AFTER_SECS)
+        }
+        e => Response::err(500, e),
+    }
+}
+
 /// Serialize a query outcome: meta line, then one wire-encoded row per
 /// line. Charges the tenant's row budget first — a budget-exhausted
 /// tenant gets a `429` instead of rows.
@@ -728,7 +1110,10 @@ fn render_outcome(
         body.push_str(&wire::encode_row(&outcome.table.row(r as u32)));
         body.push('\n');
     }
-    Response::ok(body)
+    let mut response = Response::ok(body);
+    response.rows = rows;
+    response.stages = Some(Box::new(outcome.trace));
+    response
 }
 
 fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> Response {
@@ -744,13 +1129,20 @@ fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> R
         Ok(m) => m,
         Err(r) => return r,
     };
+    let deadline = match parse_deadline(req, shared) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
     let query = match template.instantiate(draw) {
         Ok(q) => q,
         Err(e) => return Response::err(400, e),
     };
-    match shared.session.run_cached(&query, mode) {
+    match shared
+        .session
+        .run_cached_with_deadline(&query, mode, deadline)
+    {
         Ok(outcome) => render_outcome(&outcome, mode, shared, guard),
-        Err(e) => Response::err(500, e),
+        Err(e) => engine_error(e, shared),
     }
 }
 
@@ -815,7 +1207,7 @@ fn handle_execute(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) ->
         Some(Ok(id)) => id,
         _ => return Response::err(400, "missing or malformed stmt parameter"),
     };
-    let draw = match parse_draw(req) {
+    let deadline = match parse_deadline(req, shared) {
         Ok(d) => d,
         Err(r) => return r,
     };
@@ -827,13 +1219,35 @@ fn handle_execute(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) ->
             None => return Response::err(400, format!("unknown statement {id}")),
         }
     };
-    let bindings = match shared.templates[template_idx].bindings(draw) {
-        Ok(b) => b,
-        Err(e) => return Response::err(400, e),
+    // Bindings come from exactly one of two places: client-supplied
+    // wire-tagged values (`bind=i:42|s:x`, the `|`/`%` wire-escaped then
+    // URL-escaped — the query-param decode already stripped the URL
+    // layer), or the template's deterministic generator (`draw=N`).
+    let bindings = match (req.param("bind"), req.param("draw")) {
+        (Some(_), Some(_)) => {
+            return Response::err(400, "bind and draw are mutually exclusive");
+        }
+        (Some(row), None) => match wire::decode_row(row) {
+            Ok(b) => b,
+            Err(e) => return Response::err(400, format!("malformed bind row: {e}")),
+        },
+        (None, _) => match parse_draw(req) {
+            Ok(draw) => match shared.templates[template_idx].bindings(draw) {
+                Ok(b) => b,
+                Err(e) => return Response::err(400, e),
+            },
+            Err(r) => return r,
+        },
     };
-    match stmt.execute(&bindings) {
+    // validate_bindings runs inside execute_with_deadline, so a
+    // wrong-arity or wrong-type bind row surfaces as a typed error here.
+    match stmt.execute_with_deadline(&bindings, deadline) {
         Ok(outcome) => render_outcome(&outcome, stmt.mode(), shared, guard),
-        Err(e) => Response::err(500, e),
+        Err(e) => match e {
+            RelGoError::DeadlineExceeded(_) => engine_error(e, shared),
+            RelGoError::Query(_) | RelGoError::Schema(_) => Response::err(400, e),
+            e => Response::err(500, e),
+        },
     }
 }
 
@@ -902,7 +1316,7 @@ mod tests {
 
     #[test]
     fn query_param_parsing_decodes() {
-        let params = parse_query_params("template=IC1-2&draw=5&tenant=team%20a&flag");
+        let params = parse_query_params("template=IC1-2&draw=5&tenant=team%20a&flag").unwrap();
         assert_eq!(params.get("template").unwrap(), "IC1-2");
         assert_eq!(params.get("draw").unwrap(), "5");
         assert_eq!(params.get("tenant").unwrap(), "team a");
@@ -910,14 +1324,73 @@ mod tests {
     }
 
     #[test]
+    fn query_params_reject_invalid_utf8_escapes() {
+        let err = parse_query_params("tenant=%FF").unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "{err}");
+    }
+
+    #[test]
     fn retryable_responses_carry_a_retry_after_header() {
-        let head = response_head(&Response::retryable(409, "conflict", 1));
+        let head = response_head(&Response::retryable(409, "conflict", 1), true);
         assert!(head.contains("HTTP/1.1 409 Conflict\r\n"), "{head}");
         assert!(head.contains("\r\nRetry-After: 1\r\n"), "{head}");
-        let head = response_head(&Response::err(400, "bad"));
+        let head = response_head(&Response::err(400, "bad"), true);
         assert!(!head.contains("Retry-After"), "{head}");
-        let head = response_head(&Response::ok("ok\n".to_string()));
+        let head = response_head(&Response::ok("ok\n".to_string()), true);
         assert!(!head.contains("Retry-After"), "{head}");
+    }
+
+    #[test]
+    fn response_head_advertises_the_connection_decision() {
+        let keep = response_head(&Response::ok("ok\n".to_string()), true);
+        assert!(keep.contains("\r\nConnection: keep-alive\r\n"), "{keep}");
+        let close = response_head(&Response::ok("ok\n".to_string()), false);
+        assert!(close.contains("\r\nConnection: close\r\n"), "{close}");
+    }
+
+    #[test]
+    fn access_log_lines_are_json_with_escaped_strings() {
+        let mut req = Request {
+            method: "POST".to_string(),
+            path: "/query".to_string(),
+            params: HashMap::new(),
+            body: String::new(),
+            keep_alive: true,
+        };
+        req.params
+            .insert("tenant".to_string(), "team \"a\"\\b".to_string());
+        let mut response = Response::ok("ok\n".to_string());
+        response.rows = 7;
+        let line = access_log_line(
+            Some(&req),
+            &response,
+            Endpoint::Query,
+            3,
+            2,
+            Duration::from_micros(1500),
+        );
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"conn\":3,\"seq\":2"), "{line}");
+        assert!(
+            line.contains("\"tenant\":\"team \\\"a\\\"\\\\b\""),
+            "{line}"
+        );
+        assert!(line.contains("\"endpoint\":\"query\""), "{line}");
+        assert!(
+            line.contains("\"status\":200,\"rows\":7,\"micros\":1500"),
+            "{line}"
+        );
+        // A request that never parsed logs placeholder fields.
+        let bad = access_log_line(
+            None,
+            &Response::fatal(431, "too big"),
+            Endpoint::Other,
+            1,
+            1,
+            Duration::ZERO,
+        );
+        assert!(bad.contains("\"tenant\":\"-\""), "{bad}");
+        assert!(bad.contains("\"status\":431"), "{bad}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn decode_value(s: &str) -> Result<Value> {
             .parse()
             .map(Value::Float)
             .map_err(|_| RelGoError::query(format!("malformed float {payload:?}"))),
-        "s" => Ok(Value::str(percent_decode(payload))),
+        "s" => percent_decode(payload).map(Value::str),
         "b" => payload
             .parse()
             .map(Value::Bool)
@@ -104,8 +104,11 @@ pub fn percent_encode(s: &str) -> String {
 }
 
 /// Reverse [`percent_encode`]; also tolerates `+` for space (HTML form
-/// convention) and passes malformed escapes through untouched.
-pub fn percent_decode(s: &str) -> String {
+/// convention) and passes malformed escapes (`%2`, `%zz`) through
+/// untouched. Escapes that decode to invalid UTF-8 (e.g. a bare `%FF`)
+/// are an **error**, not a lossy U+FFFD substitution — on the ingest
+/// path a silent substitution would commit corrupted strings.
+pub fn percent_decode(s: &str) -> Result<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -136,7 +139,12 @@ pub fn percent_decode(s: &str) -> String {
             }
         }
     }
-    String::from_utf8_lossy(&out).into_owned()
+    String::from_utf8(out).map_err(|e| {
+        RelGoError::query(format!(
+            "percent-escapes decode to invalid UTF-8 at byte {} of {s:?}",
+            e.utf8_error().valid_up_to()
+        ))
+    })
 }
 
 fn hex_digit(b: Option<u8>) -> Option<u8> {
@@ -237,7 +245,7 @@ mod tests {
         for s in ["Émile", "Ω≈ç√∫", "🦀🦀", "日本語テキスト", "é%é|é\né+é"]
         {
             let encoded = percent_encode(s);
-            assert_eq!(percent_decode(&encoded), s, "via {encoded:?}");
+            assert_eq!(percent_decode(&encoded).unwrap(), s, "via {encoded:?}");
             let v = Value::str(s);
             assert_eq!(decode_value(&encode_value(&v)).unwrap(), v);
         }
@@ -245,8 +253,21 @@ mod tests {
 
     #[test]
     fn percent_decode_tolerates_malformed_escapes() {
-        assert_eq!(percent_decode("a%2"), "a%2");
-        assert_eq!(percent_decode("a%zz"), "a%zz");
-        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("a%2").unwrap(), "a%2");
+        assert_eq!(percent_decode("a%zz").unwrap(), "a%zz");
+        assert_eq!(percent_decode("a+b%20c").unwrap(), "a b c");
+    }
+
+    #[test]
+    fn percent_decode_rejects_invalid_utf8_instead_of_substituting() {
+        // `%FF` is not valid UTF-8 anywhere; lossy decoding would silently
+        // commit U+FFFD on the ingest path.
+        let err = percent_decode("a%FFb").unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "{err}");
+        // A multi-byte sequence torn in half is equally invalid.
+        assert!(percent_decode("%C3").is_err());
+        // ...but a *complete* escaped UTF-8 sequence decodes fine.
+        assert_eq!(percent_decode("%C3%89mile").unwrap(), "Émile");
+        assert!(decode_value("s:a%FFb").is_err());
     }
 }

@@ -566,14 +566,336 @@ fn in_process_admission_budget_and_drain_accounting() {
         Ok(v) => v,
         Err(p) => std::panic::resume_unwind(p),
     };
-    // Drain accounting: every accepted connection produced exactly one
-    // classified response, and the client saw all of them.
+    // Drain accounting: every request produced exactly one classified
+    // response, and the client saw all of them. (These clients send
+    // `Connection: close`, so requests == connections here too.)
     assert_eq!(
-        stats.connections,
+        stats.requests,
         stats.ok_responses + stats.rejected + stats.failed
     );
+    assert_eq!(stats.requests, stats.connections);
     assert_eq!(stats.ok_responses, ok + 1); // + the shutdown ack itself
     assert_eq!(stats.rejected, rejected);
     // The 413 oversized-body probe and the 400 non-durable checkpoint.
     assert_eq!(stats.failed, 2);
+}
+
+/// A client holding one persistent connection: sends requests back to
+/// back on the same socket and reads each framed response (the
+/// `Content-Length` header bounds the body, so the socket stays
+/// byte-synchronized for the next exchange).
+struct KeepAliveClient {
+    stream: TcpStream,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: &str) -> KeepAliveClient {
+        KeepAliveClient {
+            stream: TcpStream::connect(addr).expect("connect"),
+        }
+    }
+
+    /// One exchange. Returns `(status, head, body)`; `head` is the raw
+    /// header block (for `Connection:` / `Retry-After:` assertions).
+    fn send(&mut self, method: &str, path: &str, body: &str) -> (u16, String, String) {
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: keepalive\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("send request");
+        self.read_response()
+    }
+
+    /// Send raw bytes (malformed-framing probes) and read one response.
+    fn send_raw(&mut self, raw: &[u8]) -> (u16, String, String) {
+        self.stream.write_all(raw).expect("send raw");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String, String) {
+        let mut reader = BufReader::new(&self.stream);
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read header line") > 0,
+                "connection closed mid-response (head so far: {head:?})"
+            );
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Content-Length header");
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("read body");
+        (status, head, String::from_utf8(body).expect("UTF-8 body"))
+    }
+
+    /// True once the server has closed its end (EOF on read).
+    fn closed_by_server(mut self) -> bool {
+        let mut buf = [0u8; 1];
+        matches!(self.stream.read(&mut buf), Ok(0))
+    }
+}
+
+/// Keep-alive, request deadlines, strict framing, and the access log,
+/// pinned down in-process with a deliberately tight config.
+#[test]
+fn keepalive_deadlines_framing_and_access_log() {
+    use std::time::Duration;
+
+    let (session, schema) = Session::snb(0.01, 11).expect("session");
+    let templates = snb_templates(&schema);
+    let log_path =
+        std::env::temp_dir().join(format!("relgo_server_access_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_header_bytes: 512,
+        idle_timeout: Duration::from_millis(300),
+        max_requests_per_connection: 4,
+        access_log: Some(log_path.display().to_string()),
+        ..ServerConfig::default()
+    };
+    let bound = Server::new(&session, &templates, config)
+        .bind()
+        .expect("bind");
+    let addr = bound.local_addr().to_string();
+
+    let (stats, client) = std::thread::scope(|scope| {
+        let server = scope.spawn(move || bound.run().expect("server run"));
+        let client = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // --- keep-alive reuse: several requests, one socket ----------
+            let mut ka = KeepAliveClient::connect(&addr);
+            let query_path = format!("/query?template={}&draw=1", templates[0].name());
+            for _ in 0..3 {
+                let (status, head, body) = ka.send("POST", &query_path, "");
+                assert_eq!(status, 200, "keep-alive query: {body}");
+                assert!(
+                    head.contains("Connection: keep-alive"),
+                    "reused responses advertise keep-alive: {head}"
+                );
+            }
+            // The 4th request hits max_requests_per_connection: still
+            // served, but the server announces and performs the close.
+            let (status, head, _) = ka.send("GET", "/healthz", "");
+            assert_eq!(status, 200);
+            assert!(head.contains("Connection: close"), "{head}");
+            assert!(ka.closed_by_server(), "request cap closes the connection");
+
+            // --- idle timeout closes a quiet connection ------------------
+            let mut idle = KeepAliveClient::connect(&addr);
+            let (status, _, _) = idle.send("GET", "/healthz", "");
+            assert_eq!(status, 200);
+            std::thread::sleep(Duration::from_millis(900));
+            assert!(
+                idle.closed_by_server(),
+                "idle connection closed after idle_timeout"
+            );
+
+            // --- deadline_ms=0 expires before the first morsel -----------
+            let mut ka = KeepAliveClient::connect(&addr);
+            let (status, head, body) = ka.send("POST", &format!("{query_path}&deadline_ms=0"), "");
+            assert_eq!(status, 503, "expired deadline: {body}");
+            assert!(head.contains("Retry-After:"), "{head}");
+            assert!(body.contains("deadline"), "{body}");
+            // A handler-level error does NOT poison the connection: the
+            // same socket serves the next request fine.
+            let (status, _, _) = ka.send("POST", &query_path, "");
+            assert_eq!(status, 200, "connection survives a 503");
+            let (status, _, body) = ka.send("POST", &format!("{query_path}&deadline_ms=60000"), "");
+            assert_eq!(status, 200, "generous deadline passes: {body}");
+
+            // --- client-supplied bindings on /execute --------------------
+            let (status, _, body) = ka.send(
+                "POST",
+                &format!("/prepare?template={}", templates[0].name()),
+                "",
+            );
+            // 4th request on this socket: the cap closes it after this.
+            assert_eq!(status, 200, "prepare: {body}");
+            let stmt = body
+                .trim()
+                .strip_prefix("ok stmt=")
+                .expect("stmt id")
+                .to_string();
+            assert!(ka.closed_by_server());
+            let mut ka = KeepAliveClient::connect(&addr);
+            // The template's own draw-7 bindings, sent explicitly by value:
+            // the two paths must produce identical rows.
+            let bindings = templates[0].bindings(7).expect("bindings");
+            let bind_row = bindings
+                .iter()
+                .map(wire::encode_value)
+                .collect::<Vec<_>>()
+                .join("|")
+                // The wire row rides inside a URL query value: escape the
+                // escape character itself so the query-param decode
+                // yields the wire row back.
+                .replace('%', "%25");
+            let (status, _, by_bind) =
+                ka.send("POST", &format!("/execute?stmt={stmt}&bind={bind_row}"), "");
+            assert_eq!(status, 200, "bind execute: {by_bind}");
+            let (status, _, by_draw) = ka.send("POST", &format!("/execute?stmt={stmt}&draw=7"), "");
+            assert_eq!(status, 200, "draw execute: {by_draw}");
+            assert_eq!(
+                decode_query_body(&by_bind).1,
+                decode_query_body(&by_draw).1,
+                "bind= and draw= produce identical rows"
+            );
+            // Wrong arity is a clean 400, and both-params is rejected.
+            let (status, _, body) = ka.send("POST", &format!("/execute?stmt={stmt}&bind=i:1"), "");
+            assert!(
+                status == 400 || bindings.len() == 1,
+                "wrong-arity bind must 400: {status} {body}"
+            );
+            let (status, _, _) =
+                ka.send("POST", &format!("/execute?stmt={stmt}&bind=i:1&draw=7"), "");
+            assert_eq!(status, 400, "bind and draw are mutually exclusive");
+
+            // --- framing errors: reject and close ------------------------
+            // Request line past max_header_bytes (512).
+            let mut f = KeepAliveClient::connect(&addr);
+            let long_path = format!("/healthz?pad={}", "x".repeat(600));
+            let (status, _, body) = f.send("GET", &long_path, "");
+            assert_eq!(status, 431, "oversized request line: {body}");
+            assert!(f.closed_by_server(), "431 poisons the connection");
+            // Header block past the cap (many medium headers).
+            let mut f = KeepAliveClient::connect(&addr);
+            let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+            for i in 0..10 {
+                raw.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+            }
+            raw.push_str("\r\n");
+            let (status, _, _) = f.send_raw(raw.as_bytes());
+            assert_eq!(status, 431, "oversized header block");
+            assert!(f.closed_by_server());
+            // Malformed Content-Length.
+            let mut f = KeepAliveClient::connect(&addr);
+            let (status, _, body) =
+                f.send_raw(b"POST /ingest HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+            assert_eq!(status, 400, "malformed Content-Length: {body}");
+            assert!(body.contains("Content-Length"), "{body}");
+            assert!(f.closed_by_server());
+            // Duplicate Content-Length (smuggling vector).
+            let mut f = KeepAliveClient::connect(&addr);
+            let (status, _, body) = f.send_raw(
+                b"POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
+            );
+            assert_eq!(status, 400, "duplicate Content-Length: {body}");
+            assert!(body.contains("duplicate"), "{body}");
+            assert!(f.closed_by_server());
+
+            // --- invalid UTF-8 percent-escape on ingest ------------------
+            let mut ka = KeepAliveClient::connect(&addr);
+            let (status, _, body) = ka.send(
+                "POST",
+                "/ingest",
+                "Person|i:900008|s:ok|d:17000\nPerson|i:900009|s:bad%FF|d:17000\n",
+            );
+            assert_eq!(status, 400, "invalid UTF-8 escape commits nothing: {body}");
+            assert!(
+                body.contains("line 2") && body.contains("invalid UTF-8"),
+                "offending line is named: {body}"
+            );
+            // ...and nothing committed: epoch still 0 (no commit landed).
+            let (_, _, health) = ka.send("GET", "/healthz", "");
+            assert_eq!(health.trim(), "ok epoch=0");
+
+            // --- HTTP/1.0 and Connection: close semantics ----------------
+            let mut f = KeepAliveClient::connect(&addr);
+            let (status, head, _) =
+                f.send_raw(b"GET /healthz HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+            assert_eq!(status, 200);
+            assert!(head.contains("Connection: close"), "{head}");
+            assert!(f.closed_by_server(), "bare HTTP/1.0 closes");
+
+            // --- scrape reconciliation -----------------------------------
+            let mut m = KeepAliveClient::connect(&addr);
+            let (status, _, scrape_body) = m.send("GET", "/metrics", "");
+            assert_eq!(status, 200);
+            let scrape = text::parse(&scrape_body).expect("scrape parses");
+            let reuses = scrape
+                .value("relgo_http_keepalive_reuses_total", &[])
+                .expect("keepalive series present");
+            assert!(reuses >= 10.0, "reuse happened many times: {reuses}");
+            assert_eq!(
+                scrape.value("relgo_http_deadline_expirations_total", &[]),
+                Some(1.0),
+                "exactly one deadline expiry"
+            );
+            let open = scrape
+                .value("relgo_http_open_connections", &[])
+                .expect("open-connections gauge present");
+            assert!(open >= 1.0, "this scrape's own connection is open: {open}");
+        }));
+        // Shutdown over a fresh connection.
+        let (status, _) = http(&addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        let stats = server.join().expect("server thread");
+        (stats, client)
+    });
+    if let Err(p) = client {
+        std::fs::remove_file(&log_path).ok();
+        std::panic::resume_unwind(p);
+    }
+
+    // Keep-alive accounting: more requests than connections, and every
+    // request classified exactly once.
+    assert!(
+        stats.requests > stats.connections,
+        "reuse means requests ({}) > connections ({})",
+        stats.requests,
+        stats.connections
+    );
+    assert_eq!(
+        stats.requests,
+        stats.ok_responses + stats.rejected + stats.failed
+    );
+
+    // Access log: one JSON object per request (framing rejections
+    // included), fields present and sane.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(
+        lines.len() as u64,
+        stats.requests,
+        "one access-log line per request"
+    );
+    let mut saw_query_stages = false;
+    let mut saw_431 = false;
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSON object per line: {line}"
+        );
+        for field in [
+            "\"unix_ms\":",
+            "\"conn\":",
+            "\"seq\":",
+            "\"endpoint\":\"",
+            "\"status\":",
+        ] {
+            assert!(line.contains(field), "missing {field}: {line}");
+        }
+        if line.contains("\"endpoint\":\"query\"") && line.contains("\"status\":200") {
+            saw_query_stages |= line.contains("\"stages\":{") && line.contains("\"execute\":");
+        }
+        saw_431 |= line.contains("\"status\":431");
+    }
+    assert!(saw_query_stages, "served queries log per-stage micros");
+    assert!(saw_431, "framing rejections are logged too");
+    std::fs::remove_file(&log_path).ok();
 }
