@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|figwal|figckpt|figserve|stats|all] [--quick]
+//! repro [fig4a|fig4b|fig7|fig8|fig9|fig10|fig11|fig12|figcache|figpar|figprepared|figingest|figwal|figckpt|figserve|figprofile|stats|all] [--quick]
 //! ```
 //!
 //! `--quick` (or `RELGO_BENCH_QUICK=1`) shrinks scales and repetitions for
@@ -55,10 +55,11 @@ fn main() {
     emit("figwal", &|| figures::fig_wal(&cfg));
     emit("figckpt", &|| figures::fig_ckpt(&cfg));
     emit("figserve", &|| figures::fig_serve(&cfg));
+    emit("figprofile", &|| figures::fig_profile(&cfg));
 
     if !ran_any {
         eprintln!(
-            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest figwal figckpt figserve all"
+            "unknown target '{what}'; expected one of: stats fig4a fig4b fig7 fig8 fig9 fig10 fig11 fig12 figcache figpar figprepared figingest figwal figckpt figserve figprofile all"
         );
         std::process::exit(2);
     }

@@ -29,6 +29,7 @@ pub mod agnostic;
 pub mod aware;
 pub mod convert;
 pub mod graph_plan;
+pub mod op_meta;
 pub mod optimizer;
 pub mod param;
 pub mod rel_plan;
@@ -37,6 +38,7 @@ pub mod spjm;
 
 pub use convert::{spj_to_spjm, SpjJoin, SpjQuery, SpjTable};
 pub use graph_plan::{GraphOp, PatternElem};
+pub use op_meta::OperatorMeta;
 pub use optimizer::{optimize, OptStats, OptimizerMode, PlannerContext};
 pub use param::{
     bind_query, binding_signature, parameterize, rebind_plan, validate_bindings, ParamQuery,

@@ -32,6 +32,7 @@
 //! entries to amortize one evaluation per table row.
 
 use crate::chunk::GraphChunk;
+use crate::profile::ProfileSink;
 use relgo_common::morsel::{self, RowBudget, TimeBudget};
 use relgo_common::{FxHashMap, LabelId, RelGoError, Result, RowId};
 use relgo_core::graph_plan::{GraphOp, StarLeg};
@@ -39,6 +40,7 @@ use relgo_graph::{Direction, GraphIndex, GraphView};
 use relgo_pattern::Pattern;
 use relgo_storage::{ScalarExpr, Table};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Per-batch shared operator state (the batched-serving seam): when N
 /// rebound instances of one plan skeleton execute as a batch, the per-query
@@ -83,6 +85,10 @@ pub struct GraphExecContext<'a> {
     pub deadline: Option<TimeBudget>,
     /// Shared per-batch state (`None` outside batched execution).
     pub batch: Option<&'a BatchState>,
+    /// Profile collection target (`None` = profiling off; the hot path
+    /// pays one branch per operator). Only the plan-driving thread touches
+    /// it — morsel workers never see the sink.
+    pub profile: Option<&'a ProfileSink>,
 }
 
 impl<'a> GraphExecContext<'a> {
@@ -125,8 +131,14 @@ impl<'a> GraphExecContext<'a> {
 pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphChunk> {
     let nv = ctx.pattern.vertex_count();
     let ne = ctx.pattern.edge_count();
-    match op {
+    // Reserve the pre-order profile slot before recursing into inputs, so
+    // run-time op ids line up with plan-time metas and EXPLAIN lines. Each
+    // arm records (rows in, morsels dispatched, own-work start): the timer
+    // starts after inputs return, so a parent's elapsed excludes children.
+    let op_id = ctx.profile.map(|sink| sink.begin(op.kind()));
+    let (rows_in, morsels, t0, out) = match op {
         GraphOp::ScanVertex { v, predicate, .. } => {
+            let t0 = op_id.map(|_| Instant::now());
             let label = ctx.pattern.vertex(*v).label;
             let table = ctx.view.vertex_table(label);
             let rows: Vec<RowId> = match predicate {
@@ -134,9 +146,12 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
                 None => (0..table.num_rows() as RowId).collect(),
             };
             ctx.guard(rows.len())?;
-            Ok(GraphChunk::from_vertex(nv, ne, *v, rows))
+            (0, 0, t0, GraphChunk::from_vertex(nv, ne, *v, rows))
         }
-        GraphOp::ScanEdge { e, predicate, .. } => scan_edge(*e, predicate.as_ref(), ctx),
+        GraphOp::ScanEdge { e, predicate, .. } => {
+            let t0 = op_id.map(|_| Instant::now());
+            (0, 0, t0, scan_edge(*e, predicate.as_ref(), ctx)?)
+        }
         GraphOp::Expand {
             input,
             from,
@@ -149,7 +164,8 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
             ..
         } => {
             let inp = execute_graph(input, ctx)?;
-            expand(
+            let t0 = op_id.map(|_| Instant::now());
+            let out = expand(
                 &inp,
                 *from,
                 *edge,
@@ -159,7 +175,8 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
                 edge_predicate.as_ref(),
                 vertex_predicate.as_ref(),
                 ctx,
-            )
+            )?;
+            (inp.len(), morsel_count(inp.len(), ctx), t0, out)
         }
         GraphOp::ExpandIntersect {
             input,
@@ -170,7 +187,10 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
             ..
         } => {
             let inp = execute_graph(input, ctx)?;
-            expand_intersect(&inp, legs, *to, *emit_edges, vertex_predicate.as_ref(), ctx)
+            let t0 = op_id.map(|_| Instant::now());
+            let out =
+                expand_intersect(&inp, legs, *to, *emit_edges, vertex_predicate.as_ref(), ctx)?;
+            (inp.len(), morsel_count(inp.len(), ctx), t0, out)
         }
         GraphOp::JoinSub {
             left,
@@ -181,7 +201,9 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
         } => {
             let l = execute_graph(left, ctx)?;
             let r = execute_graph(right, ctx)?;
-            join_chunks(&l, &r, on_vertices, on_edges, ctx)
+            let t0 = op_id.map(|_| Instant::now());
+            let out = join_chunks(&l, &r, on_vertices, on_edges, ctx)?;
+            (l.len() + r.len(), 0, t0, out)
         }
         GraphOp::FilterVertex {
             input,
@@ -190,9 +212,38 @@ pub fn execute_graph(op: &GraphOp, ctx: &GraphExecContext<'_>) -> Result<GraphCh
             ..
         } => {
             let inp = execute_graph(input, ctx)?;
-            filter_vertex(&inp, *v, predicate, ctx)
+            let t0 = op_id.map(|_| Instant::now());
+            let out = filter_vertex(&inp, *v, predicate, ctx)?;
+            (inp.len(), morsel_count(inp.len(), ctx), t0, out)
         }
+    };
+    if let (Some(sink), Some(id)) = (ctx.profile, op_id) {
+        // Expand and intersect charge exactly their materialized rows
+        // against the shared row budget; the other operators guard after
+        // the fact and charge nothing.
+        let charged = match op {
+            GraphOp::Expand { .. } | GraphOp::ExpandIntersect { .. } => out.len() as u64,
+            _ => 0,
+        };
+        let elapsed = t0.map(|t| t.elapsed()).unwrap_or_default();
+        sink.finish(
+            id,
+            rows_in as u64,
+            out.len() as u64,
+            morsels,
+            elapsed,
+            charged,
+        );
     }
+    Ok(out)
+}
+
+/// Morsels a morsel-parallel operator dispatches for `rows` input rows.
+fn morsel_count(rows: usize, ctx: &GraphExecContext<'_>) -> u64 {
+    if ctx.profile.is_none() {
+        return 0;
+    }
+    morsel::morsel_count(rows, morsel::DEFAULT_MORSEL_ROWS) as u64
 }
 
 /// `SCAN_EDGE`: bind the edge and both endpoints.
@@ -843,6 +894,7 @@ mod tests {
             threads: 1,
             deadline: None,
             batch: None,
+            profile: None,
         }
     }
 

@@ -21,8 +21,12 @@
 pub mod chunk;
 pub mod graph_exec;
 pub mod oracle;
+pub mod profile;
 pub mod rel_exec;
 
 pub use chunk::GraphChunk;
 pub use graph_exec::BatchState;
-pub use rel_exec::{execute_plan, execute_plan_batch, ExecConfig};
+pub use profile::{
+    OperatorProfile, OperatorReport, PlanProfile, PlanReport, ProfileMode, ProfileSink,
+};
+pub use rel_exec::{execute_plan, execute_plan_batch, execute_plan_with, ExecConfig};

@@ -7,6 +7,7 @@
 
 use crate::chunk::GraphChunk;
 use crate::graph_exec::{execute_graph, BatchState, GraphExecContext};
+use crate::profile::{PlanProfile, ProfileMode, ProfileSink};
 use relgo_common::morsel::TimeBudget;
 use relgo_common::{DataType, ElementId, Field, FxHashMap, Result, Schema};
 use relgo_core::rel_plan::{PhysicalPlan, RelOp};
@@ -16,6 +17,7 @@ use relgo_pattern::{MatchSemantics, Pattern};
 use relgo_storage::ops;
 use relgo_storage::{Column, Database, Table};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +52,36 @@ pub fn execute_plan(
     db: &Database,
     cfg: &ExecConfig,
 ) -> Result<Table> {
-    let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg, None)?;
-    Ok(Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone()))
+    Ok(execute_plan_with(plan, view, db, cfg, ProfileMode::Off)?.0)
+}
+
+/// Execute a plan, optionally collecting one [`crate::profile::OperatorProfile`]
+/// per physical operator (pre-order op ids, shared with
+/// `PhysicalPlan::operator_metas` and the EXPLAIN rendering). Profiled
+/// results are bit-identical to unprofiled ones — the sink is touched only
+/// by the plan-driving thread, outside the morsel workers.
+pub fn execute_plan_with(
+    plan: &PhysicalPlan,
+    view: &GraphView,
+    db: &Database,
+    cfg: &ExecConfig,
+    mode: ProfileMode,
+) -> Result<(Table, Option<PlanProfile>)> {
+    let sink = match mode {
+        ProfileMode::Off => None,
+        ProfileMode::On => Some(ProfileSink::new()),
+    };
+    let out = exec_rel(
+        &plan.root,
+        &plan.pattern,
+        view,
+        db,
+        cfg,
+        None,
+        sink.as_ref(),
+    )?;
+    let table = Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone());
+    Ok((table, sink.map(|s| s.take())))
 }
 
 /// Execute N rebound instances of one plan skeleton as a batch. Results are
@@ -71,7 +101,7 @@ pub fn execute_plan_batch<P: std::borrow::Borrow<PhysicalPlan>>(
         .iter()
         .map(|plan| {
             let plan = plan.borrow();
-            let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg, Some(&batch))?;
+            let out = exec_rel(&plan.root, &plan.pattern, view, db, cfg, Some(&batch), None)?;
             Ok(Arc::try_unwrap(out).unwrap_or_else(|arc| (*arc).clone()))
         })
         .collect()
@@ -84,13 +114,19 @@ fn exec_rel(
     db: &Database,
     cfg: &ExecConfig,
     batch: Option<&BatchState>,
+    sink: Option<&ProfileSink>,
 ) -> Result<Arc<Table>> {
     // Operator-boundary deadline check for the relational tree; the graph
     // operators below re-check at every morsel boundary.
     if let Some(deadline) = &cfg.deadline {
         deadline.check()?;
     }
-    match op {
+    // Reserve the pre-order profile slot before recursing, so run-time op
+    // ids line up with plan-time metas and EXPLAIN lines. Each arm records
+    // its input rows and an own-work start taken after inputs return — a
+    // parent's elapsed excludes its children's execution.
+    let op_id = sink.map(|s| s.begin(op.kind()));
+    let (rows_in, t0, out) = match op {
         RelOp::ScanGraphTable { graph, columns } => {
             let ctx = GraphExecContext {
                 view,
@@ -100,52 +136,69 @@ fn exec_rel(
                 threads: cfg.threads,
                 deadline: cfg.deadline,
                 batch,
+                profile: sink,
             };
             let chunk = execute_graph(graph, &ctx)?;
+            let t0 = op_id.map(|_| Instant::now());
+            let rows_in = chunk.len();
             let chunk = apply_semantics(&chunk, pattern, view)?;
-            Ok(Arc::new(project_graph_table(
-                &chunk, pattern, view, columns,
-            )?))
+            let out = Arc::new(project_graph_table(&chunk, pattern, view, columns)?);
+            (rows_in, t0, out)
         }
         RelOp::ScanTable { table, predicate } => {
+            let t0 = op_id.map(|_| Instant::now());
             let t = db.table(table)?;
-            match predicate {
-                None => Ok(Arc::clone(t)),
-                Some(p) => Ok(Arc::new(ops::filter(t, p)?)),
-            }
+            let out = match predicate {
+                None => Arc::clone(t),
+                Some(p) => Arc::new(ops::filter(t, p)?),
+            };
+            (0, t0, out)
         }
         RelOp::HashJoin { left, right, keys } => {
-            let l = exec_rel(left, pattern, view, db, cfg, batch)?;
-            let r = exec_rel(right, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::hash_join(&l, &r, keys)?))
+            let l = exec_rel(left, pattern, view, db, cfg, batch, sink)?;
+            let r = exec_rel(right, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            let rows_in = l.num_rows() + r.num_rows();
+            (rows_in, t0, Arc::new(ops::hash_join(&l, &r, keys)?))
         }
         RelOp::Filter { input, predicate } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::filter(&t, predicate)?))
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            (t.num_rows(), t0, Arc::new(ops::filter(&t, predicate)?))
         }
         RelOp::Project { input, cols } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::project(&t, cols)?))
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            (t.num_rows(), t0, Arc::new(ops::project(&t, cols)?))
         }
         RelOp::Aggregate { input, aggs } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
             let spec: Vec<(ops::AggFunc, usize)> =
                 aggs.iter().map(|a| (a.func, a.column)).collect();
-            Ok(Arc::new(ops::aggregate(&t, &spec)?))
+            (t.num_rows(), t0, Arc::new(ops::aggregate(&t, &spec)?))
         }
         RelOp::Distinct { input } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::distinct(&t)))
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            (t.num_rows(), t0, Arc::new(ops::distinct(&t)))
         }
         RelOp::Sort { input, keys } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::sort(&t, keys)?))
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            (t.num_rows(), t0, Arc::new(ops::sort(&t, keys)?))
         }
         RelOp::Limit { input, n } => {
-            let t = exec_rel(input, pattern, view, db, cfg, batch)?;
-            Ok(Arc::new(ops::limit(&t, *n)))
+            let t = exec_rel(input, pattern, view, db, cfg, batch, sink)?;
+            let t0 = op_id.map(|_| Instant::now());
+            (t.num_rows(), t0, Arc::new(ops::limit(&t, *n)))
         }
+    };
+    if let (Some(sink), Some(id)) = (sink, op_id) {
+        let elapsed = t0.map(|t| t.elapsed()).unwrap_or_default();
+        sink.finish(id, rows_in as u64, out.num_rows() as u64, 0, elapsed, 0);
     }
+    Ok(out)
 }
 
 /// Apply the all-distinct operator when the pattern requests isomorphism-
@@ -464,6 +517,7 @@ mod tests {
             threads: 1,
             deadline: None,
             batch: None,
+            profile: None,
         };
         let chunk = execute_graph(&plan, &ctx).unwrap();
         assert_eq!(chunk.len(), 8);

@@ -1,9 +1,9 @@
 //! Query-lifecycle tracing: a [`QueryTrace`] times each stage a query
 //! passes through (parse → parameterize → cache probe → optimize/rebind →
-//! execute → materialize) and folds into [`StageTimings`], whose
-//! [`StageTimings::coverage`] quantifies how much of the measured
-//! end-to-end latency the stages account for — the self-check the
-//! `figserve` figure enforces (≥ 95%).
+//! execute → materialize → serialize, plus the ingest-side WAL append) and
+//! folds into [`StageTimings`], whose [`StageTimings::coverage`]
+//! quantifies how much of the measured end-to-end latency the stages
+//! account for — the self-check the `figserve` figure enforces (≥ 96%).
 
 use std::time::{Duration, Instant};
 
@@ -24,11 +24,15 @@ pub enum Stage {
     Execute,
     /// Result materialization / response encoding.
     Materialize,
+    /// Wire serialization of the response body at the serving edge.
+    Serialize,
+    /// Write-ahead-log append + group-commit sync of an ingest commit.
+    WalAppend,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Parse,
         Stage::Parameterize,
         Stage::CacheProbe,
@@ -36,6 +40,8 @@ impl Stage {
         Stage::Rebind,
         Stage::Execute,
         Stage::Materialize,
+        Stage::Serialize,
+        Stage::WalAppend,
     ];
 
     /// Stable label value used in metric series (`stage="execute"`).
@@ -48,6 +54,8 @@ impl Stage {
             Stage::Rebind => "rebind",
             Stage::Execute => "execute",
             Stage::Materialize => "materialize",
+            Stage::Serialize => "serialize",
+            Stage::WalAppend => "wal_append",
         }
     }
 
@@ -60,6 +68,8 @@ impl Stage {
             Stage::Rebind => 4,
             Stage::Execute => 5,
             Stage::Materialize => 6,
+            Stage::Serialize => 7,
+            Stage::WalAppend => 8,
         }
     }
 }
@@ -70,7 +80,7 @@ impl Stage {
 #[derive(Debug)]
 pub struct QueryTrace {
     started: Instant,
-    stages: [Duration; 7],
+    stages: [Duration; 9],
 }
 
 impl QueryTrace {
@@ -78,7 +88,7 @@ impl QueryTrace {
     pub fn start() -> QueryTrace {
         QueryTrace {
             started: Instant::now(),
-            stages: [Duration::ZERO; 7],
+            stages: [Duration::ZERO; 9],
         }
     }
 
@@ -111,7 +121,7 @@ impl QueryTrace {
 /// A completed trace: per-stage durations and the end-to-end wall time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
-    stages: [Duration; 7],
+    stages: [Duration; 9],
     /// End-to-end wall time of the traced region.
     pub total: Duration,
 }
@@ -120,6 +130,15 @@ impl StageTimings {
     /// The time charged to `stage`.
     pub fn get(&self, stage: Stage) -> Duration {
         self.stages[stage.idx()]
+    }
+
+    /// Charge an after-the-fact stage measured *outside* the traced region
+    /// (e.g. response serialization at the serving edge, which happens
+    /// after the session froze the trace). The total extends by the same
+    /// amount so coverage stays consistent.
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        self.stages[stage.idx()] += d;
+        self.total += d;
     }
 
     /// `(stage, duration)` for every stage with nonzero time, in pipeline
@@ -193,6 +212,24 @@ mod tests {
     #[test]
     fn coverage_of_empty_trace_is_one() {
         assert_eq!(StageTimings::default().coverage(), 1.0);
+    }
+
+    #[test]
+    fn post_finish_add_extends_stage_and_total() {
+        let timings = {
+            let mut t = QueryTrace::start();
+            t.add(Stage::Execute, Duration::from_millis(4));
+            t.finish()
+        };
+        let mut with_edge = timings;
+        with_edge.add(Stage::Serialize, Duration::from_millis(2));
+        assert_eq!(with_edge.get(Stage::Serialize), Duration::from_millis(2));
+        assert_eq!(
+            with_edge.total,
+            timings.total + Duration::from_millis(2),
+            "the total tracks the after-the-fact charge"
+        );
+        assert_eq!(with_edge.nonzero().len(), 2);
     }
 
     #[test]

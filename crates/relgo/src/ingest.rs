@@ -206,6 +206,9 @@ pub struct IngestReport {
     pub stats: StatsRefresh,
     /// Wall time of the statistics refresh alone.
     pub stats_time: Duration,
+    /// Wall time spent making the commit durable: WAL record staging plus
+    /// the group-commit sync (zero on a non-durable session).
+    pub wal_time: Duration,
     /// Wall time of the whole commit (merge + view/index + statistics +
     /// publish + WAL durability).
     pub commit_time: Duration,
@@ -373,6 +376,7 @@ impl Session {
                     evicted: 0,
                 },
                 stats_time: Duration::ZERO,
+                wal_time: Duration::ZERO,
                 commit_time: start.elapsed(),
             });
         }
@@ -434,9 +438,14 @@ impl Session {
         // is always followed by its publish. Recovery replay (`None`)
         // must not re-append what it is replaying — and on a freshly
         // recovered session the log is installed only after replay anyway.
+        let wal_start = Instant::now();
         let wal_seq = match base_epoch {
             Some(_) => self.wal().map(|w| w.append(epoch, &delta)),
             None => None,
+        };
+        let mut wal_time = match wal_seq {
+            Some(_) => wal_start.elapsed(),
+            None => Duration::ZERO,
         };
         self.publish(SessionState {
             epoch,
@@ -459,9 +468,13 @@ impl Session {
             // The epoch is already visible; a durability failure here means
             // the log may lack a suffix of published commits (the same
             // window a crash exposes), so surface it loudly.
+            let sync_start = Instant::now();
             self.wal()
                 .expect("wal_seq implies a wal")
                 .sync_through(seq)?;
+            wal_time += sync_start.elapsed();
+            self.metrics()
+                .record_stage(relgo_metrics::trace::Stage::WalAppend, wal_time);
         }
         let commit_time = start.elapsed();
         let rows = summary.inserted_rows() + summary.deleted_rows();
@@ -485,6 +498,7 @@ impl Session {
             tables: summary.tables().iter().map(|s| s.to_string()).collect(),
             stats,
             stats_time,
+            wal_time,
             commit_time,
         })
     }

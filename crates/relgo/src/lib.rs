@@ -53,8 +53,8 @@ pub use relgo_delta::checkpoint::{CheckpointCrash, CheckpointStore};
 pub use relgo_delta::wal::{Wal, WalOptions, WalStats};
 pub use serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
 pub use session::{
-    CheckpointPolicy, CheckpointReport, CheckpointRequest, QueryOutcome, RecoveryReport, Session,
-    SessionOptions, Snapshot,
+    CheckpointPolicy, CheckpointReport, CheckpointRequest, ExplainAnalyze, QueryOutcome,
+    RecoveryReport, Session, SessionOptions, Snapshot,
 };
 
 /// The convenient all-in-one import.
@@ -64,14 +64,15 @@ pub mod prelude {
     pub use crate::prepared::{BatchOutcome, PreparedStatement};
     pub use crate::serve::{replay_concurrent, replay_concurrent_with, ReplayReport, ServeMode};
     pub use crate::session::{
-        CheckpointPolicy, CheckpointReport, CheckpointRequest, QueryOutcome, RecoveryReport,
-        Session, SessionOptions, Snapshot,
+        CheckpointPolicy, CheckpointReport, CheckpointRequest, ExplainAnalyze, QueryOutcome,
+        RecoveryReport, Session, SessionOptions, Snapshot,
     };
     pub use relgo_cache::{CacheConfig, MetricsSnapshot, PinnedPlan, PlanCache};
     pub use relgo_common::morsel::TimeBudget;
     pub use relgo_common::{DataType, RelGoError, Result, Value};
     pub use relgo_core::{OptStats, OptimizerMode, PhysicalPlan, SpjmBuilder, SpjmQuery};
     pub use relgo_delta::wal::{WalOptions, WalStats};
+    pub use relgo_exec::{PlanReport, ProfileMode};
     pub use relgo_graph::{GraphView, RGMapping};
     pub use relgo_pattern::{MatchSemantics, Pattern, PatternBuilder};
     pub use relgo_storage::table::table_of;

@@ -12,6 +12,7 @@
 use relgo_cache::MetricsSnapshot;
 use relgo_common::morsel::MorselCounters;
 use relgo_delta::wal::WalStats;
+use relgo_exec::PlanReport;
 use relgo_metrics::trace::{Stage, StageTimings};
 use relgo_metrics::{Counter, Histogram, Registry, Snapshot};
 use std::sync::Arc;
@@ -69,7 +70,7 @@ pub struct SessionMetrics {
     registry: Arc<Registry>,
     queries: [Arc<Counter>; 4],
     query_seconds: [Arc<Histogram>; 4],
-    stage_seconds: [Arc<Histogram>; 7],
+    stage_seconds: [Arc<Histogram>; 9],
     ingest_commits: Arc<Counter>,
     ingest_conflicts: Arc<Counter>,
     ingest_rows: Arc<Counter>,
@@ -210,6 +211,63 @@ impl SessionMetrics {
                 .position(|s| *s == stage)
                 .expect("known stage");
             self.stage_seconds[i].record(d);
+        }
+    }
+
+    /// Charge one externally measured duration to a stage histogram — the
+    /// hook for stages that happen outside a query trace (the serving
+    /// edge's response serialization, the ingest pipeline's WAL append).
+    pub fn record_stage(&self, stage: Stage, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let i = Stage::ALL
+            .iter()
+            .position(|s| *s == stage)
+            .expect("known stage");
+        self.stage_seconds[i].record(d);
+    }
+
+    /// Record one profiled plan execution: per-operator-kind wall time and
+    /// row histograms, plus the per-operator Q-error distribution.
+    ///
+    /// `relgo_operator_rows` and `relgo_qerror` reuse the registry's
+    /// histogram type with non-latency units: row counts record the raw row
+    /// number, and Q-error records fixed-point `q × 1000` (so `q = 1.0` —
+    /// a perfect estimate — lands as 1000). Series are registered lazily on
+    /// first profiled query, keyed by operator kind.
+    pub fn record_profile(&self, report: &PlanReport) {
+        for op in &report.ops {
+            self.registry
+                .histogram_with(
+                    "relgo_operator_seconds",
+                    "Per-operator execution wall time, by operator kind",
+                    &[("op", op.meta.kind)],
+                )
+                .record(op.prof.elapsed);
+            self.registry
+                .histogram_with(
+                    "relgo_operator_rows",
+                    "Per-operator row counts, by operator kind and direction",
+                    &[("op", op.meta.kind), ("dir", "in")],
+                )
+                .record_us(op.prof.rows_in);
+            self.registry
+                .histogram_with(
+                    "relgo_operator_rows",
+                    "Per-operator row counts, by operator kind and direction",
+                    &[("op", op.meta.kind), ("dir", "out")],
+                )
+                .record_us(op.prof.rows_out);
+            if let Some(q) = op.qerror() {
+                self.registry
+                    .histogram_with(
+                        "relgo_qerror",
+                        "Per-operator Q-error (max(est/act, act/est)), fixed-point x1000",
+                        &[],
+                    )
+                    .record_us((q * 1000.0).round() as u64);
+            }
         }
     }
 

@@ -35,6 +35,7 @@ use relgo_core::{
     bind_query, parameterize, rebind_plan, validate_bindings, OptStats, OptimizerMode,
     PhysicalPlan, PlanKey, SpjmQuery,
 };
+use relgo_exec::{PlanReport, ProfileMode};
 use relgo_metrics::trace::{QueryTrace, Stage, StageTimings};
 use relgo_storage::Table;
 use std::sync::Arc;
@@ -213,6 +214,28 @@ impl PreparedStatement<'_> {
         bindings: &[Value],
         deadline: Option<TimeBudget>,
     ) -> Result<QueryOutcome> {
+        Ok(self.execute_traced(bindings, deadline, ProfileMode::Off)?.0)
+    }
+
+    /// [`PreparedStatement::execute_with_deadline`] with operator-level
+    /// profiling: result rows are bit-identical to the unprofiled path, and
+    /// the returned [`PlanReport`] joins the (possibly re-optimized) plan's
+    /// estimates with what execution measured.
+    pub fn execute_profiled(
+        &self,
+        bindings: &[Value],
+        deadline: Option<TimeBudget>,
+    ) -> Result<(QueryOutcome, PlanReport)> {
+        let (outcome, report) = self.execute_traced(bindings, deadline, ProfileMode::On)?;
+        Ok((outcome, report.expect("profiling was on")))
+    }
+
+    fn execute_traced(
+        &self,
+        bindings: &[Value],
+        deadline: Option<TimeBudget>,
+        profile: ProfileMode,
+    ) -> Result<(QueryOutcome, Option<PlanReport>)> {
         let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
         trace.time(Stage::Parse, || validate_bindings(&self.slot_sig, bindings))?;
@@ -223,22 +246,25 @@ impl PreparedStatement<'_> {
             timed_out: false,
         };
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || {
+        let (table, report) = trace.time(Stage::Execute, || {
             self.session
-                .execute_with_deadline(&plan, self.mode, deadline)
+                .execute_traced_with_deadline(&plan, self.mode, deadline, profile)
         })?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.session
             .metrics()
             .record_query(QueryPath::Prepared, &trace);
-        Ok(QueryOutcome {
-            table,
-            opt,
-            exec_time,
-            cached: from_pin,
-            trace,
-        })
+        Ok((
+            QueryOutcome {
+                table,
+                opt,
+                exec_time,
+                cached: from_pin,
+                trace,
+            },
+            report,
+        ))
     }
 
     /// Execute N binding vectors as one batch: every vector is validated

@@ -24,7 +24,7 @@ use relgo_core::{
 use relgo_datagen::{generate_imdb, generate_snb, ImdbParams, SnbParams};
 use relgo_delta::checkpoint::{CheckpointCrash, CheckpointStore, RetentionReport};
 use relgo_delta::wal::{Wal, WalCompaction, WalOptions, WalStats};
-use relgo_exec::{execute_plan, ExecConfig};
+use relgo_exec::{execute_plan_with, ExecConfig, PlanReport, ProfileMode};
 use relgo_glogue::GLogue;
 use relgo_graph::{GraphView, RGMapping};
 use relgo_metrics::trace::{QueryTrace, Stage, StageTimings};
@@ -137,6 +137,22 @@ impl QueryOutcome {
     pub fn e2e(&self) -> Duration {
         self.opt.elapsed + self.exec_time
     }
+}
+
+/// The result of [`Session::explain_analyze`]: the executed plan rendered
+/// with estimated vs actual rows and per-operator Q-error, plus the raw
+/// per-operator report and the ordinary query outcome. The result table is
+/// bit-identical to an unprofiled [`Session::run`] of the same query.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The plan tree, one line per operator, each suffixed with
+    /// `[op=N est=E act=A q=Q]`.
+    pub rendered: String,
+    /// Plan-time estimates joined with run-time measurements, by pre-order
+    /// operator id.
+    pub report: PlanReport,
+    /// The ordinary outcome (result table, optimizer stats, timings).
+    pub outcome: QueryOutcome,
 }
 
 /// One immutable epoch of session state: everything a query needs, pinned
@@ -815,12 +831,40 @@ impl Session {
         mode: OptimizerMode,
         deadline: Option<TimeBudget>,
     ) -> Result<Table> {
-        execute_plan(
+        Ok(self
+            .execute_traced_at(state, plan, mode, deadline, ProfileMode::Off)?
+            .0)
+    }
+
+    /// Execute with optional operator-level profiling. When profiling is on,
+    /// plan-time metas (operator ids, estimates) are joined with the
+    /// run-time profiles into a [`PlanReport`] and recorded into the
+    /// session's operator/Q-error metric series. The result table is
+    /// bit-identical either way.
+    pub(crate) fn execute_traced_at(
+        &self,
+        state: &SessionState,
+        plan: &PhysicalPlan,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+        profile: ProfileMode,
+    ) -> Result<(Table, Option<PlanReport>)> {
+        let (table, prof) = execute_plan_with(
             plan,
             &state.view,
             &state.db,
             &self.exec_config_with(mode, deadline),
-        )
+            profile,
+        )?;
+        let report = match prof {
+            Some(p) => {
+                let report = PlanReport::join(plan.operator_metas(&state.db), p)?;
+                self.metrics.record_profile(&report);
+                Some(report)
+            }
+            None => None,
+        };
+        Ok((table, report))
     }
 
     /// Execute a previously optimized plan under `mode`'s execution regime.
@@ -838,32 +882,62 @@ impl Session {
         self.execute_at(&self.state(), plan, mode, deadline)
     }
 
+    /// [`Session::execute_with_deadline`] with optional operator profiling
+    /// (the prepared-statement profiled path).
+    pub(crate) fn execute_traced_with_deadline(
+        &self,
+        plan: &PhysicalPlan,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+        profile: ProfileMode,
+    ) -> Result<(Table, Option<PlanReport>)> {
+        self.execute_traced_at(&self.state(), plan, mode, deadline, profile)
+    }
+
     fn run_at(
         &self,
         state: &SessionState,
         query: &SpjmQuery,
         mode: OptimizerMode,
-    ) -> Result<QueryOutcome> {
+        profile: ProfileMode,
+    ) -> Result<(QueryOutcome, Option<PlanReport>)> {
         let mut trace = QueryTrace::start();
         let (plan, opt) = trace.time(Stage::Optimize, || self.optimize_at(state, query, mode))?;
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || self.execute_at(state, &plan, mode, None))?;
+        let (table, report) = trace.time(Stage::Execute, || {
+            self.execute_traced_at(state, &plan, mode, None, profile)
+        })?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.metrics.record_query(QueryPath::Run, &trace);
-        Ok(QueryOutcome {
-            table,
-            opt,
-            exec_time,
-            cached: false,
-            trace,
-        })
+        Ok((
+            QueryOutcome {
+                table,
+                opt,
+                exec_time,
+                cached: false,
+                trace,
+            },
+            report,
+        ))
     }
 
     /// Optimize + execute, reporting timings. The whole query runs against
     /// one pinned epoch.
     pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
-        self.run_at(&self.state(), query, mode)
+        Ok(self.run_at(&self.state(), query, mode, ProfileMode::Off)?.0)
+    }
+
+    /// [`Session::run`] with operator-level profiling: the same execution
+    /// (bit-identical result rows), plus the per-operator estimate-vs-actual
+    /// report, recorded into the operator/Q-error metric series.
+    pub fn run_profiled(
+        &self,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<(QueryOutcome, PlanReport)> {
+        let (outcome, report) = self.run_at(&self.state(), query, mode, ProfileMode::On)?;
+        Ok((outcome, report.expect("profiling was on")))
     }
 
     fn run_cached_at(
@@ -872,7 +946,9 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
     ) -> Result<QueryOutcome> {
-        self.run_cached_at_with(state, query, mode, None)
+        Ok(self
+            .run_cached_at_with(state, query, mode, None, ProfileMode::Off)?
+            .0)
     }
 
     fn run_cached_at_with(
@@ -881,7 +957,8 @@ impl Session {
         query: &SpjmQuery,
         mode: OptimizerMode,
         deadline: Option<TimeBudget>,
-    ) -> Result<QueryOutcome> {
+        profile: ProfileMode,
+    ) -> Result<(QueryOutcome, Option<PlanReport>)> {
         let mut trace = QueryTrace::start();
         let opt_start = Instant::now();
         let pq = trace.time(Stage::Parameterize, || parameterize(query));
@@ -899,19 +976,22 @@ impl Session {
                         timed_out: false,
                     };
                     let start = Instant::now();
-                    let table = trace.time(Stage::Execute, || {
-                        self.execute_at(state, &plan, mode, deadline)
+                    let (table, report) = trace.time(Stage::Execute, || {
+                        self.execute_traced_at(state, &plan, mode, deadline, profile)
                     })?;
                     let exec_time = start.elapsed();
                     let trace = trace.finish();
                     self.metrics.record_query(QueryPath::Cached, &trace);
-                    return Ok(QueryOutcome {
-                        table,
-                        opt,
-                        exec_time,
-                        cached: true,
-                        trace,
-                    });
+                    return Ok((
+                        QueryOutcome {
+                            table,
+                            opt,
+                            exec_time,
+                            cached: true,
+                            trace,
+                        },
+                        report,
+                    ));
                 }
                 Err(_) => self.cache.note_rebind_failure(),
             }
@@ -934,19 +1014,22 @@ impl Session {
         // Charge the full miss path (parameterize + lookup + optimize).
         opt.elapsed = opt_start.elapsed();
         let start = Instant::now();
-        let table = trace.time(Stage::Execute, || {
-            self.execute_at(state, &plan, mode, deadline)
+        let (table, report) = trace.time(Stage::Execute, || {
+            self.execute_traced_at(state, &plan, mode, deadline, profile)
         })?;
         let exec_time = start.elapsed();
         let trace = trace.finish();
         self.metrics.record_query(QueryPath::Cached, &trace);
-        Ok(QueryOutcome {
-            table,
-            opt,
-            exec_time,
-            cached: false,
-            trace,
-        })
+        Ok((
+            QueryOutcome {
+                table,
+                opt,
+                exec_time,
+                cached: false,
+                trace,
+            },
+            report,
+        ))
     }
 
     /// The concurrent serving path: like [`Session::run`], but plans are
@@ -973,7 +1056,23 @@ impl Session {
         mode: OptimizerMode,
         deadline: Option<TimeBudget>,
     ) -> Result<QueryOutcome> {
-        self.run_cached_at_with(&self.state(), query, mode, deadline)
+        Ok(self
+            .run_cached_at_with(&self.state(), query, mode, deadline, ProfileMode::Off)?
+            .0)
+    }
+
+    /// [`Session::run_cached_with_deadline`] with operator-level profiling:
+    /// the serving path the server's `profile=1` requests take. Result rows
+    /// are bit-identical to the unprofiled path.
+    pub fn run_cached_profiled(
+        &self,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+        deadline: Option<TimeBudget>,
+    ) -> Result<(QueryOutcome, PlanReport)> {
+        let (outcome, report) =
+            self.run_cached_at_with(&self.state(), query, mode, deadline, ProfileMode::On)?;
+        Ok((outcome, report.expect("profiling was on")))
     }
 
     fn oracle_at(&self, state: &SessionState, query: &SpjmQuery) -> Result<Table> {
@@ -985,10 +1084,53 @@ impl Session {
         self.oracle_at(&self.state(), query)
     }
 
-    /// EXPLAIN: the optimized plan as text.
+    /// EXPLAIN: the optimized plan as text, each operator line suffixed
+    /// with its pre-order operator id and the optimizer's estimated rows —
+    /// the plan-time half of [`Session::explain_analyze`].
     pub fn explain(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<String> {
-        let (plan, _) = self.optimize(query, mode)?;
-        Ok(plan.explain())
+        let state = self.state();
+        let (plan, _) = self.optimize_at(&state, query, mode)?;
+        let metas = plan.operator_metas(&state.db);
+        Ok(plan.explain_annotated(|id| {
+            metas
+                .get(id)
+                .map(|m| format!("  [op={} est={:.0}]", m.op_id, m.est_rows))
+                .unwrap_or_default()
+        }))
+    }
+
+    /// EXPLAIN ANALYZE: optimize, execute with operator-level profiling,
+    /// and render the plan tree annotated with estimated vs actual rows and
+    /// per-operator Q-error (`max(est/act, act/est)`). The result table is
+    /// bit-identical to an unprofiled [`Session::run`].
+    pub fn explain_analyze(
+        &self,
+        query: &SpjmQuery,
+        mode: OptimizerMode,
+    ) -> Result<ExplainAnalyze> {
+        let state = self.state();
+        let mut trace = QueryTrace::start();
+        let (plan, opt) = trace.time(Stage::Optimize, || self.optimize_at(&state, query, mode))?;
+        let start = Instant::now();
+        let (table, report) = trace.time(Stage::Execute, || {
+            self.execute_traced_at(&state, &plan, mode, None, ProfileMode::On)
+        })?;
+        let exec_time = start.elapsed();
+        let trace = trace.finish();
+        self.metrics.record_query(QueryPath::Run, &trace);
+        let report = report.expect("profiling was on");
+        let rendered = plan.explain_annotated(|id| report.annotation(id));
+        Ok(ExplainAnalyze {
+            rendered,
+            report,
+            outcome: QueryOutcome {
+                table,
+                opt,
+                exec_time,
+                cached: false,
+                trace,
+            },
+        })
     }
 
     /// Check that every optimizer mode agrees with the oracle on `query`;
@@ -1002,7 +1144,7 @@ impl Session {
         let expected = self.oracle_at(&state, query)?.sorted_rows();
         let mut outcomes = Vec::new();
         for mode in OptimizerMode::ALL {
-            let outcome = self.run_at(&state, query, mode)?;
+            let (outcome, _) = self.run_at(&state, query, mode, ProfileMode::Off)?;
             if outcome.table.sorted_rows() != expected {
                 return Err(RelGoError::execution(format!(
                     "{} disagrees with the oracle ({} vs {} rows)",
@@ -1045,7 +1187,10 @@ impl Snapshot<'_> {
 
     /// Optimize + execute against the pinned epoch.
     pub fn run(&self, query: &SpjmQuery, mode: OptimizerMode) -> Result<QueryOutcome> {
-        self.session.run_at(&self.state, query, mode)
+        Ok(self
+            .session
+            .run_at(&self.state, query, mode, ProfileMode::Off)?
+            .0)
     }
 
     /// [`Session::run_cached`] against the pinned epoch (shares the
@@ -1080,6 +1225,54 @@ mod tests {
         let query = snb_queries::ic1(&schema, 1, 5).unwrap();
         let s = session.explain(&query, OptimizerMode::RelGo).unwrap();
         assert!(s.contains("SCAN_GRAPH_TABLE"), "{s}");
+        // Every line carries its pre-order op id and estimate.
+        for (i, line) in s.lines().enumerate() {
+            assert!(line.contains(&format!("[op={i} est=")), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_reconciles_and_matches_unprofiled_run() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        for mode in [OptimizerMode::RelGo, OptimizerMode::DuckDbLike] {
+            let query = snb_queries::ic1(&schema, 1, 5).unwrap();
+            let ea = session.explain_analyze(&query, mode).unwrap();
+            let plain = session.run(&query, mode).unwrap();
+            // Profiling never changes the result (bit-identical rows).
+            assert_eq!(ea.outcome.table.num_rows(), plain.table.num_rows());
+            for r in 0..plain.table.num_rows() as u32 {
+                assert_eq!(ea.outcome.table.row(r), plain.table.row(r));
+            }
+            // One profiled operator per rendered line, actual rows
+            // reconciling through the tree down to the final cardinality.
+            assert_eq!(ea.rendered.lines().count(), ea.report.ops.len());
+            ea.report.reconcile().unwrap();
+            let root = ea.report.root().unwrap();
+            assert_eq!(root.prof.rows_out, ea.outcome.table.num_rows() as u64);
+            assert!(ea.rendered.contains("act="), "{}", ea.rendered);
+        }
+        // Profiled runs feed the operator metric series.
+        let snap = session.observability_snapshot();
+        let names = snap.series_names();
+        assert!(names.contains(&"relgo_operator_seconds"), "{names:?}");
+        assert!(names.contains(&"relgo_operator_rows"), "{names:?}");
+    }
+
+    #[test]
+    fn profiled_paths_agree_across_run_cached_and_prepared() {
+        let (session, schema) = Session::snb(0.03, 42).unwrap();
+        let query = snb_queries::ic1(&schema, 1, 5).unwrap();
+        let (run_out, run_rep) = session.run_profiled(&query, OptimizerMode::RelGo).unwrap();
+        run_rep.reconcile().unwrap();
+        let (cached_out, cached_rep) = session
+            .run_cached_profiled(&query, OptimizerMode::RelGo, None)
+            .unwrap();
+        cached_rep.reconcile().unwrap();
+        assert_eq!(run_out.table.sorted_rows(), cached_out.table.sorted_rows());
+        assert_eq!(
+            run_rep.root().unwrap().prof.rows_out,
+            cached_rep.root().unwrap().prof.rows_out
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!              [--max-body-bytes 4194304] [--max-prepared 1024] \
 //!              [--max-header-bytes 16384] [--idle-timeout-ms 5000] \
 //!              [--max-requests-per-conn 1000] [--deadline-ms MS] \
-//!              [--access-log PATH]
+//!              [--access-log PATH] [--slow-query-ms MS]
 //! ```
 //!
 //! Prints exactly one line — `listening on http://ADDR` — once the
@@ -62,6 +62,9 @@ fn parse_args() -> Result<Args> {
                 args.config.default_deadline_ms = Some(parse(&value("--deadline-ms")?)?)
             }
             "--access-log" => args.config.access_log = Some(value("--access-log")?),
+            "--slow-query-ms" => {
+                args.config.slow_query_ms = Some(parse(&value("--slow-query-ms")?)?)
+            }
             other => return Err(RelGoError::query(format!("unknown flag {other}"))),
         }
     }

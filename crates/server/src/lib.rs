@@ -37,7 +37,20 @@
 //! "method":..,"path":..,"status":..,"rows":..,"micros":..,
 //! "stages":{"execute":..}}` — keyed by the same `QueryTrace` spans the
 //! metrics registry records (stage micros appear for the serving endpoints
-//! that execute queries).
+//! that execute queries; response serialization and ingest WAL appends are
+//! traced too).
+//!
+//! ## Profiling and the slow-query log
+//!
+//! `profile=1` on `/query` or `/execute` runs the query with
+//! operator-level profiling and appends one pure-JSON line — the
+//! per-operator profile (`[{"op":..,"kind":..,"est":..,"rows_out":..,
+//! "q":..},..]`) — after the result rows. With
+//! [`ServerConfig::slow_query_ms`] set, *every* query is profiled and any
+//! request whose handling time reaches the threshold gets
+//! `"slow":true,"profile":[..]` folded into its access-log line, so the
+//! operator breakdown of an outlier is on disk even when the client never
+//! asked for it.
 //!
 //! ## Endpoints
 //!
@@ -45,10 +58,11 @@
 //! |---|---|
 //! | `GET /healthz` | liveness: `ok epoch=E` (durable sessions append ` wal_bytes_since_checkpoint=B`) |
 //! | `GET /metrics` | Prometheus text format, the full registry |
-//! | `POST /query?template=NAME&draw=N[&mode=M][&tenant=T]` | instantiate + `run_cached` |
+//! | `POST /query?template=NAME&draw=N[&mode=M][&tenant=T][&profile=1]` | instantiate + `run_cached` |
 //! | `POST /prepare?template=NAME[&mode=M][&tenant=T]` | pin a prepared statement, returns `ok stmt=ID` |
-//! | `POST /execute?stmt=ID&draw=N[&tenant=T]` | execute a prepared handle with the template's bindings |
+//! | `POST /execute?stmt=ID&draw=N[&tenant=T][&profile=1]` | execute a prepared handle with the template's bindings |
 //! | `POST /unprepare?stmt=ID` | release a prepared handle (and its pinned plan) |
+//! | `POST /explain?template=NAME&draw=N[&mode=M][&analyze=0]` | EXPLAIN ANALYZE: the rendered plan tree with est/act rows + Q-error per operator |
 //! | `POST /ingest[?tenant=T]` | line-based batch: `Table\|i:1\|s:x\|d:17000`, `delete\|Table\|1` |
 //! | `POST /checkpoint` | snapshot the current epoch + compact the WAL behind it (durable sessions) |
 //! | `POST /shutdown` | respond, then drain: in-flight requests complete, workers exit |
@@ -80,7 +94,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use relgo::metrics::trace::StageTimings;
+use relgo::metrics::trace::{Stage, StageTimings};
 use relgo::metrics::{Counter, Gauge, Histogram};
 use relgo::prelude::*;
 use relgo_common::morsel::RowBudget;
@@ -129,6 +143,12 @@ pub struct ServerConfig {
     /// Append one JSON access-log line per request to this path
     /// (`None` disables access logging).
     pub access_log: Option<String>,
+    /// Slow-query threshold: requests whose total handling time reaches
+    /// this many milliseconds get their full per-operator profile appended
+    /// to their access-log line (`"profile":[..]`). Setting it arms
+    /// operator profiling on every `/query` and `/execute`, whether or not
+    /// the client passed `profile=1`. `None` disables both.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +165,7 @@ impl Default for ServerConfig {
             max_requests_per_connection: 1000,
             default_deadline_ms: None,
             access_log: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -480,6 +501,7 @@ enum Endpoint {
     Prepare,
     Execute,
     Unprepare,
+    Explain,
     Ingest,
     Checkpoint,
     Metrics,
@@ -489,11 +511,12 @@ enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 10] = [
+    const ALL: [Endpoint; 11] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
         Endpoint::Unprepare,
+        Endpoint::Explain,
         Endpoint::Ingest,
         Endpoint::Checkpoint,
         Endpoint::Metrics,
@@ -508,6 +531,7 @@ impl Endpoint {
             Endpoint::Prepare => "prepare",
             Endpoint::Execute => "execute",
             Endpoint::Unprepare => "unprepare",
+            Endpoint::Explain => "explain",
             Endpoint::Ingest => "ingest",
             Endpoint::Checkpoint => "checkpoint",
             Endpoint::Metrics => "metrics",
@@ -564,6 +588,10 @@ struct Response {
     /// (access-log `stages` field). Boxed to keep `Response` small enough
     /// to travel as the `Err` arm of the parameter-parsing helpers.
     stages: Option<Box<StageTimings>>,
+    /// The per-operator profile (pre-rendered [`PlanReport::to_json`])
+    /// when the endpoint executed with profiling armed; the access log
+    /// attaches it to over-threshold (slow) requests.
+    profile: Option<String>,
 }
 
 impl Response {
@@ -575,6 +603,7 @@ impl Response {
             close: false,
             rows: 0,
             stages: None,
+            profile: None,
         }
     }
 
@@ -586,6 +615,7 @@ impl Response {
             close: false,
             rows: 0,
             stages: None,
+            profile: None,
         }
     }
 
@@ -671,14 +701,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
         // itself is rendered pre-increment, so a scrape never counts
         // itself).
         shared.metrics.requests[endpoint.idx()].inc();
-        shared.metrics.latency[endpoint.idx()].record(start.elapsed());
+        let elapsed = start.elapsed();
+        shared.metrics.latency[endpoint.idx()].record(elapsed);
+        let slow = shared
+            .config
+            .slow_query_ms
+            .is_some_and(|ms| elapsed >= Duration::from_millis(ms));
         shared.log_access(&access_log_line(
             req.as_ref(),
             &response,
             endpoint,
             conn_id,
             seq,
-            start.elapsed(),
+            elapsed,
+            slow,
         ));
         write_response(&stream, &response, keep_alive);
         if !keep_alive {
@@ -893,7 +929,9 @@ fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool)
 }
 
 /// Render one JSON access-log line. Hand-rolled (the vendored serde is a
-/// no-op shim), so strings pass through [`json_escape`].
+/// no-op shim), so strings pass through [`json_escape`]. With `slow` set
+/// (the request reached [`ServerConfig::slow_query_ms`]) and a profile on
+/// the response, the line carries the full per-operator profile.
 fn access_log_line(
     req: Option<&Request>,
     response: &Response,
@@ -901,6 +939,7 @@ fn access_log_line(
     conn_id: u64,
     seq: u64,
     elapsed: Duration,
+    slow: bool,
 ) -> String {
     let unix_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -933,6 +972,14 @@ fn access_log_line(
         }
         line.push('}');
     }
+    if slow {
+        line.push_str(",\"slow\":true");
+        if let Some(profile) = &response.profile {
+            // Already-valid JSON (PlanReport::to_json): splice verbatim.
+            line.push_str(",\"profile\":");
+            line.push_str(profile);
+        }
+    }
     line.push('}');
     line
 }
@@ -955,6 +1002,7 @@ fn route(req: &Request) -> Endpoint {
         ("POST", "/prepare") => Endpoint::Prepare,
         ("POST", "/execute") => Endpoint::Execute,
         ("POST", "/unprepare") => Endpoint::Unprepare,
+        ("POST", "/explain") => Endpoint::Explain,
         ("POST", "/ingest") => Endpoint::Ingest,
         ("POST", "/checkpoint") => Endpoint::Checkpoint,
         ("GET", "/metrics") => Endpoint::Metrics,
@@ -988,6 +1036,7 @@ fn dispatch(endpoint: Endpoint, req: &Request, shared: &Shared<'_>) -> Response 
         Endpoint::Prepare => with_admission(req, shared, handle_prepare),
         Endpoint::Execute => with_admission(req, shared, handle_execute),
         Endpoint::Unprepare => handle_unprepare(req, shared),
+        Endpoint::Explain => with_admission(req, shared, handle_explain),
         Endpoint::Ingest => with_admission(req, shared, handle_ingest),
         // Admission-exempt like /shutdown: an operator must be able to
         // checkpoint a session whose tenants have saturated their gates.
@@ -1087,12 +1136,19 @@ fn engine_error(e: RelGoError, shared: &Shared<'_>) -> Response {
 
 /// Serialize a query outcome: meta line, then one wire-encoded row per
 /// line. Charges the tenant's row budget first — a budget-exhausted
-/// tenant gets a `429` instead of rows.
+/// tenant gets a `429` instead of rows. The serialization wall time is
+/// charged to the trace's `serialize` stage (and the session's stage
+/// histogram), so trace coverage includes the response-building edge.
+///
+/// With `profile` set, the response carries the per-operator profile for
+/// the slow-query log; when the client asked for it (`profile=1`,
+/// `tail` true) the same JSON is appended as the body's final line.
 fn render_outcome(
     outcome: &QueryOutcome,
     mode: OptimizerMode,
     shared: &Shared<'_>,
     guard: &AdmissionGuard,
+    profile: Option<(&PlanReport, bool)>,
 ) -> Response {
     let rows = outcome.table.num_rows();
     if guard.tenant.budget.charge(rows).is_err() {
@@ -1100,6 +1156,7 @@ fn render_outcome(
         return Response::err(429, "tenant row budget exhausted");
     }
     shared.metrics.rows_served.add(rows as u64);
+    let ser_start = Instant::now();
     let mut body = format!(
         "ok rows={rows} cached={} epoch={} mode={}\n",
         outcome.cached,
@@ -1110,9 +1167,21 @@ fn render_outcome(
         body.push_str(&wire::encode_row(&outcome.table.row(r as u32)));
         body.push('\n');
     }
+    let json = profile.map(|(report, tail)| (report.to_json(), tail));
+    if let Some((json, true)) = &json {
+        // The profile rides as the body's last line, pure JSON — clients
+        // (and the CI smoke) can `tail -1 | jq` it off the wire format.
+        body.push_str(json);
+        body.push('\n');
+    }
+    let ser = ser_start.elapsed();
+    shared.session.metrics().record_stage(Stage::Serialize, ser);
+    let mut trace = outcome.trace;
+    trace.add(Stage::Serialize, ser);
     let mut response = Response::ok(body);
     response.rows = rows;
-    response.stages = Some(Box::new(outcome.trace));
+    response.stages = Some(Box::new(trace));
+    response.profile = json.map(|(json, _)| json);
     response
 }
 
@@ -1137,13 +1206,31 @@ fn handle_query(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) -> R
         Ok(q) => q,
         Err(e) => return Response::err(400, e),
     };
+    if let Some(want_tail) = profile_armed(req, shared) {
+        return match shared.session.run_cached_profiled(&query, mode, deadline) {
+            Ok((outcome, report)) => {
+                render_outcome(&outcome, mode, shared, guard, Some((&report, want_tail)))
+            }
+            Err(e) => engine_error(e, shared),
+        };
+    }
     match shared
         .session
         .run_cached_with_deadline(&query, mode, deadline)
     {
-        Ok(outcome) => render_outcome(&outcome, mode, shared, guard),
+        Ok(outcome) => render_outcome(&outcome, mode, shared, guard, None),
         Err(e) => engine_error(e, shared),
     }
+}
+
+/// Whether this request executes with operator profiling armed, and if so
+/// whether the client asked for the profile back (`profile=1`). A
+/// configured slow-query threshold arms profiling on every query (else an
+/// over-threshold query would have no profile to log); the JSON tail is
+/// only sent when explicitly requested.
+fn profile_armed(req: &Request, shared: &Shared<'_>) -> Option<bool> {
+    let want_tail = req.param("profile").is_some_and(|v| v == "1");
+    (want_tail || shared.config.slow_query_ms.is_some()).then_some(want_tail)
 }
 
 fn handle_prepare(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) -> Response {
@@ -1241,13 +1328,81 @@ fn handle_execute(req: &Request, shared: &Shared<'_>, guard: &AdmissionGuard) ->
     };
     // validate_bindings runs inside execute_with_deadline, so a
     // wrong-arity or wrong-type bind row surfaces as a typed error here.
+    if let Some(want_tail) = profile_armed(req, shared) {
+        return match stmt.execute_profiled(&bindings, deadline) {
+            Ok((outcome, report)) => render_outcome(
+                &outcome,
+                stmt.mode(),
+                shared,
+                guard,
+                Some((&report, want_tail)),
+            ),
+            Err(e) => match e {
+                RelGoError::DeadlineExceeded(_) => engine_error(e, shared),
+                RelGoError::Query(_) | RelGoError::Schema(_) => Response::err(400, e),
+                e => Response::err(500, e),
+            },
+        };
+    }
     match stmt.execute_with_deadline(&bindings, deadline) {
-        Ok(outcome) => render_outcome(&outcome, stmt.mode(), shared, guard),
+        Ok(outcome) => render_outcome(&outcome, stmt.mode(), shared, guard, None),
         Err(e) => match e {
             RelGoError::DeadlineExceeded(_) => engine_error(e, shared),
             RelGoError::Query(_) | RelGoError::Schema(_) => Response::err(400, e),
             e => Response::err(500, e),
         },
+    }
+}
+
+/// `POST /explain?template=NAME&draw=N[&mode=M][&analyze=0]`: optimize the
+/// instantiated query and return the rendered plan tree. The default is
+/// EXPLAIN ANALYZE — the query executes with operator profiling and each
+/// line carries `est`/`act` rows and the operator's Q-error; `analyze=0`
+/// skips execution and annotates estimates only. The tree rides after an
+/// `ok ops=N analyze=B mode=M` meta line; result rows are never returned
+/// (so the tenant row budget is not charged), but the executed variant
+/// still runs under the admission gate.
+fn handle_explain(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) -> Response {
+    let (_, template) = match lookup_template(shared.templates, req) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let draw = match parse_draw(req) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let mode = match parse_mode_param(req) {
+        Ok(m) => m,
+        Err(r) => return r,
+    };
+    let query = match template.instantiate(draw) {
+        Ok(q) => q,
+        Err(e) => return Response::err(400, e),
+    };
+    if req.param("analyze") == Some("0") {
+        return match shared.session.explain(&query, mode) {
+            Ok(rendered) => Response::ok(format!(
+                "ok ops={} analyze=0 mode={}\n{rendered}",
+                rendered.lines().count(),
+                mode.name()
+            )),
+            Err(e) => engine_error(e, shared),
+        };
+    }
+    match shared.session.explain_analyze(&query, mode) {
+        Ok(ea) => {
+            let body = format!(
+                "ok ops={} analyze=1 mode={}\n{}",
+                ea.report.ops.len(),
+                mode.name(),
+                ea.rendered
+            );
+            let mut response = Response::ok(body);
+            response.stages = Some(Box::new(ea.outcome.trace));
+            response.profile = Some(ea.report.to_json());
+            response
+        }
+        Err(e) => engine_error(e, shared),
     }
 }
 
@@ -1263,10 +1418,19 @@ fn handle_ingest(req: &Request, shared: &Shared<'_>, _guard: &AdmissionGuard) ->
         }
     }
     match batch.commit() {
-        Ok(report) => Response::ok(format!(
-            "ok epoch={} inserted={} deleted={}\n",
-            report.epoch, report.inserted, report.deleted
-        )),
+        Ok(report) => {
+            let mut response = Response::ok(format!(
+                "ok epoch={} inserted={} deleted={}\n",
+                report.epoch, report.inserted, report.deleted
+            ));
+            // Surface WAL durability time in the access log's stage
+            // breakdown (zero on in-memory sessions stays omitted —
+            // `nonzero()` filters it).
+            let mut stages = StageTimings::default();
+            stages.add(Stage::WalAppend, report.wal_time);
+            response.stages = Some(Box::new(stages));
+            response
+        }
         Err(CommitError::Conflict { table, key, .. }) => Response::retryable(
             409,
             format!("write-write conflict on {table} key {key}"),
@@ -1368,6 +1532,7 @@ mod tests {
             3,
             2,
             Duration::from_micros(1500),
+            false,
         );
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         assert!(line.contains("\"conn\":3,\"seq\":2"), "{line}");
@@ -1380,6 +1545,23 @@ mod tests {
             line.contains("\"status\":200,\"rows\":7,\"micros\":1500"),
             "{line}"
         );
+        assert!(!line.contains("\"slow\""), "{line}");
+        // A slow request with a profile splices it into the line.
+        let mut slow_resp = Response::ok("ok\n".to_string());
+        slow_resp.profile = Some("[{\"op\":0,\"kind\":\"SCAN\"}]".to_string());
+        let slow = access_log_line(
+            Some(&req),
+            &slow_resp,
+            Endpoint::Query,
+            3,
+            3,
+            Duration::from_millis(250),
+            true,
+        );
+        assert!(
+            slow.contains("\"slow\":true,\"profile\":[{\"op\":0,\"kind\":\"SCAN\"}]}"),
+            "{slow}"
+        );
         // A request that never parsed logs placeholder fields.
         let bad = access_log_line(
             None,
@@ -1388,6 +1570,7 @@ mod tests {
             1,
             1,
             Duration::ZERO,
+            false,
         );
         assert!(bad.contains("\"tenant\":\"-\""), "{bad}");
         assert!(bad.contains("\"status\":431"), "{bad}");

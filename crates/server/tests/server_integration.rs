@@ -580,6 +580,333 @@ fn in_process_admission_budget_and_drain_accounting() {
     assert_eq!(stats.failed, 2);
 }
 
+/// Minimal recursive-descent JSON validator (the vendored serde is a
+/// no-op shim, so access-log lines are checked structurally by hand).
+/// Returns the rest of the input after one complete JSON value.
+fn json_value(s: &str) -> std::result::Result<&str, String> {
+    let s = s.trim_start();
+    let mut chars = s.chars();
+    match chars.next() {
+        Some('{') => json_sequence(&s[1..], '}', true),
+        Some('[') => json_sequence(&s[1..], ']', false),
+        Some('"') => json_string(s),
+        Some('t') => s.strip_prefix("true").ok_or_else(|| bad(s)),
+        Some('f') => s.strip_prefix("false").ok_or_else(|| bad(s)),
+        Some('n') => s.strip_prefix("null").ok_or_else(|| bad(s)),
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            s[..end]
+                .parse::<f64>()
+                .map(|_| &s[end..])
+                .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))
+        }
+        _ => Err(bad(s)),
+    }
+}
+
+fn bad(s: &str) -> String {
+    format!("unexpected JSON at {:?}", &s[..s.len().min(40)])
+}
+
+/// Parse `"..."` (escapes included); returns the rest after the close quote.
+fn json_string(s: &str) -> std::result::Result<&str, String> {
+    let inner = s.strip_prefix('"').ok_or_else(|| bad(s))?;
+    let mut escape = false;
+    for (i, c) in inner.char_indices() {
+        match (escape, c) {
+            (true, _) => escape = false,
+            (false, '\\') => escape = true,
+            (false, '"') => return Ok(&inner[i + 1..]),
+            _ => {}
+        }
+    }
+    Err("unterminated JSON string".to_string())
+}
+
+/// Parse the members of an object (`keyed`) or array after the opener,
+/// through the matching `close`.
+fn json_sequence(mut s: &str, close: char, keyed: bool) -> std::result::Result<&str, String> {
+    s = s.trim_start();
+    if let Some(rest) = s.strip_prefix(close) {
+        return Ok(rest);
+    }
+    loop {
+        if keyed {
+            s = json_string(s.trim_start())?.trim_start();
+            s = s.strip_prefix(':').ok_or_else(|| bad(s))?;
+        }
+        s = json_value(s)?.trim_start();
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest.trim_start();
+        } else {
+            return s.strip_prefix(close).ok_or_else(|| bad(s));
+        }
+    }
+}
+
+/// Assert `line` is exactly one complete JSON value.
+fn assert_json(line: &str) {
+    match json_value(line) {
+        Ok(rest) => assert!(rest.trim().is_empty(), "trailing garbage in {line:?}"),
+        Err(e) => panic!("{e} in access-log line {line:?}"),
+    }
+}
+
+/// Operator profiling over the wire: `profile=1` appends a pure-JSON
+/// operator profile to `/query` and `/execute` bodies, `POST /explain`
+/// returns the annotated plan tree, the new per-operator metric series
+/// reconcile exactly against client-side tallies of those profiles, and a
+/// `slow_query_ms` threshold of zero lands `"slow":true,"profile":[..]`
+/// on every query's access-log line — written atomically from concurrent
+/// workers (every line parses as standalone JSON).
+#[test]
+fn explain_profile_and_slow_query_log_round_trip() {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    let (session, schema) = Session::snb(0.01, 11).expect("session");
+    let templates = snb_templates(&schema);
+    let log_path =
+        std::env::temp_dir().join(format!("relgo_server_slowlog_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        access_log: Some(log_path.display().to_string()),
+        slow_query_ms: Some(0),
+        ..ServerConfig::default()
+    };
+    let bound = Server::new(&session, &templates, config)
+        .bind()
+        .expect("bind");
+    let addr = bound.local_addr().to_string();
+
+    let client = std::thread::scope(|scope| {
+        let server = scope.spawn(move || bound.run().expect("server run"));
+        let client = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // --- concurrent profiled queries; tally operator kinds -------
+            // Every /query and /execute in this test carries profile=1, so
+            // the client-side tallies below are complete and the scrape
+            // reconciliation can demand equality, not just >=.
+            let kind_counts: Mutex<HashMap<String, u64>> = Mutex::new(HashMap::new());
+            let tally = |tails: &mut Vec<String>, body: &str| {
+                let (meta, _) = {
+                    let mut lines = body.lines();
+                    let meta = lines.next().expect("meta line").to_string();
+                    assert!(meta.starts_with("ok rows="), "{meta}");
+                    (meta, ())
+                };
+                let tail = body.lines().last().expect("profile tail");
+                assert!(
+                    tail.starts_with('[') && tail.ends_with(']'),
+                    "profile tail is a JSON array: {tail}"
+                );
+                assert_json(tail);
+                assert!(tail.contains("\"op\":0"), "{tail}");
+                let mut counts = kind_counts.lock().unwrap();
+                for part in tail.split("\"kind\":\"").skip(1) {
+                    let kind = part.split('"').next().expect("kind value");
+                    *counts.entry(kind.to_string()).or_insert(0) += 1;
+                }
+                tails.push(tail.to_string());
+                meta
+            };
+            std::thread::scope(|inner| {
+                for worker in 0..3u64 {
+                    let (addr, templates, tally) = (&addr, &templates, &tally);
+                    inner.spawn(move || {
+                        let mut tails = Vec::new();
+                        for template in templates.iter() {
+                            let path = format!(
+                                "/query?template={}&draw={worker}&profile=1",
+                                template.name()
+                            );
+                            let (status, body) = http(addr, "POST", &path, "");
+                            assert_eq!(status, 200, "profiled query: {body}");
+                            tally(&mut tails, &body);
+                        }
+                    });
+                }
+            });
+
+            // --- profiled prepared execution -----------------------------
+            let (status, body) = http(
+                &addr,
+                "POST",
+                &format!("/prepare?template={}", templates[0].name()),
+                "",
+            );
+            assert_eq!(status, 200, "prepare: {body}");
+            let stmt = body.trim().strip_prefix("ok stmt=").expect("stmt id");
+            let (status, body) = http(
+                &addr,
+                "POST",
+                &format!("/execute?stmt={stmt}&draw=5&profile=1"),
+                "",
+            );
+            assert_eq!(status, 200, "profiled execute: {body}");
+            let mut tails = Vec::new();
+            tally(&mut tails, &body);
+            // The same draw without profile=1 still executes profiled
+            // (slow_query_ms arms it) but must NOT carry the JSON tail —
+            // and the rows must be identical either way.
+            let (status, plain) = http(&addr, "POST", &format!("/execute?stmt={stmt}&draw=5"), "");
+            assert_eq!(status, 200, "unprofiled execute: {plain}");
+            assert!(
+                !plain.lines().last().unwrap_or("").starts_with('['),
+                "no tail without profile=1: {plain}"
+            );
+            let profiled_lines: Vec<&str> = body.lines().collect();
+            let plain_lines: Vec<&str> = plain.lines().collect();
+            assert_eq!(profiled_lines.len(), plain_lines.len() + 1);
+            assert_eq!(
+                &profiled_lines[..plain_lines.len()],
+                &plain_lines[..],
+                "profile=1 changes only the tail line"
+            );
+            let tail = tails.pop().expect("tally kept the tail");
+            for part in tail.split("\"kind\":\"").skip(1) {
+                let kind = part.split('"').next().expect("kind value");
+                *kind_counts
+                    .lock()
+                    .unwrap()
+                    .entry(kind.to_string())
+                    .or_insert(0) += 1;
+            }
+
+            // --- scrape: operator series reconcile exactly ---------------
+            let (status, scrape_body) = http(&addr, "GET", "/metrics", "");
+            assert_eq!(status, 200);
+            text::validate(&scrape_body).expect("scrape validates");
+            let scrape = text::parse(&scrape_body).expect("scrape parses");
+            let counts = kind_counts.into_inner().unwrap();
+            assert!(counts.len() >= 3, "several operator kinds: {counts:?}");
+            for (kind, n) in &counts {
+                assert_eq!(
+                    scrape.value("relgo_operator_seconds_count", &[("op", kind)]),
+                    Some(*n as f64),
+                    "relgo_operator_seconds{{op={kind}}} reconciles"
+                );
+                assert_eq!(
+                    scrape.value("relgo_operator_rows_count", &[("op", kind), ("dir", "out")]),
+                    Some(*n as f64),
+                    "relgo_operator_rows{{op={kind},dir=out}} reconciles"
+                );
+            }
+            assert!(
+                scrape.value("relgo_qerror_count", &[]).unwrap_or(0.0) > 0.0,
+                "aggregate Q-error histogram populated"
+            );
+            // Response serialization is now a traced stage on the engine's
+            // stage histogram (satellite: serving-edge trace coverage).
+            assert!(
+                scrape
+                    .value("relgo_query_stage_seconds_count", &[("stage", "serialize")])
+                    .unwrap_or(0.0)
+                    > 0.0,
+                "serialize stage recorded at the serving edge"
+            );
+
+            // --- POST /explain -------------------------------------------
+            let (status, body) = http(
+                &addr,
+                "POST",
+                &format!("/explain?template={}&draw=1", templates[0].name()),
+                "",
+            );
+            assert_eq!(status, 200, "explain: {body}");
+            let mut lines = body.lines();
+            let meta = lines.next().expect("explain meta");
+            assert!(meta.starts_with("ok ops="), "{meta}");
+            assert!(meta.contains("analyze=1"), "{meta}");
+            let ops: usize = meta
+                .split("ops=")
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .and_then(|s| s.parse().ok())
+                .expect("ops count");
+            let tree: Vec<&str> = lines.collect();
+            assert_eq!(tree.len(), ops, "one rendered line per operator");
+            for (i, line) in tree.iter().enumerate() {
+                assert!(
+                    line.contains(&format!("[op={i} est=")) && line.contains(" act="),
+                    "operator {i} annotated with est/act: {line}"
+                );
+            }
+            // Plan-only EXPLAIN: estimates, no actuals.
+            let (status, body) = http(
+                &addr,
+                "POST",
+                &format!("/explain?template={}&draw=1&analyze=0", templates[0].name()),
+                "",
+            );
+            assert_eq!(status, 200, "explain analyze=0: {body}");
+            assert!(body.starts_with("ok ops="), "{body}");
+            assert!(body.contains("analyze=0"), "{body}");
+            assert!(body.contains("[op=0 est="), "{body}");
+            assert!(!body.contains(" act="), "plan-only explain: {body}");
+            // Parameter validation mirrors /query.
+            let (status, _) = http(&addr, "POST", "/explain?template=NoSuch&draw=0", "");
+            assert_eq!(status, 400);
+            let (status, _) = http(
+                &addr,
+                "POST",
+                &format!("/explain?template={}", templates[0].name()),
+                "",
+            );
+            assert_eq!(status, 400, "missing draw");
+        }));
+        let (status, _) = http(&addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        server.join().expect("server thread");
+        client
+    });
+    if let Err(p) = client {
+        std::fs::remove_file(&log_path).ok();
+        std::panic::resume_unwind(p);
+    }
+
+    // --- the slow-query log ----------------------------------------------
+    // Threshold 0 makes every request "slow": each access-log line must be
+    // standalone JSON (multi-worker writes stay line-atomic), and every
+    // served query line carries the full operator profile.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let mut profiled_lines = 0u64;
+    let mut total = 0u64;
+    for line in log.lines() {
+        total += 1;
+        assert_json(line);
+        assert!(line.contains("\"slow\":true"), "threshold 0: {line}");
+        let served_query = (line.contains("\"endpoint\":\"query\"")
+            || line.contains("\"endpoint\":\"execute\""))
+            && line.contains("\"status\":200");
+        if served_query {
+            assert!(
+                line.contains("\"profile\":[{\"op\":0,"),
+                "slow query logs its operator profile: {line}"
+            );
+            assert!(
+                line.contains("\"stages\":{") && line.contains("\"serialize\":"),
+                "slow query logs the serialize stage: {line}"
+            );
+            profiled_lines += 1;
+        }
+        // The analyze=1 explain logs its profile too (the analyze=0 one
+        // never executed, so it has none).
+        if line.contains("\"endpoint\":\"explain\"") && line.contains("\"status\":200") {
+            profiled_lines += u64::from(line.contains("\"profile\":[{\"op\":0,"));
+        }
+    }
+    assert!(total > 20, "the workload produced many lines: {total}");
+    assert!(
+        profiled_lines > 10,
+        "many profiled query lines: {profiled_lines}"
+    );
+    std::fs::remove_file(&log_path).ok();
+}
+
 /// A client holding one persistent connection: sends requests back to
 /// back on the same socket and reads each framed response (the
 /// `Content-Length` header bounds the body, so the socket stays
